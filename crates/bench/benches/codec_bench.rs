@@ -1,0 +1,109 @@
+//! Criterion benchmarks for the protocol codecs: the per-packet cost that
+//! bounds simulator throughput.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::net::Ipv4Addr;
+
+use fremont_net::dns::{DnsMessage, DnsName, DnsRecord, RecordType};
+use fremont_net::{
+    ArpPacket, EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, MacAddr, RipEntry,
+    RipPacket, UdpDatagram,
+};
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+
+    let mac = MacAddr::new([8, 0, 0x20, 1, 2, 3]);
+    let frame = EthernetFrame::new(
+        MacAddr::BROADCAST,
+        mac,
+        EtherType::Ipv4,
+        Bytes::from(vec![0u8; 512]),
+    );
+    let frame_bytes = frame.encode();
+    g.bench_function("ethernet_roundtrip", |b| {
+        b.iter(|| {
+            let f = EthernetFrame::decode(black_box(&frame_bytes)).expect("valid");
+            black_box(f.encode().len())
+        })
+    });
+
+    let arp = ArpPacket::request(mac, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+    let arp_bytes = arp.encode();
+    g.bench_function("arp_roundtrip", |b| {
+        b.iter(|| {
+            let p = ArpPacket::decode(black_box(&arp_bytes)).expect("valid");
+            black_box(p.encode().len())
+        })
+    });
+
+    let icmp = IcmpMessage::EchoRequest {
+        ident: 7,
+        seq: 9,
+        payload: vec![0u8; 56],
+    };
+    let ip = Ipv4Packet::new(
+        Ipv4Addr::new(128, 138, 243, 10),
+        Ipv4Addr::new(128, 138, 238, 1),
+        IpProtocol::Icmp,
+        Bytes::from(icmp.encode()),
+    );
+    let ip_bytes = ip.encode();
+    g.bench_function("ipv4_icmp_roundtrip", |b| {
+        b.iter(|| {
+            let p = Ipv4Packet::decode(black_box(&ip_bytes)).expect("valid");
+            let m = IcmpMessage::decode(&p.payload).expect("valid");
+            black_box(m.encode().len())
+        })
+    });
+
+    let udp = UdpDatagram::new(40000, 33434, Bytes::from(vec![0u8; 12]));
+    let udp_bytes = udp.encode();
+    g.bench_function("udp_roundtrip", |b| {
+        b.iter(|| {
+            let d = UdpDatagram::decode(black_box(&udp_bytes)).expect("valid");
+            black_box(d.encode().len())
+        })
+    });
+
+    let rip = RipPacket::response(
+        (0..25u32)
+            .map(|i| RipEntry {
+                addr: Ipv4Addr::new(128, 138, i as u8, 0),
+                metric: 1 + i % 15,
+            })
+            .collect(),
+    );
+    let rip_bytes = rip.encode();
+    g.bench_function("rip_full_packet_roundtrip", |b| {
+        b.iter(|| {
+            let p = RipPacket::decode(black_box(&rip_bytes)).expect("valid");
+            black_box(p.encode().len())
+        })
+    });
+
+    // A realistic AXFR chunk: 64 PTR records.
+    let zone: DnsName = "243.138.128.in-addr.arpa".parse().expect("name");
+    let mut msg = DnsMessage::query(1, zone.clone(), RecordType::Axfr);
+    msg.is_response = true;
+    for i in 0..64u8 {
+        msg.answers.push(DnsRecord::ptr(
+            DnsName::reverse_for(Ipv4Addr::new(128, 138, 243, i)),
+            format!("host{i}.colorado.edu").parse().expect("name"),
+            86400,
+        ));
+    }
+    let dns_bytes = msg.encode();
+    g.bench_function("dns_axfr_64_records_roundtrip", |b| {
+        b.iter(|| {
+            let m = DnsMessage::decode(black_box(&dns_bytes)).expect("valid");
+            black_box(m.answers.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

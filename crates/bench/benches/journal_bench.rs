@@ -1,0 +1,125 @@
+//! Criterion benchmarks for the Journal: AVL index operations, the
+//! observation-merge path, and query throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::Ipv4Addr;
+
+use fremont_journal::avl::AvlMap;
+use fremont_journal::observation::{Observation, Source};
+use fremont_journal::query::InterfaceQuery;
+use fremont_journal::store::Journal;
+use fremont_journal::time::JTime;
+use fremont_net::MacAddr;
+
+fn ip_of(i: u32) -> Ipv4Addr {
+    Ipv4Addr::new(128, 138, (i >> 8) as u8, i as u8)
+}
+
+fn mac_of(i: u32) -> MacAddr {
+    MacAddr::new([8, 0, 0x20, (i >> 16) as u8, (i >> 8) as u8, i as u8])
+}
+
+fn bench_avl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avl");
+    for n in [1_000u32, 16_000] {
+        g.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = AvlMap::new();
+                for i in 0..n {
+                    m.insert(i.wrapping_mul(2_654_435_761), i);
+                }
+                black_box(m.len())
+            })
+        });
+        let filled: AvlMap<u32, u32> = (0..n).map(|i| (i.wrapping_mul(2_654_435_761), i)).collect();
+        g.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut hits = 0;
+                for i in 0..1000 {
+                    if filled.get(&((i % n).wrapping_mul(2_654_435_761))).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("range_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let count = filled
+                    .range((
+                        std::ops::Bound::Included(&0),
+                        std::ops::Bound::Included(&(u32::MAX / 8)),
+                    ))
+                    .count();
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_journal_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("journal");
+    g.bench_function("apply_arp_pairs_10k", |b| {
+        b.iter(|| {
+            let mut j = Journal::new();
+            for i in 0..10_000u32 {
+                j.apply(
+                    &Observation::arp_pair(Source::ArpWatch, ip_of(i), mac_of(i)),
+                    JTime(u64::from(i)),
+                );
+            }
+            black_box(j.stats().interfaces)
+        })
+    });
+    g.bench_function("reverify_known_pairs_10k", |b| {
+        let mut j = Journal::new();
+        for i in 0..10_000u32 {
+            j.apply(
+                &Observation::arp_pair(Source::ArpWatch, ip_of(i), mac_of(i)),
+                JTime(u64::from(i)),
+            );
+        }
+        b.iter(|| {
+            for i in 0..10_000u32 {
+                j.apply(
+                    &Observation::arp_pair(Source::ArpWatch, ip_of(i), mac_of(i)),
+                    JTime(20_000),
+                );
+            }
+            black_box(j.stats().interfaces)
+        })
+    });
+    let mut j = Journal::new();
+    for i in 0..16_000u32 {
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip_of(i), mac_of(i)),
+            JTime(u64::from(i)),
+        );
+    }
+    g.bench_function("query_by_ip", |b| {
+        b.iter(|| {
+            let mut found = 0;
+            for i in 0..1000u32 {
+                found += j.get_interfaces(&InterfaceQuery::by_ip(ip_of(i * 16))).len();
+            }
+            black_box(found)
+        })
+    });
+    g.bench_function("query_subnet_scan", |b| {
+        b.iter(|| {
+            let q = InterfaceQuery::in_subnet("128.138.7.0/24".parse().expect("subnet"));
+            black_box(j.get_interfaces(&q).len())
+        })
+    });
+    g.bench_function("snapshot_roundtrip_16k", |b| {
+        b.iter(|| {
+            let snap = j.to_snapshot();
+            black_box(Journal::from_snapshot(&snap).stats().interfaces)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_avl, bench_journal_apply);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the simulator engine: event throughput,
+//! campus generation, and routing-table computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fremont_explorers::{SeqPing, SeqPingConfig};
+use fremont_netsim::builder::TopologyBuilder;
+use fremont_netsim::campus::{generate, CampusConfig};
+use fremont_netsim::time::SimDuration;
+use fremont_net::IpRange;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(20);
+
+    // Ping sweep throughput: how fast does the engine chew through a
+    // sweep's worth of events (ARP + echo + timers)?
+    g.bench_function("ping_sweep_60_hosts", |b| {
+        b.iter(|| {
+            let mut builder = TopologyBuilder::new();
+            let lan = builder.segment("lan", "10.0.0.0/24");
+            for i in 0..60 {
+                builder.host(&format!("h{i}"), lan, 10 + i);
+            }
+            let (mut sim, topo) = builder.build(1);
+            let range = IpRange::new(
+                "10.0.0.10".parse().expect("ip"),
+                "10.0.0.69".parse().expect("ip"),
+            );
+            let mut cfg = SeqPingConfig::over(range);
+            cfg.interval = SimDuration::from_millis(10); // Stress, not pacing.
+            let h = sim.spawn(topo.hosts[0], Box::new(SeqPing::new(cfg)));
+            sim.run_for(SimDuration::from_secs(30));
+            black_box((sim.stats.events_processed, h))
+        })
+    });
+
+    // Raw event throughput under RIP chatter on the full campus.
+    g.bench_function("campus_idle_minute", |b| {
+        b.iter(|| {
+            let mut cfg = CampusConfig::default();
+            cfg.cs_traffic = false;
+            let (mut sim, _) = generate(&cfg);
+            sim.run_for(SimDuration::from_mins(1));
+            black_box(sim.stats.events_processed)
+        })
+    });
+
+    for subnets in [12usize, 114] {
+        g.bench_with_input(
+            BenchmarkId::new("campus_generation", subnets),
+            &subnets,
+            |b, &n| {
+                b.iter(|| {
+                    let cfg = CampusConfig {
+                        subnets_assigned: n + 3,
+                        subnets_connected: n,
+                        cs_traffic: false,
+                        ..Default::default()
+                    };
+                    let (sim, truth) = generate(&cfg);
+                    black_box((sim.nodes.len(), truth.gateways.len()))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 2: the discovered campus topology, exported as a
+//! SunNet-Manager-style dump, Graphviz dot, and an ASCII map. Files are
+//! written next to the target directory.
+use fremont_netsim::campus::CampusConfig;
+use std::fs;
+fn main() {
+    let system = fremont_bench::exp_problems::full_campaign(&CampusConfig::default(), 1);
+    let (graph, sunnet, dot, ascii) = fremont_bench::exp_problems::figure2(&system);
+    let dir = std::path::Path::new("target/fremont-figures");
+    fs::create_dir_all(dir).expect("create output dir");
+    fs::write(dir.join("figure2.snm"), &sunnet).expect("write snm");
+    fs::write(dir.join("figure2.dot"), &dot).expect("write dot");
+    fs::write(dir.join("figure2.txt"), &ascii).expect("write txt");
+    println!("{ascii}");
+    println!(
+        "wrote {} gateways / {} subnets to target/fremont-figures/{{figure2.snm,figure2.dot,figure2.txt}}",
+        graph.gateways.len(),
+        graph.subnets.len()
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (interface record fields).
+fn main() {
+    println!("{}", fremont_bench::exp_static::table1().render());
+}

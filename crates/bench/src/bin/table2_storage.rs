@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (Journal storage requirements).
+fn main() {
+    println!("{}", fremont_bench::exp_static::table2().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (Explorer Module input/output).
+fn main() {
+    println!("{}", fremont_bench::exp_static::table3().render());
+}

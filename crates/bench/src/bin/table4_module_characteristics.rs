@@ -1,0 +1,7 @@
+//! Regenerates Table 4 (module characteristics: intervals, completion
+//! time, network and system load).
+use fremont_netsim::campus::CampusConfig;
+fn main() {
+    let cfg = CampusConfig::default();
+    println!("{}", fremont_bench::exp_runtime::table4(&cfg).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 5 (interface discovery on the departmental subnet).
+use fremont_netsim::campus::CampusConfig;
+fn main() {
+    let cfg = CampusConfig::default();
+    println!("{}", fremont_bench::exp_discovery::table5(&cfg).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 6 (campus-wide subnet discovery).
+use fremont_netsim::campus::CampusConfig;
+fn main() {
+    let cfg = CampusConfig::default();
+    println!("{}", fremont_bench::exp_discovery::table6(&cfg).render());
+}

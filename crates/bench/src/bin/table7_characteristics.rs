@@ -1,0 +1,6 @@
+//! Regenerates Table 7 (characteristics discovered by a full campaign).
+use fremont_netsim::campus::CampusConfig;
+fn main() {
+    let system = fremont_bench::exp_problems::full_campaign(&CampusConfig::default(), 2);
+    println!("{}", fremont_bench::exp_problems::table7(&system).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 8 (problems uncovered) over the fault-injected campus.
+use fremont_netsim::campus::CampusConfig;
+fn main() {
+    let system = fremont_bench::exp_problems::full_campaign(&CampusConfig::default(), 3);
+    let (table, report) = fremont_bench::exp_problems::table8(&system);
+    println!("{}", table.render());
+    println!("{report}");
+}

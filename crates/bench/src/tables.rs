@@ -1,0 +1,136 @@
+//! Table rendering for the experiment harness.
+//!
+//! Each experiment regenerates one of the paper's tables; the renderer
+//! prints the measured rows next to the paper's published values so the
+//! *shape* comparison is immediate.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (e.g. "Table 5: Discovering Interfaces on a Subnet").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<S: ToString>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_owned());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let line_len: usize = widths.iter().sum::<usize>() + 3 * cols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "=".repeat(line_len.max(self.title.len())));
+        let mut header = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(header, "{:<w$}", h, w = widths[i]);
+            if i + 1 < cols {
+                header.push_str("   ");
+            }
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line_len.max(self.title.len())));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(line, "{:<w$}", cell, w = widths[i]);
+                if i + 1 < cols {
+                    line.push_str("   ");
+                }
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+
+    /// Serializes the table to JSON (for EXPERIMENTS.md tooling).
+    pub fn to_json(&self) -> String {
+        let obj = serde_json::json!({
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        });
+        serde_json::to_string_pretty(&obj).expect("json-safe strings")
+    }
+}
+
+/// Formats a fraction as a percentage, matching the paper's style.
+pub fn pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        return "-".to_owned();
+    }
+    format!("{:.0}", 100.0 * count as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Table X: Demo", &["Module", "Count", "% of Total"]);
+        t.row(&["ARPwatch", "34", "61"]);
+        t.row(&["EtherHostProbe", "48", "86"]);
+        t.note("paper values");
+        let s = t.render();
+        assert!(s.contains("Table X: Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and first row align on the second column.
+        let hpos = lines[2].find("Count").unwrap();
+        let rpos = lines[4].find("34").unwrap();
+        assert_eq!(hpos, rpos, "{s}");
+        assert!(s.contains("* paper values"));
+    }
+
+    #[test]
+    fn json_export() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(&["1"]);
+        let j = t.to_json();
+        assert!(j.contains("\"rows\""));
+        assert!(serde_json::from_str::<serde_json::Value>(&j).is_ok());
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(34, 56), "61");
+        assert_eq!(pct(56, 56), "100");
+        assert_eq!(pct(0, 0), "-");
+    }
+}

@@ -1,0 +1,551 @@
+//! The analysis programs: uncovering network problems from the Journal.
+//!
+//! The paper ships two analysis programs — subnet-mask conflicts and
+//! MAC/IP address conflicts — and summarizes the problem classes Fremont
+//! uncovers in Table 8: IP addresses no longer in use, hardware changes,
+//! inconsistent network masks, duplicate address assignments, and
+//! promiscuous RIP hosts. This module implements all five detectors over
+//! Journal records.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use fremont_journal::query::InterfaceQuery;
+use fremont_journal::store::Journal;
+use fremont_journal::time::JTime;
+use fremont_net::{MacAddr, Subnet, SubnetMask};
+
+/// A subnet whose interfaces disagree about the mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskConflict {
+    /// The (majority-mask) subnet in question.
+    pub subnet: Subnet,
+    /// Each mask seen on the subnet, with the interfaces reporting it.
+    pub masks: Vec<(SubnetMask, Vec<Ipv4Addr>)>,
+}
+
+/// Why two records around one address look suspicious.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressConflictKind {
+    /// Same IP on two MACs, both recently alive: duplicate assignment.
+    DuplicateAssignment,
+    /// Same IP on two MACs, the older one long silent: hardware change.
+    HardwareChange,
+    /// Same MAC answering several IPs: a gateway doing proxy ARP, a
+    /// multi-address interface, or a reconfigured system.
+    MultipleAddressesOneMac,
+}
+
+/// A MAC/IP conflict finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressConflict {
+    /// Classification.
+    pub kind: AddressConflictKind,
+    /// The shared address (IP for duplicate/hw-change, arbitrary member
+    /// for one-MAC findings).
+    pub ip: Ipv4Addr,
+    /// The MACs involved (for MAC-keyed findings, a single entry).
+    pub macs: Vec<MacAddr>,
+    /// All IPs involved (one for IP-keyed findings).
+    pub ips: Vec<Ipv4Addr>,
+}
+
+/// An address that has not been seen alive for a long time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleAddress {
+    /// The interface's address.
+    pub ip: Ipv4Addr,
+    /// Its DNS name, when known.
+    pub name: Option<String>,
+    /// Last time any non-DNS module verified it (`None` = never seen on
+    /// the wire at all).
+    pub last_live: Option<JTime>,
+}
+
+/// A host flagged as a promiscuous RIP rebroadcaster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromiscuousRipHost {
+    /// The offending interface address.
+    pub ip: Ipv4Addr,
+    /// Its MAC, when known.
+    pub mac: Option<MacAddr>,
+}
+
+/// Finds subnets whose member interfaces report conflicting masks.
+pub fn subnet_mask_conflicts(journal: &Journal) -> Vec<MaskConflict> {
+    // Group mask-bearing interfaces by the subnet implied by the
+    // *majority* mask on their wire segment. We bucket by each record's
+    // own subnet and then merge buckets that overlap.
+    let mut by_mask_subnet: HashMap<Subnet, Vec<(SubnetMask, Ipv4Addr)>> = HashMap::new();
+    for rec in journal.get_interfaces(&InterfaceQuery::all()) {
+        let (Some(ip), Some(mask)) = (rec.ip_addr(), rec.subnet_mask()) else {
+            continue;
+        };
+        // Bucket under every plausible containing subnet so that a /16
+        // mask on a /24 wire lands in the same bucket as its neighbors.
+        let own = Subnet::containing(ip, mask);
+        by_mask_subnet.entry(own).or_default().push((mask, ip));
+    }
+
+    // A conflict is reported once per *wire* — keyed by the narrowest
+    // claimed subnet — and only involves interfaces whose own addresses
+    // fall on that wire. (A host claiming /16 on a /24 wire conflicts with
+    // its actual /24 neighbors, not with every /24 of the class B.)
+    let mut out = Vec::new();
+    let subnets: Vec<Subnet> = by_mask_subnet.keys().copied().collect();
+    for &s in &subnets {
+        // Only anchor at the narrowest buckets.
+        if subnets.iter().any(|t| *t != s && s.contains_subnet(t)) {
+            continue;
+        }
+        let mut masks: HashMap<SubnetMask, Vec<Ipv4Addr>> = HashMap::new();
+        for t in &subnets {
+            if !(t.contains_subnet(&s) || *t == s) {
+                continue;
+            }
+            for (m, ip) in &by_mask_subnet[t] {
+                // Wider-bucket interfaces join only when their address is
+                // actually on this wire.
+                if s.contains(*ip) {
+                    masks.entry(*m).or_default().push(*ip);
+                }
+            }
+        }
+        if masks.len() > 1 {
+            let mut masks: Vec<(SubnetMask, Vec<Ipv4Addr>)> = masks
+                .into_iter()
+                .map(|(m, mut ips)| {
+                    ips.sort_by_key(|ip| u32::from(*ip));
+                    (m, ips)
+                })
+                .collect();
+            masks.sort_by_key(|(m, _)| std::cmp::Reverse(m.prefix_len()));
+            out.push(MaskConflict { subnet: s, masks });
+        }
+    }
+    out.sort_by_key(|c| c.subnet);
+    out
+}
+
+/// Finds MAC/IP conflicts: duplicate addresses, hardware changes, and
+/// multi-address MACs.
+///
+/// Two MACs claiming one IP are a *duplicate assignment* when their
+/// liveness intervals overlap: the earlier record was still being seen
+/// alive at least `min_overlap` seconds after the later one appeared.
+/// Otherwise the address simply moved to new hardware (the old adapter
+/// went quiet around when the new one showed up).
+pub fn address_conflicts(journal: &Journal, now: JTime, min_overlap: u64) -> Vec<AddressConflict> {
+    let _ = now;
+    let records = journal.get_interfaces(&InterfaceQuery::all());
+    let mut out = Vec::new();
+
+    // Same IP, several MACs.
+    let mut by_ip: HashMap<Ipv4Addr, Vec<&fremont_journal::records::InterfaceRecord>> =
+        HashMap::new();
+    for r in &records {
+        if let (Some(ip), Some(_)) = (r.ip_addr(), r.mac_addr()) {
+            by_ip.entry(ip).or_default().push(r);
+        }
+    }
+    let mut ips: Vec<_> = by_ip.keys().copied().collect();
+    ips.sort_by_key(|ip| u32::from(*ip));
+    for ip in ips {
+        let group = &by_ip[&ip];
+        if group.len() < 2 {
+            continue;
+        }
+        // Order by appearance; overlapping live intervals = duplicate.
+        let mut by_age: Vec<_> = group.clone();
+        by_age.sort_by_key(|r| r.discovered);
+        // Overlap test: some earlier claimant was seen alive well after a
+        // later claimant appeared.
+        let mut overlap = false;
+        'outer: for (i, older) in by_age.iter().enumerate() {
+            let Some(older_live) = older.live_verified else {
+                continue;
+            };
+            for newer in &by_age[i + 1..] {
+                if newer.live_verified.is_some()
+                    && older_live.as_secs() >= newer.discovered.as_secs() + min_overlap
+                {
+                    overlap = true;
+                    break 'outer;
+                }
+            }
+        }
+        let kind = if overlap {
+            AddressConflictKind::DuplicateAssignment
+        } else {
+            AddressConflictKind::HardwareChange
+        };
+        let mut macs: Vec<MacAddr> = group.iter().filter_map(|r| r.mac_addr()).collect();
+        macs.sort();
+        macs.dedup();
+        if macs.len() < 2 {
+            continue;
+        }
+        out.push(AddressConflict {
+            kind,
+            ip,
+            macs,
+            ips: vec![ip],
+        });
+    }
+
+    // Same MAC, several IPs.
+    let mut by_mac: HashMap<MacAddr, Vec<Ipv4Addr>> = HashMap::new();
+    for r in &records {
+        if let (Some(ip), Some(mac)) = (r.ip_addr(), r.mac_addr()) {
+            let v = by_mac.entry(mac).or_default();
+            if !v.contains(&ip) {
+                v.push(ip);
+            }
+        }
+    }
+    let mut macs: Vec<_> = by_mac.keys().copied().collect();
+    macs.sort();
+    for mac in macs {
+        let ips = &by_mac[&mac];
+        if ips.len() < 2 {
+            continue;
+        }
+        let mut ips = ips.clone();
+        ips.sort_by_key(|ip| u32::from(*ip));
+        out.push(AddressConflict {
+            kind: AddressConflictKind::MultipleAddressesOneMac,
+            ip: ips[0],
+            macs: vec![mac],
+            ips,
+        });
+    }
+    out
+}
+
+/// Finds addresses that look abandoned: known interfaces whose last
+/// live (non-DNS) verification is older than `threshold` seconds.
+///
+/// "We can see when hosts have been removed from the network. ... A
+/// network manager can observe this, and then contact the owner of the
+/// missing host to verify that the network address can be reused."
+///
+/// The detector is *coverage-aware*: an address only counts as abandoned
+/// when its own subnet demonstrably kept being watched — some other
+/// interface there was live-verified within the horizon. Silence on a
+/// subnet Fremont has not re-swept means "unmonitored", not "gone".
+pub fn stale_addresses(journal: &Journal, now: JTime, threshold: u64) -> Vec<StaleAddress> {
+    let cutoff = JTime(now.as_secs().saturating_sub(threshold));
+    let default_mask = SubnetMask::from_prefix_len(24).expect("24 valid");
+
+    // Coverage evidence per subnet: how many of its known interfaces were
+    // live-verified within the horizon, out of how many exist. One fresh
+    // router reply does not make a subnet "watched"; a sweep does.
+    let mut coverage: HashMap<Subnet, (usize, usize)> = HashMap::new();
+    for r in journal.get_interfaces(&InterfaceQuery::all()) {
+        let Some(ip) = r.ip_addr() else { continue };
+        let subnet = Subnet::containing(ip, r.subnet_mask().unwrap_or(default_mask));
+        let e = coverage.entry(subnet).or_insert((0, 0));
+        e.1 += 1;
+        if r.live_verified.map(|lv| lv >= cutoff).unwrap_or(false) {
+            e.0 += 1;
+        }
+    }
+
+    let q = InterfaceQuery {
+        live_verified_before: Some(cutoff),
+        ..Default::default()
+    };
+    let mut out: Vec<StaleAddress> = journal
+        .get_interfaces(&q)
+        .into_iter()
+        .filter_map(|r| {
+            let ip = r.ip_addr()?;
+            let subnet = Subnet::containing(ip, r.subnet_mask().unwrap_or(default_mask));
+            let (fresh, total) = coverage.get(&subnet).copied().unwrap_or((0, 0));
+            // A once-alive host needs the subnet re-swept (half fresh); a
+            // never-alive (DNS-only) entry needs *strong* coverage — a
+            // couple of traceroute replies on an otherwise unswept subnet
+            // say nothing about a host that never answered.
+            let watched = if r.live_verified.is_some() {
+                fresh * 2 >= total
+            } else {
+                fresh >= 3 && fresh * 2 > total
+            };
+            if !watched {
+                return None;
+            }
+            Some(StaleAddress {
+                ip,
+                name: r.dns_name().map(str::to_owned),
+                last_live: r.live_verified,
+            })
+        })
+        .collect();
+    out.sort_by_key(|s| u32::from(s.ip));
+    out
+}
+
+/// Finds hosts flagged as promiscuous RIP sources.
+pub fn promiscuous_rip_hosts(journal: &Journal) -> Vec<PromiscuousRipHost> {
+    let q = InterfaceQuery {
+        rip_source: Some(true),
+        ..Default::default()
+    };
+    let mut out: Vec<PromiscuousRipHost> = journal
+        .get_interfaces(&q)
+        .into_iter()
+        .filter(|r| r.rip_promiscuous)
+        .filter_map(|r| {
+            Some(PromiscuousRipHost {
+                ip: r.ip_addr()?,
+                mac: r.mac_addr(),
+            })
+        })
+        .collect();
+    out.sort_by_key(|p| u32::from(p.ip));
+    out.dedup();
+    out
+}
+
+/// The full Table 8 report.
+#[derive(Debug, Clone, Default)]
+pub struct ProblemReport {
+    /// "IP Addresses No Longer in Use".
+    pub stale: Vec<StaleAddress>,
+    /// "Hardware Changes".
+    pub hardware_changes: Vec<AddressConflict>,
+    /// "Inconsistent Network Masks".
+    pub mask_conflicts: Vec<MaskConflict>,
+    /// "Duplicate Address Assignments".
+    pub duplicates: Vec<AddressConflict>,
+    /// "Promiscuous RIP Hosts".
+    pub promiscuous: Vec<PromiscuousRipHost>,
+}
+
+impl ProblemReport {
+    /// Runs every detector.
+    ///
+    /// `stale_after` — seconds without live verification before an address
+    /// counts as abandoned; `min_overlap` — minimum observed coexistence
+    /// (seconds) separating duplicates from hardware changes.
+    pub fn generate(journal: &Journal, now: JTime, stale_after: u64, min_overlap: u64) -> Self {
+        let conflicts = address_conflicts(journal, now, min_overlap);
+        let (dups, hw): (Vec<_>, Vec<_>) = conflicts
+            .into_iter()
+            .filter(|c| c.kind != AddressConflictKind::MultipleAddressesOneMac)
+            .partition(|c| c.kind == AddressConflictKind::DuplicateAssignment);
+        ProblemReport {
+            stale: stale_addresses(journal, now, stale_after),
+            hardware_changes: hw,
+            mask_conflicts: subnet_mask_conflicts(journal),
+            duplicates: dups,
+            promiscuous: promiscuous_rip_hosts(journal),
+        }
+    }
+
+    /// Total findings.
+    pub fn total(&self) -> usize {
+        self.stale.len()
+            + self.hardware_changes.len()
+            + self.mask_conflicts.len()
+            + self.duplicates.len()
+            + self.promiscuous.len()
+    }
+}
+
+impl std::fmt::Display for ProblemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Problems Uncovered ({} findings)", self.total())?;
+        writeln!(f, "  IP addresses no longer in use: {}", self.stale.len())?;
+        for s in &self.stale {
+            writeln!(
+                f,
+                "    {} ({}) last seen alive: {}",
+                s.ip,
+                s.name.as_deref().unwrap_or("unnamed"),
+                s.last_live
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "never".to_owned())
+            )?;
+        }
+        writeln!(f, "  Hardware changes: {}", self.hardware_changes.len())?;
+        for c in &self.hardware_changes {
+            writeln!(f, "    {} moved across MACs {:?}", c.ip, c.macs)?;
+        }
+        writeln!(f, "  Inconsistent network masks: {}", self.mask_conflicts.len())?;
+        for c in &self.mask_conflicts {
+            writeln!(f, "    {}: {} distinct masks", c.subnet, c.masks.len())?;
+        }
+        writeln!(f, "  Duplicate address assignments: {}", self.duplicates.len())?;
+        for c in &self.duplicates {
+            writeln!(f, "    {} claimed by MACs {:?}", c.ip, c.macs)?;
+        }
+        writeln!(f, "  Promiscuous RIP hosts: {}", self.promiscuous.len())?;
+        for p in &self.promiscuous {
+            writeln!(f, "    {}", p.ip)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremont_journal::observation::{Fact, Observation, Source};
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn mac(s: &str) -> MacAddr {
+        s.parse().unwrap()
+    }
+
+    fn mask(n: u8) -> SubnetMask {
+        SubnetMask::from_prefix_len(n).unwrap()
+    }
+
+    #[test]
+    fn detects_duplicate_assignment() {
+        let mut j = Journal::new();
+        // Both adapters keep answering ARP for the same address.
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(100));
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")), JTime(110));
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(4000));
+        let found = address_conflicts(&j, JTime(4100), 3600);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AddressConflictKind::DuplicateAssignment);
+        assert_eq!(found[0].macs.len(), 2);
+    }
+
+    #[test]
+    fn detects_hardware_change() {
+        let mut j = Journal::new();
+        // Old adapter seen early, then silent; new one seen recently.
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(100));
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")), JTime::from_days(30));
+        let now = JTime::from_days(30) + 60;
+        let found = address_conflicts(&j, now, 3600);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AddressConflictKind::HardwareChange);
+    }
+
+    #[test]
+    fn detects_proxy_arp_style_mac() {
+        let mut j = Journal::new();
+        let m = mac("00:00:0c:aa:bb:cc");
+        for i in 1..=3u8 {
+            j.apply(
+                &Observation::arp_pair(Source::EtherHostProbe, Ipv4Addr::new(10, 0, 0, i), m),
+                JTime(1),
+            );
+        }
+        let found = address_conflicts(&j, JTime(10), 3600);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AddressConflictKind::MultipleAddressesOneMac);
+        assert_eq!(found[0].ips.len(), 3);
+    }
+
+    #[test]
+    fn detects_mask_conflict() {
+        let mut j = Journal::new();
+        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.5"), mask(24)), JTime(1));
+        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.6"), mask(24)), JTime(1));
+        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.7"), mask(16)), JTime(1));
+        let found = subnet_mask_conflicts(&j);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].subnet, "10.0.1.0/24".parse().unwrap());
+        assert_eq!(found[0].masks.len(), 2);
+        // Majority mask listed first (narrower first by our ordering).
+        assert_eq!(found[0].masks[0].0, mask(24));
+        assert_eq!(found[0].masks[0].1.len(), 2);
+    }
+
+    #[test]
+    fn no_conflict_when_masks_agree() {
+        let mut j = Journal::new();
+        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.5"), mask(24)), JTime(1));
+        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.2.5"), mask(24)), JTime(1));
+        assert!(subnet_mask_conflicts(&j).is_empty());
+    }
+
+    #[test]
+    fn detects_stale_addresses() {
+        let mut j = Journal::new();
+        // Seen alive early, then only DNS keeps mentioning it.
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.7")), JTime::from_days(1));
+        j.apply(&Observation::named_ip(Source::Dns, ip("10.0.0.7"), "ghost.cs"), JTime::from_days(20));
+        // A healthy interface for contrast.
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.8")), JTime::from_days(20));
+        let now = JTime::from_days(21);
+        let stale = stale_addresses(&j, now, 7 * 86400);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].ip, ip("10.0.0.7"));
+        assert_eq!(stale[0].name.as_deref(), Some("ghost.cs"));
+        assert_eq!(stale[0].last_live, Some(JTime::from_days(1)));
+    }
+
+    #[test]
+    fn dns_only_ghost_is_stale_with_never() {
+        let mut j = Journal::new();
+        j.apply(&Observation::named_ip(Source::Dns, ip("10.0.0.70"), "never.cs"), JTime::from_days(20));
+        // Unwatched subnet: the ghost is NOT reported (no coverage).
+        assert!(stale_addresses(&j, JTime::from_days(21), 86400).is_empty());
+        // Several recently-verified neighbors prove the subnet is being
+        // swept; only then is the never-seen entry reportable.
+        for h in [71u8, 72, 73] {
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 0, h)),
+                JTime::from_days(21),
+            );
+        }
+        let stale = stale_addresses(&j, JTime::from_days(21), 86400);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].last_live, None);
+    }
+
+    #[test]
+    fn detects_promiscuous_rip() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::new(
+                Source::RipWatch,
+                Fact::RipSource {
+                    ip: ip("10.0.0.1"),
+                    mac: None,
+                    advertised_routes: 10,
+                    promiscuous: false,
+                },
+            ),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::new(
+                Source::RipWatch,
+                Fact::RipSource {
+                    ip: ip("10.0.0.2"),
+                    mac: Some(mac("08:00:20:00:00:09")),
+                    advertised_routes: 10,
+                    promiscuous: true,
+                },
+            ),
+            JTime(1),
+        );
+        let found = promiscuous_rip_hosts(&j);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].ip, ip("10.0.0.2"));
+    }
+
+    #[test]
+    fn full_report_renders() {
+        let mut j = Journal::new();
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(100));
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")), JTime(110));
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(9000));
+        let report = ProblemReport::generate(&j, JTime(9100), 86400, 3600);
+        assert_eq!(report.duplicates.len(), 1);
+        let text = report.to_string();
+        assert!(text.contains("Duplicate address assignments: 1"));
+        assert!(report.total() >= 1);
+    }
+}

@@ -1,0 +1,410 @@
+//! The Discovery Manager driver: runs Explorer Modules on the simulated
+//! network, pumps their observations into the Journal, and adapts the
+//! schedule.
+//!
+//! In the paper's deployment the Discovery Manager forks module processes
+//! on UNIX hosts and they talk to the Journal Server over BSD sockets;
+//! here the driver spawns module [`fremont_netsim::process::Process`]es on a simulated host and
+//! forwards their observations to a [`SharedJournal`], preserving the
+//! architecture's roles: modules only observe, the Journal stores and
+//! timestamps, and the manager decides what runs next based on Journal
+//! contents.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use fremont_explorers::{
+    ArpWatch, ArpWatchConfig, BrdcastPing, BrdcastPingConfig, DnsExplorer, DnsExplorerConfig,
+    EtherHostProbe, EtherHostProbeConfig, RipWatch, RipWatchConfig, SeqPing, SeqPingConfig,
+    SubnetMasks, SubnetMasksConfig, Traceroute, TracerouteConfig,
+};
+use fremont_journal::observation::Source;
+use fremont_journal::query::{InterfaceQuery, SubnetQuery};
+use fremont_journal::server::{JournalAccess, SharedJournal};
+use fremont_journal::store::StoreSummary;
+use fremont_netsim::engine::Sim;
+use fremont_netsim::process::ProcHandle;
+use fremont_netsim::segment::NodeId;
+use fremont_netsim::time::SimDuration;
+use fremont_net::Subnet;
+
+use crate::correlate::correlate;
+use crate::manager::{DiscoveryManager, RunOutcome};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Modules the manager may run (default: all eight).
+    pub enabled: Vec<Source>,
+    /// The network under exploration (bounds traceroute and DNS).
+    pub network: Subnet,
+    /// The campus name server (for the DNS module).
+    pub dns_server: Option<Ipv4Addr>,
+    /// How often the driver pumps observations and re-plans, in sim time.
+    pub pump_interval: SimDuration,
+    /// Run the cross-correlation pass after each pump.
+    pub correlate: bool,
+}
+
+impl DriverConfig {
+    /// All modules over a network.
+    pub fn full(network: Subnet, dns_server: Option<Ipv4Addr>) -> Self {
+        DriverConfig {
+            enabled: Source::EXPLORERS.to_vec(),
+            network,
+            dns_server,
+            pump_interval: SimDuration::from_secs(30),
+            correlate: true,
+        }
+    }
+}
+
+/// The running deployment: simulator + journal + manager.
+pub struct DiscoveryDriver {
+    /// The simulated network.
+    pub sim: Sim,
+    /// The shared Journal.
+    pub journal: SharedJournal,
+    /// The scheduling state.
+    pub manager: DiscoveryManager,
+    cfg: DriverConfig,
+    home: NodeId,
+    running: HashMap<Source, (ProcHandle, StoreSummary)>,
+}
+
+impl DiscoveryDriver {
+    /// Creates a driver running modules on `home`.
+    pub fn new(sim: Sim, journal: SharedJournal, home: NodeId, cfg: DriverConfig) -> Self {
+        DiscoveryDriver {
+            sim,
+            journal,
+            manager: DiscoveryManager::new(),
+            cfg,
+            home,
+            running: HashMap::new(),
+        }
+    }
+
+    /// Runs the deployment for a span of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.sim.now() + duration;
+        // Plan immediately so due modules start at the beginning of the
+        // span rather than one pump interval in.
+        self.pump();
+        while self.sim.now() < deadline {
+            let slice = self.cfg.pump_interval.min(deadline - self.sim.now());
+            self.sim.run_for(slice);
+            self.pump();
+        }
+    }
+
+    /// One pump: drain observations, retire finished modules, start due
+    /// ones, cross-correlate.
+    pub fn pump(&mut self) {
+        // 1. Observations → Journal, attributed to their emitting module.
+        let drained = self.sim.drain_observations();
+        let had_news = !drained.is_empty();
+        for (handle, at, obs) in drained {
+            let summary = self
+                .journal
+                .store(at.to_jtime(), std::slice::from_ref(&obs))
+                .unwrap_or_default();
+            if let Some((_, acc)) = self.running.values_mut().find(|(h, _)| *h == handle) {
+                acc.absorb(summary);
+            }
+        }
+
+        // 2. Retire finished modules.
+        let finished: Vec<Source> = self
+            .running
+            .iter()
+            .filter(|(_, (h, _))| self.sim.process_done(*h))
+            .map(|(s, _)| *s)
+            .collect();
+        for source in finished {
+            let (handle, stored) = self.running.remove(&source).expect("listed");
+            self.sim.kill_process(handle);
+            let deficit_after = self.deficit_for(source);
+            self.manager.record_run(
+                source,
+                RunOutcome {
+                    stored,
+                    deficit_after,
+                },
+            );
+        }
+
+        // 3. Start due modules.
+        let now = self.sim.now().to_jtime();
+        for source in self.manager.due(now) {
+            if !self.cfg.enabled.contains(&source) || self.running.contains_key(&source) {
+                continue;
+            }
+            if let Some(handle) = self.spawn_module(source) {
+                self.manager
+                    .mark_started(source, now, self.deficit_for(source));
+                self.running
+                    .insert(source, (handle, StoreSummary::default()));
+            }
+        }
+
+        // 4. Cross-correlate — only when the journal actually changed.
+        if self.cfg.correlate && had_news {
+            let derived = self.journal.read(correlate);
+            if !derived.is_empty() {
+                let _ = self.journal.store(now, &derived);
+            }
+        }
+    }
+
+    /// The unmet-need metric the manager tracks per module.
+    fn deficit_for(&self, source: Source) -> Option<u64> {
+        match source {
+            Source::SubnetMasks => {
+                let q = InterfaceQuery {
+                    missing_mask: Some(true),
+                    ..Default::default()
+                };
+                Some(self.journal.interfaces(&q).map(|v| v.len() as u64).unwrap_or(0))
+            }
+            Source::Traceroute => {
+                // Subnets with no known gateway.
+                let q = SubnetQuery {
+                    has_gateway: Some(false),
+                    within: Some(self.cfg.network),
+                    ..Default::default()
+                };
+                Some(self.journal.subnets(&q).map(|v| v.len() as u64).unwrap_or(0))
+            }
+            _ => None,
+        }
+    }
+
+    /// The local subnet of the module host.
+    fn home_subnet(&self) -> Subnet {
+        self.sim.nodes[self.home.0].ifaces[0].subnet()
+    }
+
+    /// Known subnets inside the explored network — "the data collected
+    /// from RIP packets provide strong indications about the existence of
+    /// specific other networks and subnets. This information is used by
+    /// the traceroute Explorer Module."
+    fn known_subnets(&self) -> Vec<Subnet> {
+        let q = SubnetQuery {
+            within: Some(self.cfg.network),
+            ..Default::default()
+        };
+        self.journal
+            .subnets(&q)
+            .map(|v| v.into_iter().map(|r| r.subnet).collect())
+            .unwrap_or_default()
+    }
+
+    fn spawn_module(&mut self, source: Source) -> Option<ProcHandle> {
+        let home = self.home;
+        let local = self.home_subnet();
+        let handle = match source {
+            Source::ArpWatch => self
+                .sim
+                .spawn(home, Box::new(ArpWatch::new(ArpWatchConfig::default()))),
+            Source::EtherHostProbe => self.sim.spawn(
+                home,
+                Box::new(EtherHostProbe::new(EtherHostProbeConfig::over(
+                    local.host_range(),
+                ))),
+            ),
+            Source::SeqPing => self.sim.spawn(
+                home,
+                Box::new(SeqPing::new(SeqPingConfig::over(local.host_range()))),
+            ),
+            Source::BrdcastPing => {
+                let mut subnets = self.known_subnets();
+                if subnets.is_empty() {
+                    subnets.push(local);
+                }
+                self.sim.spawn(
+                    home,
+                    Box::new(BrdcastPing::new(BrdcastPingConfig::over(subnets))),
+                )
+            }
+            Source::SubnetMasks => {
+                let q = InterfaceQuery {
+                    missing_mask: Some(true),
+                    ..Default::default()
+                };
+                let targets: Vec<Ipv4Addr> = self
+                    .journal
+                    .interfaces(&q)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter_map(|r| r.ip_addr())
+                    .collect();
+                if targets.is_empty() {
+                    return None; // Nothing to ask yet.
+                }
+                self.sim.spawn(
+                    home,
+                    Box::new(SubnetMasks::new(SubnetMasksConfig::over(targets))),
+                )
+            }
+            Source::Traceroute => {
+                let mut subnets = self.known_subnets();
+                subnets.retain(|s| *s != local);
+                if subnets.is_empty() {
+                    return None; // No clues yet; RIPwatch/DNS go first.
+                }
+                let mut cfg = TracerouteConfig::over(subnets);
+                cfg.boundary = Some(self.cfg.network);
+                self.sim.spawn(home, Box::new(Traceroute::new(cfg)))
+            }
+            Source::RipWatch => self
+                .sim
+                .spawn(home, Box::new(RipWatch::new(RipWatchConfig::default()))),
+            Source::Dns => {
+                let server = self.cfg.dns_server?;
+                self.sim.spawn(
+                    home,
+                    Box::new(DnsExplorer::new(DnsExplorerConfig::new(
+                        self.cfg.network,
+                        server,
+                    ))),
+                )
+            }
+            Source::Manager => return None,
+        };
+        Some(handle)
+    }
+
+    /// Convenience access for experiments: run one specific module to
+    /// completion (or until `timeout`), pumping observations; other
+    /// scheduling is suspended. Returns the accumulated store summary.
+    pub fn run_single(
+        &mut self,
+        source: Source,
+        timeout: SimDuration,
+    ) -> Option<(ProcHandle, StoreSummary)> {
+        let handle = self.spawn_module(source)?;
+        self.running.insert(source, (handle, StoreSummary::default()));
+        self.manager
+            .mark_started(source, self.sim.now().to_jtime(), None);
+        let deadline = self.sim.now() + timeout;
+        while self.sim.now() < deadline {
+            let slice = self.cfg.pump_interval.min(deadline - self.sim.now());
+            self.sim.run_for(slice);
+            // Pump observations only (no new spawns).
+            let drained = self.sim.drain_observations();
+            for (h, at, obs) in drained {
+                let s = self
+                    .journal
+                    .store(at.to_jtime(), std::slice::from_ref(&obs))
+                    .unwrap_or_default();
+                if h == handle {
+                    if let Some((_, acc)) = self.running.get_mut(&source) {
+                        acc.absorb(s);
+                    }
+                }
+            }
+            if self.sim.process_done(handle) {
+                break;
+            }
+        }
+        let (h, stored) = self.running.remove(&source)?;
+        // Retire the process like pump() does, so its taps and timer chain
+        // do not linger in the simulator.
+        self.sim.kill_process(h);
+        let deficit_after = self.deficit_for(source);
+        self.manager.record_run(
+            source,
+            RunOutcome {
+                stored,
+                deficit_after,
+            },
+        );
+        Some((h, stored))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremont_netsim::builder::TopologyBuilder;
+
+    fn small_world() -> (Sim, NodeId, Subnet) {
+        let mut b = TopologyBuilder::new();
+        let a = b.segment("net-a", "10.5.1.0/26");
+        let c = b.segment("net-c", "10.5.2.0/26");
+        b.host("probe", a, 10);
+        b.host("other", a, 11);
+        b.host("far", c, 10);
+        b.router("gw", &[(a, 1), (c, 1)]);
+        let (sim, topo) = b.build(77);
+        let home = topo.nodes_by_name["probe"];
+        (sim, home, "10.5.0.0/16".parse().unwrap())
+    }
+
+    #[test]
+    fn run_single_seqping_populates_journal() {
+        let (sim, home, network) = small_world();
+        let journal = SharedJournal::new();
+        let mut driver = DiscoveryDriver::new(
+            sim,
+            journal.clone(),
+            home,
+            DriverConfig::full(network, None),
+        );
+        let (_, stored) = driver
+            .run_single(Source::SeqPing, SimDuration::from_mins(20))
+            .unwrap();
+        assert!(stored.created >= 2, "{stored:?}");
+        let stats = journal.stats().unwrap();
+        assert!(stats.interfaces >= 2);
+    }
+
+    #[test]
+    fn full_cycle_discovers_and_correlates() {
+        let (sim, home, network) = small_world();
+        let journal = SharedJournal::new();
+        let mut driver = DiscoveryDriver::new(
+            sim,
+            journal.clone(),
+            home,
+            DriverConfig::full(network, None),
+        );
+        // One simulated hour: RIPwatch hears the router, traceroute maps
+        // the far subnet, pings find hosts, masks arrive, correlation
+        // builds the gateway.
+        driver.run_for(SimDuration::from_hours(1));
+        let stats = journal.stats().unwrap();
+        assert!(stats.interfaces >= 3, "{stats:?}");
+        assert!(stats.subnets >= 2, "{stats:?}");
+        let gws = journal.gateways().unwrap();
+        assert!(!gws.is_empty(), "gateway discovered through correlation");
+        // Both subnets are known.
+        let subs = journal.subnets(&SubnetQuery::all()).unwrap();
+        let names: Vec<String> = subs.iter().map(|s| s.subnet.to_string()).collect();
+        assert!(names.contains(&"10.5.1.0/26".to_owned()), "{names:?}");
+        assert!(names.contains(&"10.5.2.0/26".to_owned()), "{names:?}");
+        // The schedule recorded completed runs.
+        assert!(driver.manager.schedule(Source::SeqPing).unwrap().runs >= 1);
+        assert!(driver.manager.schedule(Source::RipWatch).unwrap().runs >= 1);
+        journal.read(|j| j.check_invariants()).unwrap();
+    }
+
+    #[test]
+    fn traceroute_waits_for_clues() {
+        let (sim, home, network) = small_world();
+        let journal = SharedJournal::new();
+        let mut driver = DiscoveryDriver::new(
+            sim,
+            journal.clone(),
+            home,
+            DriverConfig {
+                enabled: vec![Source::Traceroute],
+                ..DriverConfig::full(network, None)
+            },
+        );
+        driver.pump();
+        // With an empty journal there are no target subnets: nothing runs.
+        assert!(!driver.manager.is_running(Source::Traceroute));
+    }
+}

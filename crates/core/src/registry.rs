@@ -1,0 +1,220 @@
+//! The Explorer Module registry.
+//!
+//! The Discovery Manager's "startup/history file records what each
+//! Explorer Module needs for input, and what features it discovers" —
+//! Table 3 of the paper. Table 4 adds the operational characteristics:
+//! appropriate invocation intervals, completion time, and load. This
+//! module is the static source of both tables.
+
+use fremont_journal::observation::Source;
+use fremont_journal::time::JTime;
+
+/// What a module needs as input (Table 3 "Inputs" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Runs unattended on the attached segment.
+    None,
+    /// A range of IP addresses.
+    IpRange,
+    /// A list of subnets or networks.
+    Subnets,
+    /// A list of already-known interface addresses.
+    KnownInterfaces,
+    /// A network number (e.g. the campus class B).
+    NetworkNumber,
+}
+
+/// One registry entry.
+#[derive(Debug, Clone)]
+pub struct ModuleInfo {
+    /// The module's Journal source tag.
+    pub source: Source,
+    /// Information source family (Table 3 "Source" column).
+    pub family: &'static str,
+    /// Input requirement.
+    pub input: InputKind,
+    /// Input description (Table 3 "Inputs" column).
+    pub inputs_text: &'static str,
+    /// Output description (Table 3 "Outputs" column).
+    pub outputs_text: &'static str,
+    /// Minimum re-invocation interval (Table 4).
+    pub min_interval: JTime,
+    /// Maximum re-invocation interval (Table 4).
+    pub max_interval: JTime,
+    /// Completion-time description (Table 4).
+    pub time_to_complete: &'static str,
+    /// Network-load description (Table 4).
+    pub network_load: &'static str,
+    /// System-load description (Table 4).
+    pub system_load: &'static str,
+    /// Runs continuously rather than to completion.
+    pub continuous: bool,
+    /// Requires system privileges (taps the interface).
+    pub needs_privileges: bool,
+}
+
+/// The eight modules, in the paper's Table 3 order.
+pub fn registry() -> Vec<ModuleInfo> {
+    vec![
+        ModuleInfo {
+            source: Source::ArpWatch,
+            family: "ARP",
+            input: InputKind::None,
+            inputs_text: "none",
+            outputs_text: "Enet. & IP address matches (over time)",
+            min_interval: JTime::from_hours(2),
+            max_interval: JTime::from_days(7),
+            time_to_complete: "continuous",
+            network_load: "none",
+            system_load: "minimal",
+            continuous: true,
+            needs_privileges: true,
+        },
+        ModuleInfo {
+            source: Source::EtherHostProbe,
+            family: "ARP",
+            input: InputKind::IpRange,
+            inputs_text: "IP address range",
+            outputs_text: "Enet. & IP address matches (immediately)",
+            min_interval: JTime::from_days(1),
+            max_interval: JTime::from_days(7),
+            time_to_complete: "1 sec/address",
+            network_load: "1 - 4 pkts/sec",
+            system_load: "minimal",
+            continuous: false,
+            needs_privileges: false,
+        },
+        ModuleInfo {
+            source: Source::SeqPing,
+            family: "ICMP",
+            input: InputKind::IpRange,
+            inputs_text: "IP address range",
+            outputs_text: "Intf. IP addr.",
+            min_interval: JTime::from_days(2),
+            max_interval: JTime::from_days(14),
+            time_to_complete: "2 sec/address",
+            network_load: ".5 pkts/sec",
+            system_load: "minimal",
+            continuous: false,
+            needs_privileges: false,
+        },
+        ModuleInfo {
+            source: Source::BrdcastPing,
+            family: "ICMP",
+            input: InputKind::Subnets,
+            inputs_text: "Subnets or Nets",
+            outputs_text: "Intf. IP addr.",
+            min_interval: JTime::from_days(7),
+            max_interval: JTime::from_days(28),
+            time_to_complete: "30 sec/subnet",
+            network_load: "short storm",
+            system_load: "short high load",
+            continuous: false,
+            needs_privileges: false,
+        },
+        ModuleInfo {
+            source: Source::SubnetMasks,
+            family: "ICMP",
+            input: InputKind::KnownInterfaces,
+            inputs_text: "IP address",
+            outputs_text: "Subnet Masks",
+            min_interval: JTime::from_days(1),
+            max_interval: JTime::from_days(7),
+            time_to_complete: "2 sec/address",
+            network_load: ".5 pkts/sec",
+            system_load: "minimal",
+            continuous: false,
+            needs_privileges: false,
+        },
+        ModuleInfo {
+            source: Source::Traceroute,
+            family: "ICMP",
+            input: InputKind::Subnets,
+            inputs_text: "Subnets, Nets, or nothing",
+            outputs_text: "Intfs. per gateway; gateway-subnet links",
+            min_interval: JTime::from_days(2),
+            max_interval: JTime::from_days(14),
+            time_to_complete: "5 - 20 minutes",
+            network_load: "4 - 8 pkts/sec",
+            system_load: "moderate",
+            continuous: false,
+            needs_privileges: false,
+        },
+        ModuleInfo {
+            source: Source::RipWatch,
+            family: "RIP",
+            input: InputKind::None,
+            inputs_text: "none",
+            outputs_text: "Subnets, Nets, Hosts",
+            min_interval: JTime::from_hours(2),
+            max_interval: JTime::from_days(7),
+            time_to_complete: "2 minutes",
+            network_load: "none",
+            system_load: "minimal",
+            continuous: false,
+            needs_privileges: true,
+        },
+        ModuleInfo {
+            source: Source::Dns,
+            family: "DNS",
+            input: InputKind::NetworkNumber,
+            inputs_text: "Network number",
+            outputs_text: "Intfs. per gateway",
+            min_interval: JTime::from_days(2),
+            max_interval: JTime::from_days(14),
+            time_to_complete: "1 - 5 minutes",
+            network_load: "10 pkts/sec",
+            system_load: "high",
+            continuous: false,
+            needs_privileges: false,
+        },
+    ]
+}
+
+/// Looks up the registry entry for a source.
+pub fn info_for(source: Source) -> Option<ModuleInfo> {
+    registry().into_iter().find(|m| m.source == source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_modules_four_families() {
+        let r = registry();
+        assert_eq!(r.len(), 8);
+        let mut families: Vec<&str> = r.iter().map(|m| m.family).collect();
+        families.dedup();
+        assert_eq!(families, vec!["ARP", "ICMP", "RIP", "DNS"]);
+        assert_eq!(r.iter().filter(|m| m.family == "ICMP").count(), 4);
+    }
+
+    #[test]
+    fn passive_modules_need_privileges() {
+        for m in registry() {
+            let passive = m.inputs_text == "none";
+            assert_eq!(
+                m.needs_privileges, passive,
+                "{:?}: exactly the tap-based modules need privileges",
+                m.source
+            );
+        }
+    }
+
+    #[test]
+    fn intervals_are_ordered() {
+        for m in registry() {
+            assert!(m.min_interval < m.max_interval, "{:?}", m.source);
+        }
+    }
+
+    #[test]
+    fn lookup_by_source() {
+        assert_eq!(
+            info_for(Source::Traceroute).unwrap().outputs_text,
+            "Intfs. per gateway; gateway-subnet links"
+        );
+        assert!(info_for(Source::Manager).is_none());
+    }
+}

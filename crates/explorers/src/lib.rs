@@ -1,0 +1,50 @@
+//! # fremont-explorers
+//!
+//! The eight Explorer Modules of the Fremont prototype (paper Table 3),
+//! implemented as event-driven [`fremont_netsim::process::Process`]es:
+//!
+//! | Source | Module | Style |
+//! |--------|--------|-------|
+//! | ARP    | [`arpwatch::ArpWatch`] | passive (tap) |
+//! | ARP    | [`etherhostprobe::EtherHostProbe`] | active, ≤4 pkt/s |
+//! | ICMP   | [`seqping::SeqPing`] | active, 1 req / 2 s |
+//! | ICMP   | [`brdcastping::BrdcastPing`] | active, directed broadcast |
+//! | ICMP   | [`subnetmasks::SubnetMasks`] | active, mask requests |
+//! | ICMP   | [`traceroute::Traceroute`] | active, TTL-stepped, ≤8 pkt/s |
+//! | RIP    | [`ripwatch::RipWatch`] | passive (tap) |
+//! | DNS    | [`dns_explorer::DnsExplorer`] | zone transfers |
+//!
+//! A ninth module, [`ripprobe::RipProbe`], implements the paper's
+//! future-work extension: directed RIP Request/Poll queries that can be
+//! routed across the network.
+//!
+//! Each module reports what it discovers as
+//! [`fremont_journal::Observation`]s, which the driving deployment stores
+//! in the Journal; modules never share state with each other except
+//! through the Journal, exactly as the paper prescribes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arpwatch;
+pub mod brdcastping;
+pub mod dns_explorer;
+pub mod etherhostprobe;
+pub mod ripprobe;
+pub mod ripwatch;
+pub mod seqping;
+pub mod subnetmasks;
+pub mod traceroute;
+
+#[cfg(test)]
+mod testutil;
+
+pub use arpwatch::{ArpWatch, ArpWatchConfig};
+pub use brdcastping::{BrdcastPing, BrdcastPingConfig};
+pub use dns_explorer::{DnsExplorer, DnsExplorerConfig, DnsGateway, GatewayHeuristic};
+pub use etherhostprobe::{EtherHostProbe, EtherHostProbeConfig};
+pub use ripprobe::{RipProbe, RipProbeConfig};
+pub use ripwatch::{RipWatch, RipWatchConfig};
+pub use seqping::{SeqPing, SeqPingConfig};
+pub use subnetmasks::{SubnetMasks, SubnetMasksConfig};
+pub use traceroute::{Trace, TraceStatus, Traceroute, TracerouteConfig};

@@ -1,0 +1,106 @@
+//! TCP client for the Journal Server.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use crate::observation::Observation;
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response};
+use crate::query::{InterfaceQuery, SubnetQuery};
+use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
+use crate::server::JournalAccess;
+use crate::store::{JournalStats, StoreSummary};
+use crate::time::JTime;
+
+/// A connection to a remote Journal Server.
+///
+/// The connection is internally synchronized so one client handle can be
+/// shared by several module threads, matching the paper's "common library
+/// of access and data transfer routines".
+pub struct RemoteJournal {
+    io: Mutex<(BufReader<TcpStream>, TcpStream)>,
+}
+
+impl RemoteJournal {
+    /// Connects to a Journal Server.
+    pub fn connect(addr: &str) -> Result<Self, ProtoError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(RemoteJournal {
+            io: Mutex::new((BufReader::new(stream), writer)),
+        })
+    }
+
+    fn call(&self, req: &Request) -> Result<Response, ProtoError> {
+        let mut guard = self.io.lock().expect("journal client poisoned");
+        let (reader, writer) = &mut *guard;
+        write_frame(writer, req)?;
+        match read_frame::<_, Response>(reader)? {
+            Some(Response::Error(msg)) => Err(ProtoError::Server(msg)),
+            Some(resp) => Ok(resp),
+            None => Err(ProtoError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ))),
+        }
+    }
+
+    /// Asks the server to write its snapshot.
+    pub fn flush(&self) -> Result<(), ProtoError> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ProtoError {
+    ProtoError::Malformed(format!("unexpected response variant: {resp:?}"))
+}
+
+impl JournalAccess for RemoteJournal {
+    fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
+        match self.call(&Request::Store {
+            now,
+            observations: observations.to_vec(),
+        })? {
+            Response::Stored(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn interfaces(&self, q: &InterfaceQuery) -> Result<Vec<InterfaceRecord>, ProtoError> {
+        match self.call(&Request::GetInterfaces(q.clone()))? {
+            Response::Interfaces(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn gateways(&self) -> Result<Vec<GatewayRecord>, ProtoError> {
+        match self.call(&Request::GetGateways)? {
+            Response::Gateways(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn subnets(&self, q: &SubnetQuery) -> Result<Vec<SubnetRecord>, ProtoError> {
+        match self.call(&Request::GetSubnets(q.clone()))? {
+            Response::Subnets(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn delete(&self, id: InterfaceId) -> Result<bool, ProtoError> {
+        match self.call(&Request::Delete(id))? {
+            Response::Deleted(b) => Ok(b),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn stats(&self) -> Result<JournalStats, ProtoError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}

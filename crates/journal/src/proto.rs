@@ -1,0 +1,226 @@
+//! The Journal Server wire protocol.
+//!
+//! "The Journal Server responds to three primary requests: Store/Update,
+//! Get, and Delete. These requests are supported through a common library
+//! of access and data transfer routines that the Explorer Modules,
+//! Discovery Manager, and data analysis and presentation programs use."
+//!
+//! Frames are length-prefixed JSON: a 4-byte big-endian length followed by
+//! the serialized request or response. JSON keeps snapshots and traffic
+//! inspectable; the framing keeps the stream message-oriented.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::observation::Observation;
+use crate::query::{InterfaceQuery, SubnetQuery};
+use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
+use crate::store::{JournalStats, StoreSummary};
+use crate::time::JTime;
+
+/// Maximum accepted frame size (16 MiB) — a full campus journal fits with
+/// room to spare (Table 2 of the paper estimates under 4 MB).
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// A request to the Journal Server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Store/Update: apply observations at the given journal time.
+    ///
+    /// The server serializes and stamps updates; `now` is the exploration
+    /// clock supplied by the driving deployment (simulation time here,
+    /// wall-clock in a live system).
+    Store {
+        /// Exploration clock at submission.
+        now: JTime,
+        /// Observations to merge.
+        observations: Vec<Observation>,
+    },
+    /// Get interface records matching a query.
+    GetInterfaces(InterfaceQuery),
+    /// Get all gateway records.
+    GetGateways,
+    /// Get subnet records matching a query.
+    GetSubnets(SubnetQuery),
+    /// Delete one interface record.
+    Delete(InterfaceId),
+    /// Fetch journal statistics.
+    Stats,
+    /// Ask the server to snapshot to its configured path.
+    Flush,
+}
+
+/// A response from the Journal Server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Result of a Store.
+    Stored(StoreSummary),
+    /// Result of GetInterfaces.
+    Interfaces(Vec<InterfaceRecord>),
+    /// Result of GetGateways.
+    Gateways(Vec<GatewayRecord>),
+    /// Result of GetSubnets.
+    Subnets(Vec<SubnetRecord>),
+    /// Result of Delete: whether the record existed.
+    Deleted(bool),
+    /// Result of Stats.
+    Stats(JournalStats),
+    /// Result of Flush.
+    Flushed,
+    /// The server could not satisfy the request.
+    Error(String),
+}
+
+/// Errors from the protocol layer.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent an oversized or malformed frame.
+    Malformed(String),
+    /// The server answered with [`Response::Error`].
+    Server(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "journal protocol i/o error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed journal frame: {m}"),
+            ProtoError::Server(m) => write!(f, "journal server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, value: &T) -> Result<(), ProtoError> {
+    let body = serde_json::to_vec(value).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    if body.len() as u64 > u64::from(MAX_FRAME) {
+        return Err(ProtoError::Malformed(format!(
+            "frame of {} bytes exceeds limit",
+            body.len()
+        )));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on clean EOF
+/// at a frame boundary.
+pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(
+    r: &mut R,
+) -> Result<Option<T>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Malformed(format!("frame length {len} too large")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let value = serde_json::from_slice(&body).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    Ok(Some(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Source;
+    use std::io::Cursor;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn frame_roundtrip() {
+        let req = Request::Store {
+            now: JTime(42),
+            observations: vec![Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 0, 0, 1),
+            )],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let mut cur = Cursor::new(buf);
+        let back: Request = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(back, req);
+        // Clean EOF after the frame.
+        let next: Option<Request> = read_frame(&mut cur).unwrap();
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        write_frame(&mut buf, &Request::GetGateways).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame::<_, Request>(&mut cur).unwrap().unwrap(), Request::Stats);
+        assert_eq!(
+            read_frame::<_, Request>(&mut cur).unwrap().unwrap(),
+            Request::GetGateways
+        );
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cur),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"short");
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cur),
+            Err(ProtoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_json_is_malformed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{");
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cur),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::Stored(StoreSummary {
+            created: 1,
+            updated: 2,
+            verified: 3,
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let back: Response = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back, resp);
+    }
+}

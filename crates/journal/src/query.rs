@@ -1,0 +1,308 @@
+//! Selection criteria for Journal queries.
+//!
+//! The Journal Server's Get request "may return multiple data records
+//! depending on the selection criteria in the request". Queries are
+//! conjunctive: every populated field must match.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+use fremont_net::{MacAddr, Subnet};
+
+use crate::records::InterfaceRecord;
+use crate::time::JTime;
+
+/// Conjunctive selection criteria over interface records.
+///
+/// # Examples
+///
+/// ```
+/// use fremont_journal::query::InterfaceQuery;
+/// use fremont_journal::time::JTime;
+///
+/// // "Interfaces on subnet X not verified on the wire for a week."
+/// let q = InterfaceQuery {
+///     in_subnet: Some("128.138.243.0/24".parse().unwrap()),
+///     live_verified_before: Some(JTime::from_days(7)),
+///     ..InterfaceQuery::default()
+/// };
+/// assert!(q.in_subnet.is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceQuery {
+    /// Match a specific IP address.
+    pub ip: Option<Ipv4Addr>,
+    /// Match a specific MAC address.
+    pub mac: Option<MacAddr>,
+    /// Match an exact DNS name.
+    pub name: Option<String>,
+    /// Match interfaces whose IP falls inside this subnet.
+    pub in_subnet: Option<Subnet>,
+    /// Match an inclusive IP range (`lo..=hi`).
+    pub ip_range: Option<(Ipv4Addr, Ipv4Addr)>,
+    /// Only records modified at or after this time.
+    pub modified_since: Option<JTime>,
+    /// Only records whose last verification is strictly before this time.
+    pub verified_before: Option<JTime>,
+    /// Only records whose last *live* (non-DNS) verification is strictly
+    /// before this time, or that have never been live-verified.
+    pub live_verified_before: Option<JTime>,
+    /// Filter by RIP-source status.
+    pub rip_source: Option<bool>,
+    /// Filter by gateway membership.
+    pub is_gateway_member: Option<bool>,
+    /// Only records missing a subnet mask (drives Discovery Manager
+    /// fruitfulness decisions).
+    pub missing_mask: Option<bool>,
+}
+
+impl InterfaceQuery {
+    /// The match-everything query.
+    pub fn all() -> Self {
+        InterfaceQuery::default()
+    }
+
+    /// Query by exact IP.
+    pub fn by_ip(ip: Ipv4Addr) -> Self {
+        InterfaceQuery {
+            ip: Some(ip),
+            ..Default::default()
+        }
+    }
+
+    /// Query by exact MAC.
+    pub fn by_mac(mac: MacAddr) -> Self {
+        InterfaceQuery {
+            mac: Some(mac),
+            ..Default::default()
+        }
+    }
+
+    /// Query by containing subnet.
+    pub fn in_subnet(subnet: Subnet) -> Self {
+        InterfaceQuery {
+            in_subnet: Some(subnet),
+            ..Default::default()
+        }
+    }
+
+    /// Evaluates the criteria against a record.
+    pub fn matches(&self, r: &InterfaceRecord) -> bool {
+        if let Some(ip) = self.ip {
+            if r.ip_addr() != Some(ip) {
+                return false;
+            }
+        }
+        if let Some(mac) = self.mac {
+            if r.mac_addr() != Some(mac) {
+                return false;
+            }
+        }
+        if let Some(name) = &self.name {
+            if r.dns_name() != Some(name.as_str()) {
+                return false;
+            }
+        }
+        if let Some(s) = self.in_subnet {
+            match r.ip_addr() {
+                Some(ip) if s.contains(ip) => {}
+                _ => return false,
+            }
+        }
+        if let Some((lo, hi)) = self.ip_range {
+            match r.ip_addr() {
+                Some(ip) if fremont_net::IpRange::new(lo, hi).contains(ip) => {}
+                _ => return false,
+            }
+        }
+        if let Some(t) = self.modified_since {
+            if r.changed < t {
+                return false;
+            }
+        }
+        if let Some(t) = self.verified_before {
+            if r.verified >= t {
+                return false;
+            }
+        }
+        if let Some(t) = self.live_verified_before {
+            if let Some(lv) = r.live_verified {
+                if lv >= t {
+                    return false;
+                }
+            }
+            // Never live-verified counts as "before any time".
+        }
+        if let Some(want) = self.rip_source {
+            if r.rip_source != want {
+                return false;
+            }
+        }
+        if let Some(want) = self.is_gateway_member {
+            if r.is_gateway_member() != want {
+                return false;
+            }
+        }
+        if let Some(want) = self.missing_mask {
+            if (r.mask.is_none()) != want {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Selection criteria over subnet records.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubnetQuery {
+    /// Match subnets contained in this (wider) network.
+    pub within: Option<Subnet>,
+    /// Filter by whether any gateway is known for the subnet.
+    pub has_gateway: Option<bool>,
+    /// Only subnets verified at or after this time.
+    pub verified_since: Option<JTime>,
+}
+
+impl SubnetQuery {
+    /// The match-everything query.
+    pub fn all() -> Self {
+        SubnetQuery::default()
+    }
+
+    /// Evaluates the criteria against a subnet record.
+    pub fn matches(&self, r: &crate::records::SubnetRecord) -> bool {
+        if let Some(w) = self.within {
+            if !w.contains_subnet(&r.subnet) {
+                return false;
+            }
+        }
+        if let Some(want) = self.has_gateway {
+            if r.gateways.is_empty() == want {
+                return false;
+            }
+        }
+        if let Some(t) = self.verified_since {
+            if r.verified < t {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{GatewayId, InterfaceId, SubnetRecord};
+    use crate::time::Timestamped;
+
+    fn rec(ip: &str, t: u64) -> InterfaceRecord {
+        let mut r = InterfaceRecord::new(InterfaceId(1), JTime(t));
+        r.ip = Some(Timestamped::new(ip.parse().unwrap(), JTime(t)));
+        r
+    }
+
+    #[test]
+    fn subnet_and_range_filters() {
+        let r = rec("128.138.243.18", 0);
+        assert!(InterfaceQuery::in_subnet("128.138.243.0/24".parse().unwrap()).matches(&r));
+        assert!(!InterfaceQuery::in_subnet("128.138.244.0/24".parse().unwrap()).matches(&r));
+        let q = InterfaceQuery {
+            ip_range: Some(("128.138.243.10".parse().unwrap(), "128.138.243.20".parse().unwrap())),
+            ..Default::default()
+        };
+        assert!(q.matches(&r));
+        let q = InterfaceQuery {
+            ip_range: Some(("128.138.243.19".parse().unwrap(), "128.138.243.20".parse().unwrap())),
+            ..Default::default()
+        };
+        assert!(!q.matches(&r));
+    }
+
+    #[test]
+    fn time_filters() {
+        let mut r = rec("10.0.0.1", 100);
+        r.verified = JTime(100);
+        let stale = InterfaceQuery {
+            verified_before: Some(JTime(200)),
+            ..Default::default()
+        };
+        assert!(stale.matches(&r));
+        r.verified = JTime(200);
+        assert!(!stale.matches(&r));
+
+        let recent = InterfaceQuery {
+            modified_since: Some(JTime(50)),
+            ..Default::default()
+        };
+        assert!(recent.matches(&r));
+    }
+
+    #[test]
+    fn live_verification_filter() {
+        let mut r = rec("10.0.0.1", 0);
+        let q = InterfaceQuery {
+            live_verified_before: Some(JTime(100)),
+            ..Default::default()
+        };
+        // Never live-verified (DNS-only record) matches.
+        assert!(q.matches(&r));
+        r.live_verified = Some(JTime(50));
+        assert!(q.matches(&r));
+        r.live_verified = Some(JTime(150));
+        assert!(!q.matches(&r));
+    }
+
+    #[test]
+    fn flag_filters() {
+        let mut r = rec("10.0.0.1", 0);
+        r.rip_source = true;
+        let q = InterfaceQuery {
+            rip_source: Some(true),
+            ..Default::default()
+        };
+        assert!(q.matches(&r));
+        let q = InterfaceQuery {
+            is_gateway_member: Some(true),
+            ..Default::default()
+        };
+        assert!(!q.matches(&r));
+        r.gateway = Some(GatewayId(1));
+        assert!(q.matches(&r));
+        let q = InterfaceQuery {
+            missing_mask: Some(true),
+            ..Default::default()
+        };
+        assert!(q.matches(&r));
+    }
+
+    #[test]
+    fn missing_ip_fails_ip_predicates() {
+        let r = InterfaceRecord::new(InterfaceId(2), JTime(0));
+        assert!(!InterfaceQuery::by_ip("1.2.3.4".parse().unwrap()).matches(&r));
+        assert!(!InterfaceQuery::in_subnet("1.2.3.0/24".parse().unwrap()).matches(&r));
+        assert!(InterfaceQuery::all().matches(&r));
+    }
+
+    #[test]
+    fn subnet_query() {
+        let mut r = SubnetRecord::new("128.138.238.0/24".parse().unwrap(), false, JTime(10));
+        let q = SubnetQuery {
+            within: Some("128.138.0.0/16".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(q.matches(&r));
+        let q = SubnetQuery {
+            has_gateway: Some(true),
+            ..Default::default()
+        };
+        assert!(!q.matches(&r));
+        r.add_gateway(GatewayId(1));
+        assert!(q.matches(&r));
+        let q = SubnetQuery {
+            verified_since: Some(JTime(20)),
+            ..Default::default()
+        };
+        assert!(!q.matches(&r));
+    }
+}

@@ -1,0 +1,272 @@
+//! The Journal Server and the common access library.
+//!
+//! "This Journal is managed by the Journal Server, which serializes
+//! updates, time-stamps and records the data, and answers queries from
+//! programs that wish to interrogate the Journal." Because all Fremont
+//! modules "communicate via BSD sockets, there are no restrictions about
+//! the physical location of individual modules" — so the same
+//! [`JournalAccess`] trait is implemented both by an in-process handle and
+//! by a TCP client ([`crate::client::RemoteJournal`]).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::RwLock;
+
+use crate::observation::Observation;
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response};
+use crate::query::{InterfaceQuery, SubnetQuery};
+use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
+use crate::snapshot::JournalSnapshot;
+use crate::store::{Journal, JournalStats, StoreSummary};
+use crate::time::JTime;
+
+/// Unified access to a Journal, local or remote.
+pub trait JournalAccess {
+    /// Store/Update: merge observations, stamped at `now`.
+    fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError>;
+    /// Get interface records matching the query.
+    fn interfaces(&self, q: &InterfaceQuery) -> Result<Vec<InterfaceRecord>, ProtoError>;
+    /// Get all gateway records.
+    fn gateways(&self) -> Result<Vec<GatewayRecord>, ProtoError>;
+    /// Get subnet records matching the query.
+    fn subnets(&self, q: &SubnetQuery) -> Result<Vec<SubnetRecord>, ProtoError>;
+    /// Delete an interface record; `true` when it existed.
+    fn delete(&self, id: InterfaceId) -> Result<bool, ProtoError>;
+    /// Journal statistics.
+    fn stats(&self) -> Result<JournalStats, ProtoError>;
+}
+
+/// A shared in-process Journal handle.
+///
+/// This is the deployment used inside the simulator: the Journal lives in
+/// the driving process and every module shares it through this handle.
+#[derive(Clone, Default)]
+pub struct SharedJournal {
+    inner: Arc<RwLock<Journal>>,
+}
+
+impl SharedJournal {
+    /// Creates an empty shared journal.
+    pub fn new() -> Self {
+        SharedJournal {
+            inner: Arc::new(RwLock::new(Journal::new())),
+        }
+    }
+
+    /// Wraps an existing journal.
+    pub fn from_journal(j: Journal) -> Self {
+        SharedJournal {
+            inner: Arc::new(RwLock::new(j)),
+        }
+    }
+
+    /// Runs a closure with shared read access to the underlying journal.
+    pub fn read<R>(&self, f: impl FnOnce(&Journal) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs a closure with exclusive access to the underlying journal.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Journal) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+impl JournalAccess for SharedJournal {
+    fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
+        Ok(self.inner.write().apply_all(observations, now))
+    }
+
+    fn interfaces(&self, q: &InterfaceQuery) -> Result<Vec<InterfaceRecord>, ProtoError> {
+        Ok(self.inner.read().get_interfaces(q))
+    }
+
+    fn gateways(&self) -> Result<Vec<GatewayRecord>, ProtoError> {
+        Ok(self.inner.read().get_gateways())
+    }
+
+    fn subnets(&self, q: &SubnetQuery) -> Result<Vec<SubnetRecord>, ProtoError> {
+        Ok(self.inner.read().get_subnets(q))
+    }
+
+    fn delete(&self, id: InterfaceId) -> Result<bool, ProtoError> {
+        Ok(self.inner.write().delete_interface(id))
+    }
+
+    fn stats(&self) -> Result<JournalStats, ProtoError> {
+        Ok(self.inner.read().stats())
+    }
+}
+
+/// The TCP Journal Server.
+///
+/// Serves the [`crate::proto`] protocol, one thread per connection, over a
+/// [`SharedJournal`]. The journal "maintains an in-memory representation
+/// ... which it writes to disk periodically and at termination": a
+/// snapshot path can be configured, written on `Flush` requests and on
+/// shutdown.
+pub struct JournalServer {
+    journal: SharedJournal,
+    addr: SocketAddr,
+    snapshot_path: Option<PathBuf>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl JournalServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving in background threads.
+    pub fn start(
+        journal: SharedJournal,
+        addr: &str,
+        snapshot_path: Option<PathBuf>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let j = journal.clone();
+        let s = stop.clone();
+        let snap = snapshot_path.clone();
+        let accept_thread = std::thread::spawn(move || {
+            // Poll for stop between accepts.
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking accept loop");
+            while !s.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let j2 = j.clone();
+                        let snap2 = snap.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &j2, snap2.as_deref());
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(JournalServer {
+            journal,
+            addr: local,
+            snapshot_path,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (for clients).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and writes a final snapshot if configured.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.snapshot_path {
+            let snap = self.journal.read(JournalSnapshot::capture);
+            let _ = snap.save(path);
+        }
+    }
+}
+
+impl Drop for JournalServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    journal: &SharedJournal,
+    snapshot_path: Option<&std::path::Path>,
+) -> Result<(), ProtoError> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    while let Some(req) = read_frame::<_, Request>(&mut reader)? {
+        let resp = handle_request(journal, snapshot_path, req);
+        write_frame(&mut writer, &resp)?;
+    }
+    Ok(())
+}
+
+fn handle_request(
+    journal: &SharedJournal,
+    snapshot_path: Option<&std::path::Path>,
+    req: Request,
+) -> Response {
+    match req {
+        Request::Store { now, observations } => match journal.store(now, &observations) {
+            Ok(s) => Response::Stored(s),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::GetInterfaces(q) => match journal.interfaces(&q) {
+            Ok(v) => Response::Interfaces(v),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::GetGateways => match journal.gateways() {
+            Ok(v) => Response::Gateways(v),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::GetSubnets(q) => match journal.subnets(&q) {
+            Ok(v) => Response::Subnets(v),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Delete(id) => match journal.delete(id) {
+            Ok(b) => Response::Deleted(b),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Stats => match journal.stats() {
+            Ok(s) => Response::Stats(s),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Flush => match snapshot_path {
+            Some(path) => {
+                let snap = journal.read(JournalSnapshot::capture);
+                match snap.save(path) {
+                    Ok(()) => Response::Flushed,
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            None => Response::Error("no snapshot path configured".to_owned()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Source;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn shared_journal_access() {
+        let j = SharedJournal::new();
+        let s = j
+            .store(
+                JTime(1),
+                &[Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 0, 1))],
+            )
+            .unwrap();
+        assert_eq!(s.created, 1);
+        let recs = j.interfaces(&InterfaceQuery::all()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(j.stats().unwrap().interfaces, 1);
+        assert!(j.delete(recs[0].id).unwrap());
+        assert_eq!(j.stats().unwrap().interfaces, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Journal snapshots: periodic and at-termination disk persistence.
+//!
+//! "The Journal Server maintains an in-memory representation of the
+//! Journal data, which it writes to disk periodically and at termination."
+//! A snapshot is the flat record set; indexes are rebuilt on load.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::records::{GatewayRecord, InterfaceRecord, SubnetRecord};
+use crate::store::Journal;
+
+/// A serializable image of the Journal's records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalSnapshot {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// All live interface records.
+    pub interfaces: Vec<InterfaceRecord>,
+    /// All live gateway records.
+    pub gateways: Vec<GatewayRecord>,
+    /// All subnet records.
+    pub subnets: Vec<SubnetRecord>,
+    /// Observation counter, preserved across restarts.
+    pub observations_applied: u64,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl JournalSnapshot {
+    /// Captures a snapshot of a journal.
+    pub fn capture(journal: &Journal) -> Self {
+        journal.to_snapshot()
+    }
+
+    /// Restores a journal (rebuilding all indexes).
+    pub fn restore(&self) -> Journal {
+        let j = Journal::from_snapshot(self);
+        debug_assert!(
+            j.check_invariants().is_ok(),
+            "snapshot restored to an inconsistent journal"
+        );
+        j
+    }
+
+    /// Writes the snapshot as JSON, atomically (write + rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        let body = serde_json::to_vec_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads a snapshot from JSON.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let body = fs::read(path)?;
+        serde_json::from_slice(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{Fact, Observation, Source};
+    use crate::query::{InterfaceQuery, SubnetQuery};
+    use crate::time::JTime;
+    use std::net::Ipv4Addr;
+
+    fn populated() -> Journal {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::arp_pair(
+                Source::ArpWatch,
+                Ipv4Addr::new(10, 0, 0, 1),
+                "08:00:20:00:00:01".parse().unwrap(),
+            ),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![Ipv4Addr::new(10, 0, 0, 254)],
+                    interface_names: vec![],
+                    subnets: vec!["10.0.0.0/24".parse().unwrap(), "10.0.1.0/24".parse().unwrap()],
+                },
+            ),
+            JTime(2),
+        );
+        j
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries() {
+        let j = populated();
+        let snap = JournalSnapshot::capture(&j);
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        let j2 = snap.restore();
+        j2.check_invariants().unwrap();
+        assert_eq!(j2.stats().interfaces, j.stats().interfaces);
+        assert_eq!(j2.stats().gateways, 1);
+        assert_eq!(j2.stats().subnets, 2);
+        assert_eq!(
+            j2.get_interfaces(&InterfaceQuery::by_ip(Ipv4Addr::new(10, 0, 0, 1)))
+                .len(),
+            1
+        );
+        assert_eq!(j2.get_subnets(&SubnetQuery::all()).len(), 2);
+        // Applying to the restored journal keeps working (ids intact).
+        let mut j3 = snap.restore();
+        j3.apply(
+            &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 0, 1)),
+            JTime(5),
+        );
+        assert_eq!(j3.stats().interfaces, j.stats().interfaces);
+        j3.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let j = populated();
+        let snap = JournalSnapshot::capture(&j);
+        let dir = std::env::temp_dir().join("fremont-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.json");
+        snap.save(&path).unwrap();
+        let loaded = JournalSnapshot::load(&path).unwrap();
+        assert_eq!(loaded, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("fremont-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"not json at all").unwrap();
+        assert!(JournalSnapshot::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

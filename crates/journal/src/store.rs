@@ -1,0 +1,1246 @@
+//! The Journal: merge, index, and query discovered network facts.
+//!
+//! This is the in-memory representation the paper's Journal Server keeps:
+//! records in modification-time order, interface records indexed by AVL
+//! trees on Ethernet address, IP address, and DNS name, and subnet records
+//! indexed by subnet address. "Because it is the shared place where
+//! observations are stored ... the Journal is more than just the sum of
+//! its parts": the merge rules below are what turn per-module observations
+//! into cross-correlated knowledge.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use fremont_net::{MacAddr, Subnet};
+
+use crate::avl::AvlMap;
+use crate::observation::{Fact, Observation, Source};
+use crate::query::{InterfaceQuery, SubnetQuery};
+use crate::records::{GatewayId, GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
+use crate::time::{JTime, Timestamped};
+
+/// Summary of applying a batch of observations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreSummary {
+    /// Records newly created.
+    pub created: usize,
+    /// Records whose fields changed.
+    pub updated: usize,
+    /// Records merely re-verified.
+    pub verified: usize,
+}
+
+impl StoreSummary {
+    /// Adds another summary's counters into this one.
+    pub fn absorb(&mut self, other: StoreSummary) {
+        self.created += other.created;
+        self.updated += other.updated;
+        self.verified += other.verified;
+    }
+}
+
+/// Journal-wide statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// Number of interface records.
+    pub interfaces: usize,
+    /// Number of gateway records.
+    pub gateways: usize,
+    /// Number of subnet records.
+    pub subnets: usize,
+    /// Total observations applied.
+    pub observations_applied: u64,
+}
+
+/// The Journal store.
+pub struct Journal {
+    interfaces: Vec<Option<InterfaceRecord>>,
+    gateways: Vec<Option<GatewayRecord>>,
+    subnets: AvlMap<Subnet, SubnetRecord>,
+    /// Ethernet-address index. A MAC maps to *several* records when one
+    /// adapter answers for several IP addresses (gateway or proxy ARP).
+    idx_mac: AvlMap<MacAddr, Vec<InterfaceId>>,
+    /// IP-address index. An IP maps to several records when two hosts are
+    /// (mis)configured with the same address, or hardware changed.
+    idx_ip: AvlMap<Ipv4Addr, Vec<InterfaceId>>,
+    /// DNS-name index. A name maps to several records for multi-homed
+    /// gateways.
+    idx_name: AvlMap<String, Vec<InterfaceId>>,
+    /// Modification-time ordering over interface records (the paper's
+    /// "lists ordered by time of last modification").
+    idx_modified: AvlMap<(JTime, u64), InterfaceId>,
+    mod_keys: HashMap<u64, (JTime, u64)>,
+    mod_seq: u64,
+    observations_applied: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal {
+            interfaces: Vec::new(),
+            gateways: Vec::new(),
+            subnets: AvlMap::new(),
+            idx_mac: AvlMap::new(),
+            idx_ip: AvlMap::new(),
+            idx_name: AvlMap::new(),
+            idx_modified: AvlMap::new(),
+            mod_keys: HashMap::new(),
+            mod_seq: 0,
+            observations_applied: 0,
+        }
+    }
+
+    /// Applies one observation at time `now` (the Journal Server's
+    /// Store/Update operation).
+    pub fn apply(&mut self, obs: &Observation, now: JTime) -> StoreSummary {
+        self.observations_applied += 1;
+        match &obs.fact {
+            Fact::Interface { ip, mac, name, mask } => self.apply_interface(
+                obs.source,
+                *ip,
+                *mac,
+                name.as_deref(),
+                *mask,
+                now,
+            ),
+            Fact::Subnet {
+                subnet,
+                mask_assumed,
+            } => self.apply_subnet(obs.source, *subnet, *mask_assumed, now),
+            Fact::SubnetStats {
+                subnet,
+                host_count,
+                lowest,
+                highest,
+            } => self.apply_subnet_stats(obs.source, *subnet, *host_count, *lowest, *highest, now),
+            Fact::Gateway {
+                interface_ips,
+                interface_names,
+                subnets,
+            } => self.apply_gateway(obs.source, interface_ips, interface_names, subnets, now),
+            Fact::RipSource {
+                ip,
+                mac,
+                advertised_routes: _,
+                promiscuous,
+            } => self.apply_rip_source(obs.source, *ip, *mac, *promiscuous, now),
+        }
+    }
+
+    /// Applies a batch of observations.
+    pub fn apply_all<'a>(
+        &mut self,
+        obs: impl IntoIterator<Item = &'a Observation>,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+        for o in obs {
+            sum.absorb(self.apply(o, now));
+        }
+        sum
+    }
+
+    // ------------------------------------------------------------------
+    // Interface merge
+    // ------------------------------------------------------------------
+
+    fn apply_interface(
+        &mut self,
+        source: Source,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+        mask: Option<fremont_net::SubnetMask>,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+        let targets = self.resolve_targets(ip, mac, name);
+        if targets.is_empty() {
+            if ip.is_none() && mac.is_none() && name.is_none() {
+                return sum; // Nothing identifying; drop.
+            }
+            let id = self.create_interface(now);
+            self.update_interface(id, source, ip, mac, name, mask, now);
+            sum.created += 1;
+            return sum;
+        }
+        for id in targets {
+            if self.update_interface(id, source, ip, mac, name, mask, now) {
+                sum.updated += 1;
+            } else {
+                sum.verified += 1;
+            }
+        }
+        sum
+    }
+
+    /// Finds the records an interface observation should apply to.
+    ///
+    /// Identity resolution, in order of address quality (MAC > IP > name):
+    ///
+    /// 1. With a MAC: the record carrying this MAC *and* the same IP (or no
+    ///    IP yet). A MAC already bound to a *different* IP gets a separate
+    ///    record — that is how "multiple IP addresses for a single Ethernet
+    ///    address" (proxy ARP / gateways) stays visible to analysis.
+    /// 2. With only an IP: the record that currently *owns* the address —
+    ///    the one most recently verified alive. A ping cannot distinguish
+    ///    duplicate-address hosts or old hardware, so crediting every
+    ///    record would keep dead claimants looking alive forever; only
+    ///    MAC-bearing evidence (ARP) refreshes the other claimants.
+    /// 3. With only a name: every record carrying that name.
+    fn resolve_targets(
+        &self,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+    ) -> Vec<InterfaceId> {
+        if let Some(mac) = mac {
+            let with_mac = self.idx_mac.get(&mac).cloned().unwrap_or_default();
+            if let Some(ip) = ip {
+                // Exact (mac, ip) record?
+                if let Some(&id) = with_mac
+                    .iter()
+                    .find(|&&id| self.iface(id).ip_addr() == Some(ip))
+                {
+                    return vec![id];
+                }
+                // A record with this MAC and no IP yet?
+                if let Some(&id) = with_mac.iter().find(|&&id| self.iface(id).ip_addr().is_none())
+                {
+                    return vec![id];
+                }
+                // A record with this IP and no MAC yet (created by a ping)?
+                if let Some(ids) = self.idx_ip.get(&ip) {
+                    if let Some(&id) = ids
+                        .iter()
+                        .find(|&&id| self.iface(id).mac_addr().is_none())
+                    {
+                        return vec![id];
+                    }
+                }
+                // Otherwise: new record (same MAC answering another IP, or
+                // same IP on different hardware).
+                return Vec::new();
+            }
+            return with_mac;
+        }
+        if let Some(ip) = ip {
+            let ids = self.idx_ip.get(&ip).cloned().unwrap_or_default();
+            if ids.len() <= 1 {
+                return ids;
+            }
+            // Multiple claimants: credit the presumed current owner only.
+            return ids
+                .into_iter()
+                .max_by_key(|id| {
+                    let r = self.iface(*id);
+                    (r.live_verified, r.verified, r.discovered)
+                })
+                .into_iter()
+                .collect();
+        }
+        if let Some(name) = name {
+            return self.idx_name.get(&name.to_owned()).cloned().unwrap_or_default();
+        }
+        Vec::new()
+    }
+
+    fn create_interface(&mut self, now: JTime) -> InterfaceId {
+        let id = InterfaceId(self.interfaces.len() as u64);
+        self.interfaces.push(Some(InterfaceRecord::new(id, now)));
+        self.touch_modified(id, now);
+        id
+    }
+
+    /// Applies fields to one record; returns `true` when anything changed.
+    fn update_interface(
+        &mut self,
+        id: InterfaceId,
+        source: Source,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+        mask: Option<fremont_net::SubnetMask>,
+        now: JTime,
+    ) -> bool {
+        let mut changed = false;
+
+        // Index maintenance requires knowing old values first.
+        let (old_ip, old_mac, old_name) = {
+            let r = self.iface(id);
+            (r.ip_addr(), r.mac_addr(), r.dns_name().map(str::to_owned))
+        };
+
+        if let Some(ip) = ip {
+            let r = self.iface_mut(id);
+            match &mut r.ip {
+                Some(t) => changed |= t.observe(ip, now),
+                None => {
+                    r.ip = Some(Timestamped::new(ip, now));
+                    changed = true;
+                }
+            }
+            if old_ip != Some(ip) {
+                if let Some(old) = old_ip {
+                    remove_from_index(&mut self.idx_ip, &old, id);
+                }
+                add_to_index(&mut self.idx_ip, ip, id);
+            }
+        }
+        if let Some(mac) = mac {
+            let r = self.iface_mut(id);
+            match &mut r.mac {
+                Some(t) => changed |= t.observe(mac, now),
+                None => {
+                    r.mac = Some(Timestamped::new(mac, now));
+                    changed = true;
+                }
+            }
+            if old_mac != Some(mac) {
+                if let Some(old) = old_mac {
+                    remove_from_index(&mut self.idx_mac, &old, id);
+                }
+                add_to_index(&mut self.idx_mac, mac, id);
+            }
+        }
+        if let Some(name) = name {
+            let r = self.iface_mut(id);
+            match &mut r.name {
+                Some(t) => changed |= t.observe(name.to_owned(), now),
+                None => {
+                    r.name = Some(Timestamped::new(name.to_owned(), now));
+                    changed = true;
+                }
+            }
+            if old_name.as_deref() != Some(name) {
+                if let Some(old) = old_name {
+                    remove_from_index(&mut self.idx_name, &old, id);
+                }
+                add_to_index(&mut self.idx_name, name.to_owned(), id);
+            }
+        }
+        if let Some(mask) = mask {
+            let r = self.iface_mut(id);
+            match &mut r.mask {
+                Some(t) => changed |= t.observe(mask, now),
+                None => {
+                    r.mask = Some(Timestamped::new(mask, now));
+                    changed = true;
+                }
+            }
+        }
+
+        let r = self.iface_mut(id);
+        r.sources.insert(source);
+        r.verified = now;
+        if source != Source::Dns {
+            r.live_verified = Some(now);
+        }
+        if changed {
+            r.changed = now;
+            self.touch_modified(id, now);
+        }
+        changed
+    }
+
+    // ------------------------------------------------------------------
+    // Subnets
+    // ------------------------------------------------------------------
+
+    fn apply_subnet(
+        &mut self,
+        source: Source,
+        subnet: Subnet,
+        mask_assumed: bool,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+        match self.subnets.get_mut(&subnet) {
+            Some(rec) => {
+                let mut changed = false;
+                if rec.mask_assumed && !mask_assumed {
+                    rec.mask_assumed = false;
+                    changed = true;
+                }
+                rec.sources.insert(source);
+                rec.verified = now;
+                if changed {
+                    rec.changed = now;
+                    sum.updated += 1;
+                } else {
+                    sum.verified += 1;
+                }
+            }
+            None => {
+                let mut rec = SubnetRecord::new(subnet, mask_assumed, now);
+                rec.sources.insert(source);
+                self.subnets.insert(subnet, rec);
+                sum.created += 1;
+            }
+        }
+        sum
+    }
+
+    fn apply_subnet_stats(
+        &mut self,
+        source: Source,
+        subnet: Subnet,
+        host_count: u32,
+        lowest: Ipv4Addr,
+        highest: Ipv4Addr,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = self.apply_subnet(source, subnet, false, now);
+        let rec = self
+            .subnets
+            .get_mut(&subnet)
+            .expect("apply_subnet ensures presence");
+        let mut changed = false;
+        match &mut rec.host_count {
+            Some(t) => changed |= t.observe(host_count, now),
+            None => {
+                rec.host_count = Some(Timestamped::new(host_count, now));
+                changed = true;
+            }
+        }
+        if rec.lowest != Some(lowest) {
+            rec.lowest = Some(lowest);
+            changed = true;
+        }
+        if rec.highest != Some(highest) {
+            rec.highest = Some(highest);
+            changed = true;
+        }
+        if changed {
+            rec.changed = now;
+            sum.updated += 1;
+        }
+        sum
+    }
+
+    // ------------------------------------------------------------------
+    // Gateways
+    // ------------------------------------------------------------------
+
+    fn apply_gateway(
+        &mut self,
+        source: Source,
+        interface_ips: &[Ipv4Addr],
+        interface_names: &[String],
+        subnets: &[Subnet],
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+
+        // Resolve or create an interface record per address.
+        let mut members: Vec<InterfaceId> = Vec::new();
+        for &ip in interface_ips {
+            let s = self.apply_interface(source, Some(ip), None, None, None, now);
+            sum.absorb(s);
+            // Prefer the record that already belongs to a gateway so
+            // repeated observations converge; otherwise take the first.
+            let ids = self.idx_ip.get(&ip).cloned().unwrap_or_default();
+            let chosen = ids
+                .iter()
+                .copied()
+                .find(|&id| self.iface(id).gateway.is_some())
+                .or_else(|| ids.first().copied());
+            if let Some(id) = chosen {
+                if !members.contains(&id) {
+                    members.push(id);
+                }
+            }
+        }
+        for name in interface_names {
+            if let Some(ids) = self.idx_name.get(&name.clone()) {
+                for &id in ids {
+                    if !members.contains(&id) {
+                        members.push(id);
+                    }
+                }
+            }
+        }
+
+        // An observation that resolved to no interfaces would create an
+        // unmergeable ghost gateway on every re-observation; record only
+        // the subnet knowledge and wait for identifiable evidence.
+        if members.is_empty() {
+            for &s in subnets {
+                sum.absorb(self.apply_subnet(source, s, true, now));
+            }
+            return sum;
+        }
+
+        // Find the gateways any member already belongs to.
+        let mut gids: Vec<GatewayId> = Vec::new();
+        for &m in &members {
+            if let Some(g) = self.iface(m).gateway {
+                if !gids.contains(&g) {
+                    gids.push(g);
+                }
+            }
+        }
+        let gid = match gids.first().copied() {
+            Some(primary) => {
+                // Merge any additional gateways into the primary: two
+                // modules discovered the same box from different sides.
+                for &other in &gids[1..] {
+                    self.merge_gateways(primary, other, now);
+                }
+                primary
+            }
+            None => {
+                let gid = GatewayId(self.gateways.len() as u64);
+                self.gateways.push(Some(GatewayRecord::new(gid, now)));
+                sum.created += 1;
+                gid
+            }
+        };
+
+        // Attach members and subnets.
+        let mut gw_changed = false;
+        for &m in &members {
+            let r = self.iface_mut(m);
+            if r.gateway != Some(gid) {
+                r.gateway = Some(gid);
+                r.changed = now;
+                self.touch_modified(m, now);
+            }
+            let g = self.gw_mut(gid);
+            gw_changed |= g.add_interface(m);
+        }
+        // Subnets derived from member interfaces carry confirmed masks;
+        // explicitly-claimed subnets keep their mask *assumed* (modules
+        // guess /24 when linking hops) until a mask reply confirms them.
+        let mut all_subnets: Vec<(Subnet, bool)> =
+            subnets.iter().map(|s| (*s, true)).collect();
+        for &m in &members {
+            if let Some(s) = self.iface(m).subnet() {
+                if let Some(e) = all_subnets.iter_mut().find(|(x, _)| *x == s) {
+                    e.1 = false;
+                } else {
+                    all_subnets.push((s, false));
+                }
+            }
+        }
+        for (s, assumed) in all_subnets {
+            sum.absorb(self.apply_subnet(source, s, assumed, now));
+            let g = self.gw_mut(gid);
+            gw_changed |= g.add_subnet(s);
+            let srec = self.subnets.get_mut(&s).expect("ensured");
+            if srec.add_gateway(gid) {
+                srec.changed = now;
+            }
+        }
+        let g = self.gw_mut(gid);
+        g.sources.insert(source);
+        g.verified = now;
+        if gw_changed {
+            g.changed = now;
+            sum.updated += 1;
+        } else {
+            sum.verified += 1;
+        }
+        sum
+    }
+
+    fn merge_gateways(&mut self, into: GatewayId, from: GatewayId, now: JTime) {
+        let Some(old) = self.gateways[from.0 as usize].take() else {
+            return;
+        };
+        for i in &old.interfaces {
+            let r = self.iface_mut(*i);
+            if r.gateway != Some(into) {
+                r.gateway = Some(into);
+                r.changed = now;
+            }
+            self.touch_modified(*i, now);
+        }
+        // Re-point subnet records.
+        let subnets: Vec<Subnet> = old.subnets.clone();
+        for s in &subnets {
+            if let Some(rec) = self.subnets.get_mut(s) {
+                rec.gateways.retain(|g| *g != from);
+                rec.add_gateway(into);
+            }
+        }
+        let g = self.gw_mut(into);
+        for i in old.interfaces {
+            g.add_interface(i);
+        }
+        for s in old.subnets {
+            g.add_subnet(s);
+        }
+        g.changed = now;
+        g.sources = {
+            let mut s = g.sources;
+            for src in old.sources.iter() {
+                s.insert(src);
+            }
+            s
+        };
+    }
+
+    fn apply_rip_source(
+        &mut self,
+        source: Source,
+        ip: Ipv4Addr,
+        mac: Option<MacAddr>,
+        promiscuous: bool,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = self.apply_interface(source, Some(ip), mac, None, None, now);
+        let ids = self.idx_ip.get(&ip).cloned().unwrap_or_default();
+        for id in ids {
+            let matches_mac = match (mac, self.iface(id).mac_addr()) {
+                (Some(m), Some(rm)) => m == rm,
+                _ => true,
+            };
+            if matches_mac {
+                let r = self.iface_mut(id);
+                if !r.rip_source || r.rip_promiscuous != promiscuous {
+                    r.rip_source = true;
+                    r.rip_promiscuous = promiscuous;
+                    r.changed = now;
+                    self.touch_modified(id, now);
+                    sum.updated += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    fn iface(&self, id: InterfaceId) -> &InterfaceRecord {
+        self.interfaces[id.0 as usize]
+            .as_ref()
+            .expect("live interface id")
+    }
+
+    fn iface_mut(&mut self, id: InterfaceId) -> &mut InterfaceRecord {
+        self.interfaces[id.0 as usize]
+            .as_mut()
+            .expect("live interface id")
+    }
+
+    fn gw_mut(&mut self, id: GatewayId) -> &mut GatewayRecord {
+        self.gateways[id.0 as usize]
+            .as_mut()
+            .expect("live gateway id")
+    }
+
+    fn touch_modified(&mut self, id: InterfaceId, now: JTime) {
+        if let Some(old) = self.mod_keys.remove(&id.0) {
+            self.idx_modified.remove(&old);
+        }
+        self.mod_seq += 1;
+        let key = (now, self.mod_seq);
+        self.idx_modified.insert(key, id);
+        self.mod_keys.insert(id.0, key);
+    }
+
+    /// Fetches an interface record by id.
+    pub fn interface(&self, id: InterfaceId) -> Option<&InterfaceRecord> {
+        self.interfaces.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Fetches a gateway record by id.
+    pub fn gateway(&self, id: GatewayId) -> Option<&GatewayRecord> {
+        self.gateways.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Fetches the subnet record for an exact subnet.
+    pub fn subnet(&self, s: &Subnet) -> Option<&SubnetRecord> {
+        self.subnets.get(s)
+    }
+
+    /// Returns all interface records matching the query (the Journal
+    /// Server's Get operation), using the IP index when the query allows.
+    pub fn get_interfaces(&self, q: &InterfaceQuery) -> Vec<InterfaceRecord> {
+        // Fast paths through the indexes.
+        if let Some(ip) = q.ip {
+            return self
+                .idx_ip
+                .get(&ip)
+                .into_iter()
+                .flatten()
+                .map(|&id| self.iface(id))
+                .filter(|r| q.matches(r))
+                .cloned()
+                .collect();
+        }
+        if let Some(mac) = q.mac {
+            return self
+                .idx_mac
+                .get(&mac)
+                .into_iter()
+                .flatten()
+                .map(|&id| self.iface(id))
+                .filter(|r| q.matches(r))
+                .cloned()
+                .collect();
+        }
+        if let Some(s) = q.in_subnet {
+            let lo = s.network();
+            let hi = s.directed_broadcast();
+            return self.scan_ip_range(lo, hi, q);
+        }
+        if let Some((lo, hi)) = q.ip_range {
+            return self.scan_ip_range(lo, hi, q);
+        }
+        self.interfaces
+            .iter()
+            .flatten()
+            .filter(|r| q.matches(r))
+            .cloned()
+            .collect()
+    }
+
+    fn scan_ip_range(&self, lo: Ipv4Addr, hi: Ipv4Addr, q: &InterfaceQuery) -> Vec<InterfaceRecord> {
+        use std::ops::Bound;
+        self.idx_ip
+            .range((Bound::Included(&lo), Bound::Included(&hi)))
+            .flat_map(|(_, ids)| ids.iter())
+            .map(|&id| self.iface(id))
+            .filter(|r| q.matches(r))
+            .cloned()
+            .collect()
+    }
+
+    /// Interfaces in ascending order of last modification (oldest first).
+    pub fn interfaces_by_modification(&self) -> Vec<InterfaceRecord> {
+        self.idx_modified
+            .iter()
+            .map(|(_, &id)| self.iface(id).clone())
+            .collect()
+    }
+
+    /// All gateway records.
+    pub fn get_gateways(&self) -> Vec<GatewayRecord> {
+        self.gateways.iter().flatten().cloned().collect()
+    }
+
+    /// Subnet records matching the query, in address order.
+    pub fn get_subnets(&self, q: &SubnetQuery) -> Vec<SubnetRecord> {
+        self.subnets
+            .iter()
+            .map(|(_, r)| r)
+            .filter(|r| q.matches(r))
+            .cloned()
+            .collect()
+    }
+
+    /// Deletes an interface record (the Journal Server's Delete operation).
+    ///
+    /// Returns `true` when the record existed.
+    pub fn delete_interface(&mut self, id: InterfaceId) -> bool {
+        let Some(rec) = self
+            .interfaces
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
+        else {
+            return false;
+        };
+        if let Some(ip) = rec.ip_addr() {
+            remove_from_index(&mut self.idx_ip, &ip, id);
+        }
+        if let Some(mac) = rec.mac_addr() {
+            remove_from_index(&mut self.idx_mac, &mac, id);
+        }
+        if let Some(name) = rec.dns_name() {
+            remove_from_index(&mut self.idx_name, &name.to_owned(), id);
+        }
+        if let Some(key) = self.mod_keys.remove(&id.0) {
+            self.idx_modified.remove(&key);
+        }
+        if let Some(gid) = rec.gateway {
+            if let Some(g) = self.gateways[gid.0 as usize].as_mut() {
+                g.interfaces.retain(|i| *i != id);
+            }
+        }
+        true
+    }
+
+    /// Journal-wide statistics.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            interfaces: self.interfaces.iter().flatten().count(),
+            gateways: self.gateways.iter().flatten().count(),
+            subnets: self.subnets.len(),
+            observations_applied: self.observations_applied,
+        }
+    }
+
+    /// Exports all records as a snapshot.
+    pub fn to_snapshot(&self) -> crate::snapshot::JournalSnapshot {
+        crate::snapshot::JournalSnapshot {
+            version: crate::snapshot::SNAPSHOT_VERSION,
+            interfaces: self.interfaces.iter().flatten().cloned().collect(),
+            gateways: self.gateways.iter().flatten().cloned().collect(),
+            subnets: self.subnets.iter().map(|(_, r)| r.clone()).collect(),
+            observations_applied: self.observations_applied,
+        }
+    }
+
+    /// Rebuilds a journal (including every index) from a snapshot.
+    pub fn from_snapshot(snap: &crate::snapshot::JournalSnapshot) -> Journal {
+        let mut j = Journal::new();
+        j.observations_applied = snap.observations_applied;
+
+        // Records keep their identifiers, so size the slabs to the maximum.
+        let max_if = snap.interfaces.iter().map(|r| r.id.0 + 1).max().unwrap_or(0);
+        j.interfaces = (0..max_if).map(|_| None).collect();
+        let max_gw = snap.gateways.iter().map(|r| r.id.0 + 1).max().unwrap_or(0);
+        j.gateways = (0..max_gw).map(|_| None).collect();
+
+        // Rebuild the modification index in changed-time order.
+        let mut by_changed: Vec<&InterfaceRecord> = snap.interfaces.iter().collect();
+        by_changed.sort_by_key(|r| r.changed);
+        for rec in by_changed {
+            let id = rec.id;
+            j.interfaces[id.0 as usize] = Some(rec.clone());
+            if let Some(ip) = rec.ip_addr() {
+                add_to_index(&mut j.idx_ip, ip, id);
+            }
+            if let Some(mac) = rec.mac_addr() {
+                add_to_index(&mut j.idx_mac, mac, id);
+            }
+            if let Some(name) = rec.dns_name() {
+                add_to_index(&mut j.idx_name, name.to_owned(), id);
+            }
+            j.touch_modified(id, rec.changed);
+        }
+        for g in &snap.gateways {
+            j.gateways[g.id.0 as usize] = Some(g.clone());
+        }
+        for s in &snap.subnets {
+            j.subnets.insert(s.subnet, s.clone());
+        }
+        j
+    }
+
+    /// Verifies internal index consistency (used by tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.idx_ip.check_invariants()?;
+        self.idx_mac.check_invariants()?;
+        self.idx_name.check_invariants()?;
+        self.idx_modified.check_invariants()?;
+        for (ip, ids) in self.idx_ip.iter() {
+            for id in ids {
+                let r = self
+                    .interface(*id)
+                    .ok_or_else(|| format!("idx_ip points at dead record {id:?}"))?;
+                if r.ip_addr() != Some(*ip) {
+                    return Err(format!("idx_ip stale for {ip}"));
+                }
+            }
+        }
+        for (mac, ids) in self.idx_mac.iter() {
+            for id in ids {
+                let r = self
+                    .interface(*id)
+                    .ok_or_else(|| format!("idx_mac points at dead record {id:?}"))?;
+                if r.mac_addr() != Some(*mac) {
+                    return Err(format!("idx_mac stale for {mac}"));
+                }
+            }
+        }
+        for rec in self.interfaces.iter().flatten() {
+            if let Some(ip) = rec.ip_addr() {
+                let ids = self.idx_ip.get(&ip).cloned().unwrap_or_default();
+                if !ids.contains(&rec.id) {
+                    return Err(format!("record {:?} missing from idx_ip", rec.id));
+                }
+            }
+            if let Some(gid) = rec.gateway {
+                let g = self
+                    .gateway(gid)
+                    .ok_or_else(|| format!("record {:?} points at dead gateway", rec.id))?;
+                if !g.interfaces.contains(&rec.id) {
+                    return Err(format!("gateway {gid:?} missing member {:?}", rec.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn add_to_index<K: Ord>(idx: &mut AvlMap<K, Vec<InterfaceId>>, key: K, id: InterfaceId) {
+    match idx.get_mut(&key) {
+        Some(v) => {
+            if !v.contains(&id) {
+                v.push(id);
+            }
+        }
+        None => {
+            idx.insert(key, vec![id]);
+        }
+    }
+}
+
+fn remove_from_index<K: Ord>(idx: &mut AvlMap<K, Vec<InterfaceId>>, key: &K, id: InterfaceId) {
+    let emptied = match idx.get_mut(key) {
+        Some(v) => {
+            v.retain(|x| *x != id);
+            v.is_empty()
+        }
+        None => false,
+    };
+    if emptied {
+        idx.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn mac(s: &str) -> MacAddr {
+        s.parse().unwrap()
+    }
+
+    fn subnet(s: &str) -> Subnet {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ping_then_arp_merges_into_one_record() {
+        let mut j = Journal::new();
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.5")), JTime(10));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05")),
+            JTime(20),
+        );
+        let recs = j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.5")));
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.mac_addr(), Some(mac("08:00:20:00:00:05")));
+        assert_eq!(r.discovered, JTime(10));
+        assert!(r.sources.contains(Source::SeqPing));
+        assert!(r.sources.contains(Source::ArpWatch));
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_ip_keeps_two_records() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")),
+            JTime(2),
+        );
+        let recs = j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.9")));
+        assert_eq!(recs.len(), 2, "duplicate address must stay visible");
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn proxy_arp_mac_with_multiple_ips_keeps_records() {
+        let mut j = Journal::new();
+        let gw_mac = mac("00:00:0c:aa:bb:cc");
+        for i in 1..=3u8 {
+            j.apply(
+                &Observation::arp_pair(Source::EtherHostProbe, Ipv4Addr::new(10, 0, 0, i), gw_mac),
+                JTime(u64::from(i)),
+            );
+        }
+        let recs = j.get_interfaces(&InterfaceQuery::by_mac(gw_mac));
+        assert_eq!(recs.len(), 3, "one MAC answering three IPs: three records");
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reverification_updates_timestamps_only() {
+        let mut j = Journal::new();
+        let o = Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05"));
+        let s1 = j.apply(&o, JTime(10));
+        assert_eq!(s1.created, 1);
+        let s2 = j.apply(&o, JTime(99));
+        assert_eq!(s2.verified, 1);
+        assert_eq!(s2.updated, 0);
+        let r = &j.get_interfaces(&InterfaceQuery::all())[0];
+        assert_eq!(r.verified, JTime(99));
+        assert_eq!(r.changed, JTime(10));
+    }
+
+    #[test]
+    fn dns_verification_does_not_count_as_live() {
+        let mut j = Journal::new();
+        j.apply(&Observation::named_ip(Source::Dns, ip("10.0.0.7"), "ghost.cs"), JTime(5));
+        let r = &j.get_interfaces(&InterfaceQuery::all())[0];
+        assert_eq!(r.live_verified, None);
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.7")), JTime(9));
+        let r = &j.get_interfaces(&InterfaceQuery::all())[0];
+        assert_eq!(r.live_verified, Some(JTime(9)));
+        assert_eq!(r.dns_name(), Some("ghost.cs"));
+    }
+
+    #[test]
+    fn mask_observation_attaches_to_ip() {
+        let mut j = Journal::new();
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.1.4")), JTime(0));
+        j.apply(
+            &Observation::mask(
+                Source::SubnetMasks,
+                ip("10.0.1.4"),
+                fremont_net::SubnetMask::from_prefix_len(24).unwrap(),
+            ),
+            JTime(1),
+        );
+        let r = &j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.1.4")))[0];
+        assert_eq!(r.subnet(), Some(subnet("10.0.1.0/24")));
+    }
+
+    #[test]
+    fn subnet_upsert_and_mask_confirmation() {
+        let mut j = Journal::new();
+        let s = subnet("128.138.238.0/24");
+        let s1 = j.apply(&Observation::subnet(Source::RipWatch, s, true), JTime(1));
+        assert_eq!(s1.created, 1);
+        assert!(j.subnet(&s).unwrap().mask_assumed);
+        let s2 = j.apply(&Observation::subnet(Source::SubnetMasks, s, false), JTime(2));
+        assert_eq!(s2.updated, 1);
+        assert!(!j.subnet(&s).unwrap().mask_assumed);
+        // A later assumed observation does not downgrade.
+        j.apply(&Observation::subnet(Source::RipWatch, s, true), JTime(3));
+        assert!(!j.subnet(&s).unwrap().mask_assumed);
+    }
+
+    #[test]
+    fn gateway_merge_across_modules() {
+        let mut j = Journal::new();
+        // Traceroute sees interfaces .1 on two subnets as one gateway.
+        j.apply(
+            &Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![ip("128.138.238.1")],
+                    interface_names: vec![],
+                    subnets: vec![subnet("128.138.238.0/24"), subnet("128.138.240.0/24")],
+                },
+            ),
+            JTime(10),
+        );
+        // DNS later learns the same box via another interface plus a shared ip.
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::Gateway {
+                    interface_ips: vec![ip("128.138.238.1"), ip("128.138.240.1")],
+                    interface_names: vec![],
+                    subnets: vec![],
+                },
+            ),
+            JTime(20),
+        );
+        let gws = j.get_gateways();
+        assert_eq!(gws.len(), 1, "both observations describe one gateway");
+        let g = &gws[0];
+        assert!(g.subnets.contains(&subnet("128.138.238.0/24")));
+        assert!(g.subnets.contains(&subnet("128.138.240.0/24")));
+        assert_eq!(g.interfaces.len(), 2);
+        assert!(g.sources.contains(Source::Traceroute));
+        assert!(g.sources.contains(Source::Dns));
+        // Subnet records point back at the gateway.
+        assert_eq!(
+            j.subnet(&subnet("128.138.238.0/24")).unwrap().gateways,
+            vec![g.id]
+        );
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn distinct_gateways_merge_when_bridged() {
+        let mut j = Journal::new();
+        // Two modules each discover a different interface of the same box.
+        j.apply(
+            &Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.1.0.1")],
+                    interface_names: vec![],
+                    subnets: vec![subnet("10.1.0.0/24")],
+                },
+            ),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.2.0.1")],
+                    interface_names: vec![],
+                    subnets: vec![subnet("10.2.0.0/24")],
+                },
+            ),
+            JTime(2),
+        );
+        assert_eq!(j.get_gateways().len(), 2);
+        // A third observation bridges them.
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.1.0.1"), ip("10.2.0.1")],
+                    interface_names: vec![],
+                    subnets: vec![],
+                },
+            ),
+            JTime(3),
+        );
+        let gws = j.get_gateways();
+        assert_eq!(gws.len(), 1, "bridging observation merges gateways");
+        assert_eq!(gws[0].interfaces.len(), 2);
+        assert_eq!(gws[0].subnets.len(), 2);
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rip_source_flags() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::new(
+                Source::RipWatch,
+                Fact::RipSource {
+                    ip: ip("10.0.0.1"),
+                    mac: Some(mac("00:00:0c:01:02:03")),
+                    advertised_routes: 40,
+                    promiscuous: false,
+                },
+            ),
+            JTime(1),
+        );
+        let r = &j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.1")))[0];
+        assert!(r.rip_source);
+        assert!(!r.rip_promiscuous);
+        let q = InterfaceQuery {
+            rip_source: Some(true),
+            ..Default::default()
+        };
+        assert_eq!(j.get_interfaces(&q).len(), 1);
+    }
+
+    #[test]
+    fn subnet_stats_recorded() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::SubnetStats {
+                    subnet: subnet("128.138.243.0/24"),
+                    host_count: 56,
+                    lowest: ip("128.138.243.1"),
+                    highest: ip("128.138.243.91"),
+                },
+            ),
+            JTime(1),
+        );
+        let r = j.subnet(&subnet("128.138.243.0/24")).unwrap();
+        assert_eq!(r.host_count.as_ref().map(|t| *t.get()), Some(56));
+        assert_eq!(r.lowest, Some(ip("128.138.243.1")));
+        assert_eq!(r.highest, Some(ip("128.138.243.91")));
+    }
+
+    #[test]
+    fn delete_interface_cleans_indexes() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05")),
+            JTime(1),
+        );
+        let id = j.get_interfaces(&InterfaceQuery::all())[0].id;
+        assert!(j.delete_interface(id));
+        assert!(!j.delete_interface(id));
+        assert!(j.get_interfaces(&InterfaceQuery::all()).is_empty());
+        assert!(j
+            .get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.5")))
+            .is_empty());
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn modification_order_tracks_changes() {
+        let mut j = Journal::new();
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")), JTime(1));
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.2")), JTime(2));
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.3")), JTime(3));
+        // Touch .1 with a change (new mac) so it moves to the end.
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.1"), mac("08:00:20:00:00:01")),
+            JTime(4),
+        );
+        let order: Vec<_> = j
+            .interfaces_by_modification()
+            .iter()
+            .map(|r| r.ip_addr().unwrap())
+            .collect();
+        assert_eq!(
+            order,
+            vec![ip("10.0.0.2"), ip("10.0.0.3"), ip("10.0.0.1")],
+            "most recently changed records move to the end"
+        );
+    }
+
+    #[test]
+    fn ip_change_on_same_mac_reindexes() {
+        let mut j = Journal::new();
+        let m = mac("08:00:20:00:00:07");
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.7"), m), JTime(1));
+        // The host was renumbered; EtherHostProbe sees the same MAC with a
+        // previously-unknown IP. Policy: new record (visible reconfiguration).
+        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.77"), m), JTime(2));
+        let recs = j.get_interfaces(&InterfaceQuery::by_mac(m));
+        assert_eq!(recs.len(), 2);
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut j = Journal::new();
+        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")), JTime(1));
+        j.apply(&Observation::subnet(Source::RipWatch, subnet("10.0.0.0/24"), true), JTime(1));
+        let s = j.stats();
+        assert_eq!(s.interfaces, 1);
+        assert_eq!(s.subnets, 1);
+        assert_eq!(s.gateways, 0);
+        assert_eq!(s.observations_applied, 2);
+    }
+
+    #[test]
+    fn query_uses_subnet_index_path() {
+        let mut j = Journal::new();
+        for i in 1..=20u8 {
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 1, i)),
+                JTime(1),
+            );
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 2, i)),
+                JTime(1),
+            );
+        }
+        let recs = j.get_interfaces(&InterfaceQuery::in_subnet(subnet("10.0.1.0/24")));
+        assert_eq!(recs.len(), 20);
+        assert!(recs.iter().all(|r| r.ip_addr().unwrap().octets()[2] == 1));
+    }
+}

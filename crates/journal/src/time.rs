@@ -1,0 +1,198 @@
+//! Journal time: discovery timestamps.
+//!
+//! "All data items are stored with the date and time of initial discovery,
+//! last change, and last verification." The Journal's clock is seconds of
+//! simulation (or wall-clock seconds in a live deployment); the Journal
+//! Server stamps data on store, so observations themselves carry no time.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A journal timestamp, in seconds since the start of exploration.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct JTime(pub u64);
+
+impl JTime {
+    /// The epoch (start of exploration).
+    pub const ZERO: JTime = JTime(0);
+
+    /// Builds from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        JTime(s)
+    }
+
+    /// Builds from minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        JTime(m * 60)
+    }
+
+    /// Builds from hours.
+    pub const fn from_hours(h: u64) -> Self {
+        JTime(h * 3600)
+    }
+
+    /// Builds from days.
+    pub const fn from_days(d: u64) -> Self {
+        JTime(d * 86400)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in seconds.
+    pub fn secs_since(self, earlier: JTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for JTime {
+    type Output = JTime;
+
+    fn add(self, secs: u64) -> JTime {
+        JTime(self.0 + secs)
+    }
+}
+
+impl Sub<JTime> for JTime {
+    type Output = u64;
+
+    fn sub(self, other: JTime) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl fmt::Display for JTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.0 / 86400;
+        let rem = self.0 % 86400;
+        let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+        if days > 0 {
+            write!(f, "day {days} {h:02}:{m:02}:{s:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}")
+        }
+    }
+}
+
+/// A value together with the paper's three timestamps.
+///
+/// * `discovered` — when the value was first recorded;
+/// * `changed` — when the value last changed;
+/// * `verified` — when the value was last confirmed by any module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timestamped<T> {
+    value: T,
+    /// Time of initial discovery.
+    pub discovered: JTime,
+    /// Time of last change.
+    pub changed: JTime,
+    /// Time of last verification.
+    pub verified: JTime,
+}
+
+impl<T> Timestamped<T> {
+    /// Records a newly discovered value.
+    pub fn new(value: T, now: JTime) -> Self {
+        Timestamped {
+            value,
+            discovered: now,
+            changed: now,
+            verified: now,
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Marks the value as re-confirmed without change.
+    pub fn verify(&mut self, now: JTime) {
+        self.verified = now;
+    }
+
+    /// Seconds since the value was last verified.
+    pub fn staleness(&self, now: JTime) -> u64 {
+        now.secs_since(self.verified)
+    }
+}
+
+impl<T: PartialEq> Timestamped<T> {
+    /// Records a fresh observation of this datum.
+    ///
+    /// If `value` differs from the stored one, the value is replaced and
+    /// `changed` advances; either way `verified` advances. Returns `true`
+    /// when the value changed.
+    pub fn observe(&mut self, value: T, now: JTime) -> bool {
+        self.verified = now;
+        if self.value != value {
+            self.value = value;
+            self.changed = now;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_arithmetic() {
+        assert_eq!(JTime::from_mins(2).as_secs(), 120);
+        assert_eq!(JTime::from_hours(1).as_secs(), 3600);
+        assert_eq!(JTime::from_days(2).as_secs(), 172800);
+        assert_eq!(JTime::from_secs(10) + 5, JTime(15));
+        assert_eq!(JTime(100) - JTime(40), 60);
+        assert_eq!(JTime(40) - JTime(100), 0, "difference saturates");
+        assert_eq!(JTime(100).secs_since(JTime(30)), 70);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JTime::from_secs(3661).to_string(), "01:01:01");
+        assert_eq!(JTime::from_days(1).to_string(), "day 1 00:00:00");
+        assert_eq!(JTime::from_secs(90061 + 86400).to_string(), "day 2 01:01:01");
+    }
+
+    #[test]
+    fn timestamped_observe_same_value_only_verifies() {
+        let mut t = Timestamped::new(42, JTime(10));
+        assert!(!t.observe(42, JTime(20)));
+        assert_eq!(t.discovered, JTime(10));
+        assert_eq!(t.changed, JTime(10));
+        assert_eq!(t.verified, JTime(20));
+    }
+
+    #[test]
+    fn timestamped_observe_new_value_changes() {
+        let mut t = Timestamped::new(42, JTime(10));
+        assert!(t.observe(43, JTime(30)));
+        assert_eq!(*t.get(), 43);
+        assert_eq!(t.discovered, JTime(10));
+        assert_eq!(t.changed, JTime(30));
+        assert_eq!(t.verified, JTime(30));
+    }
+
+    #[test]
+    fn staleness() {
+        let mut t = Timestamped::new("x", JTime(0));
+        t.verify(JTime(100));
+        assert_eq!(t.staleness(JTime(250)), 150);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Timestamped::new(7u32, JTime(5));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Timestamped<u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the AVL map behaves exactly like `BTreeMap`.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use fremont_journal::avl::AvlMap;
+
+/// Operations for the model test.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        any::<u16>().prop_map(|k| Op::Get(k % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn behaves_like_btreemap(ops in proptest::collection::vec(arb_op(), 0..400)) {
+        let mut avl = AvlMap::new();
+        let mut model = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(avl.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(avl.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(avl.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(avl.len(), model.len());
+        }
+        avl.check_invariants().unwrap();
+        let avl_items: Vec<_> = avl.iter().map(|(k, v)| (*k, *v)).collect();
+        let model_items: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(avl_items, model_items);
+    }
+
+    #[test]
+    fn range_matches_btreemap(keys in proptest::collection::btree_set(any::<u16>(), 0..200),
+                              lo in any::<u16>(), hi in any::<u16>(),
+                              inc_lo in any::<bool>(), inc_hi in any::<bool>()) {
+        let avl: AvlMap<u16, ()> = keys.iter().map(|&k| (k, ())).collect();
+        let model: BTreeMap<u16, ()> = keys.iter().map(|&k| (k, ())).collect();
+        let lb = if inc_lo { Bound::Included(&lo) } else { Bound::Excluded(&lo) };
+        let ub = if inc_hi { Bound::Included(&hi) } else { Bound::Excluded(&hi) };
+        // BTreeMap panics on inverted ranges; skip those, AvlMap returns empty.
+        let inverted = match (lb, ub) {
+            (Bound::Included(a), Bound::Included(b)) => a > b,
+            (Bound::Included(a), Bound::Excluded(b))
+            | (Bound::Excluded(a), Bound::Included(b))
+            | (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
+            _ => false,
+        };
+        prop_assume!(!inverted);
+        let avl_keys: Vec<u16> = avl.range((lb, ub)).map(|(k, _)| *k).collect();
+        let model_keys: Vec<u16> = model.range((lb, ub)).map(|(k, _)| *k).collect();
+        prop_assert_eq!(avl_keys, model_keys);
+    }
+
+    #[test]
+    fn height_is_logarithmic(keys in proptest::collection::btree_set(any::<u32>(), 1..1000)) {
+        let avl: AvlMap<u32, ()> = keys.iter().map(|&k| (k, ())).collect();
+        avl.check_invariants().unwrap();
+        let n = avl.len() as f64;
+        // AVL height bound: 1.4405 * log2(n + 2).
+        let bound = (1.4405 * (n + 2.0).log2()).ceil() as usize + 1;
+        prop_assert!(avl.height() <= bound,
+                     "height {} exceeds AVL bound {} for n={}", avl.height(), bound, n);
+    }
+
+    #[test]
+    fn first_last_match_model(keys in proptest::collection::btree_set(any::<i32>(), 0..100)) {
+        let avl: AvlMap<i32, ()> = keys.iter().map(|&k| (k, ())).collect();
+        let model: BTreeMap<i32, ()> = keys.iter().map(|&k| (k, ())).collect();
+        prop_assert_eq!(avl.first().map(|(k, _)| *k), model.first_key_value().map(|(k, _)| *k));
+        prop_assert_eq!(avl.last().map(|(k, _)| *k), model.last_key_value().map(|(k, _)| *k));
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration test: the Journal Server over real TCP sockets.
+
+use std::net::Ipv4Addr;
+
+use fremont_journal::client::RemoteJournal;
+use fremont_journal::observation::{Fact, Observation, Source};
+use fremont_journal::query::{InterfaceQuery, SubnetQuery};
+use fremont_journal::server::{JournalAccess, JournalServer, SharedJournal};
+use fremont_journal::time::JTime;
+
+#[test]
+fn store_get_delete_over_tcp() {
+    let shared = SharedJournal::new();
+    let server = JournalServer::start(shared.clone(), "127.0.0.1:0", None).unwrap();
+    let client = RemoteJournal::connect(&server.addr().to_string()).unwrap();
+
+    // Store.
+    let summary = client
+        .store(
+            JTime(10),
+            &[
+                Observation::arp_pair(
+                    Source::ArpWatch,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    "08:00:20:00:00:01".parse().unwrap(),
+                ),
+                Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 0, 2)),
+                Observation::subnet(Source::RipWatch, "10.0.0.0/24".parse().unwrap(), true),
+            ],
+        )
+        .unwrap();
+    assert_eq!(summary.created, 3);
+
+    // Get.
+    let ifaces = client.interfaces(&InterfaceQuery::all()).unwrap();
+    assert_eq!(ifaces.len(), 2);
+    let by_ip = client
+        .interfaces(&InterfaceQuery::by_ip(Ipv4Addr::new(10, 0, 0, 1)))
+        .unwrap();
+    assert_eq!(by_ip.len(), 1);
+    assert_eq!(by_ip[0].verified, JTime(10));
+    let subnets = client.subnets(&SubnetQuery::all()).unwrap();
+    assert_eq!(subnets.len(), 1);
+
+    // The in-process view and the remote view agree.
+    assert_eq!(shared.stats().unwrap().interfaces, 2);
+
+    // Delete.
+    assert!(client.delete(by_ip[0].id).unwrap());
+    assert!(!client.delete(by_ip[0].id).unwrap());
+    assert_eq!(client.stats().unwrap().interfaces, 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn multiple_clients_share_one_journal() {
+    let shared = SharedJournal::new();
+    let server = JournalServer::start(shared, "127.0.0.1:0", None).unwrap();
+    let addr = server.addr().to_string();
+
+    // Two "explorer modules" on separate connections, plus a reader.
+    let a = RemoteJournal::connect(&addr).unwrap();
+    let b = RemoteJournal::connect(&addr).unwrap();
+    a.store(
+        JTime(1),
+        &[Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 1, 0, 1))],
+    )
+    .unwrap();
+    b.store(
+        JTime(2),
+        &[Observation::arp_pair(
+            Source::ArpWatch,
+            Ipv4Addr::new(10, 1, 0, 1),
+            "08:00:20:aa:00:01".parse().unwrap(),
+        )],
+    )
+    .unwrap();
+
+    let reader = RemoteJournal::connect(&addr).unwrap();
+    let recs = reader.interfaces(&InterfaceQuery::all()).unwrap();
+    assert_eq!(recs.len(), 1, "cross-module correlation through one journal");
+    let r = &recs[0];
+    assert!(r.sources.contains(Source::SeqPing));
+    assert!(r.sources.contains(Source::ArpWatch));
+    assert_eq!(r.discovered, JTime(1));
+    assert_eq!(r.verified, JTime(2));
+
+    server.shutdown();
+}
+
+#[test]
+fn gateway_observations_over_tcp() {
+    let server = JournalServer::start(SharedJournal::new(), "127.0.0.1:0", None).unwrap();
+    let client = RemoteJournal::connect(&server.addr().to_string()).unwrap();
+    client
+        .store(
+            JTime(5),
+            &[Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![Ipv4Addr::new(128, 138, 238, 1)],
+                    interface_names: vec![],
+                    subnets: vec![
+                        "128.138.238.0/24".parse().unwrap(),
+                        "128.138.240.0/24".parse().unwrap(),
+                    ],
+                },
+            )],
+        )
+        .unwrap();
+    let gws = client.gateways().unwrap();
+    assert_eq!(gws.len(), 1);
+    assert_eq!(gws[0].subnets.len(), 2);
+    let with_gw = client
+        .subnets(&SubnetQuery {
+            has_gateway: Some(true),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(with_gw.len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_on_shutdown() {
+    let dir = std::env::temp_dir().join("fremont-server-snap-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.json");
+    std::fs::remove_file(&path).ok();
+
+    let server =
+        JournalServer::start(SharedJournal::new(), "127.0.0.1:0", Some(path.clone())).unwrap();
+    let client = RemoteJournal::connect(&server.addr().to_string()).unwrap();
+    client
+        .store(
+            JTime(1),
+            &[Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 9, 9, 9))],
+        )
+        .unwrap();
+    // Explicit flush writes too.
+    client.flush().unwrap();
+    assert!(path.exists());
+    server.shutdown();
+
+    let snap = fremont_journal::snapshot::JournalSnapshot::load(&path).unwrap();
+    assert_eq!(snap.interfaces.len(), 1);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,241 @@
+//! The Address Resolution Protocol (RFC 826), Ethernet/IPv4 flavor.
+//!
+//! ARP is the information source for two of Fremont's Explorer Modules:
+//! ARPwatch (which passively records request/reply exchanges) and
+//! EtherHostProbe (which triggers resolutions and then harvests the local
+//! ARP cache). The decoder accepts exactly the Ethernet+IPv4 combination,
+//! which is all that existed on the paper's campus.
+
+use std::net::Ipv4Addr;
+
+use crate::error::ParseError;
+use crate::mac::MacAddr;
+
+/// Encoded length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has (opcode 1).
+    Request,
+    /// Is-at (opcode 2).
+    Reply,
+}
+
+impl ArpOp {
+    fn value(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+/// An Ethernet/IPv4 ARP packet.
+///
+/// # Examples
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use fremont_net::{ArpOp, ArpPacket, MacAddr};
+///
+/// let req = ArpPacket::request(
+///     "08:00:20:01:02:03".parse().unwrap(),
+///     Ipv4Addr::new(128, 138, 243, 10),
+///     Ipv4Addr::new(128, 138, 243, 1),
+/// );
+/// let bytes = req.encode();
+/// assert_eq!(ArpPacket::decode(&bytes).unwrap(), req);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation (request or reply).
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol (IPv4) address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol (IPv4) address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request from `sender` looking for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the is-at reply answering `request`.
+    pub fn reply_to(request: &ArpPacket, my_mac: MacAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: request.target_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Encodes to the 28-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PACKET_LEN);
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(&self.op.value().to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.octets());
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.octets());
+        out.extend_from_slice(&self.target_ip.octets());
+        out
+    }
+
+    /// Decodes from wire form; trailing bytes (Ethernet padding) are
+    /// ignored.
+    pub fn decode(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < PACKET_LEN {
+            return Err(ParseError::Truncated {
+                layer: "arp",
+                needed: PACKET_LEN,
+                available: buf.len(),
+            });
+        }
+        let htype = u16::from_be_bytes([buf[0], buf[1]]);
+        if htype != 1 {
+            return Err(ParseError::BadField {
+                layer: "arp",
+                field: "htype",
+                value: u64::from(htype),
+            });
+        }
+        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        if ptype != 0x0800 {
+            return Err(ParseError::BadField {
+                layer: "arp",
+                field: "ptype",
+                value: u64::from(ptype),
+            });
+        }
+        if buf[4] != 6 || buf[5] != 4 {
+            return Err(ParseError::BadField {
+                layer: "arp",
+                field: "hlen/plen",
+                value: u64::from(u16::from_be_bytes([buf[4], buf[5]])),
+            });
+        }
+        let op = match u16::from_be_bytes([buf[6], buf[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => {
+                return Err(ParseError::BadField {
+                    layer: "arp",
+                    field: "op",
+                    value: u64::from(other),
+                })
+            }
+        };
+        let mac_at = |o: usize| {
+            let mut m = [0u8; 6];
+            m.copy_from_slice(&buf[o..o + 6]);
+            MacAddr::new(m)
+        };
+        let ip_at = |o: usize| Ipv4Addr::new(buf[o], buf[o + 1], buf[o + 2], buf[o + 3]);
+        Ok(ArpPacket {
+            op,
+            sender_mac: mac_at(8),
+            sender_ip: ip_at(14),
+            target_mac: mac_at(18),
+            target_ip: ip_at(24),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(s: &str) -> MacAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = ArpPacket::request(
+            mac("08:00:20:aa:bb:cc"),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        assert_eq!(req.target_mac, MacAddr::ZERO);
+        let rep = ArpPacket::reply_to(&req, mac("00:00:0c:11:22:33"));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(rep.target_mac, req.sender_mac);
+        assert_eq!(rep.target_ip, req.sender_ip);
+
+        for pkt in [req, rep] {
+            let bytes = pkt.encode();
+            assert_eq!(bytes.len(), PACKET_LEN);
+            assert_eq!(ArpPacket::decode(&bytes).unwrap(), pkt);
+        }
+    }
+
+    #[test]
+    fn decode_ignores_ethernet_padding() {
+        let req = ArpPacket::request(
+            mac("08:00:20:aa:bb:cc"),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut bytes = req.encode();
+        bytes.resize(46, 0); // Minimum Ethernet payload size.
+        assert_eq!(ArpPacket::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert!(matches!(
+            ArpPacket::decode(&[0u8; 27]),
+            Err(ParseError::Truncated { layer: "arp", .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_non_ethernet_hardware() {
+        let req = ArpPacket::request(
+            mac("08:00:20:aa:bb:cc"),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut bytes = req.encode();
+        bytes[1] = 6; // htype = IEEE 802
+        assert!(matches!(
+            ArpPacket::decode(&bytes),
+            Err(ParseError::BadField { field: "htype", .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let req = ArpPacket::request(
+            mac("08:00:20:aa:bb:cc"),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut bytes = req.encode();
+        bytes[7] = 9;
+        assert!(matches!(
+            ArpPacket::decode(&bytes),
+            Err(ParseError::BadField { field: "op", .. })
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! The Internet checksum (RFC 1071).
+//!
+//! Used by the IPv4 header, ICMP, and (optionally) UDP codecs.
+
+/// Computes the 16-bit one's-complement Internet checksum over `data`.
+///
+/// An odd final byte is padded with a zero byte, per RFC 1071.
+///
+/// # Examples
+///
+/// ```
+/// use fremont_net::checksum::internet_checksum;
+///
+/// // A buffer whose checksum field is filled with the correct checksum
+/// // verifies to zero.
+/// let mut buf = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00];
+/// let ck = internet_checksum(&buf);
+/// buf.extend_from_slice(&ck.to_be_bytes());
+/// assert_eq!(internet_checksum(&buf), 0);
+/// ```
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Computes the one's-complement sum (without the final inversion).
+///
+/// Useful when a checksum spans several buffers (pseudo-header plus payload):
+/// sum the parts with [`combine`] and invert at the end.
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    fold(sum)
+}
+
+/// Adds two one's-complement partial sums.
+pub fn combine(a: u16, b: u16) -> u16 {
+    fold(u32::from(a) + u32::from(b))
+}
+
+fn fold(mut sum: u32) -> u16 {
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verifies that `data` (including its embedded checksum field) sums to the
+/// all-ones pattern, i.e. that its Internet checksum is valid.
+pub fn verify(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The example bytes from RFC 1071 section 3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(ones_complement_sum(&[]), 0);
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(ones_complement_sum(&[0xab]), 0xab00);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut buf = vec![0x08, 0x00, 0x00, 0x00, 0x12, 0x34, 0x00, 0x01];
+        let ck = internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&buf));
+        buf[5] ^= 0x01;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn combine_matches_contiguous_sum() {
+        let a = [0x12u8, 0x34, 0x56, 0x78];
+        let b = [0x9au8, 0xbc, 0xde, 0xf0];
+        let whole: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(
+            combine(ones_complement_sum(&a), ones_complement_sum(&b)),
+            ones_complement_sum(&whole)
+        );
+    }
+
+    #[test]
+    fn carry_folding() {
+        // All-0xff words force repeated carry folds.
+        let data = [0xffu8; 64];
+        assert_eq!(ones_complement_sum(&data), 0xffff);
+        assert_eq!(internet_checksum(&data), 0);
+    }
+}

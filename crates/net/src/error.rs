@@ -1,0 +1,152 @@
+//! Error types for packet parsing and address handling.
+
+use core::fmt;
+
+/// Errors produced while decoding a packet from raw bytes.
+///
+/// Decoders never panic on malformed input; every structural problem in a
+/// received byte buffer maps to one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the fixed header was complete.
+    Truncated {
+        /// Protocol layer that was being decoded (e.g. `"ipv4"`).
+        layer: &'static str,
+        /// Number of bytes required for the next structure.
+        needed: usize,
+        /// Number of bytes actually available.
+        available: usize,
+    },
+    /// A version field did not match the expected protocol version.
+    BadVersion {
+        /// Protocol layer that was being decoded.
+        layer: &'static str,
+        /// The version value found in the packet.
+        found: u8,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol layer whose checksum failed.
+        layer: &'static str,
+        /// Checksum value carried in the packet.
+        expected: u16,
+        /// Checksum value computed over the received bytes.
+        computed: u16,
+    },
+    /// A field carried a value that the decoder cannot represent.
+    BadField {
+        /// Protocol layer that was being decoded.
+        layer: &'static str,
+        /// Name of the offending field.
+        field: &'static str,
+        /// The raw value found.
+        value: u64,
+    },
+    /// A DNS name was malformed (label too long, loop, overrun...).
+    BadName {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{layer}: truncated packet (needed {needed} bytes, have {available})"
+            ),
+            ParseError::BadVersion { layer, found } => {
+                write!(f, "{layer}: unsupported version {found}")
+            }
+            ParseError::BadChecksum {
+                layer,
+                expected,
+                computed,
+            } => write!(
+                f,
+                "{layer}: bad checksum (packet carries {expected:#06x}, computed {computed:#06x})"
+            ),
+            ParseError::BadField {
+                layer,
+                field,
+                value,
+            } => write!(f, "{layer}: field `{field}` has invalid value {value}"),
+            ParseError::BadName { reason } => write!(f, "dns: malformed name ({reason})"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors produced while constructing or manipulating addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrError {
+    /// Textual address did not parse.
+    BadSyntax(String),
+    /// A subnet mask had non-contiguous one bits.
+    NonContiguousMask(u32),
+    /// A prefix length was out of the 0..=32 range.
+    BadPrefixLen(u8),
+    /// A network address had host bits set for the given mask.
+    HostBitsSet {
+        /// The offending address, as a dotted quad string.
+        addr: String,
+        /// The prefix length of the mask it was checked against.
+        prefix_len: u8,
+    },
+}
+
+impl fmt::Display for AddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrError::BadSyntax(s) => write!(f, "bad address syntax: {s:?}"),
+            AddrError::NonContiguousMask(m) => {
+                write!(f, "subnet mask {m:#010x} has non-contiguous one bits")
+            }
+            AddrError::BadPrefixLen(p) => write!(f, "prefix length {p} out of range 0..=32"),
+            AddrError::HostBitsSet { addr, prefix_len } => {
+                write!(f, "address {addr} has host bits set for /{prefix_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_truncated() {
+        let e = ParseError::Truncated {
+            layer: "arp",
+            needed: 28,
+            available: 10,
+        };
+        assert_eq!(e.to_string(), "arp: truncated packet (needed 28 bytes, have 10)");
+    }
+
+    #[test]
+    fn display_bad_checksum_hex() {
+        let e = ParseError::BadChecksum {
+            layer: "icmp",
+            expected: 0xbeef,
+            computed: 0x0001,
+        };
+        assert!(e.to_string().contains("0xbeef"));
+        assert!(e.to_string().contains("0x0001"));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(ParseError::BadName { reason: "loop" });
+        takes_err(AddrError::BadPrefixLen(33));
+    }
+}

@@ -1,0 +1,222 @@
+//! Ethernet II framing.
+//!
+//! Every packet in the simulated network travels inside an Ethernet II
+//! frame on a shared segment, exactly as Fremont's campus traffic did. The
+//! passive Explorer Modules (ARPwatch, RIPwatch) observe raw frames through
+//! a tap, so frame encode/decode must be byte-exact.
+
+use bytes::Bytes;
+
+use crate::error::ParseError;
+use crate::mac::MacAddr;
+
+/// Minimum Ethernet payload length; shorter payloads are padded on encode.
+pub const MIN_PAYLOAD: usize = 46;
+
+/// Maximum Ethernet payload length (we do not model jumbo frames).
+pub const MAX_PAYLOAD: usize = 1500;
+
+/// Length of the Ethernet II header (dst + src + ethertype).
+pub const HEADER_LEN: usize = 14;
+
+/// The EtherType of a frame's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`).
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Builds from a 16-bit wire value.
+    pub fn from_value(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II frame.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use fremont_net::{EtherType, EthernetFrame, MacAddr};
+///
+/// let frame = EthernetFrame {
+///     dst: MacAddr::BROADCAST,
+///     src: "08:00:20:01:02:03".parse().unwrap(),
+///     ethertype: EtherType::Arp,
+///     payload: Bytes::from_static(&[0u8; 28]),
+/// };
+/// let bytes = frame.encode();
+/// let back = EthernetFrame::decode(&bytes).unwrap();
+/// assert_eq!(back.src, frame.src);
+/// assert_eq!(back.ethertype, EtherType::Arp);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+    /// Payload bytes (unpadded; padding is added on encode).
+    pub payload: Bytes,
+}
+
+impl EthernetFrame {
+    /// Convenience constructor.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Returns `true` when the frame is addressed to the broadcast MAC.
+    pub fn is_broadcast(&self) -> bool {
+        self.dst.is_broadcast()
+    }
+
+    /// Encodes the frame, padding the payload to [`MIN_PAYLOAD`].
+    ///
+    /// Payloads longer than [`MAX_PAYLOAD`] are encoded as-is; the simulated
+    /// segment enforces MTU separately so oversize is a sender bug that the
+    /// simulator surfaces rather than silently truncates.
+    pub fn encode(&self) -> Vec<u8> {
+        let body_len = self.payload.len().max(MIN_PAYLOAD);
+        let mut out = Vec::with_capacity(HEADER_LEN + body_len);
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.value().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out.resize(HEADER_LEN + body_len, 0);
+        out
+    }
+
+    /// Decodes a frame from raw bytes.
+    ///
+    /// Trailing padding is preserved in `payload`; upper-layer decoders use
+    /// their own length fields to ignore it (as real stacks do).
+    pub fn decode(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "ethernet",
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        let mut src = [0u8; 6];
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_value(u16::from_be_bytes([buf[12], buf[13]]));
+        Ok(EthernetFrame {
+            dst: MacAddr::new(dst),
+            src: MacAddr::new(src),
+            ethertype,
+            payload: Bytes::copy_from_slice(&buf[HEADER_LEN..]),
+        })
+    }
+
+    /// Total encoded length in bytes (with padding).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len().max(MIN_PAYLOAD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(s: &str) -> MacAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn encode_pads_short_payload() {
+        let f = EthernetFrame::new(
+            mac("ff:ff:ff:ff:ff:ff"),
+            mac("08:00:20:00:00:01"),
+            EtherType::Arp,
+            Bytes::from_static(&[1, 2, 3]),
+        );
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + MIN_PAYLOAD);
+        assert_eq!(&bytes[14..17], &[1, 2, 3]);
+        assert!(bytes[17..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn decode_roundtrip_long_payload() {
+        let payload: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
+        let f = EthernetFrame::new(
+            mac("00:00:0c:01:02:03"),
+            mac("08:00:20:0a:0b:0c"),
+            EtherType::Ipv4,
+            Bytes::from(payload.clone()),
+        );
+        let back = EthernetFrame::decode(&f.encode()).unwrap();
+        assert_eq!(back.dst, f.dst);
+        assert_eq!(back.src, f.src);
+        assert_eq!(back.ethertype, EtherType::Ipv4);
+        assert_eq!(&back.payload[..], &payload[..]);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        let err = EthernetFrame::decode(&[0u8; 13]).unwrap_err();
+        assert!(matches!(err, ParseError::Truncated { layer: "ethernet", .. }));
+    }
+
+    #[test]
+    fn ethertype_values() {
+        assert_eq!(EtherType::Ipv4.value(), 0x0800);
+        assert_eq!(EtherType::Arp.value(), 0x0806);
+        assert_eq!(EtherType::from_value(0x8035), EtherType::Other(0x8035));
+        assert_eq!(EtherType::Other(0x8035).value(), 0x8035);
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        let f = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            mac("08:00:20:00:00:01"),
+            EtherType::Arp,
+            Bytes::new(),
+        );
+        assert!(f.is_broadcast());
+    }
+
+    #[test]
+    fn wire_len_matches_encode() {
+        for n in [0usize, 10, 46, 47, 1000] {
+            let f = EthernetFrame::new(
+                MacAddr::BROADCAST,
+                mac("08:00:20:00:00:01"),
+                EtherType::Ipv4,
+                Bytes::from(vec![0u8; n]),
+            );
+            assert_eq!(f.wire_len(), f.encode().len());
+        }
+    }
+}

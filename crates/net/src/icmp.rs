@@ -1,0 +1,449 @@
+//! The Internet Control Message Protocol (RFC 792 + RFC 950 mask messages).
+//!
+//! Four of Fremont's eight Explorer Modules are ICMP-based: Sequential Ping
+//! and Broadcast Ping (echo request/reply), Subnet Masks (mask
+//! request/reply, RFC 950), and Traceroute (Time Exceeded / Destination
+//! Unreachable errors carrying the offending datagram's header).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::{internet_checksum, verify};
+use crate::error::ParseError;
+use crate::ipv4::Ipv4Packet;
+
+/// Destination Unreachable sub-codes Fremont's traceroute cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnreachableCode {
+    /// Net unreachable (0).
+    Net,
+    /// Host unreachable (1).
+    Host,
+    /// Protocol unreachable (2).
+    Protocol,
+    /// Port unreachable (3) — the traceroute "destination reached" signal.
+    Port,
+    /// Any other code, preserved verbatim.
+    Other(u8),
+}
+
+impl UnreachableCode {
+    fn value(self) -> u8 {
+        match self {
+            UnreachableCode::Net => 0,
+            UnreachableCode::Host => 1,
+            UnreachableCode::Protocol => 2,
+            UnreachableCode::Port => 3,
+            UnreachableCode::Other(v) => v,
+        }
+    }
+
+    fn from_value(v: u8) -> Self {
+        match v {
+            0 => UnreachableCode::Net,
+            1 => UnreachableCode::Host,
+            2 => UnreachableCode::Protocol,
+            3 => UnreachableCode::Port,
+            other => UnreachableCode::Other(other),
+        }
+    }
+}
+
+/// A decoded ICMP message.
+///
+/// Error messages (`TimeExceeded`, `DestinationUnreachable`) carry the
+/// leading bytes of the datagram that provoked them; helper
+/// [`IcmpMessage::embedded_packet`] re-parses that snippet so traceroute can
+/// match errors back to its probes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request (type 8), as sent by `ping`.
+    EchoRequest {
+        /// Identifier used to demultiplex concurrent pingers.
+        ident: u16,
+        /// Sequence number within one pinger.
+        seq: u16,
+        /// Opaque payload echoed back by the responder.
+        payload: Vec<u8>,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier copied from the request.
+        ident: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+        /// Payload copied from the request.
+        payload: Vec<u8>,
+    },
+    /// Time Exceeded in transit (type 11, code 0).
+    TimeExceeded {
+        /// Leading bytes (IP header + 8) of the dropped datagram.
+        original: Vec<u8>,
+    },
+    /// Destination Unreachable (type 3).
+    DestinationUnreachable {
+        /// Why the destination was unreachable.
+        code: UnreachableCode,
+        /// Leading bytes (IP header + 8) of the offending datagram.
+        original: Vec<u8>,
+    },
+    /// Address Mask Request (type 17, RFC 950).
+    MaskRequest {
+        /// Identifier.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+    },
+    /// Address Mask Reply (type 18, RFC 950).
+    MaskReply {
+        /// Identifier copied from the request.
+        ident: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+        /// The interface's subnet mask.
+        mask: Ipv4Addr,
+    },
+}
+
+impl IcmpMessage {
+    /// Encodes the message, computing the ICMP checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
+                out.extend_from_slice(&[8, 0, 0, 0]);
+                out.extend_from_slice(&ident.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
+                out.extend_from_slice(&[0, 0, 0, 0]);
+                out.extend_from_slice(&ident.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            IcmpMessage::TimeExceeded { original } => {
+                out.extend_from_slice(&[11, 0, 0, 0]);
+                out.extend_from_slice(&[0, 0, 0, 0]); // unused
+                out.extend_from_slice(original);
+            }
+            IcmpMessage::DestinationUnreachable { code, original } => {
+                out.extend_from_slice(&[3, code.value(), 0, 0]);
+                out.extend_from_slice(&[0, 0, 0, 0]); // unused
+                out.extend_from_slice(original);
+            }
+            IcmpMessage::MaskRequest { ident, seq } => {
+                out.extend_from_slice(&[17, 0, 0, 0]);
+                out.extend_from_slice(&ident.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&[0, 0, 0, 0]); // mask placeholder
+            }
+            IcmpMessage::MaskReply { ident, seq, mask } => {
+                out.extend_from_slice(&[18, 0, 0, 0]);
+                out.extend_from_slice(&ident.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&mask.octets());
+            }
+        }
+        let ck = internet_checksum(&out);
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Decodes a message, verifying the checksum.
+    pub fn decode(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < 8 {
+            return Err(ParseError::Truncated {
+                layer: "icmp",
+                needed: 8,
+                available: buf.len(),
+            });
+        }
+        if !verify(buf) {
+            let carried = u16::from_be_bytes([buf[2], buf[3]]);
+            let mut scratch = buf.to_vec();
+            scratch[2] = 0;
+            scratch[3] = 0;
+            return Err(ParseError::BadChecksum {
+                layer: "icmp",
+                expected: carried,
+                computed: internet_checksum(&scratch),
+            });
+        }
+        let (ty, code) = (buf[0], buf[1]);
+        let ident = u16::from_be_bytes([buf[4], buf[5]]);
+        let seq = u16::from_be_bytes([buf[6], buf[7]]);
+        match ty {
+            8 => Ok(IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload: buf[8..].to_vec(),
+            }),
+            0 => Ok(IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload: buf[8..].to_vec(),
+            }),
+            11 => Ok(IcmpMessage::TimeExceeded {
+                original: buf[8..].to_vec(),
+            }),
+            3 => Ok(IcmpMessage::DestinationUnreachable {
+                code: UnreachableCode::from_value(code),
+                original: buf[8..].to_vec(),
+            }),
+            17 => Ok(IcmpMessage::MaskRequest { ident, seq }),
+            18 => {
+                if buf.len() < 12 {
+                    return Err(ParseError::Truncated {
+                        layer: "icmp",
+                        needed: 12,
+                        available: buf.len(),
+                    });
+                }
+                Ok(IcmpMessage::MaskReply {
+                    ident,
+                    seq,
+                    mask: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
+                })
+            }
+            other => Err(ParseError::BadField {
+                layer: "icmp",
+                field: "type",
+                value: u64::from(other),
+            }),
+        }
+    }
+
+    /// For error messages, re-parses the embedded offending datagram.
+    ///
+    /// The embedded bytes contain only the header plus eight payload bytes,
+    /// so the returned packet's payload is the (possibly truncated) leading
+    /// fragment of the original payload. Returns `None` for non-error
+    /// messages or unparseable snippets.
+    pub fn embedded_packet(&self) -> Option<EmbeddedPacket> {
+        let original = match self {
+            IcmpMessage::TimeExceeded { original } => original,
+            IcmpMessage::DestinationUnreachable { original, .. } => original,
+            _ => return None,
+        };
+        EmbeddedPacket::parse(original)
+    }
+
+    /// Returns `true` for the error-reporting message types.
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            IcmpMessage::TimeExceeded { .. } | IcmpMessage::DestinationUnreachable { .. }
+        )
+    }
+}
+
+/// The parseable portion of a datagram embedded in an ICMP error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddedPacket {
+    /// Source of the offending datagram (the prober).
+    pub src: Ipv4Addr,
+    /// Destination the offending datagram was headed to.
+    pub dst: Ipv4Addr,
+    /// IP protocol of the offending datagram.
+    pub protocol: u8,
+    /// IP identification field of the offending datagram.
+    pub identification: u16,
+    /// First payload bytes (up to eight) of the offending datagram.
+    pub payload_head: Vec<u8>,
+}
+
+impl EmbeddedPacket {
+    fn parse(bytes: &[u8]) -> Option<Self> {
+        // The embedded header is a plain IPv4 header; we cannot use
+        // `Ipv4Packet::decode` because total-length refers to the *original*
+        // datagram, which is longer than the embedded snippet.
+        if bytes.len() < crate::ipv4::HEADER_LEN {
+            return None;
+        }
+        if bytes[0] >> 4 != 4 {
+            return None;
+        }
+        let ihl = usize::from(bytes[0] & 0x0f) * 4;
+        if ihl < crate::ipv4::HEADER_LEN || bytes.len() < ihl {
+            return None;
+        }
+        Some(EmbeddedPacket {
+            src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+            dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+            protocol: bytes[9],
+            identification: u16::from_be_bytes([bytes[4], bytes[5]]),
+            payload_head: bytes[ihl..bytes.len().min(ihl + 8)].to_vec(),
+        })
+    }
+
+    /// If the embedded datagram was UDP, returns `(src_port, dst_port)`.
+    ///
+    /// Traceroute matches replies to probes by the destination port of the
+    /// embedded UDP header.
+    pub fn udp_ports(&self) -> Option<(u16, u16)> {
+        if self.protocol != 17 || self.payload_head.len() < 4 {
+            return None;
+        }
+        Some((
+            u16::from_be_bytes([self.payload_head[0], self.payload_head[1]]),
+            u16::from_be_bytes([self.payload_head[2], self.payload_head[3]]),
+        ))
+    }
+}
+
+/// Builds a Time Exceeded error for a datagram being dropped by a router.
+pub fn time_exceeded_for(dropped: &Ipv4Packet) -> IcmpMessage {
+    IcmpMessage::TimeExceeded {
+        original: dropped.error_snippet(),
+    }
+}
+
+/// Builds a Destination Unreachable error for an undeliverable datagram.
+pub fn unreachable_for(code: UnreachableCode, offending: &Ipv4Packet) -> IcmpMessage {
+    IcmpMessage::DestinationUnreachable {
+        code,
+        original: offending.error_snippet(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::IpProtocol;
+    use bytes::Bytes;
+
+    #[test]
+    fn echo_roundtrip() {
+        let req = IcmpMessage::EchoRequest {
+            ident: 0x1234,
+            seq: 7,
+            payload: b"fremont".to_vec(),
+        };
+        let bytes = req.encode();
+        assert_eq!(IcmpMessage::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        let req = IcmpMessage::MaskRequest { ident: 9, seq: 1 };
+        assert_eq!(IcmpMessage::decode(&req.encode()).unwrap(), req);
+        let rep = IcmpMessage::MaskReply {
+            ident: 9,
+            seq: 1,
+            mask: Ipv4Addr::new(255, 255, 255, 0),
+        };
+        assert_eq!(IcmpMessage::decode(&rep.encode()).unwrap(), rep);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut bytes = IcmpMessage::EchoRequest {
+            ident: 1,
+            seq: 2,
+            payload: vec![0xaa; 16],
+        }
+        .encode();
+        bytes[9] ^= 0xff;
+        assert!(matches!(
+            IcmpMessage::decode(&bytes),
+            Err(ParseError::BadChecksum { layer: "icmp", .. })
+        ));
+    }
+
+    #[test]
+    fn time_exceeded_embeds_offender() {
+        let probe = Ipv4Packet::new(
+            Ipv4Addr::new(128, 138, 243, 10),
+            Ipv4Addr::new(128, 138, 238, 0),
+            IpProtocol::Udp,
+            Bytes::from_static(&[0x82, 0x9a, 0x82, 0x9b, 0, 8, 0, 0]), // UDP hdr head
+        )
+        .with_id(0x0bad)
+        .with_ttl(1);
+        let err = time_exceeded_for(&probe);
+        let decoded = IcmpMessage::decode(&err.encode()).unwrap();
+        let emb = decoded.embedded_packet().unwrap();
+        assert_eq!(emb.src, Ipv4Addr::new(128, 138, 243, 10));
+        assert_eq!(emb.dst, Ipv4Addr::new(128, 138, 238, 0));
+        assert_eq!(emb.protocol, 17);
+        assert_eq!(emb.identification, 0x0bad);
+        assert_eq!(emb.udp_ports(), Some((0x829a, 0x829b)));
+    }
+
+    #[test]
+    fn port_unreachable_code_roundtrip() {
+        let probe = Ipv4Packet::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            IpProtocol::Udp,
+            Bytes::from_static(&[0, 1, 2, 3]),
+        );
+        let err = unreachable_for(UnreachableCode::Port, &probe);
+        match IcmpMessage::decode(&err.encode()).unwrap() {
+            IcmpMessage::DestinationUnreachable { code, .. } => {
+                assert_eq!(code, UnreachableCode::Port)
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn embedded_packet_none_for_echo() {
+        let m = IcmpMessage::EchoReply {
+            ident: 0,
+            seq: 0,
+            payload: vec![],
+        };
+        assert!(m.embedded_packet().is_none());
+        assert!(!m.is_error());
+    }
+
+    #[test]
+    fn embedded_garbage_is_none() {
+        let m = IcmpMessage::TimeExceeded {
+            original: vec![0xff; 4],
+        };
+        assert!(m.embedded_packet().is_none());
+        let m = IcmpMessage::TimeExceeded {
+            original: vec![0x60; 20], // IPv6 version nibble
+        };
+        assert!(m.embedded_packet().is_none());
+    }
+
+    #[test]
+    fn udp_ports_none_for_icmp_offender() {
+        let probe = Ipv4Packet::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            IpProtocol::Icmp,
+            Bytes::from_static(&[8, 0, 0, 0, 0, 1, 0, 1]),
+        );
+        let err = time_exceeded_for(&probe);
+        let emb = err.embedded_packet().unwrap();
+        assert_eq!(emb.udp_ports(), None);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        let mut bytes = vec![42u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = internet_checksum(&bytes);
+        bytes[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(
+            IcmpMessage::decode(&bytes),
+            Err(ParseError::BadField { field: "type", .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert!(IcmpMessage::decode(&[8, 0, 0]).is_err());
+    }
+}

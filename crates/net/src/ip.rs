@@ -1,0 +1,266 @@
+//! IPv4 address helpers.
+//!
+//! We reuse [`std::net::Ipv4Addr`] as the address type and provide the
+//! classful-addressing helpers the 1993-era protocols need: Fremont predates
+//! CIDR deployment, so the RIP and DNS Explorer Modules reason about class
+//! A/B/C network numbers and their *natural* masks.
+
+use std::net::Ipv4Addr;
+
+/// The classful category of an IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrClass {
+    /// `0.0.0.0/1` historic class A: 8-bit network number.
+    A,
+    /// `128.0.0.0/2` class B: 16-bit network number.
+    B,
+    /// `192.0.0.0/3` class C: 24-bit network number.
+    C,
+    /// `224.0.0.0/4` class D: multicast.
+    D,
+    /// `240.0.0.0/4` class E: reserved.
+    E,
+}
+
+impl AddrClass {
+    /// Returns the natural (classful) prefix length, or `None` for D/E.
+    pub fn natural_prefix_len(self) -> Option<u8> {
+        match self {
+            AddrClass::A => Some(8),
+            AddrClass::B => Some(16),
+            AddrClass::C => Some(24),
+            AddrClass::D | AddrClass::E => None,
+        }
+    }
+}
+
+/// Returns the classful category of `addr`.
+///
+/// # Examples
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use fremont_net::ip::{addr_class, AddrClass};
+///
+/// assert_eq!(addr_class(Ipv4Addr::new(10, 0, 0, 1)), AddrClass::A);
+/// assert_eq!(addr_class(Ipv4Addr::new(128, 138, 238, 18)), AddrClass::B);
+/// assert_eq!(addr_class(Ipv4Addr::new(192, 52, 106, 1)), AddrClass::C);
+/// ```
+pub fn addr_class(addr: Ipv4Addr) -> AddrClass {
+    let hi = addr.octets()[0];
+    if hi & 0x80 == 0 {
+        AddrClass::A
+    } else if hi & 0xc0 == 0x80 {
+        AddrClass::B
+    } else if hi & 0xe0 == 0xc0 {
+        AddrClass::C
+    } else if hi & 0xf0 == 0xe0 {
+        AddrClass::D
+    } else {
+        AddrClass::E
+    }
+}
+
+/// Converts an address to its host-order 32-bit value.
+pub fn to_u32(addr: Ipv4Addr) -> u32 {
+    u32::from(addr)
+}
+
+/// Converts a host-order 32-bit value to an address.
+pub fn from_u32(value: u32) -> Ipv4Addr {
+    Ipv4Addr::from(value)
+}
+
+/// An inclusive range of IPv4 addresses, iterated in ascending order.
+///
+/// Used by the sweep-style Explorer Modules (Sequential Ping,
+/// EtherHostProbe, Subnet Masks) that probe "a range of addresses".
+///
+/// # Examples
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use fremont_net::ip::IpRange;
+///
+/// let range = IpRange::new(Ipv4Addr::new(10, 0, 0, 254), Ipv4Addr::new(10, 0, 1, 1));
+/// let addrs: Vec<_> = range.iter().collect();
+/// assert_eq!(addrs.len(), 4);
+/// assert_eq!(addrs[1], Ipv4Addr::new(10, 0, 0, 255));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpRange {
+    first: u32,
+    last: u32,
+}
+
+impl IpRange {
+    /// Creates the inclusive range `[first, last]`.
+    ///
+    /// If `first > last` the range is empty.
+    pub fn new(first: Ipv4Addr, last: Ipv4Addr) -> Self {
+        IpRange {
+            first: to_u32(first),
+            last: to_u32(last),
+        }
+    }
+
+    /// Creates a range containing a single address.
+    pub fn single(addr: Ipv4Addr) -> Self {
+        Self::new(addr, addr)
+    }
+
+    /// First address of the range.
+    pub fn first(&self) -> Ipv4Addr {
+        from_u32(self.first)
+    }
+
+    /// Last address of the range.
+    pub fn last(&self) -> Ipv4Addr {
+        from_u32(self.last)
+    }
+
+    /// Number of addresses in the range.
+    pub fn len(&self) -> u64 {
+        if self.first > self.last {
+            0
+        } else {
+            u64::from(self.last) - u64::from(self.first) + 1
+        }
+    }
+
+    /// Returns `true` when the range contains no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when `addr` falls inside the range.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        let v = to_u32(addr);
+        self.first <= v && v <= self.last
+    }
+
+    /// Iterates the addresses in ascending order.
+    pub fn iter(&self) -> IpRangeIter {
+        IpRangeIter {
+            next: if self.first <= self.last {
+                Some(self.first)
+            } else {
+                None
+            },
+            last: self.last,
+        }
+    }
+}
+
+impl IntoIterator for IpRange {
+    type Item = Ipv4Addr;
+    type IntoIter = IpRangeIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`IpRange`].
+#[derive(Debug, Clone)]
+pub struct IpRangeIter {
+    next: Option<u32>,
+    last: u32,
+}
+
+impl Iterator for IpRangeIter {
+    type Item = Ipv4Addr;
+
+    fn next(&mut self) -> Option<Ipv4Addr> {
+        let cur = self.next?;
+        self.next = if cur < self.last {
+            Some(cur + 1)
+        } else {
+            None
+        };
+        Some(from_u32(cur))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self.next {
+            Some(next) => (u64::from(self.last) - u64::from(next) + 1) as usize,
+            None => 0,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for IpRangeIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(addr_class(Ipv4Addr::new(1, 2, 3, 4)), AddrClass::A);
+        assert_eq!(addr_class(Ipv4Addr::new(127, 0, 0, 1)), AddrClass::A);
+        assert_eq!(addr_class(Ipv4Addr::new(128, 138, 0, 0)), AddrClass::B);
+        assert_eq!(addr_class(Ipv4Addr::new(191, 255, 0, 0)), AddrClass::B);
+        assert_eq!(addr_class(Ipv4Addr::new(192, 0, 0, 1)), AddrClass::C);
+        assert_eq!(addr_class(Ipv4Addr::new(223, 1, 1, 1)), AddrClass::C);
+        assert_eq!(addr_class(Ipv4Addr::new(224, 0, 0, 1)), AddrClass::D);
+        assert_eq!(addr_class(Ipv4Addr::new(255, 255, 255, 255)), AddrClass::E);
+    }
+
+    #[test]
+    fn natural_prefixes() {
+        assert_eq!(AddrClass::A.natural_prefix_len(), Some(8));
+        assert_eq!(AddrClass::B.natural_prefix_len(), Some(16));
+        assert_eq!(AddrClass::C.natural_prefix_len(), Some(24));
+        assert_eq!(AddrClass::D.natural_prefix_len(), None);
+    }
+
+    #[test]
+    fn range_iteration_crosses_octet_boundary() {
+        let r = IpRange::new(Ipv4Addr::new(10, 0, 0, 254), Ipv4Addr::new(10, 0, 1, 2));
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                Ipv4Addr::new(10, 0, 0, 254),
+                Ipv4Addr::new(10, 0, 0, 255),
+                Ipv4Addr::new(10, 0, 1, 0),
+                Ipv4Addr::new(10, 0, 1, 1),
+                Ipv4Addr::new(10, 0, 1, 2),
+            ]
+        );
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = IpRange::new(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 0, 1));
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+        assert!(!r.contains(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn single_range() {
+        let r = IpRange::single(Ipv4Addr::new(1, 1, 1, 1));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(Ipv4Addr::new(1, 1, 1, 1)));
+        assert!(!r.contains(Ipv4Addr::new(1, 1, 1, 2)));
+    }
+
+    #[test]
+    fn full_range_len_does_not_overflow() {
+        let r = IpRange::new(Ipv4Addr::new(0, 0, 0, 0), Ipv4Addr::new(255, 255, 255, 255));
+        assert_eq!(r.len(), 1u64 << 32);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let r = IpRange::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 10));
+        let mut it = r.iter();
+        assert_eq!(it.size_hint(), (10, Some(10)));
+        it.next();
+        assert_eq!(it.size_hint(), (9, Some(9)));
+    }
+}

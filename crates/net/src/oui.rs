@@ -1,0 +1,88 @@
+//! Organizationally Unique Identifier (OUI) vendor table.
+//!
+//! A compact table of the Ethernet hardware vendors that populated campus
+//! networks of the paper's era, used by [`crate::MacAddr::vendor`] to report
+//! interface manufacturers, as Fremont's ARP Explorer Modules did.
+
+/// One `(prefix, vendor)` table entry. Kept sorted by prefix for binary search.
+const TABLE: &[([u8; 3], &str)] = &[
+    ([0x00, 0x00, 0x0c], "Cisco Systems"),
+    ([0x00, 0x00, 0x1d], "Cabletron Systems"),
+    ([0x00, 0x00, 0x65], "Network General"),
+    ([0x00, 0x00, 0x6b], "MIPS Computer Systems"),
+    ([0x00, 0x00, 0x93], "Proteon"),
+    ([0x00, 0x00, 0xa7], "Network Computing Devices"),
+    ([0x00, 0x00, 0xc0], "Western Digital"),
+    ([0x00, 0x00, 0xf8], "Digital Equipment Corporation"),
+    ([0x00, 0x20, 0xaf], "3Com"),
+    ([0x00, 0x60, 0x8c], "3Com"),
+    ([0x00, 0x80, 0x2d], "Xylogics"),
+    ([0x00, 0x80, 0xa3], "Lantronix"),
+    ([0x00, 0xaa, 0x00], "Intel"),
+    ([0x00, 0xdd, 0x00], "Ungermann-Bass"),
+    ([0x02, 0x60, 0x8c], "3Com"),
+    ([0x08, 0x00, 0x09], "Hewlett-Packard"),
+    ([0x08, 0x00, 0x0b], "Unisys"),
+    ([0x08, 0x00, 0x11], "Tektronix"),
+    ([0x08, 0x00, 0x1e], "Apollo Computer"),
+    ([0x08, 0x00, 0x20], "Sun Microsystems"),
+    ([0x08, 0x00, 0x2b], "Digital Equipment Corporation"),
+    ([0x08, 0x00, 0x38], "Bull"),
+    ([0x08, 0x00, 0x46], "Sony"),
+    ([0x08, 0x00, 0x5a], "IBM"),
+    ([0x08, 0x00, 0x69], "Silicon Graphics"),
+    ([0x08, 0x00, 0x79], "Silicon Graphics"),
+    ([0x08, 0x00, 0x87], "Xyplex"),
+    ([0x08, 0x00, 0x89], "Kinetics"),
+    ([0x08, 0x00, 0x8b], "Pyramid Technology"),
+    ([0x10, 0x00, 0x5a], "IBM"),
+    ([0xaa, 0x00, 0x03], "Digital Equipment Corporation"),
+    ([0xaa, 0x00, 0x04], "Digital Equipment Corporation"),
+];
+
+/// Looks up the vendor name for an OUI prefix.
+///
+/// Returns `None` when the prefix is not in the table.
+pub fn vendor_for(prefix: [u8; 3]) -> Option<&'static str> {
+    TABLE
+        .binary_search_by_key(&prefix, |(p, _)| *p)
+        .ok()
+        .map(|i| TABLE[i].1)
+}
+
+/// Returns the number of known OUI prefixes (for diagnostics).
+pub fn table_len() -> usize {
+    TABLE.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduplicated() {
+        for w in TABLE.windows(2) {
+            assert!(w[0].0 < w[1].0, "table must be strictly sorted by prefix");
+        }
+    }
+
+    #[test]
+    fn known_prefixes_resolve() {
+        assert_eq!(vendor_for([0x08, 0x00, 0x20]), Some("Sun Microsystems"));
+        assert_eq!(
+            vendor_for([0xaa, 0x00, 0x04]),
+            Some("Digital Equipment Corporation")
+        );
+        assert_eq!(vendor_for([0x08, 0x00, 0x5a]), Some("IBM"));
+    }
+
+    #[test]
+    fn unknown_prefix_is_none() {
+        assert_eq!(vendor_for([0xde, 0xad, 0xbe]), None);
+    }
+
+    #[test]
+    fn table_nonempty() {
+        assert!(table_len() >= 30);
+    }
+}

@@ -1,0 +1,178 @@
+//! UDP datagrams (RFC 768).
+//!
+//! Fremont's EtherHostProbe sends UDP packets to the Echo port to provoke
+//! ARP resolution; the Traceroute module sends UDP probes to high,
+//! improbable ports so the destination answers with ICMP Port Unreachable;
+//! RIP and DNS ride UDP as well.
+
+use bytes::Bytes;
+
+use crate::error::ParseError;
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// The UDP Echo service port (RFC 862).
+pub const ECHO_PORT: u16 = 7;
+
+/// The Domain Name System port.
+pub const DNS_PORT: u16 = 53;
+
+/// The RIP routing service port (RFC 1058).
+pub const RIP_PORT: u16 = 520;
+
+/// The base of the traditional traceroute destination port range.
+///
+/// Van Jacobson's traceroute starts at 33434, chosen to be "unlikely to be
+/// used" so the destination host answers with ICMP Port Unreachable.
+pub const TRACEROUTE_BASE_PORT: u16 = 33434;
+
+/// A UDP datagram.
+///
+/// The checksum is optional in IPv4 UDP; we encode zero (no checksum), as
+/// SunOS-era stacks commonly did, and therefore do not validate it on
+/// decode. Length is validated.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use fremont_net::UdpDatagram;
+///
+/// let d = UdpDatagram::new(1042, 7, Bytes::from_static(b"probe"));
+/// let back = UdpDatagram::decode(&d.encode()).unwrap();
+/// assert_eq!(back.dst_port, 7);
+/// assert_eq!(&back.payload[..], b"probe");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Bytes) -> Self {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Encodes header + payload (checksum field zero = unchecksummed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if header + payload exceeds the 65,535-byte UDP length limit.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = HEADER_LEN + self.payload.len();
+        assert!(
+            len <= u16::MAX as usize,
+            "UDP datagram of {len} bytes exceeds the 65535-byte limit"
+        );
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes a datagram, validating the length field.
+    ///
+    /// Trailing bytes beyond the UDP length (e.g. link padding that survived
+    /// an IP layer without strict total-length handling) are discarded.
+    pub fn decode(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "udp",
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < HEADER_LEN || len > buf.len() {
+            return Err(ParseError::BadField {
+                layer: "udp",
+                field: "length",
+                value: len as u64,
+            });
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            payload: Bytes::copy_from_slice(&buf[HEADER_LEN..len]),
+        })
+    }
+
+    /// Builds the Echo-service reply to this datagram (ports swapped,
+    /// payload preserved).
+    pub fn echo_reply(&self) -> UdpDatagram {
+        UdpDatagram {
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram::new(33000, TRACEROUTE_BASE_PORT, Bytes::from_static(&[1, 2, 3]));
+        assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let d = UdpDatagram::new(1, 2, Bytes::new());
+        let enc = d.encode();
+        assert_eq!(enc.len(), HEADER_LEN);
+        assert_eq!(UdpDatagram::decode(&enc).unwrap(), d);
+    }
+
+    #[test]
+    fn decode_discards_trailing_padding() {
+        let d = UdpDatagram::new(5, 6, Bytes::from_static(b"xy"));
+        let mut enc = d.encode();
+        enc.extend_from_slice(&[0u8; 30]);
+        assert_eq!(UdpDatagram::decode(&enc).unwrap(), d);
+    }
+
+    #[test]
+    fn decode_rejects_bad_length() {
+        let d = UdpDatagram::new(5, 6, Bytes::from_static(b"xy"));
+        let mut enc = d.encode();
+        enc[4..6].copy_from_slice(&2u16.to_be_bytes()); // shorter than header
+        assert!(matches!(
+            UdpDatagram::decode(&enc),
+            Err(ParseError::BadField { field: "length", .. })
+        ));
+        let mut enc2 = d.encode();
+        enc2[4..6].copy_from_slice(&100u16.to_be_bytes()); // longer than buffer
+        assert!(UdpDatagram::decode(&enc2).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert!(UdpDatagram::decode(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn echo_reply_swaps_ports() {
+        let d = UdpDatagram::new(1042, ECHO_PORT, Bytes::from_static(b"hello"));
+        let r = d.echo_reply();
+        assert_eq!(r.src_port, ECHO_PORT);
+        assert_eq!(r.dst_port, 1042);
+        assert_eq!(r.payload, d.payload);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-host ARP cache with entry timeout.
+//!
+//! Every simulated host keeps the same structure a SunOS kernel did: an
+//! IP → MAC table whose entries expire. Fremont's EtherHostProbe module
+//! "attempts to send an IP packet to the UDP Echo port of each host ...
+//! the responses for which are entered into the host's ARP table, and then
+//! read by the EtherHostProbe Explorer Module" — this is the table it
+//! reads. The duplicate-address problem is "relatively easy [to detect] if
+//! you have a tool that remembers the IP and Ethernet associations longer
+//! than the usual timeout of the ARP cache": the Journal remembers; this
+//! cache forgets, which is exactly the asymmetry the paper exploits.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use fremont_net::MacAddr;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Default ARP cache entry lifetime (SunOS-era kernels used ~20 minutes).
+pub const DEFAULT_TIMEOUT: SimDuration = SimDuration(20 * 60 * 1_000_000);
+
+/// An ARP cache.
+#[derive(Debug, Clone)]
+pub struct ArpCache {
+    entries: HashMap<Ipv4Addr, (MacAddr, SimTime)>,
+    timeout: SimDuration,
+}
+
+impl Default for ArpCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_TIMEOUT)
+    }
+}
+
+impl ArpCache {
+    /// Creates a cache with the given entry lifetime.
+    pub fn new(timeout: SimDuration) -> Self {
+        ArpCache {
+            entries: HashMap::new(),
+            timeout,
+        }
+    }
+
+    /// Inserts or refreshes a mapping at time `now`.
+    pub fn insert(&mut self, ip: Ipv4Addr, mac: MacAddr, now: SimTime) {
+        self.entries.insert(ip, (mac, now + self.timeout));
+    }
+
+    /// Looks up a live mapping at time `now`.
+    pub fn lookup(&self, ip: Ipv4Addr, now: SimTime) -> Option<MacAddr> {
+        match self.entries.get(&ip) {
+            Some((mac, expires)) if *expires > now => Some(*mac),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of all live entries at time `now`, sorted by IP (this is
+    /// the view EtherHostProbe reads).
+    pub fn snapshot(&self, now: SimTime) -> Vec<(Ipv4Addr, MacAddr)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, (_, expires))| *expires > now)
+            .map(|(ip, (mac, _))| (*ip, *mac))
+            .collect();
+        v.sort_by_key(|(ip, _)| u32::from(*ip));
+        v
+    }
+
+    /// Drops expired entries (periodic kernel sweep).
+    pub fn sweep(&mut self, now: SimTime) {
+        self.entries.retain(|_, (_, expires)| *expires > now);
+    }
+
+    /// Number of entries including expired-but-unswept ones.
+    pub fn raw_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Empties the cache (host reboot).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(b: u8) -> MacAddr {
+        MacAddr::new([8, 0, 0x20, 0, 0, b])
+    }
+
+    fn ip(h: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, h)
+    }
+
+    #[test]
+    fn insert_lookup() {
+        let mut c = ArpCache::new(SimDuration::from_secs(60));
+        c.insert(ip(1), mac(1), SimTime::ZERO);
+        assert_eq!(c.lookup(ip(1), SimTime::ZERO), Some(mac(1)));
+        assert_eq!(c.lookup(ip(2), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut c = ArpCache::new(SimDuration::from_secs(60));
+        c.insert(ip(1), mac(1), SimTime::ZERO);
+        let late = SimTime::ZERO + SimDuration::from_secs(61);
+        assert_eq!(c.lookup(ip(1), late), None);
+        // Refresh extends lifetime.
+        c.insert(ip(1), mac(1), SimTime::ZERO + SimDuration::from_secs(30));
+        assert_eq!(c.lookup(ip(1), late), Some(mac(1)));
+    }
+
+    #[test]
+    fn reinsert_overwrites_mac() {
+        // The duplicate-IP situation: the cache only remembers the latest
+        // claimant, which is why the Journal's long memory matters.
+        let mut c = ArpCache::default();
+        c.insert(ip(1), mac(1), SimTime::ZERO);
+        c.insert(ip(1), mac(2), SimTime(1));
+        assert_eq!(c.lookup(ip(1), SimTime(2)), Some(mac(2)));
+    }
+
+    #[test]
+    fn snapshot_sorted_and_filtered() {
+        let mut c = ArpCache::new(SimDuration::from_secs(10));
+        c.insert(ip(3), mac(3), SimTime::ZERO);
+        c.insert(ip(1), mac(1), SimTime::ZERO);
+        c.insert(ip(2), mac(2), SimTime::ZERO + SimDuration::from_secs(20));
+        let at = SimTime::ZERO + SimDuration::from_secs(15);
+        let snap = c.snapshot(at);
+        assert_eq!(snap, vec![(ip(2), mac(2))]);
+    }
+
+    #[test]
+    fn sweep_removes_expired() {
+        let mut c = ArpCache::new(SimDuration::from_secs(10));
+        c.insert(ip(1), mac(1), SimTime::ZERO);
+        c.insert(ip(2), mac(2), SimTime::ZERO + SimDuration::from_secs(100));
+        c.sweep(SimTime::ZERO + SimDuration::from_secs(50));
+        assert_eq!(c.raw_len(), 1);
+        c.clear();
+        assert_eq!(c.raw_len(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Processes: event-driven programs running on simulated hosts.
+//!
+//! Fremont's Explorer Modules are implemented as [`Process`]es: they are
+//! started on a host, receive timers, see every IP packet the host
+//! receives (the raw-socket view a privileged SunOS process had), and —
+//! when they enable the tap — every frame on the attached segment (the
+//! Network Interface Tap the paper's passive modules use). They interact
+//! with the network only through [`crate::engine::ProcCtx`], so a module
+//! cannot cheat by peeking at simulator state it could not observe in
+//! reality.
+
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+use fremont_net::{EthernetFrame, Ipv4Packet, MacAddr, Subnet, SubnetMask};
+
+use crate::engine::ProcCtx;
+use crate::segment::NodeId;
+
+/// Handle to a spawned process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcHandle {
+    /// The node the process runs on.
+    pub node: NodeId,
+    /// Slot index within the node.
+    pub idx: usize,
+}
+
+/// A view of one local interface, as a process sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfaceInfo {
+    /// Interface index on the node.
+    pub index: usize,
+    /// MAC address.
+    pub mac: MacAddr,
+    /// Configured IP address.
+    pub ip: Ipv4Addr,
+    /// Configured subnet mask.
+    pub mask: SubnetMask,
+}
+
+impl IfaceInfo {
+    /// The local subnet per the configured mask.
+    pub fn subnet(&self) -> Subnet {
+        Subnet::containing(self.ip, self.mask)
+    }
+}
+
+/// An event-driven program on a simulated node.
+///
+/// All methods have empty defaults so a module only implements what it
+/// uses. `as_any_mut` enables the driver to downcast a finished module and
+/// read its results.
+pub trait Process: 'static {
+    /// Called once when the process is spawned.
+    fn on_start(&mut self, _ctx: &mut ProcCtx<'_>) {}
+
+    /// Called when a timer set via [`ProcCtx::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut ProcCtx<'_>) {}
+
+    /// Called for every IP packet delivered locally to the host.
+    fn on_ip(&mut self, _pkt: &Ipv4Packet, _ctx: &mut ProcCtx<'_>) {}
+
+    /// Called for every frame on the tapped segment (after
+    /// [`ProcCtx::enable_tap`]).
+    fn on_tap(&mut self, _frame: &EthernetFrame, _ctx: &mut ProcCtx<'_>) {}
+
+    /// Returns `true` once the process has finished its work.
+    fn done(&self) -> bool {
+        false
+    }
+
+    /// Downcasting support for result extraction.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iface_info_subnet() {
+        let info = IfaceInfo {
+            index: 0,
+            mac: MacAddr::new([8, 0, 0x20, 0, 0, 1]),
+            ip: Ipv4Addr::new(128, 138, 243, 18),
+            mask: SubnetMask::from_prefix_len(24).unwrap(),
+        };
+        assert_eq!(info.subnet(), "128.138.243.0/24".parse().unwrap());
+    }
+}

@@ -1,0 +1,177 @@
+//! Static routing tables with longest-prefix match.
+//!
+//! The topology builder computes every router's table by shortest path
+//! over the subnet graph (hop-count metrics, like RIP's); hosts get
+//! connected routes plus a default gateway. Tables are *static* because
+//! the paper's campus ran largely on static/RIP routing — route *changes*
+//! are modeled by taking nodes down, which is what Fremont is for.
+
+use std::net::Ipv4Addr;
+
+use fremont_net::Subnet;
+
+/// One routing table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Destination subnet (use `0.0.0.0/0` for the default route).
+    pub dest: Subnet,
+    /// Next-hop gateway IP; `None` for directly connected subnets.
+    pub gateway: Option<Ipv4Addr>,
+    /// Egress interface index on the owning node.
+    pub iface: usize,
+    /// Hop-count metric (for RIP advertisement).
+    pub metric: u32,
+}
+
+/// A routing table.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: Vec<Route>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RoutingTable { routes: Vec::new() }
+    }
+
+    /// Adds a route. Replaces an existing route to the same destination if
+    /// the new metric is not worse.
+    pub fn add(&mut self, route: Route) {
+        if let Some(existing) = self.routes.iter_mut().find(|r| r.dest == route.dest) {
+            if route.metric <= existing.metric {
+                *existing = route;
+            }
+        } else {
+            self.routes.push(route);
+        }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.dest.contains(dst))
+            .max_by_key(|r| (r.dest.prefix_len(), core::cmp::Reverse(r.metric)))
+            .copied()
+    }
+
+    /// All routes (for RIP advertisement and diagnostics).
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subnet(s: &str) -> Subnet {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = RoutingTable::new();
+        t.add(Route {
+            dest: subnet("0.0.0.0/0"),
+            gateway: Some(ip("10.0.0.254")),
+            iface: 0,
+            metric: 1,
+        });
+        t.add(Route {
+            dest: subnet("128.138.0.0/16"),
+            gateway: Some(ip("10.0.0.1")),
+            iface: 0,
+            metric: 2,
+        });
+        t.add(Route {
+            dest: subnet("128.138.238.0/24"),
+            gateway: None,
+            iface: 1,
+            metric: 0,
+        });
+
+        assert_eq!(t.lookup(ip("128.138.238.9")).unwrap().iface, 1);
+        assert_eq!(
+            t.lookup(ip("128.138.1.1")).unwrap().gateway,
+            Some(ip("10.0.0.1"))
+        );
+        assert_eq!(
+            t.lookup(ip("192.52.106.4")).unwrap().gateway,
+            Some(ip("10.0.0.254"))
+        );
+    }
+
+    #[test]
+    fn no_default_means_unreachable() {
+        let mut t = RoutingTable::new();
+        t.add(Route {
+            dest: subnet("10.0.0.0/24"),
+            gateway: None,
+            iface: 0,
+            metric: 0,
+        });
+        assert!(t.lookup(ip("10.0.0.7")).is_some());
+        assert!(t.lookup(ip("10.0.1.7")).is_none());
+    }
+
+    #[test]
+    fn better_metric_replaces() {
+        let mut t = RoutingTable::new();
+        t.add(Route {
+            dest: subnet("10.1.0.0/16"),
+            gateway: Some(ip("10.0.0.1")),
+            iface: 0,
+            metric: 5,
+        });
+        t.add(Route {
+            dest: subnet("10.1.0.0/16"),
+            gateway: Some(ip("10.0.0.2")),
+            iface: 0,
+            metric: 2,
+        });
+        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().gateway, Some(ip("10.0.0.2")));
+        // Worse metric does not replace.
+        t.add(Route {
+            dest: subnet("10.1.0.0/16"),
+            gateway: Some(ip("10.0.0.3")),
+            iface: 0,
+            metric: 9,
+        });
+        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().gateway, Some(ip("10.0.0.2")));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn equal_metric_replaces_for_freshness() {
+        let mut t = RoutingTable::new();
+        t.add(Route {
+            dest: subnet("10.1.0.0/16"),
+            gateway: Some(ip("10.0.0.1")),
+            iface: 0,
+            metric: 2,
+        });
+        t.add(Route {
+            dest: subnet("10.1.0.0/16"),
+            gateway: Some(ip("10.0.0.2")),
+            iface: 0,
+            metric: 2,
+        });
+        assert_eq!(t.lookup(ip("10.1.0.1")).unwrap().gateway, Some(ip("10.0.0.2")));
+    }
+}

@@ -1,0 +1,137 @@
+//! Traffic and simulation statistics.
+//!
+//! Table 4 of the paper reports per-module *network load* (packets per
+//! second) and completion time; the experiment harness measures these by
+//! reading segment counters before and after a module's run.
+
+use crate::time::SimTime;
+
+/// Per-segment traffic counters.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentStats {
+    /// Frames successfully delivered onto the wire.
+    pub frames_sent: u64,
+    /// Bytes in those frames.
+    pub bytes_sent: u64,
+    /// Frames lost to collisions or base loss.
+    pub frames_lost: u64,
+    /// Broadcast frames among `frames_sent`.
+    pub broadcasts: u64,
+    /// ARP frames among `frames_sent`.
+    pub arp_frames: u64,
+    /// Per-second frame counts (sparse; enabled on demand).
+    buckets: Option<Vec<u32>>,
+}
+
+impl SegmentStats {
+    /// Enables per-second rate buckets (costs one `u32` per sim-second).
+    pub fn enable_buckets(&mut self) {
+        if self.buckets.is_none() {
+            self.buckets = Some(Vec::new());
+        }
+    }
+
+    /// Records a delivered frame.
+    pub fn record_frame(&mut self, now: SimTime, bytes: usize, broadcast: bool, arp: bool) {
+        self.frames_sent += 1;
+        self.bytes_sent += bytes as u64;
+        if broadcast {
+            self.broadcasts += 1;
+        }
+        if arp {
+            self.arp_frames += 1;
+        }
+        if let Some(b) = &mut self.buckets {
+            let sec = now.as_secs() as usize;
+            if b.len() <= sec {
+                b.resize(sec + 1, 0);
+            }
+            b[sec] += 1;
+        }
+    }
+
+    /// Records a lost frame.
+    pub fn record_loss(&mut self) {
+        self.frames_lost += 1;
+    }
+
+    /// Frames delivered in the half-open sim-second interval `[from, to)`.
+    ///
+    /// Requires [`SegmentStats::enable_buckets`]; returns 0 otherwise.
+    pub fn frames_between(&self, from: SimTime, to: SimTime) -> u64 {
+        let Some(b) = &self.buckets else { return 0 };
+        let lo = from.as_secs() as usize;
+        let hi = (to.as_secs() as usize).min(b.len());
+        if lo >= hi {
+            return 0;
+        }
+        b[lo..hi].iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Peak frames observed in any single second of `[from, to)`.
+    pub fn peak_rate(&self, from: SimTime, to: SimTime) -> u32 {
+        let Some(b) = &self.buckets else { return 0 };
+        let lo = from.as_secs() as usize;
+        let hi = (to.as_secs() as usize).min(b.len());
+        b.get(lo..hi)
+            .map(|s| s.iter().copied().max().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+/// Whole-simulation statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// IP packets originated by any node or process.
+    pub packets_originated: u64,
+    /// IP packets forwarded by routers.
+    pub packets_forwarded: u64,
+    /// ICMP error messages generated.
+    pub icmp_errors: u64,
+    /// ARP requests broadcast.
+    pub arp_requests: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = SegmentStats::default();
+        s.record_frame(SimTime::ZERO, 100, true, true);
+        s.record_frame(SimTime::ZERO, 60, false, false);
+        s.record_loss();
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.bytes_sent, 160);
+        assert_eq!(s.broadcasts, 1);
+        assert_eq!(s.arp_frames, 1);
+        assert_eq!(s.frames_lost, 1);
+    }
+
+    #[test]
+    fn buckets_disabled_by_default() {
+        let mut s = SegmentStats::default();
+        s.record_frame(SimTime::ZERO, 100, false, false);
+        assert_eq!(s.frames_between(SimTime::ZERO, SimTime(10_000_000)), 0);
+    }
+
+    #[test]
+    fn rate_buckets() {
+        let mut s = SegmentStats::default();
+        s.enable_buckets();
+        for i in 0..10u64 {
+            let t = SimTime::ZERO + SimDuration::from_millis(500 * i);
+            s.record_frame(t, 64, false, false);
+        }
+        // 10 frames across seconds 0..5 (2 per second).
+        assert_eq!(s.frames_between(SimTime::ZERO, SimTime(5_000_000)), 10);
+        assert_eq!(s.frames_between(SimTime(1_000_000), SimTime(2_000_000)), 2);
+        assert_eq!(s.peak_rate(SimTime::ZERO, SimTime(5_000_000)), 2);
+        // Out-of-range windows are empty.
+        assert_eq!(s.frames_between(SimTime(50_000_000), SimTime(60_000_000)), 0);
+    }
+}

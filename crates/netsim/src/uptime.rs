@@ -1,0 +1,163 @@
+//! Host availability (up/down) model.
+//!
+//! Several Table 5 shortfalls come from hosts being down when an active
+//! module swept past ("Not all hosts up when run" for SeqPing and
+//! EtherHostProbe). Each host alternates exponentially-distributed up and
+//! down periods; long-run availability is `mean_up / (mean_up +
+//! mean_down)`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::time::SimDuration;
+
+/// Alternating-renewal up/down model for one host.
+#[derive(Debug, Clone, Copy)]
+pub struct UptimeModel {
+    /// Mean duration of an up period.
+    pub mean_up: SimDuration,
+    /// Mean duration of a down period.
+    pub mean_down: SimDuration,
+    /// Probability the host starts the simulation down.
+    pub start_down_prob: f64,
+}
+
+impl UptimeModel {
+    /// A host that is always up.
+    pub fn always_up() -> Self {
+        UptimeModel {
+            mean_up: SimDuration::from_days(365),
+            mean_down: SimDuration::ZERO,
+            start_down_prob: 0.0,
+        }
+    }
+
+    /// A model with the given long-run availability and mean cycle time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fremont_netsim::time::SimDuration;
+    /// use fremont_netsim::uptime::UptimeModel;
+    ///
+    /// let m = UptimeModel::with_availability(0.7, SimDuration::from_hours(10));
+    /// let a = m.availability();
+    /// assert!((a - 0.7).abs() < 1e-9);
+    /// ```
+    pub fn with_availability(availability: f64, cycle: SimDuration) -> Self {
+        let a = availability.clamp(0.01, 1.0);
+        let up = (cycle.as_micros() as f64 * a) as u64;
+        let down = cycle.as_micros() - up;
+        UptimeModel {
+            mean_up: SimDuration::from_micros(up.max(1)),
+            mean_down: SimDuration::from_micros(down),
+            start_down_prob: 1.0 - a,
+        }
+    }
+
+    /// Long-run fraction of time the host is up.
+    pub fn availability(&self) -> f64 {
+        let up = self.mean_up.as_micros() as f64;
+        let down = self.mean_down.as_micros() as f64;
+        if up + down == 0.0 {
+            1.0
+        } else {
+            up / (up + down)
+        }
+    }
+
+    fn exp_sample(mean: SimDuration, rng: &mut StdRng) -> SimDuration {
+        if mean.as_micros() == 0 {
+            return SimDuration::from_micros(1);
+        }
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        SimDuration::from_micros(((-u.ln()) * mean.as_micros() as f64).max(1.0) as u64)
+    }
+
+    /// The first toggle event `(delay, new_up_state)`; nodes start up, so a
+    /// host that should "start down" toggles down immediately.
+    pub fn initial_event(&self, rng: &mut StdRng) -> Option<(SimDuration, bool)> {
+        if self.mean_down.as_micros() == 0 {
+            return None; // Always-up hosts never toggle.
+        }
+        if rng.gen::<f64>() < self.start_down_prob {
+            Some((SimDuration::ZERO, false))
+        } else {
+            Some((Self::exp_sample(self.mean_up, rng), false))
+        }
+    }
+
+    /// Given the state just entered, the next toggle `(delay, new_state)`.
+    pub fn next_event(&self, now_up: bool, rng: &mut StdRng) -> Option<(SimDuration, bool)> {
+        if self.mean_down.as_micros() == 0 {
+            return None;
+        }
+        if now_up {
+            Some((Self::exp_sample(self.mean_up, rng), false))
+        } else {
+            Some((Self::exp_sample(self.mean_down, rng), true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_up_never_toggles() {
+        let m = UptimeModel::always_up();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.initial_event(&mut rng).is_none());
+        assert!(m.next_event(true, &mut rng).is_none());
+        assert_eq!(m.availability(), 1.0);
+    }
+
+    #[test]
+    fn availability_derivation() {
+        let m = UptimeModel::with_availability(0.7, SimDuration::from_hours(10));
+        assert!((m.availability() - 0.7).abs() < 1e-9);
+        assert!(m.start_down_prob > 0.29 && m.start_down_prob < 0.31);
+    }
+
+    #[test]
+    fn toggles_alternate() {
+        let m = UptimeModel::with_availability(0.5, SimDuration::from_hours(2));
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, first) = m.initial_event(&mut rng).unwrap();
+        assert!(!first, "first toggle is always to down");
+        let (_, second) = m.next_event(false, &mut rng).unwrap();
+        assert!(second, "from down we go up");
+        let (_, third) = m.next_event(true, &mut rng).unwrap();
+        assert!(!third);
+    }
+
+    #[test]
+    fn simulated_availability_converges() {
+        // Simulate the renewal process and measure time-up fraction.
+        let m = UptimeModel::with_availability(0.7, SimDuration::from_hours(1));
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut up = true;
+        let mut t_up = 0u64;
+        let mut t_total = 0u64;
+        // First transition.
+        let (mut delay, mut next_state) = m.initial_event(&mut rng).unwrap();
+        // Treat initial "down start" as an immediate flip.
+        for _ in 0..20_000 {
+            if up {
+                t_up += delay.as_micros();
+            }
+            t_total += delay.as_micros();
+            up = next_state;
+            let (d, s) = m.next_event(up, &mut rng).unwrap();
+            delay = d;
+            next_state = s;
+        }
+        let frac = t_up as f64 / t_total as f64;
+        assert!(
+            (0.65..0.75).contains(&frac),
+            "measured availability {frac} should be ~0.7"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Campus survey: the paper's full-scale evaluation scenario.
+//!
+//! Generates the 111-connected-subnet campus, runs all eight Explorer
+//! Modules under the Discovery Manager for a simulated day, and prints
+//! discovery effectiveness against ground truth — the live version of
+//! Tables 5 and 6 (the bench harness regenerates the exact tables).
+//!
+//! ```sh
+//! cargo run --release --example campus_survey
+//! ```
+
+use fremont::core::Fremont;
+use fremont::journal::{JournalAccess, SubnetQuery};
+use fremont::netsim::campus::CampusConfig;
+use fremont::netsim::time::SimDuration;
+
+fn main() {
+    let cfg = CampusConfig::default();
+    println!(
+        "Generating campus: {} assigned subnets, {} connected, DNS coverage {:.0}%...",
+        cfg.subnets_assigned,
+        cfg.subnets_connected,
+        cfg.dns_coverage * 100.0
+    );
+    let mut system = Fremont::over_campus(&cfg);
+    println!(
+        "Ground truth: {} gateways, {} interfaces on the CS subnet ({} in DNS), {} broken routers.",
+        system.truth.gateways.len(),
+        system.truth.cs_interfaces.len(),
+        system.truth.cs_dns_count,
+        system.truth.broken_routers.len()
+    );
+
+    println!("\nExploring for one simulated day (this runs a few seconds of real time)...");
+    system.explore(SimDuration::from_hours(24));
+
+    let stats = system.stats();
+    println!(
+        "\nJournal: {} interfaces, {} gateways, {} subnets ({} observations).",
+        stats.interfaces, stats.gateways, stats.subnets, stats.observations_applied
+    );
+
+    // Subnet discovery vs ground truth (Table 6 shape).
+    let discovered = system
+        .journal
+        .subnets(&SubnetQuery {
+            within: Some(cfg.network),
+            ..Default::default()
+        })
+        .unwrap();
+    let truth_count = system.truth.connected_subnets.len();
+    let found = discovered
+        .iter()
+        .filter(|s| system.truth.connected_subnets.contains(&s.subnet))
+        .count();
+    println!(
+        "Subnets discovered: {found}/{truth_count} ({:.0}%)",
+        100.0 * found as f64 / truth_count as f64
+    );
+    let with_gw = discovered.iter().filter(|s| !s.gateways.is_empty()).count();
+    println!("Subnets with an attributed gateway: {with_gw}");
+
+    // Interface discovery on the CS subnet (Table 5 shape).
+    let cs = system.truth.cs_subnet;
+    let cs_found = system
+        .journal
+        .interfaces(&fremont::journal::InterfaceQuery::in_subnet(cs))
+        .unwrap()
+        .len();
+    println!(
+        "Interfaces known on {cs}: {cs_found} (DNS lists {}, {} real machines exist)",
+        system.truth.cs_dns_count,
+        system.truth.cs_interfaces.len()
+    );
+
+    // The topology map (Figure 2), in SunNet Manager dump form (head).
+    let sunnet = system.topology().to_sunnet();
+    println!("\nSunNet Manager dump (first 12 lines):");
+    for line in sunnet.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}

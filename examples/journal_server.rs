@@ -1,0 +1,85 @@
+//! Run a standalone Journal Server, populate it over TCP from a simulated
+//! exploration, then query it back — the paper's distributed deployment
+//! ("we are making our software freely available, and encouraging people
+//! to set up Journal Servers throughout the Internet").
+//!
+//! ```sh
+//! cargo run --example journal_server [addr] [snapshot.json] [hold-seconds]
+//! ```
+//!
+//! With a third argument the server stays up that many seconds after the
+//! demo, so external clients (other Fremont sites) can connect.
+
+use std::path::PathBuf;
+
+use fremont::explorers::{SeqPing, SeqPingConfig};
+use fremont::journal::client::RemoteJournal;
+use fremont::journal::{InterfaceQuery, JournalAccess, JournalServer, SharedJournal};
+use fremont::net::IpRange;
+use fremont::netsim::builder::TopologyBuilder;
+use fremont::netsim::time::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let snapshot = args.next().map(PathBuf::from);
+
+    let server = match JournalServer::start(SharedJournal::new(), &addr, snapshot.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind journal server on {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("journal server listening on {}", server.addr());
+    if let Some(p) = &snapshot {
+        println!("snapshot path: {}", p.display());
+    }
+
+    // An "explorer host" elsewhere on the Internet: simulate a sweep and
+    // ship the observations through the socket.
+    let mut b = TopologyBuilder::new();
+    let lan = b.segment("lab", "192.168.10.0/24");
+    for i in 0..8 {
+        b.host(&format!("lab{i}"), lan, 10 + i);
+    }
+    let (mut sim, topo) = b.build(2026);
+    let range = IpRange::new(
+        "192.168.10.1".parse().expect("ip"),
+        "192.168.10.30".parse().expect("ip"),
+    );
+    sim.spawn(topo.hosts[0], Box::new(SeqPing::new(SeqPingConfig::over(range))));
+    sim.run_for(SimDuration::from_mins(5));
+
+    let module_conn = RemoteJournal::connect(&server.addr().to_string()).expect("connect");
+    let mut stored = 0;
+    for (_, at, obs) in sim.drain_observations() {
+        let s = module_conn
+            .store(at.to_jtime(), std::slice::from_ref(&obs))
+            .expect("store over tcp");
+        stored += s.created + s.updated + s.verified;
+    }
+    println!("explorer module stored {stored} observations over TCP");
+
+    // A "presentation program" on its own connection reads them back.
+    let viewer = RemoteJournal::connect(&server.addr().to_string()).expect("connect");
+    let recs = viewer.interfaces(&InterfaceQuery::all()).expect("query");
+    println!("viewer sees {} interface records:", recs.len());
+    for r in &recs {
+        println!(
+            "  {}  first seen {}",
+            r.ip_addr().map(|i| i.to_string()).unwrap_or_default(),
+            r.discovered
+        );
+    }
+    if let Some(p) = &snapshot {
+        viewer.flush().expect("flush snapshot");
+        println!("snapshot written to {}", p.display());
+    }
+    if let Some(hold) = std::env::args().nth(3).and_then(|s| s.parse::<u64>().ok()) {
+        println!("holding the server open for {hold}s (connect with RemoteJournal)...");
+        std::thread::sleep(std::time::Duration::from_secs(hold));
+    }
+    server.shutdown();
+    println!("server shut down cleanly");
+}

@@ -1,0 +1,42 @@
+//! # Fremont
+//!
+//! A full reproduction of *"Fremont: A System for Discovering Network
+//! Characteristics and Problems"* (Wood, Coleman & Schwartz, USENIX
+//! Winter 1993) as a Rust workspace, built against a deterministic
+//! packet-level simulation of a 1993-scale campus internetwork.
+//!
+//! This crate is the facade: it re-exports the workspace's five layers.
+//!
+//! * [`net`] — addresses, subnets, and wire codecs (Ethernet, ARP, IPv4,
+//!   ICMP, UDP, RIPv1, DNS);
+//! * [`netsim`] — the simulated campus substrate (segments, host/router
+//!   stacks, taps, faults, the campus generator);
+//! * [`journal`] — the Journal, its AVL-indexed store, and the Journal
+//!   Server (TCP + in-process);
+//! * [`explorers`] — the eight Explorer Modules;
+//! * [`core`] — the Discovery Manager, cross-correlation, analysis
+//!   (Table 8), presentation programs, and topology export (Figure 2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fremont::core::Fremont;
+//! use fremont::netsim::campus::CampusConfig;
+//! use fremont::netsim::time::SimDuration;
+//!
+//! let mut cfg = CampusConfig::small();
+//! cfg.cs_traffic = false;
+//! let mut system = Fremont::over_campus(&cfg);
+//! system.explore(SimDuration::from_mins(15));
+//! println!("{}", system.topology().to_ascii());
+//! assert!(system.stats().interfaces > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fremont_core as core;
+pub use fremont_explorers as explorers;
+pub use fremont_journal as journal;
+pub use fremont_net as net;
+pub use fremont_netsim as netsim;

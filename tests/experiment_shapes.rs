@@ -1,0 +1,96 @@
+//! Regression tests over the experiment harness: the *shapes* of Tables 5
+//! and 6 must hold for the default seed — who wins, roughly by what
+//! factor, and where the losses come from.
+//!
+//! These run the full-size campus and take a few seconds each; they are
+//! the reproduction's primary guarantee.
+
+use fremont_bench::exp_discovery::{table5_runs, table6_runs};
+use fremont::netsim::campus::CampusConfig;
+
+#[test]
+fn table5_shape_holds() {
+    let cfg = CampusConfig::default();
+    let (rows, total) = table5_runs(&cfg);
+    let find = |m: &str| {
+        rows.iter()
+            .find(|r| r.module.starts_with(m))
+            .unwrap_or_else(|| panic!("row {m}"))
+            .found
+    };
+    let arp30 = find("ARPwatch (30 min)");
+    let arp24 = find("ARPwatch (24 hours)");
+    let ehp = find("EtherHostProbe");
+    let bp = find("BrdcastPing");
+    let sp = find("SeqPing");
+    let dns = find("DNS");
+
+    // DNS is the reference total (the paper's 100% row).
+    assert_eq!(dns, total, "DNS sees everything registered");
+
+    // 30 minutes of passive watching sees roughly half-to-two-thirds;
+    // 24 hours sees almost everything (paper: 61% → 89%).
+    let f30 = arp30 as f64 / total as f64;
+    let f24 = arp24 as f64 / total as f64;
+    assert!((0.40..=0.80).contains(&f30), "ARPwatch@30min {f30}");
+    assert!((0.80..=1.00).contains(&f24), "ARPwatch@24h {f24}");
+    assert!(arp24 > arp30 + 5, "long watching pays: {arp30} -> {arp24}");
+
+    // Active probes lose hosts that are down (paper: 68-86%).
+    for (name, v) in [("EtherHostProbe", ehp), ("SeqPing", sp)] {
+        let f = v as f64 / total as f64;
+        assert!((0.60..=0.95).contains(&f), "{name} fraction {f}");
+    }
+
+    // Broadcast ping loses additional replies to collisions: strictly
+    // below the sweeping probes (paper: 75% vs 86%).
+    assert!(bp < ehp, "collisions cost broadcast ping: {bp} vs {ehp}");
+    let fbp = bp as f64 / total as f64;
+    assert!((0.50..=0.85).contains(&fbp), "BrdcastPing fraction {fbp}");
+
+    // Everything loses to the DNS reference, which includes ghosts.
+    for v in [arp30, arp24, ehp, bp, sp] {
+        assert!(v < dns);
+    }
+}
+
+#[test]
+fn table6_shape_holds() {
+    let cfg = CampusConfig::default();
+    let (rows, total) = table6_runs(&cfg);
+    assert_eq!(total, 111, "campus has the paper's 111 connected subnets");
+    let find = |m: &str| {
+        rows.iter()
+            .find(|r| r.module.starts_with(m))
+            .unwrap_or_else(|| panic!("row {m}"))
+            .found
+    };
+    let traceroute = find("Traceroute");
+    let ripwatch = find("RIPwatch");
+    let dns = find("DNS");
+    let dns_gw = rows
+        .iter()
+        .find(|r| r.module.contains("gateways identified"))
+        .expect("gateway row")
+        .found;
+
+    // RIPwatch is complete (the paper treats 111 as exact).
+    assert_eq!(ripwatch, 111);
+
+    // Traceroute loses subnets to gateway software problems (paper: 77%).
+    let ft = traceroute as f64 / total as f64;
+    assert!((0.65..=0.90).contains(&ft), "traceroute fraction {ft}");
+    assert!(traceroute < ripwatch);
+
+    // DNS covers ~84%.
+    let fd = dns as f64 / total as f64;
+    assert!((0.75..=0.92).contains(&fd), "dns fraction {fd}");
+
+    // Gateways identified attribute a strict minority of subnets (43%).
+    let fg = dns_gw as f64 / total as f64;
+    assert!((0.30..=0.60).contains(&fg), "dns gateway fraction {fg}");
+    assert!(dns_gw < dns);
+
+    // Overall ordering: RIPwatch > DNS > Traceroute > DNS-gateways.
+    assert!(ripwatch > dns && dns > dns_gw);
+}
