@@ -11,10 +11,10 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use fremont_explorers::{
     BrdcastPing, BrdcastPingConfig, SeqPing, SeqPingConfig, Traceroute, TracerouteConfig,
 };
+use fremont_net::Subnet;
 use fremont_netsim::builder::TopologyBuilder;
 use fremont_netsim::campus::{generate, CampusConfig};
 use fremont_netsim::time::SimDuration;
-use fremont_net::Subnet;
 
 /// Builds one sparse subnet of `hosts` hosts inside a wider prefix.
 fn sparse_lan(hosts: usize, prefix_len: u8) -> (fremont_netsim::engine::Sim, Subnet) {
@@ -38,7 +38,7 @@ fn bench_seq_vs_broadcast(c: &mut Criterion) {
             b.iter(|| {
                 let (mut sim, subnet) = sparse_lan(12, p);
                 let h = sim.spawn(
-                    sim.node_by_name("h0").map(|n| n).expect("h0"),
+                    sim.node_by_name("h0").expect("h0"),
                     Box::new(SeqPing::new(SeqPingConfig::over(subnet.host_range()))),
                 );
                 // Run to completion; report simulated seconds via black_box.
@@ -52,7 +52,7 @@ fn bench_seq_vs_broadcast(c: &mut Criterion) {
             b.iter(|| {
                 let (mut sim, subnet) = sparse_lan(12, p);
                 let h = sim.spawn(
-                    sim.node_by_name("h0").map(|n| n).expect("h0"),
+                    sim.node_by_name("h0").expect("h0"),
                     Box::new(BrdcastPing::new(BrdcastPingConfig::over(vec![subnet]))),
                 );
                 while !sim.process_done(h) {

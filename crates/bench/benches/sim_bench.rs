@@ -4,10 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fremont_explorers::{SeqPing, SeqPingConfig};
+use fremont_net::IpRange;
 use fremont_netsim::builder::TopologyBuilder;
 use fremont_netsim::campus::{generate, CampusConfig};
 use fremont_netsim::time::SimDuration;
-use fremont_net::IpRange;
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim");
@@ -38,8 +38,10 @@ fn bench_engine(c: &mut Criterion) {
     // Raw event throughput under RIP chatter on the full campus.
     g.bench_function("campus_idle_minute", |b| {
         b.iter(|| {
-            let mut cfg = CampusConfig::default();
-            cfg.cs_traffic = false;
+            let cfg = CampusConfig {
+                cs_traffic: false,
+                ..CampusConfig::default()
+            };
             let (mut sim, _) = generate(&cfg);
             sim.run_for(SimDuration::from_mins(1));
             black_box(sim.stats.events_processed)

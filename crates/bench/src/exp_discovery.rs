@@ -14,12 +14,12 @@ use fremont_explorers::{
     EtherHostProbe, EtherHostProbeConfig, RipWatch, RipWatchConfig, SeqPing, SeqPingConfig,
     Traceroute, TracerouteConfig,
 };
+use fremont_net::Subnet;
 use fremont_netsim::campus::{generate, CampusConfig, CampusTruth};
 use fremont_netsim::engine::Sim;
 use fremont_netsim::process::Process;
 use fremont_netsim::segment::NodeId;
 use fremont_netsim::time::SimDuration;
-use fremont_net::Subnet;
 
 use crate::tables::{pct, Table};
 
@@ -76,7 +76,9 @@ pub fn table5_runs(cfg: &CampusConfig) -> (Vec<InterfaceDiscovery>, usize) {
         let cs = truth.cs_subnet;
         let h = sim.spawn(
             home,
-            Box::new(EtherHostProbe::new(EtherHostProbeConfig::over(cs.host_range()))),
+            Box::new(EtherHostProbe::new(EtherHostProbeConfig::over(
+                cs.host_range(),
+            ))),
         );
         sim.run_for(SimDuration::from_mins(10));
         let found = count_cs(
@@ -325,7 +327,14 @@ pub fn table6(cfg: &CampusConfig) -> Table {
     let (rows, total) = table6_runs(cfg);
     let mut t = Table::new(
         "Table 6: Discovering Subnets (1 run of each active module)",
-        &["Module", "Subnets", "% of Total", "Paper", "Paper %", "Comments"],
+        &[
+            "Module",
+            "Subnets",
+            "% of Total",
+            "Paper",
+            "Paper %",
+            "Comments",
+        ],
     );
     for r in &rows {
         t.row(&[

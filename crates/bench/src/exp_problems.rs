@@ -38,7 +38,9 @@ pub fn full_campaign(cfg: &CampusConfig, days: u64) -> Fremont {
 /// Table 7: characteristics discovered by the prototype.
 pub fn table7(system: &Fremont) -> Table {
     let journal = &system.journal;
-    let ifaces = journal.interfaces(&InterfaceQuery::all()).unwrap_or_default();
+    let ifaces = journal
+        .interfaces(&InterfaceQuery::all())
+        .unwrap_or_default();
     let with = |f: &dyn Fn(&fremont_journal::InterfaceRecord) -> bool| {
         ifaces.iter().filter(|r| f(r)).count()
     };
@@ -77,17 +79,26 @@ pub fn table7(system: &Fremont) -> Table {
     t.row(&[
         "Gateways".to_owned(),
         "Interfaces on GW".to_owned(),
-        gws.iter().filter(|g| !g.interfaces.is_empty()).count().to_string(),
+        gws.iter()
+            .filter(|g| !g.interfaces.is_empty())
+            .count()
+            .to_string(),
     ]);
     t.row(&[
         "".to_owned(),
         "Subnets connected (topology)".to_owned(),
-        gws.iter().filter(|g| !g.subnets.is_empty()).count().to_string(),
+        gws.iter()
+            .filter(|g| !g.subnets.is_empty())
+            .count()
+            .to_string(),
     ]);
     t.row(&[
         "Subnets".to_owned(),
         "Gateways on Subnet".to_owned(),
-        subs.iter().filter(|s| !s.gateways.is_empty()).count().to_string(),
+        subs.iter()
+            .filter(|s| !s.gateways.is_empty())
+            .count()
+            .to_string(),
     ]);
     t.note(&format!(
         "journal totals: {} interfaces, {} gateways, {} subnets",
@@ -109,14 +120,8 @@ pub fn table8(system: &Fremont) -> (Table, ProblemReport) {
         &["Problem", "Findings", "Injected", "Caught?"],
     );
     let dup_found = !report.duplicates.is_empty() && f.duplicate_ip_pair.is_some();
-    let removed_fqdn = f
-        .removed_host
-        .clone()
-        .map(|h| format!("{h}.colorado.edu"));
-    let stale_found = report
-        .stale
-        .iter()
-        .any(|s| s.name == removed_fqdn);
+    let removed_fqdn = f.removed_host.clone().map(|h| format!("{h}.colorado.edu"));
+    let stale_found = report.stale.iter().any(|s| s.name == removed_fqdn);
     let hw_found = !report.hardware_changes.is_empty();
     let mask_found = !report.mask_conflicts.is_empty();
     let prom_found = !report.promiscuous.is_empty();

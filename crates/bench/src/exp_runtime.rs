@@ -64,16 +64,24 @@ fn measure(source: Source, cfg: &CampusConfig) -> ModuleRun {
         Source::EtherHostProbe => (
             sim.spawn(
                 home,
-                Box::new(EtherHostProbe::new(EtherHostProbeConfig::over(cs.host_range()))),
+                Box::new(EtherHostProbe::new(EtherHostProbeConfig::over(
+                    cs.host_range(),
+                ))),
             ),
             SimDuration::from_mins(15),
         ),
         Source::SeqPing => (
-            sim.spawn(home, Box::new(SeqPing::new(SeqPingConfig::over(cs.host_range())))),
+            sim.spawn(
+                home,
+                Box::new(SeqPing::new(SeqPingConfig::over(cs.host_range()))),
+            ),
             SimDuration::from_mins(40),
         ),
         Source::BrdcastPing => (
-            sim.spawn(home, Box::new(BrdcastPing::new(BrdcastPingConfig::over(vec![cs])))),
+            sim.spawn(
+                home,
+                Box::new(BrdcastPing::new(BrdcastPingConfig::over(vec![cs]))),
+            ),
             SimDuration::from_mins(5),
         ),
         Source::SubnetMasks => {
@@ -84,7 +92,10 @@ fn measure(source: Source, cfg: &CampusConfig) -> ModuleRun {
                 .take(56)
                 .collect();
             (
-                sim.spawn(home, Box::new(SubnetMasks::new(SubnetMasksConfig::over(targets)))),
+                sim.spawn(
+                    home,
+                    Box::new(SubnetMasks::new(SubnetMasksConfig::over(targets))),
+                ),
                 SimDuration::from_mins(10),
             )
         }
@@ -103,7 +114,10 @@ fn measure(source: Source, cfg: &CampusConfig) -> ModuleRun {
         Source::Dns => (
             sim.spawn(
                 home,
-                Box::new(DnsExplorer::new(DnsExplorerConfig::new(quiet.network, truth.dns_server))),
+                Box::new(DnsExplorer::new(DnsExplorerConfig::new(
+                    quiet.network,
+                    truth.dns_server,
+                ))),
             ),
             SimDuration::from_mins(30),
         ),

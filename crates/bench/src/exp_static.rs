@@ -76,11 +76,7 @@ pub fn table1() -> Table {
 
 /// Rough in-memory footprint of an interface record (struct + heap).
 pub fn interface_bytes(r: &InterfaceRecord) -> usize {
-    size_of::<InterfaceRecord>()
-        + r.name
-            .as_ref()
-            .map(|t| t.get().capacity())
-            .unwrap_or(0)
+    size_of::<InterfaceRecord>() + r.name.as_ref().map(|t| t.get().capacity()).unwrap_or(0)
 }
 
 /// Rough in-memory footprint of a gateway record.
@@ -170,7 +166,12 @@ pub fn table2() -> Table {
 
     let mut t = Table::new(
         "Table 2: Journal Storage Requirements",
-        &["Record", "Paper bytes/record", "Measured bytes/record", "Count"],
+        &[
+            "Record",
+            "Paper bytes/record",
+            "Measured bytes/record",
+            "Count",
+        ],
     );
     t.row(&[
         "Interface".to_owned(),

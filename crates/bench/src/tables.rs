@@ -32,7 +32,8 @@ impl Table {
 
     /// Appends a row.
     pub fn row<S: ToString>(&mut self, cells: &[S]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Appends a footnote.

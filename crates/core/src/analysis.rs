@@ -372,11 +372,19 @@ impl std::fmt::Display for ProblemReport {
         for c in &self.hardware_changes {
             writeln!(f, "    {} moved across MACs {:?}", c.ip, c.macs)?;
         }
-        writeln!(f, "  Inconsistent network masks: {}", self.mask_conflicts.len())?;
+        writeln!(
+            f,
+            "  Inconsistent network masks: {}",
+            self.mask_conflicts.len()
+        )?;
         for c in &self.mask_conflicts {
             writeln!(f, "    {}: {} distinct masks", c.subnet, c.masks.len())?;
         }
-        writeln!(f, "  Duplicate address assignments: {}", self.duplicates.len())?;
+        writeln!(
+            f,
+            "  Duplicate address assignments: {}",
+            self.duplicates.len()
+        )?;
         for c in &self.duplicates {
             writeln!(f, "    {} claimed by MACs {:?}", c.ip, c.macs)?;
         }
@@ -409,9 +417,18 @@ mod tests {
     fn detects_duplicate_assignment() {
         let mut j = Journal::new();
         // Both adapters keep answering ARP for the same address.
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(100));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")), JTime(110));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(4000));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")),
+            JTime(100),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")),
+            JTime(110),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")),
+            JTime(4000),
+        );
         let found = address_conflicts(&j, JTime(4100), 3600);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].kind, AddressConflictKind::DuplicateAssignment);
@@ -422,8 +439,14 @@ mod tests {
     fn detects_hardware_change() {
         let mut j = Journal::new();
         // Old adapter seen early, then silent; new one seen recently.
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(100));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")), JTime::from_days(30));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")),
+            JTime(100),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")),
+            JTime::from_days(30),
+        );
         let now = JTime::from_days(30) + 60;
         let found = address_conflicts(&j, now, 3600);
         assert_eq!(found.len(), 1);
@@ -449,9 +472,18 @@ mod tests {
     #[test]
     fn detects_mask_conflict() {
         let mut j = Journal::new();
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.5"), mask(24)), JTime(1));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.6"), mask(24)), JTime(1));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.7"), mask(16)), JTime(1));
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.0.1.5"), mask(24)),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.0.1.6"), mask(24)),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.0.1.7"), mask(16)),
+            JTime(1),
+        );
         let found = subnet_mask_conflicts(&j);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].subnet, "10.0.1.0/24".parse().unwrap());
@@ -464,8 +496,14 @@ mod tests {
     #[test]
     fn no_conflict_when_masks_agree() {
         let mut j = Journal::new();
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.1.5"), mask(24)), JTime(1));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.0.2.5"), mask(24)), JTime(1));
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.0.1.5"), mask(24)),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.0.2.5"), mask(24)),
+            JTime(1),
+        );
         assert!(subnet_mask_conflicts(&j).is_empty());
     }
 
@@ -473,10 +511,19 @@ mod tests {
     fn detects_stale_addresses() {
         let mut j = Journal::new();
         // Seen alive early, then only DNS keeps mentioning it.
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.7")), JTime::from_days(1));
-        j.apply(&Observation::named_ip(Source::Dns, ip("10.0.0.7"), "ghost.cs"), JTime::from_days(20));
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.7")),
+            JTime::from_days(1),
+        );
+        j.apply(
+            &Observation::named_ip(Source::Dns, ip("10.0.0.7"), "ghost.cs"),
+            JTime::from_days(20),
+        );
         // A healthy interface for contrast.
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.8")), JTime::from_days(20));
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.8")),
+            JTime::from_days(20),
+        );
         let now = JTime::from_days(21);
         let stale = stale_addresses(&j, now, 7 * 86400);
         assert_eq!(stale.len(), 1);
@@ -488,7 +535,10 @@ mod tests {
     #[test]
     fn dns_only_ghost_is_stale_with_never() {
         let mut j = Journal::new();
-        j.apply(&Observation::named_ip(Source::Dns, ip("10.0.0.70"), "never.cs"), JTime::from_days(20));
+        j.apply(
+            &Observation::named_ip(Source::Dns, ip("10.0.0.70"), "never.cs"),
+            JTime::from_days(20),
+        );
         // Unwatched subnet: the ghost is NOT reported (no coverage).
         assert!(stale_addresses(&j, JTime::from_days(21), 86400).is_empty());
         // Several recently-verified neighbors prove the subnet is being
@@ -539,9 +589,18 @@ mod tests {
     #[test]
     fn full_report_renders() {
         let mut j = Journal::new();
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(100));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")), JTime(110));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")), JTime(9000));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")),
+            JTime(100),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")),
+            JTime(110),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")),
+            JTime(9000),
+        );
         let report = ProblemReport::generate(&j, JTime(9100), 86400, 3600);
         assert_eq!(report.duplicates.len(), 1);
         let text = report.to_string();

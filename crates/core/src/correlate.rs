@@ -124,10 +124,22 @@ mod tests {
         let m = mac("00:00:0c:01:02:03");
         let mask = SubnetMask::from_prefix_len(24).unwrap();
         // Two ARP watchers on different subnets saw the same adapter.
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.1.0.1"), m), JTime(1));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.2.0.1"), m), JTime(2));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.1.0.1"), mask), JTime(3));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.2.0.1"), mask), JTime(3));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.1.0.1"), m),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.2.0.1"), m),
+            JTime(2),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.1.0.1"), mask),
+            JTime(3),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.2.0.1"), mask),
+            JTime(3),
+        );
 
         assert!(j.get_gateways().is_empty(), "not yet correlated");
         let derived = correlate(&j);
@@ -146,19 +158,40 @@ mod tests {
         let mut j = Journal::new();
         let m = mac("08:00:20:01:02:03");
         let mask = SubnetMask::from_prefix_len(24).unwrap();
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.1.0.5"), m), JTime(1));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.1.0.6"), m), JTime(2));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.1.0.5"), mask), JTime(3));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.1.0.6"), mask), JTime(3));
-        assert!(correlate(&j).is_empty(), "a renumbered host is not a gateway");
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.1.0.5"), m),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.1.0.6"), m),
+            JTime(2),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.1.0.5"), mask),
+            JTime(3),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.1.0.6"), mask),
+            JTime(3),
+        );
+        assert!(
+            correlate(&j).is_empty(),
+            "a renumbered host is not a gateway"
+        );
     }
 
     #[test]
     fn mask_needed_for_mac_correlation() {
         let mut j = Journal::new();
         let m = mac("00:00:0c:01:02:03");
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.1.0.1"), m), JTime(1));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.2.0.1"), m), JTime(2));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.1.0.1"), m),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.2.0.1"), m),
+            JTime(2),
+        );
         // Without masks, subnet membership is unknown — no conclusion.
         assert!(correlate(&j).is_empty());
     }
@@ -166,8 +199,14 @@ mod tests {
     #[test]
     fn shared_name_becomes_gateway() {
         let mut j = Journal::new();
-        j.apply(&Observation::named_ip(Source::Dns, ip("10.1.0.1"), "engr-gw"), JTime(1));
-        j.apply(&Observation::named_ip(Source::Dns, ip("10.2.0.1"), "engr-gw"), JTime(1));
+        j.apply(
+            &Observation::named_ip(Source::Dns, ip("10.1.0.1"), "engr-gw"),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::named_ip(Source::Dns, ip("10.2.0.1"), "engr-gw"),
+            JTime(1),
+        );
         let derived = correlate(&j);
         assert_eq!(derived.len(), 1);
         match &derived[0].fact {
@@ -188,10 +227,22 @@ mod tests {
         let mut j = Journal::new();
         let m = mac("00:00:0c:01:02:03");
         let mask = SubnetMask::from_prefix_len(24).unwrap();
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.1.0.1"), m), JTime(1));
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.2.0.1"), m), JTime(2));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.1.0.1"), mask), JTime(3));
-        j.apply(&Observation::mask(Source::SubnetMasks, ip("10.2.0.1"), mask), JTime(3));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.1.0.1"), m),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.2.0.1"), m),
+            JTime(2),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.1.0.1"), mask),
+            JTime(3),
+        );
+        j.apply(
+            &Observation::mask(Source::SubnetMasks, ip("10.2.0.1"), mask),
+            JTime(3),
+        );
         let d1 = correlate(&j);
         j.apply_all(d1.iter(), JTime(4));
         let d2 = correlate(&j);

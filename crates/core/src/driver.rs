@@ -12,21 +12,24 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::path::PathBuf;
 
 use fremont_explorers::{
     ArpWatch, ArpWatchConfig, BrdcastPing, BrdcastPingConfig, DnsExplorer, DnsExplorerConfig,
     EtherHostProbe, EtherHostProbeConfig, RipWatch, RipWatchConfig, SeqPing, SeqPingConfig,
     SubnetMasks, SubnetMasksConfig, Traceroute, TracerouteConfig,
 };
-use fremont_journal::observation::Source;
+use fremont_journal::observation::{Observation, Source};
 use fremont_journal::query::{InterfaceQuery, SubnetQuery};
 use fremont_journal::server::{JournalAccess, SharedJournal};
+use fremont_journal::snapshot::JournalSnapshot;
 use fremont_journal::store::StoreSummary;
+use fremont_net::Subnet;
 use fremont_netsim::engine::Sim;
 use fremont_netsim::process::ProcHandle;
 use fremont_netsim::segment::NodeId;
 use fremont_netsim::time::SimDuration;
-use fremont_net::Subnet;
+use fremont_storage::{DurableJournal, PersistencePolicy, RecoveryReport};
 
 use crate::correlate::correlate;
 use crate::manager::{DiscoveryManager, RunOutcome};
@@ -44,6 +47,9 @@ pub struct DriverConfig {
     pub pump_interval: SimDuration,
     /// Run the cross-correlation pass after each pump.
     pub correlate: bool,
+    /// How the Journal persists across restarts (see
+    /// [`DiscoveryDriver::open`]; `new` always runs in memory).
+    pub persistence: PersistencePolicy,
 }
 
 impl DriverConfig {
@@ -55,8 +61,19 @@ impl DriverConfig {
             dns_server,
             pump_interval: SimDuration::from_secs(30),
             correlate: true,
+            persistence: PersistencePolicy::InMemory,
         }
     }
+}
+
+/// The persistence backend behind the driver's journal handle.
+enum Backend {
+    /// State dies with the process.
+    InMemory,
+    /// The paper's scheme: a JSON snapshot written at flush points.
+    Snapshot { path: PathBuf },
+    /// WAL-backed: every stored observation is logged ahead of apply.
+    Wal(DurableJournal),
 }
 
 /// The running deployment: simulator + journal + manager.
@@ -67,25 +84,89 @@ pub struct DiscoveryDriver {
     pub journal: SharedJournal,
     /// The scheduling state.
     pub manager: DiscoveryManager,
+    /// What recovery found when the driver was [`DiscoveryDriver::open`]ed
+    /// over a WAL directory (`None` for in-memory/snapshot deployments).
+    pub recovery: Option<RecoveryReport>,
     cfg: DriverConfig,
     home: NodeId,
+    backend: Backend,
     running: HashMap<Source, (ProcHandle, StoreSummary)>,
 }
 
 impl DiscoveryDriver {
-    /// Creates a driver running modules on `home`.
+    /// Creates a driver running modules on `home`, storing into the
+    /// given in-memory journal (ignores `cfg.persistence`; use
+    /// [`DiscoveryDriver::open`] for durable deployments).
     pub fn new(sim: Sim, journal: SharedJournal, home: NodeId, cfg: DriverConfig) -> Self {
         DiscoveryDriver {
             sim,
             journal,
             manager: DiscoveryManager::new(),
+            recovery: None,
             cfg,
             home,
+            backend: Backend::InMemory,
             running: HashMap::new(),
         }
     }
 
-    /// Runs the deployment for a span of simulated time.
+    /// Creates a driver whose journal persists per `cfg.persistence`:
+    /// a WAL directory is recovered (snapshot + log replay) and every
+    /// subsequent observation is logged before it is applied; a
+    /// snapshot path is loaded if present and rewritten at flush
+    /// points; in-memory starts empty.
+    pub fn open(sim: Sim, home: NodeId, cfg: DriverConfig) -> std::io::Result<Self> {
+        let (journal, backend, recovery) = match &cfg.persistence {
+            PersistencePolicy::InMemory => (SharedJournal::new(), Backend::InMemory, None),
+            PersistencePolicy::SnapshotOnly { path } => {
+                let journal = if path.exists() {
+                    SharedJournal::from_journal(JournalSnapshot::load(path)?.restore())
+                } else {
+                    SharedJournal::new()
+                };
+                (journal, Backend::Snapshot { path: path.clone() }, None)
+            }
+            PersistencePolicy::Wal(wal_cfg) => {
+                let (durable, report) = DurableJournal::open(wal_cfg.clone())?;
+                let journal = durable.shared().clone();
+                (journal, Backend::Wal(durable), Some(report))
+            }
+        };
+        Ok(DiscoveryDriver {
+            sim,
+            journal,
+            manager: DiscoveryManager::new(),
+            recovery,
+            cfg,
+            home,
+            backend,
+            running: HashMap::new(),
+        })
+    }
+
+    /// Stores through the persistence backend, so WAL deployments log
+    /// each observation before it reaches the in-memory journal.
+    fn store(&self, now: fremont_journal::time::JTime, obs: &[Observation]) -> StoreSummary {
+        match &self.backend {
+            Backend::Wal(durable) => durable.store(now, obs).unwrap_or_default(),
+            _ => self.journal.store(now, obs).unwrap_or_default(),
+        }
+    }
+
+    /// Makes the journal durable at the configured persistence level:
+    /// WAL deployments compact (durable snapshot + fresh segment),
+    /// snapshot deployments rewrite their snapshot file, in-memory is a
+    /// no-op. Called automatically at the end of [`Self::run_for`].
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.backend {
+            Backend::InMemory => Ok(()),
+            Backend::Snapshot { path } => self.journal.read(JournalSnapshot::capture).save(path),
+            Backend::Wal(durable) => durable.compact(),
+        }
+    }
+
+    /// Runs the deployment for a span of simulated time, then flushes
+    /// the journal to disk (for durable persistence policies).
     pub fn run_for(&mut self, duration: SimDuration) {
         let deadline = self.sim.now() + duration;
         // Plan immediately so due modules start at the beginning of the
@@ -96,6 +177,7 @@ impl DiscoveryDriver {
             self.sim.run_for(slice);
             self.pump();
         }
+        let _ = self.flush();
     }
 
     /// One pump: drain observations, retire finished modules, start due
@@ -105,10 +187,7 @@ impl DiscoveryDriver {
         let drained = self.sim.drain_observations();
         let had_news = !drained.is_empty();
         for (handle, at, obs) in drained {
-            let summary = self
-                .journal
-                .store(at.to_jtime(), std::slice::from_ref(&obs))
-                .unwrap_or_default();
+            let summary = self.store(at.to_jtime(), std::slice::from_ref(&obs));
             if let Some((_, acc)) = self.running.values_mut().find(|(h, _)| *h == handle) {
                 acc.absorb(summary);
             }
@@ -152,7 +231,7 @@ impl DiscoveryDriver {
         if self.cfg.correlate && had_news {
             let derived = self.journal.read(correlate);
             if !derived.is_empty() {
-                let _ = self.journal.store(now, &derived);
+                let _ = self.store(now, &derived);
             }
         }
     }
@@ -165,7 +244,12 @@ impl DiscoveryDriver {
                     missing_mask: Some(true),
                     ..Default::default()
                 };
-                Some(self.journal.interfaces(&q).map(|v| v.len() as u64).unwrap_or(0))
+                Some(
+                    self.journal
+                        .interfaces(&q)
+                        .map(|v| v.len() as u64)
+                        .unwrap_or(0),
+                )
             }
             Source::Traceroute => {
                 // Subnets with no known gateway.
@@ -174,7 +258,12 @@ impl DiscoveryDriver {
                     within: Some(self.cfg.network),
                     ..Default::default()
                 };
-                Some(self.journal.subnets(&q).map(|v| v.len() as u64).unwrap_or(0))
+                Some(
+                    self.journal
+                        .subnets(&q)
+                        .map(|v| v.len() as u64)
+                        .unwrap_or(0),
+                )
             }
             _ => None,
         }
@@ -284,7 +373,8 @@ impl DiscoveryDriver {
         timeout: SimDuration,
     ) -> Option<(ProcHandle, StoreSummary)> {
         let handle = self.spawn_module(source)?;
-        self.running.insert(source, (handle, StoreSummary::default()));
+        self.running
+            .insert(source, (handle, StoreSummary::default()));
         self.manager
             .mark_started(source, self.sim.now().to_jtime(), None);
         let deadline = self.sim.now() + timeout;
@@ -294,10 +384,7 @@ impl DiscoveryDriver {
             // Pump observations only (no new spawns).
             let drained = self.sim.drain_observations();
             for (h, at, obs) in drained {
-                let s = self
-                    .journal
-                    .store(at.to_jtime(), std::slice::from_ref(&obs))
-                    .unwrap_or_default();
+                let s = self.store(at.to_jtime(), std::slice::from_ref(&obs));
                 if h == handle {
                     if let Some((_, acc)) = self.running.get_mut(&source) {
                         acc.absorb(s);
@@ -406,5 +493,53 @@ mod tests {
         driver.pump();
         // With an empty journal there are no target subnets: nothing runs.
         assert!(!driver.manager.is_running(Source::Traceroute));
+    }
+
+    #[test]
+    fn wal_persistence_survives_restart() {
+        let dir = std::env::temp_dir().join("fremont-driver-wal-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (sim, home, network) = small_world();
+        let mut cfg = DriverConfig::full(network, None);
+        cfg.persistence = PersistencePolicy::Wal(fremont_storage::WalConfig::new(&dir));
+        let mut driver = DiscoveryDriver::open(sim, home, cfg.clone()).unwrap();
+        assert_eq!(driver.recovery.as_ref().unwrap().records_replayed, 0);
+        driver.run_for(SimDuration::from_hours(1));
+        let before = driver.journal.stats().unwrap();
+        assert!(before.interfaces >= 3, "{before:?}");
+        drop(driver);
+
+        // Restart over the same directory with a fresh simulator: the
+        // recovered journal must report the same discovered world.
+        let (sim2, home2, _) = small_world();
+        let driver2 = DiscoveryDriver::open(sim2, home2, cfg).unwrap();
+        let after = driver2.journal.stats().unwrap();
+        assert_eq!(before.interfaces, after.interfaces);
+        assert_eq!(before.gateways, after.gateways);
+        assert_eq!(before.subnets, after.subnets);
+        assert_eq!(before.observations_applied, after.observations_applied);
+        driver2.journal.read(|j| j.check_invariants()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_only_persistence_loads_at_open() {
+        let dir = std::env::temp_dir().join("fremont-driver-snap-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.json");
+        let (sim, home, network) = small_world();
+        let mut cfg = DriverConfig::full(network, None);
+        cfg.persistence = PersistencePolicy::SnapshotOnly { path: path.clone() };
+        let mut driver = DiscoveryDriver::open(sim, home, cfg.clone()).unwrap();
+        driver.run_for(SimDuration::from_mins(10));
+        let before = driver.journal.stats().unwrap();
+        drop(driver);
+        assert!(path.exists(), "run_for flushes the snapshot");
+
+        let (sim2, home2, _) = small_world();
+        let driver2 = DiscoveryDriver::open(sim2, home2, cfg).unwrap();
+        assert_eq!(driver2.journal.stats().unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

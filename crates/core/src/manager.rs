@@ -178,8 +178,7 @@ impl DiscoveryManager {
             (Some(before), Some(after)) => after >= before,
             _ => false,
         };
-        let fruitful =
-            (outcome.stored.created + outcome.stored.updated) > 0 && !deficit_unmoved;
+        let fruitful = (outcome.stored.created + outcome.stored.updated) > 0 && !deficit_unmoved;
         let (min, max) = (info.min_interval.as_secs(), info.max_interval.as_secs());
         s.interval = if fruitful {
             (s.interval / 2).max(min)

@@ -92,10 +92,10 @@ pub fn level2_subnet(journal: &Journal, subnet: Subnet, now: JTime) -> String {
             out,
             "{:<18} {:<19} {:<22} {:<4} {:<8} {}",
             r.ip_addr().map(|i| i.to_string()).unwrap_or_default(),
-            r.mac_addr().map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
             r.mac_addr()
-                .and_then(|m| m.vendor())
-                .unwrap_or("-"),
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.mac_addr().and_then(|m| m.vendor()).unwrap_or("-"),
             if r.rip_source { "yes" } else { "no" },
             if r.is_gateway_member() { "member" } else { "-" },
             age(now, r.live_verified),
@@ -117,19 +117,18 @@ pub fn level3_interface(journal: &Journal, id: InterfaceId, now: JTime) -> Strin
         "  record: discovered {} / changed {} / verified {}",
         r.discovered, r.changed, r.verified
     );
-    let fmt3 = |f: &mut String,
-                label: &str,
-                value: String,
-                d: JTime,
-                c: JTime,
-                v: JTime| {
-        let _ = writeln!(
-            f,
-            "  {label:<14} {value:<24} disc {d} / chg {c} / ver {v}"
-        );
+    let fmt3 = |f: &mut String, label: &str, value: String, d: JTime, c: JTime, v: JTime| {
+        let _ = writeln!(f, "  {label:<14} {value:<24} disc {d} / chg {c} / ver {v}");
     };
     if let Some(t) = &r.ip {
-        fmt3(&mut out, "IP address", t.get().to_string(), t.discovered, t.changed, t.verified);
+        fmt3(
+            &mut out,
+            "IP address",
+            t.get().to_string(),
+            t.discovered,
+            t.changed,
+            t.verified,
+        );
     }
     if let Some(t) = &r.mac {
         let vendor = t.get().vendor().unwrap_or("unknown vendor");
@@ -143,10 +142,24 @@ pub fn level3_interface(journal: &Journal, id: InterfaceId, now: JTime) -> Strin
         );
     }
     if let Some(t) = &r.name {
-        fmt3(&mut out, "DNS name", t.get().clone(), t.discovered, t.changed, t.verified);
+        fmt3(
+            &mut out,
+            "DNS name",
+            t.get().clone(),
+            t.discovered,
+            t.changed,
+            t.verified,
+        );
     }
     if let Some(t) = &r.mask {
-        fmt3(&mut out, "Subnet mask", t.get().to_string(), t.discovered, t.changed, t.verified);
+        fmt3(
+            &mut out,
+            "Subnet mask",
+            t.get().to_string(),
+            t.discovered,
+            t.changed,
+            t.verified,
+        );
     }
     let _ = writeln!(
         out,
@@ -159,7 +172,11 @@ pub fn level3_interface(journal: &Journal, id: InterfaceId, now: JTime) -> Strin
         out,
         "  rip source:    {}{}",
         r.rip_source,
-        if r.rip_promiscuous { " (promiscuous)" } else { "" }
+        if r.rip_promiscuous {
+            " (promiscuous)"
+        } else {
+            ""
+        }
     );
     let sources: Vec<&str> = r.sources.iter().map(|s| s.name()).collect();
     let _ = writeln!(out, "  reported by:   {}", sources.join(", "));
@@ -227,7 +244,11 @@ mod tests {
     #[test]
     fn level2_shows_mac_and_vendor() {
         let j = populated();
-        let v = level2_subnet(&j, "128.138.243.0/24".parse().unwrap(), JTime::from_hours(1));
+        let v = level2_subnet(
+            &j,
+            "128.138.243.0/24".parse().unwrap(),
+            JTime::from_hours(1),
+        );
         assert!(v.contains("08:00:20:01:02:03"));
         assert!(v.contains("Sun Microsystems"));
     }
@@ -235,9 +256,7 @@ mod tests {
     #[test]
     fn level3_shows_three_timestamps_per_field() {
         let j = populated();
-        let id = j
-            .get_interfaces(&InterfaceQuery::by_ip(Ipv4Addr::new(128, 138, 243, 18)))[0]
-            .id;
+        let id = j.get_interfaces(&InterfaceQuery::by_ip(Ipv4Addr::new(128, 138, 243, 18)))[0].id;
         let v = level3_interface(&j, id, JTime::from_hours(1));
         assert!(v.contains("IP address"));
         assert!(v.contains("Ethernet"));

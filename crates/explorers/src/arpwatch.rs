@@ -142,23 +142,41 @@ mod tests {
         let dst2 = sim.nodes[topo.hosts[1].0].ifaces[0].ip;
         sim.set_traffic(TrafficModel::new(
             vec![
-                Flow { src: topo.hosts[1], dst: dst1, weight: 1.0 },
-                Flow { src: topo.hosts[2], dst: dst2, weight: 1.0 },
+                Flow {
+                    src: topo.hosts[1],
+                    dst: dst1,
+                    weight: 1.0,
+                },
+                Flow {
+                    src: topo.hosts[2],
+                    dst: dst2,
+                    weight: 1.0,
+                },
             ],
             SimDuration::from_secs(5),
             1,
         ));
         sim.run_for(SimDuration::from_mins(3));
         let w = sim.process_mut::<ArpWatch>(h).unwrap();
-        assert_eq!(w.distinct_ips(), 2, "both talkers discovered: {:?}", w.pairs());
+        assert_eq!(
+            w.distinct_ips(),
+            2,
+            "both talkers discovered: {:?}",
+            w.pairs()
+        );
         assert!(w.frames_observed() >= 2);
         // Observations flowed to the outbox with the right source.
         let obs = sim.drain_observations();
         assert!(!obs.is_empty());
         assert!(obs.iter().all(|(_, _, o)| o.source == Source::ArpWatch));
-        assert!(obs
-            .iter()
-            .all(|(_, _, o)| matches!(o.fact, Fact::Interface { mac: Some(_), ip: Some(_), .. })));
+        assert!(obs.iter().all(|(_, _, o)| matches!(
+            o.fact,
+            Fact::Interface {
+                mac: Some(_),
+                ip: Some(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -166,7 +184,11 @@ mod tests {
         let (mut sim, topo) = lan(3);
         let dst = sim.nodes[topo.hosts[2].0].ifaces[0].ip;
         sim.set_traffic(TrafficModel::new(
-            vec![Flow { src: topo.hosts[1], dst, weight: 1.0 }],
+            vec![Flow {
+                src: topo.hosts[1],
+                dst,
+                weight: 1.0,
+            }],
             SimDuration::from_secs(2),
             1,
         ));

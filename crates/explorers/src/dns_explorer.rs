@@ -288,7 +288,11 @@ impl DnsExplorer {
                 .iter()
                 .any(|suf| leaf.ends_with(suf.as_str()) && leaf.len() > suf.len());
             if conventional && !gw_names.iter().any(|(n, _, _)| n == name) {
-                gw_names.push((name.clone(), ips.clone(), GatewayHeuristic::NamingConvention));
+                gw_names.push((
+                    name.clone(),
+                    ips.clone(),
+                    GatewayHeuristic::NamingConvention,
+                ));
             }
         }
         gw_names.sort_by(|a, b| a.0.cmp(&b.0));
@@ -363,10 +367,11 @@ impl Process for DnsExplorer {
         match token {
             TIMER_NEXT => self.next_step(ctx),
             TIMER_TIMEOUT
-                if (self.awaiting_id.take().is_some() || self.phase == Phase::MaskProbe) => {
-                    // Give up on the outstanding transfer/probe; move on.
-                    self.next_step(ctx);
-                }
+                if (self.awaiting_id.take().is_some() || self.phase == Phase::MaskProbe) =>
+            {
+                // Give up on the outstanding transfer/probe; move on.
+                self.next_step(ctx);
+            }
             _ => {}
         }
     }
@@ -397,8 +402,7 @@ impl Process for DnsExplorer {
                 if self.phase != Phase::MaskProbe {
                     return;
                 }
-                if let Ok(IcmpMessage::MaskReply { mask, .. }) = IcmpMessage::decode(&pkt.payload)
-                {
+                if let Ok(IcmpMessage::MaskReply { mask, .. }) = IcmpMessage::decode(&pkt.payload) {
                     if let Ok(m) = SubnetMask::from_addr(mask) {
                         self.mask = Some(m);
                     }
@@ -426,7 +430,10 @@ mod tests {
 
     /// A LAN with a name server holding a two-level reverse tree plus a
     /// forward zone with one multi-A gateway and one conventional name.
-    fn dns_world() -> (fremont_netsim::engine::Sim, fremont_netsim::builder::Topology) {
+    fn dns_world() -> (
+        fremont_netsim::engine::Sim,
+        fremont_netsim::builder::Topology,
+    ) {
         let mut b = TopologyBuilder::new();
         let lan = b.segment("lan", "128.200.5.0/24");
         b.host("prober", lan, 10);
@@ -437,11 +444,26 @@ mod tests {
 
         let mut server = DnsServerState::new();
         let mut fwd = Zone::new("example.edu".parse().unwrap());
-        fwd.add_a("alpha.example.edu".parse().unwrap(), "128.200.5.20".parse().unwrap());
-        fwd.add_a("ns.example.edu".parse().unwrap(), "128.200.5.53".parse().unwrap());
-        fwd.add_a("big-gw.example.edu".parse().unwrap(), "128.200.5.1".parse().unwrap());
-        fwd.add_a("big-gw.example.edu".parse().unwrap(), "128.200.9.1".parse().unwrap());
-        fwd.add_a("lone-gw.example.edu".parse().unwrap(), "128.200.7.1".parse().unwrap());
+        fwd.add_a(
+            "alpha.example.edu".parse().unwrap(),
+            "128.200.5.20".parse().unwrap(),
+        );
+        fwd.add_a(
+            "ns.example.edu".parse().unwrap(),
+            "128.200.5.53".parse().unwrap(),
+        );
+        fwd.add_a(
+            "big-gw.example.edu".parse().unwrap(),
+            "128.200.5.1".parse().unwrap(),
+        );
+        fwd.add_a(
+            "big-gw.example.edu".parse().unwrap(),
+            "128.200.9.1".parse().unwrap(),
+        );
+        fwd.add_a(
+            "lone-gw.example.edu".parse().unwrap(),
+            "128.200.7.1".parse().unwrap(),
+        );
         let mut parent = Zone::new("200.128.in-addr.arpa".parse().unwrap());
         let mut child5 = Zone::new("5.200.128.in-addr.arpa".parse().unwrap());
         for (name, ip) in [
@@ -585,7 +607,14 @@ mod tests {
         let named = obs
             .iter()
             .filter(|o| {
-                matches!(&o.fact, Fact::Interface { name: Some(_), ip: Some(_), .. })
+                matches!(
+                    &o.fact,
+                    Fact::Interface {
+                        name: Some(_),
+                        ip: Some(_),
+                        ..
+                    }
+                )
             })
             .count();
         assert_eq!(named, 5);
@@ -600,7 +629,8 @@ mod tests {
         // (Private field access via a fresh server rebuild.)
         let mut server = DnsServerState::new();
         let mut z = Zone::new("200.128.in-addr.arpa".parse().unwrap());
-        z.delegations.push("5.200.128.in-addr.arpa".parse().unwrap());
+        z.delegations
+            .push("5.200.128.in-addr.arpa".parse().unwrap());
         server.add_zone(z);
         let mut z5 = Zone::new("5.200.128.in-addr.arpa".parse().unwrap());
         z5.allow_axfr = false;

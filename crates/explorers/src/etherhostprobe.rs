@@ -185,7 +185,11 @@ mod tests {
         {
             let p = sim.process_mut::<EtherHostProbe>(h).unwrap();
             assert!(!p.done());
-            assert!(p.probes_sent() >= 18 && p.probes_sent() <= 22, "{}", p.probes_sent());
+            assert!(
+                p.probes_sent() >= 18 && p.probes_sent() <= 22,
+                "{}",
+                p.probes_sent()
+            );
         }
         sim.run_for(SimDuration::from_secs(30));
         assert!(sim.process_mut::<EtherHostProbe>(h).unwrap().done());

@@ -203,9 +203,9 @@ mod tests {
         // only because RIP requests route (unlike broadcasts).
         let h = sim.spawn(
             left,
-            Box::new(RipProbe::new(RipProbeConfig::over(vec![
-                "10.1.2.2".parse().unwrap(),
-            ]))),
+            Box::new(RipProbe::new(RipProbeConfig::over(vec!["10.1.2.2"
+                .parse()
+                .unwrap()]))),
         );
         sim.run_for(SimDuration::from_mins(2));
         let p = sim.process_mut::<RipProbe>(h).unwrap();
@@ -215,9 +215,18 @@ mod tests {
         // 10.1.3/24 which local RIPwatch could also hear, AND the full set
         // from a single poll.
         let learned = p.subnets_learned();
-        assert!(learned.contains(&"10.1.1.0/24".parse().unwrap()), "{learned:?}");
-        assert!(learned.contains(&"10.1.2.0/24".parse().unwrap()), "{learned:?}");
-        assert!(learned.contains(&"10.1.3.0/24".parse().unwrap()), "{learned:?}");
+        assert!(
+            learned.contains(&"10.1.1.0/24".parse().unwrap()),
+            "{learned:?}"
+        );
+        assert!(
+            learned.contains(&"10.1.2.0/24".parse().unwrap()),
+            "{learned:?}"
+        );
+        assert!(
+            learned.contains(&"10.1.3.0/24".parse().unwrap()),
+            "{learned:?}"
+        );
     }
 
     #[test]
@@ -227,9 +236,9 @@ mod tests {
         // Poll the plain host "right": hosts don't speak RIP.
         let h = sim.spawn(
             left,
-            Box::new(RipProbe::new(RipProbeConfig::over(vec![
-                "10.1.3.10".parse().unwrap(),
-            ]))),
+            Box::new(RipProbe::new(RipProbeConfig::over(vec!["10.1.3.10"
+                .parse()
+                .unwrap()]))),
         );
         sim.run_for(SimDuration::from_mins(2));
         let p = sim.process_mut::<RipProbe>(h).unwrap();
@@ -264,13 +273,17 @@ mod tests {
         let left = topo.nodes_by_name["left"];
         sim.spawn(
             left,
-            Box::new(RipProbe::new(RipProbeConfig::over(vec![
-                "10.1.1.1".parse().unwrap(),
-            ]))),
+            Box::new(RipProbe::new(RipProbeConfig::over(vec!["10.1.1.1"
+                .parse()
+                .unwrap()]))),
         );
         sim.run_for(SimDuration::from_mins(2));
         let obs = sim.drain_observations();
-        assert!(obs.iter().any(|(_, _, o)| matches!(o.fact, Fact::RipSource { .. })));
-        assert!(obs.iter().any(|(_, _, o)| matches!(o.fact, Fact::Subnet { .. })));
+        assert!(obs
+            .iter()
+            .any(|(_, _, o)| matches!(o.fact, Fact::RipSource { .. })));
+        assert!(obs
+            .iter()
+            .any(|(_, _, o)| matches!(o.fact, Fact::Subnet { .. })));
     }
 }

@@ -127,12 +127,7 @@ impl RipWatch {
             .iter()
             .filter(|(dest, metric)| {
                 self.sources.iter().any(|(other_ip, other)| {
-                    *other_ip != ip
-                        && other
-                            .routes
-                            .get(dest)
-                            .map(|m| m <= metric)
-                            .unwrap_or(false)
+                    *other_ip != ip && other.routes.get(dest).map(|m| m <= metric).unwrap_or(false)
                 })
             })
             .count();
@@ -271,9 +266,18 @@ mod tests {
         let subnets = w.subnets();
         // r1 advertises 10.1.2/24 and 10.1.3/24 onto net-a (split horizon
         // hides 10.1.1/24); the watcher adds its own subnet.
-        assert!(subnets.contains(&"10.1.1.0/24".parse().unwrap()), "{subnets:?}");
-        assert!(subnets.contains(&"10.1.2.0/24".parse().unwrap()), "{subnets:?}");
-        assert!(subnets.contains(&"10.1.3.0/24".parse().unwrap()), "{subnets:?}");
+        assert!(
+            subnets.contains(&"10.1.1.0/24".parse().unwrap()),
+            "{subnets:?}"
+        );
+        assert!(
+            subnets.contains(&"10.1.2.0/24".parse().unwrap()),
+            "{subnets:?}"
+        );
+        assert!(
+            subnets.contains(&"10.1.3.0/24".parse().unwrap()),
+            "{subnets:?}"
+        );
         // The advertising source was recorded with its MAC.
         assert_eq!(w.sources().len(), 1);
         let info = w.sources().values().next().unwrap();

@@ -159,10 +159,7 @@ mod tests {
     #[test]
     fn finds_all_up_hosts_in_range() {
         let (mut sim, topo) = lan(5);
-        let range = IpRange::new(
-            "10.7.7.1".parse().unwrap(),
-            "10.7.7.20".parse().unwrap(),
-        );
+        let range = IpRange::new("10.7.7.1".parse().unwrap(), "10.7.7.20".parse().unwrap());
         let h = sim.spawn(
             topo.hosts[0],
             Box::new(SeqPing::new(SeqPingConfig::over(range))),
@@ -175,7 +172,10 @@ mod tests {
         // stack? no — it never receives its own echo), so expect 5.
         let got = p.responders();
         assert_eq!(got.len(), 5, "responders: {got:?}");
-        assert!(got.contains(&"10.7.7.1".parse().unwrap()), "gateway replies");
+        assert!(
+            got.contains(&"10.7.7.1".parse().unwrap()),
+            "gateway replies"
+        );
     }
 
     #[test]
@@ -183,27 +183,25 @@ mod tests {
         let (mut sim, topo) = lan(5);
         sim.set_node_up(topo.hosts[2], false);
         sim.set_node_up(topo.hosts[3], false);
-        let range = IpRange::new(
-            "10.7.7.10".parse().unwrap(),
-            "10.7.7.14".parse().unwrap(),
-        );
+        let range = IpRange::new("10.7.7.10".parse().unwrap(), "10.7.7.14".parse().unwrap());
         let h = sim.spawn(
             topo.hosts[0],
             Box::new(SeqPing::new(SeqPingConfig::over(range))),
         );
         sim.run_for(SimDuration::from_mins(3));
         let p = sim.process_mut::<SeqPing>(h).unwrap();
-        assert_eq!(p.responders().len(), 2, "hosts 1 and 4 (prober's own address never replies)");
+        assert_eq!(
+            p.responders().len(),
+            2,
+            "hosts 1 and 4 (prober's own address never replies)"
+        );
     }
 
     #[test]
     fn retry_pass_doubles_requests_for_dead_space() {
         let (mut sim, topo) = lan(1);
         // Range of 4 entirely-unused addresses: 4 + 4 retries.
-        let range = IpRange::new(
-            "10.7.7.100".parse().unwrap(),
-            "10.7.7.103".parse().unwrap(),
-        );
+        let range = IpRange::new("10.7.7.100".parse().unwrap(), "10.7.7.103".parse().unwrap());
         let h = sim.spawn(
             topo.hosts[0],
             Box::new(SeqPing::new(SeqPingConfig::over(range))),
@@ -218,10 +216,7 @@ mod tests {
     #[test]
     fn paces_at_configured_interval() {
         let (mut sim, topo) = lan(1);
-        let range = IpRange::new(
-            "10.7.7.50".parse().unwrap(),
-            "10.7.7.59".parse().unwrap(),
-        );
+        let range = IpRange::new("10.7.7.50".parse().unwrap(), "10.7.7.59".parse().unwrap());
         let before = sim.now();
         let h = sim.spawn(
             topo.hosts[0],
@@ -240,10 +235,7 @@ mod tests {
     #[test]
     fn observations_are_emitted_per_responder() {
         let (mut sim, topo) = lan(3);
-        let range = IpRange::new(
-            "10.7.7.10".parse().unwrap(),
-            "10.7.7.12".parse().unwrap(),
-        );
+        let range = IpRange::new("10.7.7.10".parse().unwrap(), "10.7.7.12".parse().unwrap());
         sim.spawn(
             topo.hosts[0],
             Box::new(SeqPing::new(SeqPingConfig::over(range))),

@@ -154,9 +154,10 @@ mod tests {
         assert!(p.done());
         let masks = p.masks();
         assert_eq!(masks.len(), 3);
-        assert!(masks
-            .iter()
-            .all(|(_, m)| m.prefix_len() == 24), "all /24: {masks:?}");
+        assert!(
+            masks.iter().all(|(_, m)| m.prefix_len() == 24),
+            "all /24: {masks:?}"
+        );
         // Both a mask fact and a subnet fact per responder.
         let obs = sim.drain_observations();
         assert_eq!(obs.len(), 6);

@@ -329,9 +329,7 @@ impl Traceroute {
                         subnets.push(sub_of(f));
                     }
                 }
-                let key_new = subnets
-                    .iter()
-                    .any(|s| emitted_gateways.insert((h, *s)));
+                let key_new = subnets.iter().any(|s| emitted_gateways.insert((h, *s)));
                 if key_new {
                     observations.push(Observation::new(
                         Source::Traceroute,
@@ -589,10 +587,7 @@ mod tests {
 
     #[test]
     fn boundary_stops_traces() {
-        let (traces, _, _) = run_trace(
-            |_, _| {},
-            vec![subnet("10.1.3.0/24")],
-        );
+        let (traces, _, _) = run_trace(|_, _| {}, vec![subnet("10.1.3.0/24")]);
         let _ = traces;
         // Re-run with a boundary excluding everything beyond 10.1.1/24.
         let (traces, _, gws) = {
@@ -627,7 +622,10 @@ mod tests {
         let (mut sim, topo) = line3();
         let left = topo.nodes_by_name["left"];
         let targets = vec![subnet("10.1.2.0/24"), subnet("10.1.3.0/24")];
-        let h = sim.spawn(left, Box::new(Traceroute::new(TracerouteConfig::over(targets))));
+        let h = sim.spawn(
+            left,
+            Box::new(Traceroute::new(TracerouteConfig::over(targets))),
+        );
         sim.run_for(SimDuration::from_secs(2));
         let p = sim.process_mut::<Traceroute>(h).unwrap();
         assert!(
@@ -658,14 +656,21 @@ mod tests {
             .traces()
             .iter()
             .any(|t| matches!(t.status, TraceStatus::Reached(_))));
-        assert!(p.probes_sent() <= 6, "skipping hop 1 saves probes: {}", p.probes_sent());
+        assert!(
+            p.probes_sent() <= 6,
+            "skipping hop 1 saves probes: {}",
+            p.probes_sent()
+        );
     }
 
     #[test]
     fn empty_target_list_finishes() {
         let (mut sim, topo) = line3();
         let left = topo.nodes_by_name["left"];
-        let h = sim.spawn(left, Box::new(Traceroute::new(TracerouteConfig::over(vec![]))));
+        let h = sim.spawn(
+            left,
+            Box::new(Traceroute::new(TracerouteConfig::over(vec![]))),
+        );
         sim.run_for(SimDuration::from_secs(1));
         assert!(sim.process_done(h));
     }

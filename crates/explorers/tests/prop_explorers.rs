@@ -12,7 +12,14 @@ use fremont_netsim::builder::TopologyBuilder;
 use fremont_netsim::time::SimDuration;
 
 /// A LAN with `n` hosts, of which the subset `down` is powered off.
-fn lan_with_down(n: usize, down: &[usize], seed: u64) -> (fremont_netsim::engine::Sim, fremont_netsim::builder::Topology) {
+fn lan_with_down(
+    n: usize,
+    down: &[usize],
+    seed: u64,
+) -> (
+    fremont_netsim::engine::Sim,
+    fremont_netsim::builder::Topology,
+) {
     let mut b = TopologyBuilder::new();
     let lan = b.segment("lan", "10.77.0.0/24");
     for i in 0..n {

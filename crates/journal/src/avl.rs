@@ -175,7 +175,11 @@ impl<K: Ord, V> AvlMap<K, V> {
 
     /// Verifies the AVL invariants (ordering + balance); used by tests.
     pub fn check_invariants(&self) -> Result<(), String> {
-        fn walk<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> Result<i8, String> {
+        fn walk<K: Ord, V>(
+            link: &Link<K, V>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+        ) -> Result<i8, String> {
             let Some(n) = link.as_deref() else {
                 return Ok(0);
             };
@@ -202,7 +206,10 @@ impl<K: Ord, V> AvlMap<K, V> {
         }
         let counted = self.iter().count();
         if counted != self.len {
-            return Err(format!("len mismatch (stored {}, actual {counted})", self.len));
+            return Err(format!(
+                "len mismatch (stored {}, actual {counted})",
+                self.len
+            ));
         }
         walk(&self.root, None, None).map(|_| ())
     }
@@ -467,10 +474,7 @@ mod tests {
             m.insert(k, k * 10);
         }
         let items: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();
-        assert_eq!(
-            items,
-            (0..10).map(|k| (k, k * 10)).collect::<Vec<_>>()
-        );
+        assert_eq!(items, (0..10).map(|k| (k, k * 10)).collect::<Vec<_>>());
     }
 
     #[test]

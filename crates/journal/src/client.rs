@@ -103,4 +103,10 @@ impl JournalAccess for RemoteJournal {
             other => Err(unexpected(other)),
         }
     }
+
+    fn flush(&self) -> Result<bool, ProtoError> {
+        // Forward to the server's own persistence.
+        RemoteJournal::flush(self)?;
+        Ok(true)
+    }
 }

@@ -81,9 +81,7 @@ impl Source {
 }
 
 /// A compact set of [`Source`]s (bit set).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
 pub struct SourceSet(u16);
 
 impl SourceSet {
@@ -303,7 +301,12 @@ mod tests {
     fn observation_shorthands() {
         let o = Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 0, 1));
         match o.fact {
-            Fact::Interface { ip, mac, name, mask } => {
+            Fact::Interface {
+                ip,
+                mac,
+                name,
+                mask,
+            } => {
                 assert_eq!(ip, Some(Ipv4Addr::new(10, 0, 0, 1)));
                 assert!(mac.is_none() && name.is_none() && mask.is_none());
             }

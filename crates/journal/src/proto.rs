@@ -129,7 +129,9 @@ pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(
     }
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME {
-        return Err(ProtoError::Malformed(format!("frame length {len} too large")));
+        return Err(ProtoError::Malformed(format!(
+            "frame length {len} too large"
+        )));
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
@@ -169,7 +171,10 @@ mod tests {
         write_frame(&mut buf, &Request::Stats).unwrap();
         write_frame(&mut buf, &Request::GetGateways).unwrap();
         let mut cur = Cursor::new(buf);
-        assert_eq!(read_frame::<_, Request>(&mut cur).unwrap().unwrap(), Request::Stats);
+        assert_eq!(
+            read_frame::<_, Request>(&mut cur).unwrap().unwrap(),
+            Request::Stats
+        );
         assert_eq!(
             read_frame::<_, Request>(&mut cur).unwrap().unwrap(),
             Request::GetGateways

@@ -208,12 +208,18 @@ mod tests {
         assert!(InterfaceQuery::in_subnet("128.138.243.0/24".parse().unwrap()).matches(&r));
         assert!(!InterfaceQuery::in_subnet("128.138.244.0/24".parse().unwrap()).matches(&r));
         let q = InterfaceQuery {
-            ip_range: Some(("128.138.243.10".parse().unwrap(), "128.138.243.20".parse().unwrap())),
+            ip_range: Some((
+                "128.138.243.10".parse().unwrap(),
+                "128.138.243.20".parse().unwrap(),
+            )),
             ..Default::default()
         };
         assert!(q.matches(&r));
         let q = InterfaceQuery {
-            ip_range: Some(("128.138.243.19".parse().unwrap(), "128.138.243.20".parse().unwrap())),
+            ip_range: Some((
+                "128.138.243.19".parse().unwrap(),
+                "128.138.243.20".parse().unwrap(),
+            )),
             ..Default::default()
         };
         assert!(!q.matches(&r));

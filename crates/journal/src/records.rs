@@ -15,15 +15,11 @@ use crate::observation::SourceSet;
 use crate::time::{JTime, Timestamped};
 
 /// Identifier of an interface record.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InterfaceId(pub u64);
 
 /// Identifier of a gateway record.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GatewayId(pub u64);
 
 /// One network interface, as recorded in the Journal (paper Table 1).
@@ -278,7 +274,10 @@ mod tests {
     #[test]
     fn subnet_record_gateways() {
         let mut s = SubnetRecord::new(subnet("128.138.238.0/24"), false, JTime(0));
-        assert!(s.gateways.is_empty(), "subnet may be known without gateways");
+        assert!(
+            s.gateways.is_empty(),
+            "subnet may be known without gateways"
+        );
         assert!(s.add_gateway(GatewayId(1)));
         assert!(!s.add_gateway(GatewayId(1)));
     }
@@ -290,7 +289,10 @@ mod tests {
             "08:00:20:01:02:03".parse().unwrap(),
             JTime(1),
         ));
-        r.name = Some(Timestamped::new("bruno.cs.colorado.edu".to_owned(), JTime(2)));
+        r.name = Some(Timestamped::new(
+            "bruno.cs.colorado.edu".to_owned(),
+            JTime(2),
+        ));
         let mut set = SourceSet::EMPTY;
         set.insert(Source::ArpWatch);
         r.sources = set;

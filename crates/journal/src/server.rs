@@ -39,6 +39,21 @@ pub trait JournalAccess {
     fn delete(&self, id: InterfaceId) -> Result<bool, ProtoError>;
     /// Journal statistics.
     fn stats(&self) -> Result<JournalStats, ProtoError>;
+
+    /// Captures a full snapshot image of the journal, for backends with
+    /// direct access to one (used by Flush handling and shutdown).
+    fn capture_snapshot(&self) -> Result<JournalSnapshot, ProtoError> {
+        Err(ProtoError::Server(
+            "snapshot capture not supported by this journal backend".to_owned(),
+        ))
+    }
+
+    /// Asks the backend to persist itself durably. `Ok(false)` means
+    /// the backend has no self-managed durability and the caller may
+    /// fall back to [`JournalAccess::capture_snapshot`] + save.
+    fn flush(&self) -> Result<bool, ProtoError> {
+        Ok(false)
+    }
 }
 
 /// A shared in-process Journal handle.
@@ -100,31 +115,34 @@ impl JournalAccess for SharedJournal {
     fn stats(&self) -> Result<JournalStats, ProtoError> {
         Ok(self.inner.read().stats())
     }
+
+    fn capture_snapshot(&self) -> Result<JournalSnapshot, ProtoError> {
+        Ok(self.read(JournalSnapshot::capture))
+    }
 }
 
 /// The TCP Journal Server.
 ///
-/// Serves the [`crate::proto`] protocol, one thread per connection, over a
-/// [`SharedJournal`]. The journal "maintains an in-memory representation
-/// ... which it writes to disk periodically and at termination": a
-/// snapshot path can be configured, written on `Flush` requests and on
-/// shutdown.
-pub struct JournalServer {
-    journal: SharedJournal,
+/// Serves the [`crate::proto`] protocol, one thread per connection, over
+/// any [`JournalAccess`] backend (defaulting to the in-memory
+/// [`SharedJournal`]; `fremont-storage`'s `DurableJournal` plugs in the
+/// same way). The journal "maintains an in-memory representation ...
+/// which it writes to disk periodically and at termination": backends
+/// that persist themselves are flushed on `Flush` requests and at
+/// shutdown; for the rest a snapshot path can be configured, written at
+/// those same points.
+pub struct JournalServer<J: JournalAccess + Clone + Send + Sync + 'static = SharedJournal> {
+    journal: J,
     addr: SocketAddr,
     snapshot_path: Option<PathBuf>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
-impl JournalServer {
+impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// serving in background threads.
-    pub fn start(
-        journal: SharedJournal,
-        addr: &str,
-        snapshot_path: Option<PathBuf>,
-    ) -> std::io::Result<Self> {
+    pub fn start(journal: J, addr: &str, snapshot_path: Option<PathBuf>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -177,22 +195,30 @@ impl JournalServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(path) = &self.snapshot_path {
-            let snap = self.journal.read(JournalSnapshot::capture);
-            let _ = snap.save(path);
+        // Termination persistence: self-managed backends flush
+        // themselves; otherwise write the configured snapshot path.
+        match self.journal.flush() {
+            Ok(true) => {}
+            _ => {
+                if let Some(path) = &self.snapshot_path {
+                    if let Ok(snap) = self.journal.capture_snapshot() {
+                        let _ = snap.save(path);
+                    }
+                }
+            }
         }
     }
 }
 
-impl Drop for JournalServer {
+impl<J: JournalAccess + Clone + Send + Sync + 'static> Drop for JournalServer<J> {
     fn drop(&mut self) {
         self.stop_inner();
     }
 }
 
-fn serve_connection(
+fn serve_connection<J: JournalAccess>(
     stream: TcpStream,
-    journal: &SharedJournal,
+    journal: &J,
     snapshot_path: Option<&std::path::Path>,
 ) -> Result<(), ProtoError> {
     let mut writer = stream.try_clone()?;
@@ -204,8 +230,8 @@ fn serve_connection(
     Ok(())
 }
 
-fn handle_request(
-    journal: &SharedJournal,
+fn handle_request<J: JournalAccess>(
+    journal: &J,
     snapshot_path: Option<&std::path::Path>,
     req: Request,
 ) -> Response {
@@ -234,15 +260,17 @@ fn handle_request(
             Ok(s) => Response::Stats(s),
             Err(e) => Response::Error(e.to_string()),
         },
-        Request::Flush => match snapshot_path {
-            Some(path) => {
-                let snap = journal.read(JournalSnapshot::capture);
-                match snap.save(path) {
-                    Ok(()) => Response::Flushed,
+        Request::Flush => match journal.flush() {
+            Ok(true) => Response::Flushed,
+            Err(e) => Response::Error(e.to_string()),
+            Ok(false) => match snapshot_path {
+                Some(path) => match journal.capture_snapshot().map(|s| s.save(path)) {
+                    Ok(Ok(())) => Response::Flushed,
+                    Ok(Err(e)) => Response::Error(e.to_string()),
                     Err(e) => Response::Error(e.to_string()),
-                }
-            }
-            None => Response::Error("no snapshot path configured".to_owned()),
+                },
+                None => Response::Error("no snapshot path configured".to_owned()),
+            },
         },
     }
 }
@@ -259,7 +287,10 @@ mod tests {
         let s = j
             .store(
                 JTime(1),
-                &[Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 0, 1))],
+                &[Observation::ip_alive(
+                    Source::SeqPing,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                )],
             )
             .unwrap();
         assert_eq!(s.created, 1);

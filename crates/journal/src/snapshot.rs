@@ -47,19 +47,51 @@ impl JournalSnapshot {
         j
     }
 
-    /// Writes the snapshot as JSON, atomically (write + rename).
+    /// Writes the snapshot as JSON, atomically and durably: the temp
+    /// file is fsync'd before the rename, and the parent directory is
+    /// fsync'd after it, so a crash at any point leaves either the old
+    /// or the new snapshot — never a torn one.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let tmp = path.with_extension("tmp");
         let body = serde_json::to_vec_pretty(self)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        fs::write(&tmp, body)?;
-        fs::rename(&tmp, path)
+        {
+            let mut f = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, &body)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself (the directory entry).
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            fs::File::open(dir)?.sync_all()?;
+        }
+        Ok(())
     }
 
-    /// Loads a snapshot from JSON.
+    /// Loads a snapshot from JSON. Rejects snapshots written by a newer
+    /// format version rather than misinterpreting them.
     pub fn load(path: &Path) -> io::Result<Self> {
         let body = fs::read(path)?;
-        serde_json::from_slice(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let snap: JournalSnapshot = serde_json::from_slice(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if snap.version > SNAPSHOT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot {} has format version {} but this build only understands \
+                     versions up to {}; refusing to load",
+                    path.display(),
+                    snap.version,
+                    SNAPSHOT_VERSION
+                ),
+            ));
+        }
+        Ok(snap)
     }
 }
 
@@ -87,7 +119,10 @@ mod tests {
                 Fact::Gateway {
                     interface_ips: vec![Ipv4Addr::new(10, 0, 0, 254)],
                     interface_names: vec![],
-                    subnets: vec!["10.0.0.0/24".parse().unwrap(), "10.0.1.0/24".parse().unwrap()],
+                    subnets: vec![
+                        "10.0.0.0/24".parse().unwrap(),
+                        "10.0.1.0/24".parse().unwrap(),
+                    ],
                 },
             ),
             JTime(2),
@@ -131,6 +166,25 @@ mod tests {
         snap.save(&path).unwrap();
         let loaded = JournalSnapshot::load(&path).unwrap();
         assert_eq!(loaded, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_newer_version() {
+        let j = populated();
+        let mut snap = JournalSnapshot::capture(&j);
+        snap.version = SNAPSHOT_VERSION + 1;
+        let dir = std::env::temp_dir().join("fremont-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("future.json");
+        snap.save(&path).unwrap();
+        let err = JournalSnapshot::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("format version") && msg.contains("refusing to load"),
+            "unhelpful error message: {msg}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -104,14 +104,12 @@ impl Journal {
     pub fn apply(&mut self, obs: &Observation, now: JTime) -> StoreSummary {
         self.observations_applied += 1;
         match &obs.fact {
-            Fact::Interface { ip, mac, name, mask } => self.apply_interface(
-                obs.source,
-                *ip,
-                *mac,
-                name.as_deref(),
-                *mask,
-                now,
-            ),
+            Fact::Interface {
+                ip,
+                mac,
+                name,
+                mask,
+            } => self.apply_interface(obs.source, *ip, *mac, name.as_deref(), *mask, now),
             Fact::Subnet {
                 subnet,
                 mask_assumed,
@@ -214,16 +212,15 @@ impl Journal {
                     return vec![id];
                 }
                 // A record with this MAC and no IP yet?
-                if let Some(&id) = with_mac.iter().find(|&&id| self.iface(id).ip_addr().is_none())
+                if let Some(&id) = with_mac
+                    .iter()
+                    .find(|&&id| self.iface(id).ip_addr().is_none())
                 {
                     return vec![id];
                 }
                 // A record with this IP and no MAC yet (created by a ping)?
                 if let Some(ids) = self.idx_ip.get(&ip) {
-                    if let Some(&id) = ids
-                        .iter()
-                        .find(|&&id| self.iface(id).mac_addr().is_none())
-                    {
+                    if let Some(&id) = ids.iter().find(|&&id| self.iface(id).mac_addr().is_none()) {
                         return vec![id];
                     }
                 }
@@ -249,7 +246,11 @@ impl Journal {
                 .collect();
         }
         if let Some(name) = name {
-            return self.idx_name.get(&name.to_owned()).cloned().unwrap_or_default();
+            return self
+                .idx_name
+                .get(&name.to_owned())
+                .cloned()
+                .unwrap_or_default();
         }
         Vec::new()
     }
@@ -262,6 +263,7 @@ impl Journal {
     }
 
     /// Applies fields to one record; returns `true` when anything changed.
+    #[allow(clippy::too_many_arguments)]
     fn update_interface(
         &mut self,
         id: InterfaceId,
@@ -521,8 +523,7 @@ impl Journal {
         // Subnets derived from member interfaces carry confirmed masks;
         // explicitly-claimed subnets keep their mask *assumed* (modules
         // guess /24 when linking hops) until a mask reply confirms them.
-        let mut all_subnets: Vec<(Subnet, bool)> =
-            subnets.iter().map(|s| (*s, true)).collect();
+        let mut all_subnets: Vec<(Subnet, bool)> = subnets.iter().map(|s| (*s, true)).collect();
         for &m in &members {
             if let Some(s) = self.iface(m).subnet() {
                 if let Some(e) = all_subnets.iter_mut().find(|(x, _)| *x == s) {
@@ -708,7 +709,12 @@ impl Journal {
             .collect()
     }
 
-    fn scan_ip_range(&self, lo: Ipv4Addr, hi: Ipv4Addr, q: &InterfaceQuery) -> Vec<InterfaceRecord> {
+    fn scan_ip_range(
+        &self,
+        lo: Ipv4Addr,
+        hi: Ipv4Addr,
+        q: &InterfaceQuery,
+    ) -> Vec<InterfaceRecord> {
         use std::ops::Bound;
         self.idx_ip
             .range((Bound::Included(&lo), Bound::Included(&hi)))
@@ -800,7 +806,12 @@ impl Journal {
         j.observations_applied = snap.observations_applied;
 
         // Records keep their identifiers, so size the slabs to the maximum.
-        let max_if = snap.interfaces.iter().map(|r| r.id.0 + 1).max().unwrap_or(0);
+        let max_if = snap
+            .interfaces
+            .iter()
+            .map(|r| r.id.0 + 1)
+            .max()
+            .unwrap_or(0);
         j.interfaces = (0..max_if).map(|_| None).collect();
         let max_gw = snap.gateways.iter().map(|r| r.id.0 + 1).max().unwrap_or(0);
         j.gateways = (0..max_gw).map(|_| None).collect();
@@ -923,7 +934,10 @@ mod tests {
     #[test]
     fn ping_then_arp_merges_into_one_record() {
         let mut j = Journal::new();
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.5")), JTime(10));
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.5")),
+            JTime(10),
+        );
         j.apply(
             &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05")),
             JTime(20),
@@ -986,10 +1000,16 @@ mod tests {
     #[test]
     fn dns_verification_does_not_count_as_live() {
         let mut j = Journal::new();
-        j.apply(&Observation::named_ip(Source::Dns, ip("10.0.0.7"), "ghost.cs"), JTime(5));
+        j.apply(
+            &Observation::named_ip(Source::Dns, ip("10.0.0.7"), "ghost.cs"),
+            JTime(5),
+        );
         let r = &j.get_interfaces(&InterfaceQuery::all())[0];
         assert_eq!(r.live_verified, None);
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.7")), JTime(9));
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.7")),
+            JTime(9),
+        );
         let r = &j.get_interfaces(&InterfaceQuery::all())[0];
         assert_eq!(r.live_verified, Some(JTime(9)));
         assert_eq!(r.dns_name(), Some("ghost.cs"));
@@ -998,7 +1018,10 @@ mod tests {
     #[test]
     fn mask_observation_attaches_to_ip() {
         let mut j = Journal::new();
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.1.4")), JTime(0));
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.1.4")),
+            JTime(0),
+        );
         j.apply(
             &Observation::mask(
                 Source::SubnetMasks,
@@ -1018,7 +1041,10 @@ mod tests {
         let s1 = j.apply(&Observation::subnet(Source::RipWatch, s, true), JTime(1));
         assert_eq!(s1.created, 1);
         assert!(j.subnet(&s).unwrap().mask_assumed);
-        let s2 = j.apply(&Observation::subnet(Source::SubnetMasks, s, false), JTime(2));
+        let s2 = j.apply(
+            &Observation::subnet(Source::SubnetMasks, s, false),
+            JTime(2),
+        );
         assert_eq!(s2.updated, 1);
         assert!(!j.subnet(&s).unwrap().mask_assumed);
         // A later assumed observation does not downgrade.
@@ -1181,9 +1207,18 @@ mod tests {
     #[test]
     fn modification_order_tracks_changes() {
         let mut j = Journal::new();
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")), JTime(1));
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.2")), JTime(2));
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.3")), JTime(3));
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.2")),
+            JTime(2),
+        );
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.3")),
+            JTime(3),
+        );
         // Touch .1 with a change (new mac) so it moves to the end.
         j.apply(
             &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.1"), mac("08:00:20:00:00:01")),
@@ -1205,10 +1240,16 @@ mod tests {
     fn ip_change_on_same_mac_reindexes() {
         let mut j = Journal::new();
         let m = mac("08:00:20:00:00:07");
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.7"), m), JTime(1));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.7"), m),
+            JTime(1),
+        );
         // The host was renumbered; EtherHostProbe sees the same MAC with a
         // previously-unknown IP. Policy: new record (visible reconfiguration).
-        j.apply(&Observation::arp_pair(Source::ArpWatch, ip("10.0.0.77"), m), JTime(2));
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.77"), m),
+            JTime(2),
+        );
         let recs = j.get_interfaces(&InterfaceQuery::by_mac(m));
         assert_eq!(recs.len(), 2);
         j.check_invariants().unwrap();
@@ -1217,8 +1258,14 @@ mod tests {
     #[test]
     fn stats_counts() {
         let mut j = Journal::new();
-        j.apply(&Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")), JTime(1));
-        j.apply(&Observation::subnet(Source::RipWatch, subnet("10.0.0.0/24"), true), JTime(1));
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::subnet(Source::RipWatch, subnet("10.0.0.0/24"), true),
+            JTime(1),
+        );
         let s = j.stats();
         assert_eq!(s.interfaces, 1);
         assert_eq!(s.subnets, 1);

@@ -159,7 +159,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(JTime::from_secs(3661).to_string(), "01:01:01");
         assert_eq!(JTime::from_days(1).to_string(), "day 1 00:00:00");
-        assert_eq!(JTime::from_secs(90061 + 86400).to_string(), "day 2 01:01:01");
+        assert_eq!(
+            JTime::from_secs(90061 + 86400).to_string(),
+            "day 2 01:01:01"
+        );
     }
 
     #[test]

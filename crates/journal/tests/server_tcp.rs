@@ -64,7 +64,10 @@ fn multiple_clients_share_one_journal() {
     let b = RemoteJournal::connect(&addr).unwrap();
     a.store(
         JTime(1),
-        &[Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 1, 0, 1))],
+        &[Observation::ip_alive(
+            Source::SeqPing,
+            Ipv4Addr::new(10, 1, 0, 1),
+        )],
     )
     .unwrap();
     b.store(
@@ -79,7 +82,11 @@ fn multiple_clients_share_one_journal() {
 
     let reader = RemoteJournal::connect(&addr).unwrap();
     let recs = reader.interfaces(&InterfaceQuery::all()).unwrap();
-    assert_eq!(recs.len(), 1, "cross-module correlation through one journal");
+    assert_eq!(
+        recs.len(),
+        1,
+        "cross-module correlation through one journal"
+    );
     let r = &recs[0];
     assert!(r.sources.contains(Source::SeqPing));
     assert!(r.sources.contains(Source::ArpWatch));
@@ -135,7 +142,10 @@ fn snapshot_on_shutdown() {
     client
         .store(
             JTime(1),
-            &[Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 9, 9, 9))],
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 9, 9, 9),
+            )],
         )
         .unwrap();
     // Explicit flush writes too.

@@ -642,11 +642,7 @@ fn encode_record(rr: &DnsRecord, out: &mut Vec<u8>) {
 
 /// Decodes a name whose *direct* encoding must end within this record's
 /// rdata (compression pointers may still reference earlier message bytes).
-fn bounded_name(
-    buf: &[u8],
-    pos: usize,
-    rdata_end: usize,
-) -> Result<(DnsName, usize), ParseError> {
+fn bounded_name(buf: &[u8], pos: usize, rdata_end: usize) -> Result<(DnsName, usize), ParseError> {
     let (name, end) = DnsName::decode_from(buf, pos)?;
     if end > rdata_end {
         return Err(ParseError::BadField {
@@ -754,7 +750,10 @@ mod tests {
 
     #[test]
     fn name_parse_display() {
-        assert_eq!(name("Bruno.CS.Colorado.EDU").to_string(), "bruno.cs.colorado.edu");
+        assert_eq!(
+            name("Bruno.CS.Colorado.EDU").to_string(),
+            "bruno.cs.colorado.edu"
+        );
         assert_eq!(name("a.b.c.").to_string(), "a.b.c");
         assert_eq!(name("").to_string(), ".");
         assert!(DnsName::root().is_root());
@@ -778,7 +777,10 @@ mod tests {
         assert!(n.ends_with(&DnsName::root()));
         assert_eq!(n.parent(), name("cs.colorado.edu"));
         assert_eq!(n.leaf(), Some("ns"));
-        assert_eq!(name("cs.colorado.edu").child("boulder").unwrap(), name("boulder.cs.colorado.edu"));
+        assert_eq!(
+            name("cs.colorado.edu").child("boulder").unwrap(),
+            name("boulder.cs.colorado.edu")
+        );
     }
 
     #[test]
@@ -872,7 +874,7 @@ mod tests {
             rdata: RData::Soa {
                 mname: name("ns.cs.colorado.edu"),
                 rname: name("hostmaster.cs.colorado.edu"),
-                serial: 1993_02_01,
+                serial: 19930201,
                 refresh: 3600,
                 retry: 600,
                 expire: 3600000,
@@ -939,7 +941,8 @@ mod tests {
                 os: "Y".to_owned(),
             },
         });
-        r.answers.push(DnsRecord::a(name("z.y"), Ipv4Addr::new(1, 2, 3, 4), 60));
+        r.answers
+            .push(DnsRecord::a(name("z.y"), Ipv4Addr::new(1, 2, 3, 4), 60));
         let mut enc = r.encode();
         // Locate the HINFO rdata bytes [1,'X',1,'Y']; the rdlength is the
         // two bytes just before them. Shrink it from 4 to 2 (covering only
@@ -968,7 +971,8 @@ mod tests {
     fn decode_rejects_truncated_rdata() {
         let q = DnsMessage::query(5, name("a.b"), RecordType::A);
         let mut r = DnsMessage::response_to(&q, Rcode::NoError);
-        r.answers.push(DnsRecord::a(name("a.b"), Ipv4Addr::new(1, 2, 3, 4), 60));
+        r.answers
+            .push(DnsRecord::a(name("a.b"), Ipv4Addr::new(1, 2, 3, 4), 60));
         let enc = r.encode();
         assert!(DnsMessage::decode(&enc[..enc.len() - 2]).is_err());
     }

@@ -129,7 +129,10 @@ mod tests {
             needed: 28,
             available: 10,
         };
-        assert_eq!(e.to_string(), "arp: truncated packet (needed 28 bytes, have 10)");
+        assert_eq!(
+            e.to_string(),
+            "arp: truncated packet (needed 28 bytes, have 10)"
+        );
     }
 
     #[test]

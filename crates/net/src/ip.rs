@@ -173,11 +173,7 @@ impl Iterator for IpRangeIter {
 
     fn next(&mut self) -> Option<Ipv4Addr> {
         let cur = self.next?;
-        self.next = if cur < self.last {
-            Some(cur + 1)
-        } else {
-            None
-        };
+        self.next = if cur < self.last { Some(cur + 1) } else { None };
         Some(from_u32(cur))
     }
 

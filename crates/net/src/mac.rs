@@ -110,8 +110,7 @@ impl FromStr for MacAddr {
             if part.is_empty() || part.len() > 2 {
                 return Err(AddrError::BadSyntax(s.to_owned()));
             }
-            *slot =
-                u8::from_str_radix(part, 16).map_err(|_| AddrError::BadSyntax(s.to_owned()))?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| AddrError::BadSyntax(s.to_owned()))?;
         }
         if parts.next().is_some() {
             return Err(AddrError::BadSyntax(s.to_owned()));
@@ -132,7 +131,11 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["00:00:0c:12:34:56", "ff:ff:ff:ff:ff:ff", "08:00:20:00:00:01"] {
+        for s in [
+            "00:00:0c:12:34:56",
+            "ff:ff:ff:ff:ff:ff",
+            "08:00:20:00:00:01",
+        ] {
             let mac: MacAddr = s.parse().unwrap();
             assert_eq!(mac.to_string(), s);
         }

@@ -237,7 +237,11 @@ pub fn split_into_packets(entries: &[RipEntry]) -> Vec<RipPacket> {
 
 /// Returns the mask a receiver with `mask` assumes for `addr` (helper for
 /// journal recording).
-pub fn assumed_mask(addr: Ipv4Addr, receiver_mask: SubnetMask, receiver_subnet: Subnet) -> SubnetMask {
+pub fn assumed_mask(
+    addr: Ipv4Addr,
+    receiver_mask: SubnetMask,
+    receiver_subnet: Subnet,
+) -> SubnetMask {
     match classify_route(addr, receiver_subnet) {
         RouteKind::SubnetRoute(_) => receiver_mask,
         RouteKind::Network(n) => n.mask(),

@@ -236,7 +236,10 @@ impl Subnet {
             // No usable hosts in the classic sense.
             IpRange::new(from_u32(1), from_u32(0))
         } else {
-            IpRange::new(from_u32(self.network + 1), from_u32((self.network | !self.mask.bits()) - 1))
+            IpRange::new(
+                from_u32(self.network + 1),
+                from_u32((self.network | !self.mask.bits()) - 1),
+            )
         }
     }
 
@@ -340,7 +343,9 @@ mod tests {
     #[test]
     fn natural_masks() {
         assert_eq!(
-            SubnetMask::natural_for(ip("10.1.2.3")).unwrap().prefix_len(),
+            SubnetMask::natural_for(ip("10.1.2.3"))
+                .unwrap()
+                .prefix_len(),
             8
         );
         assert_eq!(

@@ -155,7 +155,10 @@ mod tests {
         enc[4..6].copy_from_slice(&2u16.to_be_bytes()); // shorter than header
         assert!(matches!(
             UdpDatagram::decode(&enc),
-            Err(ParseError::BadField { field: "length", .. })
+            Err(ParseError::BadField {
+                field: "length",
+                ..
+            })
         ));
         let mut enc2 = d.encode();
         enc2[4..6].copy_from_slice(&100u16.to_be_bytes()); // longer than buffer

@@ -171,8 +171,10 @@ impl TopologyBuilder {
                 (seg, ip)
             })
             .collect();
-        let mut behavior = Behavior::default();
-        behavior.rip = Some(RipConfig::default());
+        let behavior = Behavior {
+            rip: Some(RipConfig::default()),
+            ..Behavior::default()
+        };
         self.routers.push(RouterSpec {
             name: name.to_owned(),
             attachments,
@@ -280,9 +282,7 @@ impl TopologyBuilder {
         let mut host_ids = Vec::new();
         let host_specs = std::mem::take(&mut self.hosts);
         for spec in &host_specs {
-            let mac = spec
-                .mac
-                .unwrap_or_else(|| self.next_mac(false));
+            let mac = spec.mac.unwrap_or_else(|| self.next_mac(false));
             let iface = Iface {
                 mac,
                 ip: spec.ip,
@@ -510,7 +510,9 @@ mod tests {
                 ctx.send_icmp("10.0.3.10".parse().unwrap(), &m).unwrap();
             }
             fn on_ip(&mut self, pkt: &Ipv4Packet, _: &mut ProcCtx<'_>) {
-                if pkt.protocol == IpProtocol::Icmp && pkt.src == "10.0.3.10".parse::<std::net::Ipv4Addr>().unwrap() {
+                if pkt.protocol == IpProtocol::Icmp
+                    && pkt.src == "10.0.3.10".parse::<std::net::Ipv4Addr>().unwrap()
+                {
                     if let Ok(IcmpMessage::EchoReply { .. }) = IcmpMessage::decode(&pkt.payload) {
                         self.got = true;
                     }

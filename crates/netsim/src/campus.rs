@@ -299,14 +299,67 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
 
     // --- CS subnet hosts ---------------------------------------------------
     let host_names = [
-        "bruno", "piper", "anchor", "spot", "tigger", "eeyore", "pooh", "owl", "kanga", "roo",
-        "latour", "lafite", "margaux", "palmer", "pichon", "lynch", "talbot", "gloria", "figeac",
-        "petrus", "ausone", "cheval", "yquem", "climens", "coutet", "guiraud", "rieussec",
-        "fargues", "raymond", "lamothe", "filhot", "malle", "arche", "broustet", "nairac",
-        "caillou", "suau", "myrat", "doisy", "vedrines", "boulder", "nederland", "lyons",
-        "louisville", "lafayette", "superior", "erie", "niwot", "hygiene", "ward", "jamestown",
-        "allenspark", "gunbarrel", "eldora", "marshall", "valmont", "sunshine", "salina",
-        "crisman", "rowena", "sugarloaf",
+        "bruno",
+        "piper",
+        "anchor",
+        "spot",
+        "tigger",
+        "eeyore",
+        "pooh",
+        "owl",
+        "kanga",
+        "roo",
+        "latour",
+        "lafite",
+        "margaux",
+        "palmer",
+        "pichon",
+        "lynch",
+        "talbot",
+        "gloria",
+        "figeac",
+        "petrus",
+        "ausone",
+        "cheval",
+        "yquem",
+        "climens",
+        "coutet",
+        "guiraud",
+        "rieussec",
+        "fargues",
+        "raymond",
+        "lamothe",
+        "filhot",
+        "malle",
+        "arche",
+        "broustet",
+        "nairac",
+        "caillou",
+        "suau",
+        "myrat",
+        "doisy",
+        "vedrines",
+        "boulder",
+        "nederland",
+        "lyons",
+        "louisville",
+        "lafayette",
+        "superior",
+        "erie",
+        "niwot",
+        "hygiene",
+        "ward",
+        "jamestown",
+        "allenspark",
+        "gunbarrel",
+        "eldora",
+        "marshall",
+        "valmont",
+        "sunshine",
+        "salina",
+        "crisman",
+        "rowena",
+        "sugarloaf",
     ];
     let cs_subnet: Subnet = third(cs_third).parse().expect("subnet literal");
     let mut cs_host_idxs: Vec<HostIdx> = Vec::new();
@@ -425,28 +478,25 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
     let mut rev_parent = Zone::new(rev_parent_name.clone());
     let mut child_zones: Vec<Zone> = Vec::new();
 
-    let add_pair = |fwd: &mut Zone,
-                        children: &mut Vec<Zone>,
-                        covered: &[u8],
-                        name: &str,
-                        ip: Ipv4Addr| {
-        let t3 = ip.octets()[2];
-        if !covered.contains(&t3) {
-            return;
-        }
-        let fqdn = domain.child(name).expect("label fits");
-        fwd.add_a(fqdn.clone(), ip);
-        let zone_name: DnsName = format!("{t3}.{}.{}.in-addr.arpa", octets[1], octets[0])
-            .parse()
-            .expect("name literal");
-        if let Some(z) = children.iter_mut().find(|z| z.origin == zone_name) {
-            z.add_ptr(DnsName::reverse_for(ip), fqdn);
-        } else {
-            let mut z = Zone::new(zone_name);
-            z.add_ptr(DnsName::reverse_for(ip), fqdn);
-            children.push(z);
-        }
-    };
+    let add_pair =
+        |fwd: &mut Zone, children: &mut Vec<Zone>, covered: &[u8], name: &str, ip: Ipv4Addr| {
+            let t3 = ip.octets()[2];
+            if !covered.contains(&t3) {
+                return;
+            }
+            let fqdn = domain.child(name).expect("label fits");
+            fwd.add_a(fqdn.clone(), ip);
+            let zone_name: DnsName = format!("{t3}.{}.{}.in-addr.arpa", octets[1], octets[0])
+                .parse()
+                .expect("name literal");
+            if let Some(z) = children.iter_mut().find(|z| z.origin == zone_name) {
+                z.add_ptr(DnsName::reverse_for(ip), fqdn);
+            } else {
+                let mut z = Zone::new(zone_name);
+                z.add_ptr(DnsName::reverse_for(ip), fqdn);
+                children.push(z);
+            }
+        };
 
     // Host records.
     for (name, ip) in &cs_dns_names {
@@ -658,7 +708,10 @@ mod tests {
             sim.nodes[ida.0].ifaces[0].ip, sim.nodes[idb.0].ifaces[0].ip,
             "duplicate pair shares an IP"
         );
-        assert_ne!(sim.nodes[ida.0].ifaces[0].mac, sim.nodes[idb.0].ifaces[0].mac);
+        assert_ne!(
+            sim.nodes[ida.0].ifaces[0].mac,
+            sim.nodes[idb.0].ifaces[0].mac
+        );
         // Clone starts down (consistent world until the experiment flips it).
         assert!(!sim.nodes[idb.0].up);
     }

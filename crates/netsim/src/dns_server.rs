@@ -9,9 +9,7 @@
 
 use std::net::Ipv4Addr;
 
-use fremont_net::dns::{
-    DnsMessage, DnsName, DnsRecord, RData, Rcode, RecordType,
-};
+use fremont_net::dns::{DnsMessage, DnsName, DnsRecord, RData, Rcode, RecordType};
 
 /// One authoritative zone.
 #[derive(Debug, Clone)]
@@ -106,19 +104,12 @@ impl DnsServerState {
         let matches: Vec<DnsRecord> = zone
             .records
             .iter()
-            .filter(|r| {
-                r.name == *name
-                    && (qtype == RecordType::Any || r.rtype == qtype)
-            })
+            .filter(|r| r.name == *name && (qtype == RecordType::Any || r.rtype == qtype))
             .cloned()
             .collect();
         if matches.is_empty() {
             // Exists under a delegation? Point at the child zone.
-            if let Some(child) = zone
-                .delegations
-                .iter()
-                .find(|d| name.ends_with(d))
-            {
+            if let Some(child) = zone.delegations.iter().find(|d| name.ends_with(d)) {
                 let mut resp = DnsMessage::response_to(query, Rcode::NoError);
                 resp.authoritative = false;
                 resp.authorities.push(DnsRecord {
@@ -164,7 +155,7 @@ impl DnsServerState {
                     .origin
                     .child("hostmaster")
                     .unwrap_or_else(|_| zone.origin.clone()),
-                serial: 1993_02_01,
+                serial: 19930201,
                 refresh: 3600,
                 retry: 600,
                 expire: 3_600_000,
@@ -197,13 +188,24 @@ mod tests {
     fn server() -> DnsServerState {
         let mut s = DnsServerState::new();
         let mut fwd = Zone::new(name("cs.colorado.edu"));
-        fwd.add_a(name("bruno.cs.colorado.edu"), Ipv4Addr::new(128, 138, 243, 18));
-        fwd.add_a(name("cs-gw.cs.colorado.edu"), Ipv4Addr::new(128, 138, 243, 1));
-        fwd.add_a(name("cs-gw.cs.colorado.edu"), Ipv4Addr::new(128, 138, 238, 1));
+        fwd.add_a(
+            name("bruno.cs.colorado.edu"),
+            Ipv4Addr::new(128, 138, 243, 18),
+        );
+        fwd.add_a(
+            name("cs-gw.cs.colorado.edu"),
+            Ipv4Addr::new(128, 138, 243, 1),
+        );
+        fwd.add_a(
+            name("cs-gw.cs.colorado.edu"),
+            Ipv4Addr::new(128, 138, 238, 1),
+        );
         s.add_zone(fwd);
 
         let mut rev_parent = Zone::new(name("138.128.in-addr.arpa"));
-        rev_parent.delegations.push(name("243.138.128.in-addr.arpa"));
+        rev_parent
+            .delegations
+            .push(name("243.138.128.in-addr.arpa"));
         s.add_zone(rev_parent);
 
         let mut rev = Zone::new(name("243.138.128.in-addr.arpa"));
@@ -233,7 +235,11 @@ mod tests {
         let s = server();
         let q = DnsMessage::query(2, name("cs-gw.cs.colorado.edu"), RecordType::A);
         let r = s.answer(&q);
-        assert_eq!(r.answers.len(), 2, "gateways have one A record per interface");
+        assert_eq!(
+            r.answers.len(),
+            2,
+            "gateways have one A record per interface"
+        );
     }
 
     #[test]
@@ -262,8 +268,7 @@ mod tests {
         assert!(r
             .answers
             .iter()
-            .any(|rr| rr.rtype == RecordType::Ns
-                && rr.name == name("243.138.128.in-addr.arpa")));
+            .any(|rr| rr.rtype == RecordType::Ns && rr.name == name("243.138.128.in-addr.arpa")));
     }
 
     #[test]
@@ -271,10 +276,7 @@ mod tests {
         let s = server();
         let q = DnsMessage::query(6, name("243.138.128.in-addr.arpa"), RecordType::Axfr);
         let r = s.answer(&q);
-        assert!(r
-            .answers
-            .iter()
-            .any(|rr| rr.rtype == RecordType::Ptr));
+        assert!(r.answers.iter().any(|rr| rr.rtype == RecordType::Ptr));
     }
 
     #[test]

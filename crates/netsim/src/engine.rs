@@ -588,7 +588,13 @@ impl Sim {
 
     /// Emits an IP packet on a specific interface: `next_hop = None` means
     /// link broadcast.
-    fn link_output(&mut self, node: NodeId, iface: usize, next_hop: Option<Ipv4Addr>, pkt: &Ipv4Packet) {
+    fn link_output(
+        &mut self,
+        node: NodeId,
+        iface: usize,
+        next_hop: Option<Ipv4Addr>,
+        pkt: &Ipv4Packet,
+    ) {
         let src_mac = self.nodes[node.0].ifaces[iface].mac;
         match next_hop {
             None => {
@@ -677,7 +683,9 @@ impl Sim {
                     if for_me {
                         // Standard optimization: learn the requester.
                         let now = self.now;
-                        self.nodes[node.0].arp.insert(arp.sender_ip, arp.sender_mac, now);
+                        self.nodes[node.0]
+                            .arp
+                            .insert(arp.sender_ip, arp.sender_mac, now);
                     }
                     let reply = ArpPacket {
                         op: ArpOp::Reply,
@@ -697,7 +705,9 @@ impl Sim {
             }
             ArpOp::Reply => {
                 let now = self.now;
-                self.nodes[node.0].arp.insert(arp.sender_ip, arp.sender_mac, now);
+                self.nodes[node.0]
+                    .arp
+                    .insert(arp.sender_ip, arp.sender_mac, now);
                 // Flush pending packets for the resolved address.
                 let ready: Vec<(usize, Vec<u8>)> = {
                     let n = &mut self.nodes[node.0];
@@ -728,10 +738,7 @@ impl Sim {
         if n.kind != NodeKind::Router {
             return false;
         }
-        n.behavior
-            .proxy_arp_for
-            .iter()
-            .any(|s| s.contains(target))
+        n.behavior.proxy_arp_for.iter().any(|s| s.contains(target))
             && n.routes
                 .lookup(target)
                 .map(|r| r.iface != iface)
@@ -848,16 +855,29 @@ impl Sim {
         is_broadcast: bool,
     ) {
         match msg {
-            IcmpMessage::EchoRequest { ident, seq, payload } => {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
                 let b = &self.nodes[node.0].behavior;
                 if !b.echo_reply || (is_broadcast && !b.broadcast_echo_reply) {
                     return;
                 }
-                let reply = IcmpMessage::EchoReply { ident, seq, payload };
+                let reply = IcmpMessage::EchoReply {
+                    ident,
+                    seq,
+                    payload,
+                };
                 let src_ip = self.nodes[node.0].ifaces[iface].ip;
                 let id = self.next_ip_id();
-                let out = Ipv4Packet::new(src_ip, pkt.src, IpProtocol::Icmp, Bytes::from(reply.encode()))
-                    .with_id(id);
+                let out = Ipv4Packet::new(
+                    src_ip,
+                    pkt.src,
+                    IpProtocol::Icmp,
+                    Bytes::from(reply.encode()),
+                )
+                .with_id(id);
                 if is_broadcast {
                     // Replies to a broadcast ping bunch up within a short
                     // window — the collision-loss mechanism of Table 5. The
@@ -879,7 +899,14 @@ impl Sim {
                     mask: my.mask.as_addr(),
                 };
                 let src_ip = my.ip;
-                self.send_reply(node, src_ip, pkt.src, IpProtocol::Icmp, reply.encode(), None);
+                self.send_reply(
+                    node,
+                    src_ip,
+                    pkt.src,
+                    IpProtocol::Icmp,
+                    reply.encode(),
+                    None,
+                );
             }
             // Replies and errors are consumed by processes (already
             // delivered via the raw view).
@@ -911,16 +938,25 @@ impl Sim {
             DNS_PORT => {
                 if self.nodes[node.0].dns.is_some() {
                     if let Ok(query) = DnsMessage::decode(&dgram.payload) {
-                        let answer = self
-                            .nodes[node.0]
+                        let answer = self.nodes[node.0]
                             .dns
                             .as_ref()
                             .expect("checked")
                             .answer(&query);
-                        let reply =
-                            UdpDatagram::new(DNS_PORT, dgram.src_port, Bytes::from(answer.encode()));
+                        let reply = UdpDatagram::new(
+                            DNS_PORT,
+                            dgram.src_port,
+                            Bytes::from(answer.encode()),
+                        );
                         let src_ip = self.nodes[node.0].ifaces[iface].ip;
-                        self.send_reply(node, src_ip, pkt.src, IpProtocol::Udp, reply.encode(), None);
+                        self.send_reply(
+                            node,
+                            src_ip,
+                            pkt.src,
+                            IpProtocol::Udp,
+                            reply.encode(),
+                            None,
+                        );
                     }
                 }
             }
@@ -1019,7 +1055,14 @@ impl Sim {
             return;
         };
         let src_ip = self.nodes[node.0].ifaces[my_iface].ip;
-        self.send_reply(node, src_ip, pkt.src, IpProtocol::Tcp, answer.encode(), None);
+        self.send_reply(
+            node,
+            src_ip,
+            pkt.src,
+            IpProtocol::Tcp,
+            answer.encode(),
+            None,
+        );
     }
 
     fn rip_tick(&mut self, node: NodeId) {
@@ -1072,9 +1115,10 @@ impl Sim {
             for packet in fremont_net::rip::split_into_packets(&entries) {
                 let dgram = UdpDatagram::new(RIP_PORT, RIP_PORT, Bytes::from(packet.encode()));
                 let id = self.next_ip_id();
-                let out = Ipv4Packet::new(src_ip, bcast, IpProtocol::Udp, Bytes::from(dgram.encode()))
-                    .with_ttl(1)
-                    .with_id(id);
+                let out =
+                    Ipv4Packet::new(src_ip, bcast, IpProtocol::Udp, Bytes::from(dgram.encode()))
+                        .with_ttl(1)
+                        .with_id(id);
                 self.link_output(node, ifc, None, &out);
             }
         }
@@ -1134,7 +1178,13 @@ impl ProcCtx<'_> {
         payload: Bytes,
     ) -> Result<(), SendError> {
         let dgram = UdpDatagram::new(src_port, dst_port, payload);
-        self.send_ip(dst, IpProtocol::Udp, Bytes::from(dgram.encode()), None, None)
+        self.send_ip(
+            dst,
+            IpProtocol::Udp,
+            Bytes::from(dgram.encode()),
+            None,
+            None,
+        )
     }
 
     /// Sends an ICMP message.
@@ -1265,7 +1315,8 @@ mod tests {
 
         fn on_ip(&mut self, pkt: &Ipv4Packet, _ctx: &mut ProcCtx<'_>) {
             if pkt.protocol == IpProtocol::Icmp {
-                if let Ok(IcmpMessage::EchoReply { ident: 9, .. }) = IcmpMessage::decode(&pkt.payload)
+                if let Ok(IcmpMessage::EchoReply { ident: 9, .. }) =
+                    IcmpMessage::decode(&pkt.payload)
                 {
                     self.replies.push(pkt.src);
                 }
@@ -1357,7 +1408,10 @@ mod tests {
                 }),
             );
             sim2.run_for(SimDuration::from_secs(1));
-            (sim2.stats.events_processed, sim2.process_mut::<Pinger>(h).unwrap().replies.clone())
+            (
+                sim2.stats.events_processed,
+                sim2.process_mut::<Pinger>(h).unwrap().replies.clone(),
+            )
         };
         assert_eq!(run(1), run(1));
     }

@@ -263,10 +263,7 @@ mod tests {
     #[test]
     fn iface_subnet() {
         let n = test_node();
-        assert_eq!(
-            n.ifaces[0].subnet(),
-            "128.138.243.0/24".parse().unwrap()
-        );
+        assert_eq!(n.ifaces[0].subnet(), "128.138.243.0/24".parse().unwrap());
     }
 
     #[test]
@@ -275,7 +272,10 @@ mod tests {
         assert!(n.is_local_dst(Ipv4Addr::new(128, 138, 243, 18), 0));
         assert!(n.is_local_dst(Ipv4Addr::BROADCAST, 0));
         assert!(n.is_local_dst(Ipv4Addr::new(128, 138, 243, 255), 0));
-        assert!(n.is_local_dst(Ipv4Addr::new(128, 138, 243, 0), 0), "host zero");
+        assert!(
+            n.is_local_dst(Ipv4Addr::new(128, 138, 243, 0), 0),
+            "host zero"
+        );
         assert!(!n.is_local_dst(Ipv4Addr::new(128, 138, 243, 19), 0));
         assert!(!n.is_local_dst(Ipv4Addr::new(128, 138, 244, 255), 0));
     }

@@ -145,7 +145,10 @@ mod tests {
             iface: 0,
             metric: 2,
         });
-        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().gateway, Some(ip("10.0.0.2")));
+        assert_eq!(
+            t.lookup(ip("10.1.2.3")).unwrap().gateway,
+            Some(ip("10.0.0.2"))
+        );
         // Worse metric does not replace.
         t.add(Route {
             dest: subnet("10.1.0.0/16"),
@@ -153,7 +156,10 @@ mod tests {
             iface: 0,
             metric: 9,
         });
-        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().gateway, Some(ip("10.0.0.2")));
+        assert_eq!(
+            t.lookup(ip("10.1.2.3")).unwrap().gateway,
+            Some(ip("10.0.0.2"))
+        );
         assert_eq!(t.len(), 1);
     }
 
@@ -172,6 +178,9 @@ mod tests {
             iface: 0,
             metric: 2,
         });
-        assert_eq!(t.lookup(ip("10.1.0.1")).unwrap().gateway, Some(ip("10.0.0.2")));
+        assert_eq!(
+            t.lookup(ip("10.1.0.1")).unwrap().gateway,
+            Some(ip("10.0.0.2"))
+        );
     }
 }

@@ -205,9 +205,11 @@ mod tests {
 
     #[test]
     fn loss_probability_combines_base_and_collision() {
-        let mut cfg = SegmentCfg::default();
-        cfg.base_loss = 0.5;
-        cfg.collisions = CollisionModel::none();
+        let cfg = SegmentCfg {
+            base_loss: 0.5,
+            collisions: CollisionModel::none(),
+            ..SegmentCfg::default()
+        };
         let mut s = Segment::new(cfg);
         assert!((s.loss_probability(SimTime::ZERO) - 0.5).abs() < 1e-9);
     }

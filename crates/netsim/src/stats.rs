@@ -132,6 +132,9 @@ mod tests {
         assert_eq!(s.frames_between(SimTime(1_000_000), SimTime(2_000_000)), 2);
         assert_eq!(s.peak_rate(SimTime::ZERO, SimTime(5_000_000)), 2);
         // Out-of-range windows are empty.
-        assert_eq!(s.frames_between(SimTime(50_000_000), SimTime(60_000_000)), 0);
+        assert_eq!(
+            s.frames_between(SimTime(50_000_000), SimTime(60_000_000)),
+            0
+        );
     }
 }

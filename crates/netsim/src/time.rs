@@ -174,7 +174,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_secs(10);
         assert_eq!(t.as_secs(), 10);
-        assert_eq!((t + SimDuration::from_secs(5)) - t, SimDuration::from_secs(5));
+        assert_eq!(
+            (t + SimDuration::from_secs(5)) - t,
+            SimDuration::from_secs(5)
+        );
         assert_eq!(SimTime(5).since(SimTime(10)), SimDuration::ZERO);
         assert_eq!(
             SimDuration::from_secs(10) - SimDuration::from_secs(4),

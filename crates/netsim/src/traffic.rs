@@ -61,7 +61,10 @@ impl TrafficModel {
 
     /// Samples the next burst: the `(src, dst)` pairs to send now, and the
     /// delay until the following burst (`None` ends the model).
-    pub fn next_burst(&mut self, rng: &mut StdRng) -> (Vec<(NodeId, Ipv4Addr)>, Option<SimDuration>) {
+    pub fn next_burst(
+        &mut self,
+        rng: &mut StdRng,
+    ) -> (Vec<(NodeId, Ipv4Addr)>, Option<SimDuration>) {
         if self.flows.is_empty() || self.total_weight <= 0.0 {
             return (Vec::new(), None);
         }
@@ -123,7 +126,10 @@ mod tests {
                 heavy += 1;
             }
         }
-        assert!(heavy > 800, "10:1 weights should dominate, got {heavy}/1000");
+        assert!(
+            heavy > 800,
+            "10:1 weights should dominate, got {heavy}/1000"
+        );
     }
 
     #[test]

@@ -10,7 +10,14 @@ use fremont_netsim::traffic::{Flow, TrafficModel};
 
 /// A random small topology: `n_subnets` in a star around a backbone, with
 /// a couple of hosts each.
-fn star(n_subnets: usize, hosts_per: usize, seed: u64) -> (fremont_netsim::engine::Sim, fremont_netsim::builder::Topology) {
+fn star(
+    n_subnets: usize,
+    hosts_per: usize,
+    seed: u64,
+) -> (
+    fremont_netsim::engine::Sim,
+    fremont_netsim::builder::Topology,
+) {
     let mut b = TopologyBuilder::new();
     let bb = b.segment("bb", "10.9.0.0/24");
     let mut segs = Vec::new();

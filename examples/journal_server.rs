@@ -5,10 +5,15 @@
 //!
 //! ```sh
 //! cargo run --example journal_server [addr] [snapshot.json] [hold-seconds]
+//! cargo run --example journal_server [addr] --data-dir journal-data [hold-seconds]
 //! ```
 //!
-//! With a third argument the server stays up that many seconds after the
-//! demo, so external clients (other Fremont sites) can connect.
+//! With `--data-dir` the server runs on the `fremont-storage` engine:
+//! observations are write-ahead logged before they are applied, and a
+//! restart over the same directory recovers them (snapshot + WAL
+//! replay) — rerun the command and watch the record counts carry over.
+//! With a trailing hold argument the server stays up that many seconds
+//! after the demo, so external clients (other Fremont sites) can connect.
 
 use std::path::PathBuf;
 
@@ -18,26 +23,101 @@ use fremont::journal::{InterfaceQuery, JournalAccess, JournalServer, SharedJourn
 use fremont::net::IpRange;
 use fremont::netsim::builder::TopologyBuilder;
 use fremont::netsim::time::SimDuration;
+use fremont::storage::{DurableJournal, WalConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:0".to_owned());
-    let snapshot = args.next().map(PathBuf::from);
+    let mut snapshot: Option<PathBuf> = None;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut hold: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--data-dir" {
+            data_dir = args.next().map(PathBuf::from);
+            if data_dir.is_none() {
+                eprintln!("error: --data-dir needs a directory argument");
+                std::process::exit(2);
+            }
+        } else if let Ok(secs) = arg.parse::<u64>() {
+            hold = Some(secs);
+        } else {
+            snapshot = Some(PathBuf::from(arg));
+        }
+    }
 
-    let server = match JournalServer::start(SharedJournal::new(), &addr, snapshot.clone()) {
-        Ok(s) => s,
+    match data_dir {
+        Some(dir) => {
+            // Durable mode: WAL + crash recovery + compaction.
+            let (journal, report) = match DurableJournal::open(WalConfig::new(&dir)) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("error: cannot open journal dir {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+            };
+            println!(
+                "recovered {} from {}: snapshot watermark {}, {} WAL records replayed{}",
+                if report.snapshot_loaded || report.records_replayed > 0 {
+                    "journal"
+                } else {
+                    "empty journal"
+                },
+                dir.display(),
+                report.watermark,
+                report.records_replayed,
+                if report.torn_bytes_dropped > 0 {
+                    format!(" ({} torn tail bytes dropped)", report.torn_bytes_dropped)
+                } else {
+                    String::new()
+                },
+            );
+            print_counts("after recovery", &journal);
+            let server = start_server(journal.clone(), &addr, None);
+            run_demo(&server.addr().to_string());
+            print_counts("at shutdown", &journal);
+            hold_open(hold);
+            server.shutdown();
+        }
+        None => {
+            let server = start_server(SharedJournal::new(), &addr, snapshot.clone());
+            if let Some(p) = &snapshot {
+                println!("snapshot path: {}", p.display());
+            }
+            run_demo(&server.addr().to_string());
+            if let Some(p) = &snapshot {
+                RemoteJournal::connect(&server.addr().to_string())
+                    .and_then(|c| RemoteJournal::flush(&c))
+                    .expect("flush snapshot");
+                println!("snapshot written to {}", p.display());
+            }
+            hold_open(hold);
+            server.shutdown();
+        }
+    }
+    println!("server shut down cleanly");
+}
+
+fn start_server<J: JournalAccess + Clone + Send + Sync + 'static>(
+    journal: J,
+    addr: &str,
+    snapshot: Option<PathBuf>,
+) -> JournalServer<J> {
+    match JournalServer::start(journal, addr, snapshot) {
+        Ok(s) => {
+            println!("journal server listening on {}", s.addr());
+            s
+        }
         Err(e) => {
             eprintln!("error: cannot bind journal server on {addr}: {e}");
             std::process::exit(2);
         }
-    };
-    println!("journal server listening on {}", server.addr());
-    if let Some(p) = &snapshot {
-        println!("snapshot path: {}", p.display());
     }
+}
 
-    // An "explorer host" elsewhere on the Internet: simulate a sweep and
-    // ship the observations through the socket.
+/// The paper's roles over one socket each: an "explorer host" elsewhere
+/// on the Internet ships a simulated sweep in, a presentation program
+/// reads it back.
+fn run_demo(addr: &str) {
     let mut b = TopologyBuilder::new();
     let lan = b.segment("lab", "192.168.10.0/24");
     for i in 0..8 {
@@ -48,10 +128,13 @@ fn main() {
         "192.168.10.1".parse().expect("ip"),
         "192.168.10.30".parse().expect("ip"),
     );
-    sim.spawn(topo.hosts[0], Box::new(SeqPing::new(SeqPingConfig::over(range))));
+    sim.spawn(
+        topo.hosts[0],
+        Box::new(SeqPing::new(SeqPingConfig::over(range))),
+    );
     sim.run_for(SimDuration::from_mins(5));
 
-    let module_conn = RemoteJournal::connect(&server.addr().to_string()).expect("connect");
+    let module_conn = RemoteJournal::connect(addr).expect("connect");
     let mut stored = 0;
     for (_, at, obs) in sim.drain_observations() {
         let s = module_conn
@@ -61,8 +144,7 @@ fn main() {
     }
     println!("explorer module stored {stored} observations over TCP");
 
-    // A "presentation program" on its own connection reads them back.
-    let viewer = RemoteJournal::connect(&server.addr().to_string()).expect("connect");
+    let viewer = RemoteJournal::connect(addr).expect("connect");
     let recs = viewer.interfaces(&InterfaceQuery::all()).expect("query");
     println!("viewer sees {} interface records:", recs.len());
     for r in &recs {
@@ -72,14 +154,19 @@ fn main() {
             r.discovered
         );
     }
-    if let Some(p) = &snapshot {
-        viewer.flush().expect("flush snapshot");
-        println!("snapshot written to {}", p.display());
-    }
-    if let Some(hold) = std::env::args().nth(3).and_then(|s| s.parse::<u64>().ok()) {
+}
+
+fn print_counts(when: &str, journal: &impl JournalAccess) {
+    let stats = journal.stats().expect("stats");
+    println!(
+        "journal {when}: {} interfaces, {} gateways, {} subnets ({} observations applied)",
+        stats.interfaces, stats.gateways, stats.subnets, stats.observations_applied
+    );
+}
+
+fn hold_open(hold: Option<u64>) {
+    if let Some(hold) = hold {
         println!("holding the server open for {hold}s (connect with RemoteJournal)...");
         std::thread::sleep(std::time::Duration::from_secs(hold));
     }
-    server.shutdown();
-    println!("server shut down cleanly");
 }

@@ -15,7 +15,10 @@ fn main() {
     let cfg = CampusConfig::small();
     let mut system = Fremont::over_campus(&cfg);
 
-    println!("Exploring a {}-subnet campus for 2 simulated hours...", cfg.subnets_connected);
+    println!(
+        "Exploring a {}-subnet campus for 2 simulated hours...",
+        cfg.subnets_connected
+    );
     system.explore(SimDuration::from_hours(2));
 
     let stats = system.stats();
@@ -39,9 +42,14 @@ fn main() {
     println!("{view}");
 
     // Level 3: full detail for one record.
-    if let Ok(recs) = system.journal.interfaces(&InterfaceQuery::in_subnet(system.truth.cs_subnet)) {
+    if let Ok(recs) = system
+        .journal
+        .interfaces(&InterfaceQuery::in_subnet(system.truth.cs_subnet))
+    {
         if let Some(r) = recs.first() {
-            let view = system.journal.read(|j| present::level3_interface(j, r.id, now));
+            let view = system
+                .journal
+                .read(|j| present::level3_interface(j, r.id, now));
             println!("{view}");
         }
     }

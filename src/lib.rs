@@ -13,6 +13,8 @@
 //!   stacks, taps, faults, the campus generator);
 //! * [`journal`] — the Journal, its AVL-indexed store, and the Journal
 //!   Server (TCP + in-process);
+//! * [`storage`] — the durable storage engine (write-ahead log, crash
+//!   recovery, segment compaction) behind `DurableJournal`;
 //! * [`explorers`] — the eight Explorer Modules;
 //! * [`core`] — the Discovery Manager, cross-correlation, analysis
 //!   (Table 8), presentation programs, and topology export (Figure 2).
@@ -40,3 +42,4 @@ pub use fremont_explorers as explorers;
 pub use fremont_journal as journal;
 pub use fremont_net as net;
 pub use fremont_netsim as netsim;
+pub use fremont_storage as storage;

@@ -11,9 +11,7 @@ use std::net::Ipv4Addr;
 use fremont::core::correlate::correlate;
 use fremont::explorers::{ArpWatch, ArpWatchConfig, SeqPing, SeqPingConfig};
 use fremont::journal::client::RemoteJournal;
-use fremont::journal::{
-    InterfaceQuery, JournalAccess, JournalServer, SharedJournal, Source,
-};
+use fremont::journal::{InterfaceQuery, JournalAccess, JournalServer, SharedJournal, Source};
 use fremont::net::{IpRange, MacAddr, SubnetMask};
 use fremont::netsim::builder::TopologyBuilder;
 use fremont::netsim::node::{Iface, Node, NodeKind};
@@ -40,7 +38,10 @@ fn modules_report_through_the_tcp_journal_server() {
         "10.50.0.10".parse().expect("ip"),
         "10.50.0.14".parse().expect("ip"),
     );
-    sim.spawn(topo.hosts[0], Box::new(SeqPing::new(SeqPingConfig::over(range))));
+    sim.spawn(
+        topo.hosts[0],
+        Box::new(SeqPing::new(SeqPingConfig::over(range))),
+    );
     sim.run_for(SimDuration::from_mins(3));
 
     // Forward the module's observations over the socket, stamped with the
@@ -143,15 +144,19 @@ fn replicated_watchers_discover_a_gateway_together() {
     let journal = SharedJournal::new();
     let obs: Vec<_> = sim.drain_observations();
     assert!(
-        obs.iter().any(|(h, _, _)| h.node == topo.nodes_by_name["watcher-a"]),
+        obs.iter()
+            .any(|(h, _, _)| h.node == topo.nodes_by_name["watcher-a"]),
         "watcher A reported"
     );
     assert!(
-        obs.iter().any(|(h, _, _)| h.node == topo.nodes_by_name["watcher-b"]),
+        obs.iter()
+            .any(|(h, _, _)| h.node == topo.nodes_by_name["watcher-b"]),
         "watcher B reported"
     );
     for (_, at, o) in &obs {
-        journal.store(at.to_jtime(), std::slice::from_ref(o)).expect("store");
+        journal
+            .store(at.to_jtime(), std::slice::from_ref(o))
+            .expect("store");
     }
     for ip in ["10.60.1.1", "10.60.2.1"] {
         journal

@@ -5,8 +5,8 @@
 //! These run the full-size campus and take a few seconds each; they are
 //! the reproduction's primary guarantee.
 
-use fremont_bench::exp_discovery::{table5_runs, table6_runs};
 use fremont::netsim::campus::CampusConfig;
+use fremont_bench::exp_discovery::{table5_runs, table6_runs};
 
 #[test]
 fn table5_shape_holds() {

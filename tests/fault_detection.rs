@@ -50,8 +50,7 @@ fn all_five_problem_classes_detected() {
     // 3. Inconsistent masks (badmask claims /16 on the /24 wire).
     assert_eq!(report.mask_conflicts.len(), 1, "{report}");
     assert_eq!(
-        report.mask_conflicts[0].subnet,
-        system.truth.cs_subnet,
+        report.mask_conflicts[0].subnet, system.truth.cs_subnet,
         "conflict anchored at the right wire"
     );
 
@@ -64,7 +63,10 @@ fn all_five_problem_classes_detected() {
         faults.removed_host.clone().expect("injected")
     );
     assert!(
-        report.stale.iter().any(|s| s.name.as_deref() == Some(&ghost_fqdn)),
+        report
+            .stale
+            .iter()
+            .any(|s| s.name.as_deref() == Some(&ghost_fqdn)),
         "ghost flagged among: {:?}",
         report.stale
     );

@@ -49,7 +49,10 @@ fn discovers_most_of_the_ground_truth() {
         truth.cs_interfaces.len()
     );
     let with_mac = cs_recs.iter().filter(|r| r.mac.is_some()).count();
-    assert!(with_mac >= cs_recs.len() / 2, "ARP evidence on most records");
+    assert!(
+        with_mac >= cs_recs.len() / 2,
+        "ARP evidence on most records"
+    );
 
     // The CS gateway is known, with both interfaces merged into one record.
     let gws = system.journal.gateways().expect("journal reachable");
@@ -58,7 +61,10 @@ fn discovers_most_of_the_ground_truth() {
         .iter()
         .filter(|g| g.subnets.contains(&truth.cs_subnet))
         .collect();
-    assert!(!cs_gw_subnets.is_empty(), "cs subnet attributed to a gateway");
+    assert!(
+        !cs_gw_subnets.is_empty(),
+        "cs subnet attributed to a gateway"
+    );
 
     // Internal consistency after thousands of merges.
     system
@@ -83,13 +89,25 @@ fn every_module_contributed() {
     let subnet_sources = |s: Source| subs.iter().filter(|r| r.sources.contains(s)).count();
 
     assert!(iface_sources(Source::ArpWatch) > 0, "ARPwatch contributed");
-    assert!(iface_sources(Source::EtherHostProbe) > 0, "EtherHostProbe contributed");
+    assert!(
+        iface_sources(Source::EtherHostProbe) > 0,
+        "EtherHostProbe contributed"
+    );
     assert!(iface_sources(Source::SeqPing) > 0, "SeqPing contributed");
-    assert!(iface_sources(Source::BrdcastPing) > 0, "BrdcastPing contributed");
-    assert!(iface_sources(Source::SubnetMasks) > 0, "SubnetMasks contributed");
+    assert!(
+        iface_sources(Source::BrdcastPing) > 0,
+        "BrdcastPing contributed"
+    );
+    assert!(
+        iface_sources(Source::SubnetMasks) > 0,
+        "SubnetMasks contributed"
+    );
     assert!(iface_sources(Source::Dns) > 0, "DNS contributed");
     assert!(subnet_sources(Source::RipWatch) > 0, "RIPwatch contributed");
-    assert!(subnet_sources(Source::Traceroute) > 0, "Traceroute contributed");
+    assert!(
+        subnet_sources(Source::Traceroute) > 0,
+        "Traceroute contributed"
+    );
 
     // Cross-correlation: at least one record was touched by 4+ modules.
     let best = recs.iter().map(|r| r.sources.len()).max().unwrap_or(0);

@@ -17,7 +17,10 @@ use fremont::netsim::time::SimDuration;
 
 /// Four subnets in a line so the two vantage points see different "near
 /// sides" of the middle routers.
-fn line4() -> (fremont::netsim::engine::Sim, fremont::netsim::builder::Topology) {
+fn line4() -> (
+    fremont::netsim::engine::Sim,
+    fremont::netsim::builder::Topology,
+) {
     let mut b = TopologyBuilder::new();
     let a = b.segment("net-a", "10.2.1.0/24");
     let m1 = b.segment("net-m1", "10.2.2.0/24");
@@ -42,14 +45,22 @@ fn multi_vantage_traceroute_sees_both_interface_halves() {
         "10.2.2.0/24".parse().unwrap(),
         "10.2.3.0/24".parse().unwrap(),
     ];
-    let hw = sim.spawn(west, Box::new(Traceroute::new(TracerouteConfig::over(targets.clone()))));
-    let he = sim.spawn(east, Box::new(Traceroute::new(TracerouteConfig::over(targets))));
+    let hw = sim.spawn(
+        west,
+        Box::new(Traceroute::new(TracerouteConfig::over(targets.clone()))),
+    );
+    let he = sim.spawn(
+        east,
+        Box::new(Traceroute::new(TracerouteConfig::over(targets))),
+    );
     sim.run_for(SimDuration::from_mins(10));
 
     // Both runs' observations flow into one shared Journal.
     let journal = SharedJournal::new();
     for (_, at, o) in sim.drain_observations() {
-        journal.store(at.to_jtime(), std::slice::from_ref(&o)).expect("store");
+        journal
+            .store(at.to_jtime(), std::slice::from_ref(&o))
+            .expect("store");
     }
     let _ = (hw, he);
 
@@ -78,16 +89,18 @@ fn rip_poll_reaches_across_routers_and_feeds_the_journal() {
     // Poll r3 — three hops away — by its far-side attachment address.
     let h = sim.spawn(
         west,
-        Box::new(RipProbe::new(RipProbeConfig::over(vec![
-            "10.2.3.2".parse().unwrap(),
-        ]))),
+        Box::new(RipProbe::new(RipProbeConfig::over(vec!["10.2.3.2"
+            .parse()
+            .unwrap()]))),
     );
     sim.run_for(SimDuration::from_mins(2));
     assert!(sim.process_done(h));
 
     let journal = SharedJournal::new();
     for (_, at, o) in sim.drain_observations() {
-        journal.store(at.to_jtime(), std::slice::from_ref(&o)).expect("store");
+        journal
+            .store(at.to_jtime(), std::slice::from_ref(&o))
+            .expect("store");
     }
     // One routed poll learned every subnet r3 can reach.
     let subs = journal.subnets(&SubnetQuery::all()).expect("query");

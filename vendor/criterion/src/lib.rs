@@ -1,0 +1,245 @@
+//! Minimal `criterion` replacement for offline builds.
+//!
+//! Keeps the macro/API surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `black_box`, `BenchmarkId`, `Throughput`) but
+//! replaces the statistics engine with a simple timed loop: a short
+//! warm-up, then repeated batches, reporting the best mean ns/iter.
+//! Good enough to compare order-of-magnitude costs and to keep bench
+//! targets compiling and runnable without network dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (prevents the optimizer from deleting work).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level driver, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(200),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.id.clone());
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches (real criterion: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget across batches.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id, &mut |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            best_ns_per_iter: f64::INFINITY,
+            batch_time: Duration::ZERO,
+        };
+        // One warm-up batch, then `sample_size` timed batches bounded by
+        // the measurement budget; keep the best (least-noisy) mean.
+        bencher.batch_time = Duration::from_millis(1);
+        f(&mut bencher);
+        bencher.best_ns_per_iter = f64::INFINITY;
+        bencher.batch_time = self
+            .measurement_time
+            .div_f64(self.sample_size as f64)
+            .max(Duration::from_micros(200));
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let ns = bencher.best_ns_per_iter;
+        print!("bench {label:<48} {:>14}/iter", format_ns(ns));
+        if let Some(t) = self.throughput {
+            let per_sec = |units: u64| units as f64 * 1e9 / ns;
+            match t {
+                Throughput::Bytes(n) => print!("  {:>10}/s", format_bytes(per_sec(n))),
+                Throughput::Elements(n) => print!("  {:>12.0} elem/s", per_sec(n)),
+            }
+        }
+        println!();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_bytes(bps: f64) -> String {
+    if bps < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Runs closures under timing; handed to each benchmark body.
+pub struct Bencher {
+    best_ns_per_iter: f64,
+    batch_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly for this batch's budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let deadline = Instant::now() + self.batch_time;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos() as f64 / iters as f64;
+        if ns < self.best_ns_per_iter {
+            self.best_ns_per_iter = ns;
+        }
+    }
+}
+
+/// Declares a bench group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

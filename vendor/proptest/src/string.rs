@@ -1,0 +1,185 @@
+//! `string_regex`: strategy generating strings from a small regex subset.
+//!
+//! Supported: literal characters, character classes like `[a-z0-9-]`
+//! (ranges, literals, trailing `-`), `.` (printable ASCII), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded ones capped at
+//! 8 repeats). Anything else is a parse error, like the real crate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Regex-parse failure.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "string_regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One regex atom with repeat bounds.
+struct Piece {
+    /// Candidate characters (uniform choice).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching the parsed pattern.
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                let i = rng.gen_range(0..piece.chars.len());
+                out.push(piece.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses `pattern` and returns a string strategy for it.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                set
+            }
+            '.' => {
+                i += 1;
+                (0x20u8..0x7f).map(|b| b as char).collect()
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .ok_or_else(|| Error("dangling escape".into()))?;
+                i += 2;
+                vec![c]
+            }
+            c @ ('(' | ')' | '|' | '^' | '$') => {
+                return Err(Error(format!("unsupported construct '{c}'")));
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if alphabet.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        let (min, max, next) = parse_quantifier(&chars, i)?;
+        i = next;
+        pieces.push(Piece {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    Ok(RegexStrategy { pieces })
+}
+
+/// Parses a `[...]` body starting just after `[`; returns (set, index past `]`).
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+    let mut set = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        return Err(Error("negated classes unsupported".into()));
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let lo = chars[i];
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            if lo > hi {
+                return Err(Error(format!("inverted range {lo}-{hi}")));
+            }
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(lo);
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        return Err(Error("unterminated character class".into()));
+    }
+    Ok((set, i + 1))
+}
+
+/// Parses an optional quantifier at `i`; returns (min, max, next index).
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), Error> {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error("unterminated quantifier".into()))?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| Error(format!("bad repeat count '{s}'")))
+            };
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                None => {
+                    let n = parse(&body)?;
+                    (n, n)
+                }
+            };
+            if min > max {
+                return Err(Error(format!("inverted repeat {{{body}}}")));
+            }
+            Ok((min, max, close + 1))
+        }
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('*') => Ok((0, 8, i + 1)),
+        Some('+') => Ok((1, 8, i + 1)),
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn label_pattern_generates_matches() {
+        let strat = string_regex("[a-z0-9-]{1,12}").expect("valid regex");
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=12).contains(&s.len()), "bad len {}", s.len());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("[z-a]").is_err());
+        assert!(string_regex("[abc").is_err());
+    }
+}

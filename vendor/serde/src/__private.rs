@@ -1,0 +1,69 @@
+//! Support machinery for the derive macro. Not public API.
+
+use crate::de::Deserialize;
+use crate::ser::Serialize;
+use crate::value::{Value, ValueError};
+
+/// Serializer whose output is the value tree itself.
+pub struct ValueSerializer;
+
+impl crate::ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer reading from an in-memory value tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> crate::de::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any `Serialize` into a value tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any `DeserializeOwned` from a value tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Removes a field from an object's entries; `Null` when absent (so
+/// `Option` fields tolerate missing keys, as serde_json does).
+pub fn take_field(entries: &mut Vec<(String, Value)>, name: &str) -> Value {
+    match entries.iter().position(|(k, _)| k == name) {
+        Some(i) => entries.remove(i).1,
+        None => Value::Null,
+    }
+}
+
+/// Unwraps an array value.
+pub fn expect_array(value: Value, what: &str) -> Result<Vec<Value>, ValueError> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(ValueError(format!(
+            "{what}: expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Unwraps an object value.
+pub fn expect_object(value: Value, what: &str) -> Result<Vec<(String, Value)>, ValueError> {
+    match value {
+        Value::Object(entries) => Ok(entries),
+        other => Err(ValueError(format!(
+            "{what}: expected object, found {}",
+            other.kind()
+        ))),
+    }
+}

@@ -1,0 +1,224 @@
+//! Deserialization traits, mirroring `serde::de`.
+
+use std::fmt::Display;
+
+use crate::value::Value;
+
+/// Error trait for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A deserializer: yields a self-describing [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces the full value tree for the input.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A deserializable type.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable from any lifetime (owned output).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn type_err<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! de_uint {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_value()? {
+                    Value::UInt(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("integer {v} out of range"))),
+                    Value::Int(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("integer {v} out of range"))),
+                    other => Err(type_err("unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! de_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_value()? {
+                    Value::UInt(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("integer {v} out of range"))),
+                    Value::Int(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("integer {v} out of range"))),
+                    other => Err(type_err("integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Float(v) => Ok(v),
+            Value::UInt(v) => Ok(v as f64),
+            Value::Int(v) => Ok(v as f64),
+            other => Err(type_err("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => crate::__private::from_value(other)
+                .map(Some)
+                .map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| crate::__private::from_value(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(type_err("array", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($name:ident),+)),+ $(,)?) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                match d.deserialize_value()? {
+                    Value::Array(items) => {
+                        if items.len() != $len {
+                            return Err(De::Error::custom(format!(
+                                "expected tuple of length {}, found {}", $len, items.len())));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            {
+                                let v = it.next().expect("length checked");
+                                crate::__private::from_value::<$name>(v)
+                                    .map_err(De::Error::custom)?
+                            },
+                        )+))
+                    }
+                    other => Err(type_err("array (tuple)", &other)),
+                }
+            }
+        }
+    )+};
+}
+
+de_tuple!(
+    (1, A),
+    (2, A, B),
+    (3, A, B, C),
+    (4, A, B, C, D),
+    (5, A, B, C, D, E),
+    (6, A, B, C, D, E, F),
+);
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    K::Err: Display,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Object(entries) => {
+                let mut out = std::collections::BTreeMap::new();
+                for (k, v) in entries {
+                    let key = k
+                        .parse()
+                        .map_err(|e| D::Error::custom(format!("bad key: {e}")))?;
+                    let val = crate::__private::from_value(v).map_err(D::Error::custom)?;
+                    out.insert(key, val);
+                }
+                Ok(out)
+            }
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse()
+            .map_err(|e| D::Error::custom(format!("invalid IPv4 address {s:?}: {e}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}

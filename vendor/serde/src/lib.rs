@@ -1,0 +1,24 @@
+//! A minimal, self-contained reimplementation of the serde API surface
+//! used by this workspace.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the handful of external crates it needs. This crate
+//! keeps serde's public trait names and signatures (`Serialize`,
+//! `Deserialize`, `Serializer`, `Deserializer`, `ser::Error`,
+//! `de::Error`) so application code is source-compatible, but the data
+//! model is a simple self-describing [`value::Value`] tree rather than
+//! serde's full visitor architecture. `serde_json` (also vendored)
+//! drives these traits to and from JSON text.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,377 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields and
+//!   simple generic parameters);
+//! * tuple structs (newtype and n-ary);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Fields, Input, Variant};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match Input::parse(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match Input::parse(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+fn ser_generics(input: &Input) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Serialize"))
+            .collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("<{}>", input.generics.join(", ")),
+        )
+    }
+}
+
+fn de_generics(input: &Input) -> (String, String) {
+    if input.generics.is_empty() {
+        ("<'de>".to_owned(), String::new())
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::de::DeserializeOwned"))
+            .collect();
+        (
+            format!("<'de, {}>", bounded.join(", ")),
+            format!("<{}>", input.generics.join(", ")),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_g, ty_g) = ser_generics(input);
+    let body = match &input.data {
+        parse::Data::Struct(fields) => ser_struct_body(name, fields, "self"),
+        parse::Data::Enum(variants) => ser_enum_body(name, variants),
+    };
+    format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 let __value = {body};\n\
+                 __serializer.serialize_value(__value)\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Expression producing a `Value` for a struct's fields accessed through
+/// `recv` (`self` for derive on structs).
+fn ser_struct_body(name: &str, fields: &Fields, recv: &str) -> String {
+    match fields {
+        Fields::Unit => "::serde::value::Value::Null".to_owned(),
+        Fields::Tuple(n) if *n == 1 => field_to_value(name, &format!("&{recv}.0")),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| field_to_value(name, &format!("&{recv}.{i}")))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => {
+            let mut parts = Vec::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let fname = &f.name;
+                parts.push(format!(
+                    "({fname:?}.to_string(), {})",
+                    field_to_value(name, &format!("&{recv}.{fname}"))
+                ));
+            }
+            format!("::serde::value::Value::Object(vec![{}])", parts.join(", "))
+        }
+    }
+}
+
+fn field_to_value(ty_name: &str, expr: &str) -> String {
+    format!(
+        "::serde::__private::to_value({expr})\
+         .map_err(|e| <__S::Error as ::serde::ser::Error>::custom(\
+             format!(\"{ty_name}: {{e}}\")))?"
+    )
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => {
+                format!("{name}::{vname} => ::serde::value::Value::Str({vname:?}.to_string())")
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    field_to_value(name, "__f0")
+                } else {
+                    let items: Vec<String> =
+                        binds.iter().map(|b| field_to_value(name, b)).collect();
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{vname}({}) => ::serde::value::Value::Object(vec![({vname:?}.to_string(), {inner})])",
+                    binds.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), {})",
+                            f.name,
+                            field_to_value(name, &f.name)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::value::Value::Object(vec![\
+                         ({vname:?}.to_string(), ::serde::value::Value::Object(vec![{}]))])",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_g, ty_g) = de_generics(input);
+    let body = match &input.data {
+        parse::Data::Struct(fields) => de_struct_body(name, fields),
+        parse::Data::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "impl{impl_g} ::serde::Deserialize<'de> for {name}{ty_g} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 let __value = ::serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_err(expr: &str) -> String {
+    format!("<__D::Error as ::serde::de::Error>::custom({expr})")
+}
+
+fn field_from_value(ty_name: &str, field: &str, expr: &str) -> String {
+    let err = de_err(&format!("format!(\"{ty_name}.{field}: {{e}}\")"));
+    format!("::serde::__private::from_value({expr}).map_err(|e| {err})?")
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = __value; Ok({name})"),
+        Fields::Tuple(n) if *n == 1 => {
+            let inner = field_from_value(name, "0", "__value");
+            format!("Ok({name}({inner}))")
+        }
+        Fields::Tuple(n) => {
+            let arr_err = de_err(&format!("format!(\"{name}: {{e}}\")"));
+            let len_err = de_err(&format!(
+                "format!(\"{name}: expected {n} elements, found {{}}\", __items.len())"
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    field_from_value(
+                        name,
+                        &i.to_string(),
+                        "__items.next().expect(\"len checked\")",
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = ::serde::__private::expect_array(__value, {name:?})\
+                     .map_err(|e| {arr_err})?;\n\
+                 if __items.len() != {n} {{ return Err({len_err}); }}\n\
+                 let mut __items = __items.into_iter();\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let obj_err = de_err(&format!("format!(\"{name}: {{e}}\")"));
+            let mut lets = Vec::new();
+            let mut inits = Vec::new();
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    inits.push(format!("{fname}: ::core::default::Default::default()"));
+                    continue;
+                }
+                let take = format!("::serde::__private::take_field(&mut __obj, {fname:?})");
+                lets.push(format!(
+                    "let {fname} = {};",
+                    field_from_value(name, fname, &take)
+                ));
+                inits.push(fname.clone());
+            }
+            format!(
+                "let mut __obj = ::serde::__private::expect_object(__value, {name:?})\
+                     .map_err(|e| {obj_err})?;\n\
+                 {}\n\
+                 Ok({name} {{ {} }})",
+                lets.join("\n"),
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut keyed_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push(format!("{vname:?} => Ok({name}::{vname})"));
+            }
+            Fields::Tuple(n) if *n == 1 => {
+                let inner = field_from_value(name, vname, "__inner");
+                keyed_arms.push(format!("{vname:?} => Ok({name}::{vname}({inner}))"));
+            }
+            Fields::Tuple(n) => {
+                let arr_err = de_err(&format!("format!(\"{name}::{vname}: {{e}}\")"));
+                let len_err = de_err(&format!(
+                    "format!(\"{name}::{vname}: expected {n} elements, found {{}}\", __items.len())"
+                ));
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        field_from_value(
+                            name,
+                            &format!("{vname}.{i}"),
+                            "__items.next().expect(\"len checked\")",
+                        )
+                    })
+                    .collect();
+                keyed_arms.push(format!(
+                    "{vname:?} => {{\n\
+                         let __items = ::serde::__private::expect_array(__inner, {vname:?})\
+                             .map_err(|e| {arr_err})?;\n\
+                         if __items.len() != {n} {{ return Err({len_err}); }}\n\
+                         let mut __items = __items.into_iter();\n\
+                         Ok({name}::{vname}({}))\n\
+                     }}",
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let obj_err = de_err(&format!("format!(\"{name}::{vname}: {{e}}\")"));
+                let mut lets = Vec::new();
+                let mut inits = Vec::new();
+                for f in fields {
+                    let fname = &f.name;
+                    if f.skip {
+                        inits.push(format!("{fname}: ::core::default::Default::default()"));
+                        continue;
+                    }
+                    let take = format!("::serde::__private::take_field(&mut __obj, {fname:?})");
+                    lets.push(format!(
+                        "let {fname} = {};",
+                        field_from_value(name, &format!("{vname}.{fname}"), &take)
+                    ));
+                    inits.push(fname.clone());
+                }
+                keyed_arms.push(format!(
+                    "{vname:?} => {{\n\
+                         let mut __obj = ::serde::__private::expect_object(__inner, {vname:?})\
+                             .map_err(|e| {obj_err})?;\n\
+                         {}\n\
+                         Ok({name}::{vname} {{ {} }})\n\
+                     }}",
+                    lets.join("\n"),
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let unknown_unit = de_err(&format!(
+        "format!(\"unknown {name} variant {{__other:?}}\")"
+    ));
+    let unknown_keyed = de_err(&format!(
+        "format!(\"unknown {name} variant {{__other:?}}\")"
+    ));
+    let bad_shape = de_err(&format!(
+        "format!(\"{name}: expected variant string or single-key object, found {{}}\", __value.kind())"
+    ));
+    unit_arms.push(format!("__other => Err({unknown_unit})"));
+    keyed_arms.push(format!("__other => Err({unknown_keyed})"));
+    format!(
+        "match __value {{\n\
+             ::serde::value::Value::Str(__s) => match __s.as_str() {{ {} }},\n\
+             ::serde::value::Value::Object(mut __obj) if __obj.len() == 1 => {{\n\
+                 let (__key, __inner) = __obj.remove(0);\n\
+                 match __key.as_str() {{ {} }}\n\
+             }}\n\
+             __value => Err({bad_shape}),\n\
+         }}",
+        unit_arms.join(",\n"),
+        keyed_arms.join(",\n")
+    )
+}
+
+pub(crate) fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+pub(crate) fn is_group(tt: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tt, TokenTree::Group(g) if g.delimiter() == delim)
+}

@@ -1,0 +1,269 @@
+//! Token-level parser for derive input: just enough of Rust's item
+//! grammar to recognize the structs and enums this workspace defines.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use crate::{is_group, is_punct};
+
+/// One named field.
+pub struct Field {
+    pub name: String,
+    pub skip: bool,
+}
+
+/// A struct's or variant's field list.
+pub enum Fields {
+    Unit,
+    /// Tuple fields (count).
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+/// Parsed derive input.
+pub struct Input {
+    pub name: String,
+    /// Type parameter names, in order (lifetimes/consts unsupported).
+    pub generics: Vec<String>,
+    pub data: Data,
+}
+
+impl Input {
+    pub fn parse(stream: TokenStream) -> Result<Input, String> {
+        let toks: Vec<TokenTree> = stream.into_iter().collect();
+        let mut i = 0;
+
+        // Outer attributes and visibility.
+        loop {
+            if i < toks.len() && is_punct(&toks[i], '#') {
+                i += 2; // '#' + [...] group
+            } else if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub")
+            {
+                i += 1;
+                if i < toks.len() && is_group(&toks[i], Delimiter::Parenthesis) {
+                    i += 1; // pub(crate) etc.
+                }
+            } else {
+                break;
+            }
+        }
+
+        let kind = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected struct/enum, found {other:?}")),
+        };
+        i += 1;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected type name, found {other:?}")),
+        };
+        i += 1;
+
+        // Generics.
+        let mut generics = Vec::new();
+        if i < toks.len() && is_punct(&toks[i], '<') {
+            i += 1;
+            let mut depth = 1usize;
+            let mut at_param_start = true;
+            let mut in_bound = false;
+            while i < toks.len() && depth > 0 {
+                match &toks[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        at_param_start = true;
+                        in_bound = false;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        in_bound = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' => {
+                        return Err("lifetime parameters are not supported".to_owned());
+                    }
+                    TokenTree::Ident(id) if at_param_start && !in_bound => {
+                        let s = id.to_string();
+                        if s == "const" {
+                            return Err("const generics are not supported".to_owned());
+                        }
+                        generics.push(s);
+                        at_param_start = false;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+
+        // where clauses are not used by this workspace.
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+            return Err("where clauses are not supported".to_owned());
+        }
+
+        let data = match kind.as_str() {
+            "struct" => match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Data::Struct(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            },
+            "enum" => match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Data::Enum(parse_variants(g.stream())?)
+                }
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            },
+            other => return Err(format!("cannot derive for a {other}")),
+        };
+
+        Ok(Input {
+            name,
+            generics,
+            data,
+        })
+    }
+}
+
+/// Scans a field's attributes for `#[serde(skip)]`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Attributes.
+        let mut skip = false;
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                skip |= attr_is_serde_skip(g);
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if i < toks.len() && is_group(&toks[i], Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        if !matches!(&toks.get(i), Some(t) if is_punct(t, ':')) {
+            return Err(format!("expected ':' after field {name}"));
+        }
+        i += 1;
+        // Type: consume until a top-level comma (angle-bracket aware; all
+        // other bracketing arrives as atomic groups).
+        let mut angle = 0isize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(Fields::Named(fields))
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0isize;
+    let mut saw_tokens = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // variant attributes (doc comments)
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                match parse_named_fields(g.stream())? {
+                    Fields::Named(f) => Fields::Named(f),
+                    _ => unreachable!("parse_named_fields returns Named"),
+                }
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(&toks.get(i), Some(t) if is_punct(t, '=')) {
+            return Err(format!("discriminants are not supported (variant {name})"));
+        }
+        if matches!(&toks.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}

@@ -1,0 +1,164 @@
+//! A minimal, self-contained `serde_json` replacement for offline
+//! builds, implementing the subset of the API this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_vec`], [`to_vec_pretty`],
+//! [`from_str`], [`from_slice`], [`to_value`], [`from_value`], the
+//! [`json!`] macro, and the [`Value`] type.
+
+use std::fmt;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+mod read;
+mod write;
+
+pub use serde::value::Value;
+
+/// Error raised by JSON serialization or parsing.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    serde::__private::to_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Converts a [`Value`] tree into any deserializable type.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    serde::__private::from_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&to_value(value)?, None))
+}
+
+/// Serializes to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&to_value(value)?, Some(0)))
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    from_value(read::parse(s)?)
+}
+
+/// Parses a value from JSON bytes (must be UTF-8).
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] object literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$item).expect("json! value"),)* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val).expect("json! value")), )*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+        let t = (1u8, "x".to_string());
+        let s = to_string(&t).unwrap();
+        assert_eq!(from_str::<(u8, String)>(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{1}f";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+        // Surrogate pair.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("not json").is_err());
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<u32>("42 trailing").is_err());
+        assert!(from_str::<Vec<u32>>("[1,2,").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": 1u32, "b": [true, false], "c": "x"});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats() {
+        let s = to_string(&1.5f64).unwrap();
+        assert_eq!(from_str::<f64>(&s).unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<f64>("-2.5e2").unwrap(), -250.0);
+    }
+}

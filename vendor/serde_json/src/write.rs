@@ -1,0 +1,108 @@
+//! JSON text output: compact and pretty (2-space indent).
+
+use serde::value::Value;
+
+/// Renders a value; `indent: Some(level)` selects pretty output.
+pub fn write(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    emit(value, indent, &mut out);
+    out
+}
+
+fn emit(value: &Value, indent: Option<usize>, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Float(v) => {
+            if v.is_finite() {
+                let s = v.to_string();
+                out.push_str(&s);
+                // Keep floats recognizable as floats on re-parse.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => emit_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    newline_indent(level + 1, out);
+                    emit(item, Some(level + 1), out);
+                } else {
+                    emit(item, None, out);
+                }
+            }
+            if let Some(level) = indent {
+                newline_indent(level, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    newline_indent(level + 1, out);
+                    emit_string(key, out);
+                    out.push_str(": ");
+                    emit(val, Some(level + 1), out);
+                } else {
+                    emit_string(key, out);
+                    out.push(':');
+                    emit(val, None, out);
+                }
+            }
+            if let Some(level) = indent {
+                newline_indent(level, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(level: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
