@@ -14,8 +14,10 @@ use crate::tables::Table;
 pub fn full_campaign(cfg: &CampusConfig, days: u64) -> Fremont {
     let mut system = Fremont::over_campus(cfg);
     let faults = system.truth.faults.clone();
-    // First day: healthy network.
-    system.explore(SimDuration::from_hours(6));
+    // First day: healthy network. (In-memory journal: flush cannot fail.)
+    system
+        .explore(SimDuration::from_hours(6))
+        .expect("in-memory flush");
     // Then the faults activate (duplicate clone boots; hardware replaced).
     let sim = &mut system.driver.sim;
     if let Some((_, clone)) = &faults.duplicate_ip_pair {
@@ -31,7 +33,9 @@ pub fn full_campaign(cfg: &CampusConfig, days: u64) -> Fremont {
             sim.set_node_up(n, true);
         }
     }
-    system.explore(SimDuration::from_days(days.max(1)) - SimDuration::from_hours(6));
+    system
+        .explore(SimDuration::from_days(days.max(1)) - SimDuration::from_hours(6))
+        .expect("in-memory flush");
     system
 }
 

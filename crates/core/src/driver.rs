@@ -166,8 +166,10 @@ impl DiscoveryDriver {
     }
 
     /// Runs the deployment for a span of simulated time, then flushes
-    /// the journal to disk (for durable persistence policies).
-    pub fn run_for(&mut self, duration: SimDuration) {
+    /// the journal to disk (for durable persistence policies). The error
+    /// is the flush failing: exploration itself has already happened and
+    /// its results are in memory, but durability was not achieved.
+    pub fn run_for(&mut self, duration: SimDuration) -> std::io::Result<()> {
         let deadline = self.sim.now() + duration;
         // Plan immediately so due modules start at the beginning of the
         // span rather than one pump interval in.
@@ -177,7 +179,7 @@ impl DiscoveryDriver {
             self.sim.run_for(slice);
             self.pump();
         }
-        let _ = self.flush();
+        self.flush()
     }
 
     /// One pump: drain observations, retire finished modules, start due
@@ -201,7 +203,9 @@ impl DiscoveryDriver {
             .map(|(s, _)| *s)
             .collect();
         for source in finished {
-            let (handle, stored) = self.running.remove(&source).expect("listed");
+            let Some((handle, stored)) = self.running.remove(&source) else {
+                continue; // Listed from this very map; cannot miss.
+            };
             self.sim.kill_process(handle);
             let deficit_after = self.deficit_for(source);
             self.manager.record_run(
@@ -460,7 +464,7 @@ mod tests {
         // One simulated hour: RIPwatch hears the router, traceroute maps
         // the far subnet, pings find hosts, masks arrive, correlation
         // builds the gateway.
-        driver.run_for(SimDuration::from_hours(1));
+        driver.run_for(SimDuration::from_hours(1)).unwrap();
         let stats = journal.stats().unwrap();
         assert!(stats.interfaces >= 3, "{stats:?}");
         assert!(stats.subnets >= 2, "{stats:?}");
@@ -504,7 +508,7 @@ mod tests {
         cfg.persistence = PersistencePolicy::Wal(fremont_storage::WalConfig::new(&dir));
         let mut driver = DiscoveryDriver::open(sim, home, cfg.clone()).unwrap();
         assert_eq!(driver.recovery.as_ref().unwrap().records_replayed, 0);
-        driver.run_for(SimDuration::from_hours(1));
+        driver.run_for(SimDuration::from_hours(1)).unwrap();
         let before = driver.journal.stats().unwrap();
         assert!(before.interfaces >= 3, "{before:?}");
         drop(driver);
@@ -532,7 +536,7 @@ mod tests {
         let mut cfg = DriverConfig::full(network, None);
         cfg.persistence = PersistencePolicy::SnapshotOnly { path: path.clone() };
         let mut driver = DiscoveryDriver::open(sim, home, cfg.clone()).unwrap();
-        driver.run_for(SimDuration::from_mins(10));
+        driver.run_for(SimDuration::from_mins(10)).unwrap();
         let before = driver.journal.stats().unwrap();
         drop(driver);
         assert!(path.exists(), "run_for flushes the snapshot");

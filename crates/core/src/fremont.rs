@@ -41,9 +41,10 @@ impl Fremont {
         }
     }
 
-    /// Explores for a span of simulated time.
-    pub fn explore(&mut self, duration: SimDuration) {
-        self.driver.run_for(duration);
+    /// Explores for a span of simulated time. The error is the final
+    /// journal flush failing (always `Ok` for in-memory deployments).
+    pub fn explore(&mut self, duration: SimDuration) -> std::io::Result<()> {
+        self.driver.run_for(duration)
     }
 
     /// Current journal time.
@@ -79,7 +80,7 @@ mod tests {
         let mut cfg = CampusConfig::small();
         cfg.cs_traffic = false; // Keep the test fast.
         let mut f = Fremont::over_campus(&cfg);
-        f.explore(SimDuration::from_mins(30));
+        f.explore(SimDuration::from_mins(30)).unwrap();
         let stats = f.stats();
         assert!(stats.interfaces >= 5, "{stats:?}");
         assert!(stats.subnets >= 5, "{stats:?}");

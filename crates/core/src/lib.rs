@@ -23,7 +23,7 @@
 //! let mut cfg = CampusConfig::small();
 //! cfg.cs_traffic = false;
 //! let mut fremont = Fremont::over_campus(&cfg);
-//! fremont.explore(SimDuration::from_mins(10));
+//! fremont.explore(SimDuration::from_mins(10)).unwrap();
 //! assert!(fremont.stats().interfaces > 0);
 //! ```
 

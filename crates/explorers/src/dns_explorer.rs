@@ -152,19 +152,12 @@ impl DnsExplorer {
     }
 
     fn effective_mask(&self) -> SubnetMask {
-        self.mask
-            .unwrap_or_else(|| SubnetMask::from_prefix_len(24).expect("24 valid"))
+        self.mask.unwrap_or(SubnetMask::CLASS_C)
     }
 
     /// The reverse-tree zone name for the configured network.
     fn parent_zone(&self) -> DnsName {
-        let o = self.cfg.network.network().octets();
-        let name = match self.cfg.network.prefix_len() {
-            0..=8 => format!("{}.in-addr.arpa", o[0]),
-            9..=16 => format!("{}.{}.in-addr.arpa", o[1], o[0]),
-            _ => format!("{}.{}.{}.in-addr.arpa", o[2], o[1], o[0]),
-        };
-        name.parse().expect("reverse zone name")
+        DnsName::reverse_zone_for(self.cfg.network.network(), self.cfg.network.prefix_len())
     }
 
     fn send_axfr(&mut self, zone: DnsName, ctx: &mut ProcCtx<'_>) {
@@ -341,13 +334,16 @@ impl DnsExplorer {
         for (subnet, mut ips) in subnets {
             ips.sort_by_key(|ip| u32::from(*ip));
             ips.dedup();
+            let (Some(&lowest), Some(&highest)) = (ips.first(), ips.last()) else {
+                continue;
+            };
             ctx.emit(Observation::new(
                 Source::Dns,
                 Fact::SubnetStats {
                     subnet,
                     host_count: ips.len() as u32,
-                    lowest: ips[0],
-                    highest: *ips.last().expect("nonempty"),
+                    lowest,
+                    highest,
                 },
             ));
         }

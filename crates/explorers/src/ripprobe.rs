@@ -137,7 +137,9 @@ impl Process for RipProbe {
         if rip.command != RipCommand::Response {
             return;
         }
-        let local = self.local.expect("set at start");
+        let Some(local) = self.local else {
+            return; // No reply can precede on_start setting this.
+        };
         let routes = self.responders.entry(pkt.src).or_insert_with(|| {
             // First reply from this gateway: it is a live router interface.
             Vec::new()

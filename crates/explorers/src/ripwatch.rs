@@ -195,7 +195,9 @@ impl Process for RipWatch {
         if rip.command != RipCommand::Response {
             return;
         }
-        let local = self.local_subnet.expect("set at start");
+        let Some(local) = self.local_subnet else {
+            return; // No packet can precede on_start setting this.
+        };
 
         let entry = self.sources.entry(pkt.src).or_default();
         entry.mac = Some(frame.src);

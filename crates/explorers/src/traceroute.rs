@@ -71,7 +71,7 @@ impl TracerouteConfig {
             send_interval: SimDuration::from_millis(125),
             max_outstanding: 80,
             boundary: None,
-            mask_hint: SubnetMask::from_prefix_len(24).expect("24 valid"),
+            mask_hint: SubnetMask::CLASS_C,
             max_timeouts: 2,
             start_ttl: 1,
         }
@@ -218,7 +218,9 @@ impl Traceroute {
             .map(|(p, _)| *p)
             .collect();
         for port in expired {
-            let (idx, ttl, _) = self.outstanding.remove(&port).expect("listed");
+            let Some((idx, ttl, _)) = self.outstanding.remove(&port) else {
+                continue;
+            };
             let t = &mut self.traces[idx];
             if t.awaiting != Some(port) {
                 continue; // A stale reply for a superseded probe.

@@ -32,6 +32,7 @@ impl RemoteJournal {
     }
 
     fn call(&self, req: &Request) -> Result<Response, ProtoError> {
+        // fremont-lint: allow(lock-order) -- the connection mutex exists to serialize request/response pairs; holding it across the socket IO is the point
         let mut guard = self.io.lock().expect("journal client poisoned");
         let (reader, writer) = &mut *guard;
         write_frame(writer, req)?;

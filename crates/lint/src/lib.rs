@@ -1,0 +1,443 @@
+//! `fremont-lint`: in-tree static analysis for Fremont's whole-codebase
+//! invariants.
+//!
+//! The Journal's value is cross-correlating timestamped observations,
+//! which only holds if discovery runs are replayable and the durable WAL
+//! never silently changes format or panics mid-append. Those are
+//! properties no unit test can guard — one `SystemTime::now()` added to
+//! an explorer breaks replay everywhere — so this crate walks every
+//! `.rs` file in the workspace with its own token-level lexer
+//! ([`lexer`]) and enforces five rules:
+//!
+//! | rule          | invariant |
+//! |---------------|-----------|
+//! | `determinism` | no wall-clock / unseeded RNG outside the clock module |
+//! | `panic`       | no `unwrap`/`expect`/`panic!` in hot/IO paths |
+//! | `ignored-io`  | no `let _ =` discarding a flush/sync result |
+//! | `lock-order`  | no lock cycles; no lock held across file IO |
+//! | `wal-schema`  | serialized record types are append-only vs a golden |
+//!
+//! Findings can be suppressed inline with
+//! `// fremont-lint: allow(<rule>) -- <reason>` on the offending line or
+//! the line above; suppressions are counted against a workspace budget
+//! and unused or reasonless ones are themselves violations.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Tok, TokKind};
+use suppress::Suppression;
+
+/// All rule names, in reporting order.
+pub const RULES: [&str; 5] = [
+    "determinism",
+    "panic",
+    "ignored-io",
+    "lock-order",
+    "wal-schema",
+];
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory (does not affect the exit code): e.g. an appended WAL
+    /// variant awaiting a golden refresh.
+    Warning,
+    /// An invariant violation: fails the build.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired (one of [`RULES`], or `suppression`).
+    pub rule: &'static str,
+    /// Workspace-relative path (unix separators).
+    pub path: String,
+    /// 1-based source line (0 when the finding is file-level).
+    pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub col: u32,
+    pub severity: Severity,
+    pub message: String,
+}
+
+/// Analyzer configuration: which paths each rule covers.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (where `Cargo.toml` with `[workspace]` lives).
+    pub root: PathBuf,
+    /// Path prefixes where wall-clock/RNG use is allowed (the clock
+    /// module; `vendor/` and test code are always exempt).
+    pub clock_allowlist: Vec<String>,
+    /// Path prefixes the panic-freedom rule covers (hot/IO paths).
+    pub panic_scope: Vec<String>,
+    /// Path prefixes whose serialized types are schema-fingerprinted.
+    pub schema_scope: Vec<String>,
+    /// Workspace-relative path of the committed schema golden.
+    pub golden_path: String,
+    /// Maximum `fremont-lint: allow` annotations tolerated workspace-wide.
+    pub max_suppressions: usize,
+}
+
+impl Config {
+    /// The Fremont workspace defaults.
+    pub fn for_root(root: PathBuf) -> Self {
+        Config {
+            root,
+            clock_allowlist: vec!["crates/journal/src/time.rs".to_owned()],
+            panic_scope: vec![
+                "crates/storage/".to_owned(),
+                "crates/explorers/".to_owned(),
+                "crates/core/src/driver.rs".to_owned(),
+            ],
+            schema_scope: vec![
+                "crates/journal/src/".to_owned(),
+                "crates/storage/src/".to_owned(),
+            ],
+            golden_path: "crates/lint/wal-schema.golden".to_owned(),
+            max_suppressions: 15,
+        }
+    }
+}
+
+/// One lexed source file.
+pub struct SourceFile {
+    /// Workspace-relative path, unix separators.
+    pub path: String,
+    /// Code tokens (comments stripped).
+    pub code: Vec<Tok>,
+    /// Suppression annotations parsed from comments.
+    pub suppressions: Vec<Suppression>,
+    /// Line ranges (inclusive) belonging to `#[cfg(test)]` / `#[test]`
+    /// items; rules skip them.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `content` as the file at `path`.
+    pub fn new(path: String, content: &str) -> Self {
+        let toks = lex(content);
+        let code: Vec<Tok> = toks
+            .iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .cloned()
+            .collect();
+        let suppressions = suppress::parse(&toks);
+        let test_spans = find_test_spans(&code);
+        SourceFile {
+            path,
+            code,
+            suppressions,
+            test_spans,
+        }
+    }
+
+    /// True when `line` is inside test-only code.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when the path starts with any of the given prefixes.
+    pub fn in_scope(&self, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| self.path.starts_with(p.as_str()))
+    }
+}
+
+/// Finds line spans of items annotated `#[cfg(test)]` or `#[test]`
+/// (attribute through the end of the item's `{…}` block or `;`).
+fn find_test_spans(code: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_line = code[i].line;
+        let (attr_end, is_test) = scan_attr(code, i + 1);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = attr_end;
+        while j < code.len()
+            && code[j].is_punct('#')
+            && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let (e, _) = scan_attr(code, j + 1);
+            j = e;
+        }
+        // The item runs to its first top-level `{…}` block or `;`.
+        let mut depth = 0i32;
+        let mut end_line = code.get(j).map_or(attr_line, |t| t.line);
+        while j < code.len() {
+            let t = &code[j];
+            end_line = t.line;
+            match t.text.as_str() {
+                "{" if t.kind == TokKind::Punct => depth += 1,
+                "}" if t.kind == TokKind::Punct => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                }
+                ";" if t.kind == TokKind::Punct && depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push((attr_line, end_line));
+        i = j + 1;
+    }
+    spans
+}
+
+/// Scans an attribute starting at its `[` index; returns (index after
+/// the closing `]`, whether it marks test-only code).
+fn scan_attr(code: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < code.len() {
+        let t = &code[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (j + 1, has_test && !has_not);
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (code.len(), false)
+}
+
+/// The loaded workspace: every analyzable `.rs` file.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+/// Directory names never descended into. `tests/`, `benches/`,
+/// `examples/`, and `fixtures/` hold test-only code (the same exemption
+/// as `#[cfg(test)]` modules); `vendor/` is third-party.
+const SKIP_DIRS: [&str; 7] = [
+    "vendor", "target", "tests", "benches", "examples", "fixtures", ".git",
+];
+
+impl Workspace {
+    /// Walks `root` collecting `.rs` files, skipping [`SKIP_DIRS`].
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut rel_paths = Vec::new();
+        collect(root, root, &mut rel_paths)?;
+        rel_paths.sort();
+        let mut files = Vec::with_capacity(rel_paths.len());
+        for rel in rel_paths {
+            let content = std::fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::new(rel, &content));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Builds a workspace from in-memory (path, content) pairs — the
+    /// unit-test entry point.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: sources
+                .iter()
+                .map(|(p, c)| SourceFile::new((*p).to_owned(), c))
+                .collect(),
+        }
+    }
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The full result of one analyzer run.
+pub struct Analysis {
+    /// Findings that survived suppression, sorted by position.
+    pub violations: Vec<Violation>,
+    /// Suppression annotations that matched a finding.
+    pub suppressions_used: usize,
+    /// All suppression annotations seen.
+    pub suppressions_total: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Analysis {
+    /// Error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warning)
+            .count()
+    }
+}
+
+/// Runs every rule over the workspace and applies suppressions.
+///
+/// `write_golden` regenerates the WAL-schema golden instead of checking
+/// against it (the returned string is the new golden content for the
+/// caller to persist).
+pub fn analyze(ws: &Workspace, cfg: &Config, write_golden: bool) -> (Analysis, Option<String>) {
+    let mut raw: Vec<Violation> = Vec::new();
+    raw.extend(rules::determinism::check(ws, cfg));
+    raw.extend(rules::panics::check(ws, cfg));
+    raw.extend(rules::ignored_io::check(ws, cfg));
+    raw.extend(rules::lock_order::check(ws, cfg));
+    let (schema_violations, new_golden) = rules::schema::check(ws, cfg, write_golden);
+    raw.extend(schema_violations);
+
+    // Apply suppressions: an annotation covers its own line and the
+    // next line, for its listed rules only.
+    let mut violations = Vec::new();
+    for v in raw {
+        let suppressed = ws
+            .files
+            .iter()
+            .find(|f| f.path == v.path)
+            .map(|f| {
+                f.suppressions.iter().any(|s| {
+                    s.covers(v.rule, v.line) && {
+                        s.mark_used();
+                        true
+                    }
+                })
+            })
+            .unwrap_or(false);
+        if !suppressed {
+            violations.push(v);
+        }
+    }
+
+    // Suppression hygiene: a reason is mandatory; unused annotations rot.
+    let mut used = 0usize;
+    let mut total = 0usize;
+    for f in &ws.files {
+        for s in &f.suppressions {
+            total += 1;
+            if s.used() {
+                used += 1;
+            }
+            if let Some(problem) = s.problem() {
+                violations.push(Violation {
+                    rule: "suppression",
+                    path: f.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    severity: Severity::Error,
+                    message: problem,
+                });
+            } else if !s.used() {
+                violations.push(Violation {
+                    rule: "suppression",
+                    path: f.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "unused suppression for `{}` — the finding it silenced is gone; remove it",
+                        s.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    if total > cfg.max_suppressions {
+        violations.push(Violation {
+            rule: "suppression",
+            path: String::new(),
+            line: 0,
+            col: 0,
+            severity: Severity::Error,
+            message: format!(
+                "{total} suppression annotations exceed the workspace budget of {} — fix findings instead of silencing them",
+                cfg.max_suppressions
+            ),
+        });
+    }
+
+    violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    (
+        Analysis {
+            violations,
+            suppressions_used: used,
+            suppressions_total: total,
+            files: ws.files.len(),
+        },
+        new_golden,
+    )
+}
+
+/// Locates the workspace root: walks up from `start` looking for a
+/// `Cargo.toml` containing `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

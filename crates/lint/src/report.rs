@@ -1,0 +1,155 @@
+//! Rendering an [`Analysis`] for humans and for machines.
+//!
+//! The JSON emitter is hand-rolled (this crate is dependency-free by
+//! design — it must build even when the analyzer itself has found the
+//! workspace wanting) and emits a stable shape:
+//!
+//! ```json
+//! {
+//!   "files": 110,
+//!   "violations": [
+//!     {"rule": "panic", "path": "crates/storage/src/wal.rs",
+//!      "line": 265, "col": 60, "severity": "error", "message": "…"}
+//!   ],
+//!   "errors": 1, "warnings": 0,
+//!   "suppressions": {"used": 8, "total": 8, "budget": 15}
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{Analysis, Severity};
+
+/// `file:line:col: severity[rule]: message` lines plus a summary —
+/// the shape editors and CI log scrapers already understand.
+pub fn human(a: &Analysis, budget: usize) -> String {
+    let mut s = String::new();
+    for v in &a.violations {
+        if v.path.is_empty() {
+            let _ = writeln!(s, "{}[{}]: {}", v.severity, v.rule, v.message);
+        } else {
+            let _ = writeln!(
+                s,
+                "{}:{}:{}: {}[{}]: {}",
+                v.path, v.line, v.col, v.severity, v.rule, v.message
+            );
+        }
+    }
+    let _ = writeln!(
+        s,
+        "fremont-lint: {} files, {} error(s), {} warning(s), {}/{} suppression(s) used (budget {})",
+        a.files,
+        a.errors(),
+        a.warnings(),
+        a.suppressions_used,
+        a.suppressions_total,
+        budget
+    );
+    s
+}
+
+/// Machine-readable report (see module docs for the shape).
+pub fn json(a: &Analysis, budget: usize) -> String {
+    let mut s = String::from("{\n");
+    let _ = write!(s, "  \"files\": {},\n  \"violations\": [", a.files);
+    for (i, v) in a.violations.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            s,
+            "{sep}    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+             \"severity\": {}, \"message\": {}}}",
+            quote(v.rule),
+            quote(&v.path),
+            v.line,
+            v.col,
+            quote(match v.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            }),
+            quote(&v.message)
+        );
+    }
+    if !a.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    let _ = write!(
+        s,
+        "],\n  \"errors\": {},\n  \"warnings\": {},\n  \"suppressions\": \
+         {{\"used\": {}, \"total\": {}, \"budget\": {}}}\n}}\n",
+        a.errors(),
+        a.warnings(),
+        a.suppressions_used,
+        a.suppressions_total,
+        budget
+    );
+    s
+}
+
+/// JSON string escaping per RFC 8259 (quotes, backslashes, control chars).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analysis, Severity, Violation};
+
+    fn sample() -> Analysis {
+        Analysis {
+            violations: vec![Violation {
+                rule: "panic",
+                path: "crates/storage/src/wal.rs".to_owned(),
+                line: 265,
+                col: 60,
+                severity: Severity::Error,
+                message: "`.unwrap()` says \"boom\"".to_owned(),
+            }],
+            suppressions_used: 1,
+            suppressions_total: 2,
+            files: 3,
+        }
+    }
+
+    #[test]
+    fn human_has_grep_able_lines() {
+        let out = human(&sample(), 15);
+        assert!(out.contains("crates/storage/src/wal.rs:265:60: error[panic]:"));
+        assert!(out.contains("1 error(s), 0 warning(s), 1/2 suppression(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let out = json(&sample(), 15);
+        assert!(out.contains("\\\"boom\\\""), "{out}");
+        assert!(out.contains("\"errors\": 1"));
+        assert!(out.contains("\"budget\": 15"));
+    }
+
+    #[test]
+    fn empty_violations_render_empty_array() {
+        let a = Analysis {
+            violations: vec![],
+            suppressions_used: 0,
+            suppressions_total: 0,
+            files: 0,
+        };
+        assert!(json(&a, 15).contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Rule `determinism`: no wall-clock or unseeded-RNG use outside the
+//! allowlisted clock module.
+//!
+//! Discovery runs must be replayable: the Journal stamps observations
+//! with simulation time ([`crates/journal/src/time.rs`]), and every
+//! explorer draws randomness from the simulator's seeded RNG. One
+//! `SystemTime::now()` in an explorer makes WAL replay diverge from the
+//! original run on every machine and every rerun — a whole-codebase
+//! property no unit test can see, which is exactly why it is enforced
+//! here.
+
+use crate::lexer::TokKind;
+use crate::{Config, Severity, Violation, Workspace};
+
+/// Type names whose *any* mention is non-deterministic time.
+const CLOCK_TYPES: [&str; 2] = ["SystemTime", "Instant"];
+
+/// Function names that draw from ambient entropy.
+const ENTROPY_FNS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.in_scope(&cfg.clock_allowlist) {
+            continue;
+        }
+        for (i, t) in file.code.iter().enumerate() {
+            if t.kind != TokKind::Ident || file.in_test(t.line) {
+                continue;
+            }
+            let name = t.text.as_str();
+            let message = if CLOCK_TYPES.contains(&name) {
+                format!(
+                    "non-deterministic clock `{name}` — use the journal clock \
+                     ({}) or the simulator's time so runs stay replayable",
+                    cfg.clock_allowlist
+                        .first()
+                        .map(String::as_str)
+                        .unwrap_or("clock module")
+                )
+            } else if ENTROPY_FNS.contains(&name) {
+                format!(
+                    "unseeded randomness `{name}` — thread a seeded RNG from the \
+                     simulation config so runs stay replayable"
+                )
+            } else if name == "random"
+                && i >= 2
+                && file.code[i - 1].is_punct(':')
+                && file.code[i - 2].is_punct(':')
+            {
+                "unseeded `rand::random` — thread a seeded RNG from the simulation config"
+                    .to_owned()
+            } else {
+                continue;
+            };
+            out.push(Violation {
+                rule: "determinism",
+                path: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                severity: Severity::Error,
+                message,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+    use std::path::PathBuf;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let ws = Workspace::from_sources(&[(path, src)]);
+        check(&ws, &Config::for_root(PathBuf::from(".")))
+    }
+
+    #[test]
+    fn flags_wall_clock_and_entropy() {
+        let v = run(
+            "crates/explorers/src/x.rs",
+            "fn f() { let t = std::time::SystemTime::now(); let r = thread_rng(); }",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("SystemTime"));
+    }
+
+    #[test]
+    fn allowlisted_clock_module_is_exempt() {
+        assert!(run(
+            "crates/journal/src/time.rs",
+            "fn f() { let t = SystemTime::now(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn strings_and_tests_are_exempt() {
+        assert!(run(
+            "crates/core/src/y.rs",
+            "fn f() { log(\"SystemTime::now\"); }\n#[cfg(test)]\nmod t { fn g() { Instant::now(); } }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Rule `ignored-io`: `let _ =` must not discard a flush/sync result.
+//!
+//! `let _ = file.sync_all();` acknowledges durability that may not
+//! exist: the kernel reported the flush failed and the program threw
+//! the report away. PR 1's crash tests cannot see this — fault
+//! injection only proves the happy path fsyncs, not that a failing
+//! fsync reaches the `SyncPolicy` caller — so it is enforced
+//! statically. Test code is exempt (cleanup `let _ =` is idiomatic
+//! there).
+
+use crate::lexer::TokKind;
+use crate::rules::statement_end;
+use crate::{Config, Severity, Violation, Workspace};
+
+/// Names whose discarded `Result` means lost durability.
+const SYNC_FNS: [&str; 6] = [
+    "flush",
+    "sync_all",
+    "sync_data",
+    "sync_now",
+    "fsync",
+    "sync",
+];
+
+pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let code = &file.code;
+        for i in 0..code.len() {
+            if !(code[i].is_ident("let")
+                && code.get(i + 1).is_some_and(|t| t.is_ident("_"))
+                && code.get(i + 2).is_some_and(|t| t.is_punct('=')))
+                || file.in_test(code[i].line)
+            {
+                continue;
+            }
+            let end = statement_end(code, i + 3);
+            // The first sync-class call in the discarded expression.
+            for j in i + 3..end {
+                let t = &code[j];
+                if t.kind == TokKind::Ident
+                    && SYNC_FNS.contains(&t.text.as_str())
+                    && code.get(j + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    out.push(Violation {
+                        rule: "ignored-io",
+                        path: file.path.clone(),
+                        line: code[i].line,
+                        col: code[i].col,
+                        severity: Severity::Error,
+                        message: format!(
+                            "`let _ =` discards the result of `{}` — a failed \
+                             flush/sync must propagate or durability is a lie",
+                            t.text
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let ws = Workspace::from_sources(&[("crates/storage/src/x.rs", src)]);
+        check(&ws, &Config::for_root(PathBuf::from(".")))
+    }
+
+    #[test]
+    fn flags_discarded_sync() {
+        let v = run("fn f() { let _ = file.sync_all(); let _ = w.flush(); }");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("sync_all"));
+    }
+
+    #[test]
+    fn propagated_sync_is_fine() {
+        assert!(run("fn f() -> io::Result<()> { file.sync_all()?; w.flush() }").is_empty());
+    }
+
+    #[test]
+    fn discarding_non_sync_calls_is_fine() {
+        assert!(run("fn f() { let _ = listener.join(); let _ = send(x); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run("#[cfg(test)]\nmod t { fn f() { let _ = file.sync_all(); } }").is_empty());
+    }
+}

@@ -1,0 +1,634 @@
+//! Rule `lock-order`: no lock cycles, no locks held across file IO.
+//!
+//! The analyzer extracts every `parking_lot`-style acquisition site
+//! (`.lock()`, zero-arg `.read()` / `.write()`, and the closure-passing
+//! wrappers `x.read(|j| …)` / `x.write(|j| …)` that hold the guard for
+//! the closure body), computes each guard's token extent (binding until
+//! `drop(guard)` or end of the enclosing block; temporaries until the
+//! end of the statement; wrappers until the closure's call closes), and
+//! then:
+//!
+//! 1. builds the inter-function *acquired-while-held* graph over lock
+//!    labels — nested acquisitions plus, transitively through the call
+//!    graph, locks taken inside called functions — and flags every cycle
+//!    (including re-acquiring the same label, which self-deadlocks with
+//!    non-reentrant `parking_lot` locks);
+//! 2. flags any guard whose extent reaches file IO (directly, or via a
+//!    call chain to a function that does file IO) — holding the journal
+//!    lock across an fsync turns every reader into a disk-latency
+//!    victim, so the sites that do it on purpose (the WAL serialization
+//!    point) must say so with a suppression.
+//!
+//! Calls are resolved by name, with two precision guards: a callee name
+//! only links to a function defined in the *same crate*, and only when
+//! that name has exactly *one* definition there. Ambiguous names —
+//! trait methods with several impls (`stats`), std-trait lookalikes
+//! (`new`, `collect`, `default`) — are not linked at all: a wrong link
+//! would manufacture findings that force untrue suppressions, while a
+//! skipped link at worst misses a chain the direct-IO scan usually
+//! catches anyway.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{matching_close, statement_end};
+use crate::{Config, Severity, Violation, Workspace};
+
+/// Method names performing file IO directly.
+const IO_METHODS: [&str; 10] = [
+    "sync_all",
+    "sync_data",
+    "sync_now",
+    "flush",
+    "write_all",
+    "read_to_end",
+    "read_exact",
+    "set_len",
+    "seek",
+    "rename",
+];
+
+/// Path heads whose associated functions are file IO (`fs::…`,
+/// `File::…`, `OpenOptions::…`).
+const IO_PATHS: [&str; 3] = ["fs", "File", "OpenOptions"];
+
+/// Keywords never treated as function calls.
+const KEYWORDS: [&str; 14] = [
+    "if", "else", "while", "for", "loop", "match", "return", "let", "fn", "move", "in", "as",
+    "where", "unsafe",
+];
+
+/// One lock acquisition with its guard extent (token index range).
+struct Acq {
+    /// Graph label: receiver chain with a leading `self.` stripped.
+    label: String,
+    line: u32,
+    col: u32,
+    /// First token index inside the guard's live range.
+    start: usize,
+    /// Token index one past the guard's live range.
+    end: usize,
+}
+
+/// A function body and what it contains.
+struct FnInfo {
+    name: String,
+    file: usize,
+    body_start: usize,
+    body_end: usize,
+    acqs: Vec<Acq>,
+}
+
+/// The crate a workspace-relative path belongs to (`crates/net/src/…` →
+/// `net`; anything else is keyed by its top-level directory).
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_owned(),
+        (Some(top), _) => top.to_owned(),
+        _ => String::new(),
+    }
+}
+
+pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
+    // Pass 1: functions, acquisitions, per-function calls and direct IO.
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        collect_functions(fi, &file.code, &mut fns);
+    }
+    // Filter acquisitions inside test code.
+    for f in &mut fns {
+        let file = &ws.files[f.file];
+        f.acqs.retain(|a| !file.in_test(a.line));
+    }
+
+    // How many definitions each (crate, name) has — only unique names
+    // participate in call linking (see module docs).
+    let mut def_count: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &fns {
+        let key = (crate_of(&ws.files[f.file].path), f.name.clone());
+        *def_count.entry(key).or_insert(0) += 1;
+    }
+    let resolve = |caller_file: usize, name: &str| -> Option<String> {
+        let krate = crate_of(&ws.files[caller_file].path);
+        let key = (krate, name.to_owned());
+        if def_count.get(&key).copied() == Some(1) {
+            Some(format!("{}::{}", key.0, key.1))
+        } else {
+            None
+        }
+    };
+
+    // Crate-qualified summaries.
+    let mut does_io: BTreeMap<String, bool> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut own_locks: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &fns {
+        let Some(qname) = resolve(f.file, &f.name) else {
+            continue;
+        };
+        let code = &ws.files[f.file].code;
+        let io = scan_range_for_io(code, f.body_start, f.body_end).is_some();
+        *does_io.entry(qname.clone()).or_insert(false) |= io;
+        let callees = calls.entry(qname.clone()).or_default();
+        for (name, _) in calls_in_range(code, f.body_start, f.body_end) {
+            if let Some(q) = resolve(f.file, &name) {
+                callees.insert(q);
+            }
+        }
+        let locks = own_locks.entry(qname).or_default();
+        for a in &f.acqs {
+            locks.insert(a.label.clone());
+        }
+    }
+    // Fixpoint: IO-reachability and lock-reachability through calls.
+    let io_fns = fixpoint(&calls, &does_io);
+    let reach_locks = lock_fixpoint(&calls, &own_locks);
+
+    let mut out = Vec::new();
+    // Edges of the acquired-while-held graph, with a witness site.
+    let mut edges: BTreeMap<(String, String), (usize, u32, u32, String)> = BTreeMap::new();
+
+    for f in &fns {
+        let code = &ws.files[f.file].code;
+        for a in &f.acqs {
+            // (2) IO while the guard is live — direct, or via a callee.
+            let io_site = scan_range_for_io(code, a.start, a.end).or_else(|| {
+                calls_in_range(code, a.start, a.end)
+                    .into_iter()
+                    .find(|(name, _)| resolve(f.file, name).is_some_and(|q| io_fns.contains(&q)))
+            });
+            if let Some((callee, line)) = io_site {
+                out.push(Violation {
+                    rule: "lock-order",
+                    path: ws.files[f.file].path.clone(),
+                    line: a.line,
+                    col: a.col,
+                    severity: Severity::Error,
+                    message: format!(
+                        "lock `{}` held across file IO (`{}` at line {line}) — \
+                         readers stall on disk latency; move the IO out or \
+                         document the serialization point with a suppression",
+                        a.label, callee
+                    ),
+                });
+            }
+            // (1) Locks acquired while this guard is live.
+            for b in &f.acqs {
+                if b.start > a.start && b.start < a.end {
+                    edges.entry((a.label.clone(), b.label.clone())).or_insert((
+                        f.file,
+                        a.line,
+                        a.col,
+                        format!("`{}` then `{}` in `{}`", a.label, b.label, f.name),
+                    ));
+                }
+            }
+            for (callee, _) in calls_in_range(code, a.start, a.end) {
+                let Some(q) = resolve(f.file, &callee) else {
+                    continue;
+                };
+                if let Some(locks) = reach_locks.get(&q) {
+                    for l in locks {
+                        edges.entry((a.label.clone(), l.clone())).or_insert((
+                            f.file,
+                            a.line,
+                            a.col,
+                            format!("`{}` held while `{}` locks `{}`", a.label, callee, l),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the label graph.
+    let graph: BTreeMap<&String, Vec<&String>> = {
+        let mut g: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            g.entry(a).or_default().push(b);
+        }
+        g
+    };
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for ((a, b), (file, line, col, via)) in &edges {
+        let cyclic = a == b || reaches(&graph, b, a);
+        if !cyclic {
+            continue;
+        }
+        let key = if a <= b {
+            format!("{a}\u{0}{b}")
+        } else {
+            format!("{b}\u{0}{a}")
+        };
+        if !reported.insert(key) {
+            continue;
+        }
+        let message = if a == b {
+            format!(
+                "lock `{a}` re-acquired while already held ({via}) — \
+                 parking_lot locks are not reentrant; this self-deadlocks"
+            )
+        } else {
+            format!(
+                "potential lock cycle between `{a}` and `{b}` ({via}, and a \
+                 path back from `{b}` to `{a}`) — pick one acquisition order"
+            )
+        };
+        out.push(Violation {
+            rule: "lock-order",
+            path: ws.files[*file].path.clone(),
+            line: *line,
+            col: *col,
+            severity: Severity::Error,
+            message,
+        });
+    }
+    out
+}
+
+/// DFS reachability over the label graph.
+fn reaches(graph: &BTreeMap<&String, Vec<&String>>, from: &String, to: &String) -> bool {
+    let mut stack = vec![from];
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = graph.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Propagates `does_io` backwards over the call graph.
+fn fixpoint(
+    calls: &BTreeMap<String, BTreeSet<String>>,
+    seed: &BTreeMap<String, bool>,
+) -> BTreeSet<String> {
+    let mut io: BTreeSet<String> = seed
+        .iter()
+        .filter(|(_, v)| **v)
+        .map(|(k, _)| k.clone())
+        .collect();
+    loop {
+        let mut grew = false;
+        for (name, callees) in calls {
+            if !io.contains(name) && callees.iter().any(|c| io.contains(c)) {
+                io.insert(name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            return io;
+        }
+    }
+}
+
+/// Propagates acquired-lock sets backwards over the call graph.
+fn lock_fixpoint(
+    calls: &BTreeMap<String, BTreeSet<String>>,
+    own: &BTreeMap<String, BTreeSet<String>>,
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut reach = own.clone();
+    loop {
+        let mut grew = false;
+        for (name, callees) in calls {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for c in callees {
+                if let Some(ls) = reach.get(c) {
+                    add.extend(ls.iter().cloned());
+                }
+            }
+            let entry = reach.entry(name.clone()).or_default();
+            let before = entry.len();
+            entry.extend(add);
+            grew |= entry.len() != before;
+        }
+        if !grew {
+            return reach;
+        }
+    }
+}
+
+/// Finds `fn name … { body }` items and their acquisitions.
+fn collect_functions(file: usize, code: &[Tok], out: &mut Vec<FnInfo>) {
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Parameter list.
+        let mut j = i + 2;
+        while j < code.len() && !code[j].is_punct('(') {
+            j += 1;
+        }
+        if j >= code.len() {
+            break;
+        }
+        let params_close = matching_close(code, j);
+        // Body `{` or declaration `;`.
+        let mut k = params_close + 1;
+        while k < code.len() && !code[k].is_punct('{') && !code[k].is_punct(';') {
+            k += 1;
+        }
+        if k >= code.len() || code[k].is_punct(';') {
+            i = k.max(i + 1);
+            continue;
+        }
+        let body_end = matching_close(code, k);
+        let mut info = FnInfo {
+            name: name_tok.text.clone(),
+            file,
+            body_start: k + 1,
+            body_end,
+            acqs: Vec::new(),
+        };
+        find_acquisitions(code, k + 1, body_end, &mut info.acqs);
+        out.push(info);
+        // Continue *inside* the body so nested fns are found too; their
+        // acquisitions will be attributed to both, which only over-reports.
+        i = k + 1;
+    }
+}
+
+/// Scans `[start, end)` for lock acquisitions and computes guard extents.
+fn find_acquisitions(code: &[Tok], start: usize, end: usize, out: &mut Vec<Acq>) {
+    for i in start..end {
+        if !code[i].is_punct('.') {
+            continue;
+        }
+        let Some(m) = code.get(i + 1) else { continue };
+        if !(m.is_ident("lock") || m.is_ident("read") || m.is_ident("write")) {
+            continue;
+        }
+        if !code.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let after_paren = code.get(i + 3);
+        let zero_arg = after_paren.is_some_and(|t| t.is_punct(')'));
+        let wrapper = after_paren.is_some_and(|t| t.is_punct('|') || t.is_ident("move"));
+        if !(zero_arg || wrapper) {
+            continue;
+        }
+        let label = receiver_label(code, i);
+        let (ext_start, ext_end) = if wrapper {
+            // Guard lives for the closure call: until the `(` closes.
+            (i + 3, matching_close(code, i + 2))
+        } else {
+            guard_extent(code, i, end)
+        };
+        out.push(Acq {
+            label,
+            line: m.line,
+            col: m.col,
+            start: ext_start,
+            end: ext_end,
+        });
+    }
+}
+
+/// Walks the receiver chain backwards from the `.` at `dot`:
+/// `self . wal . lock` → `wal`; `journal . inner . read` → `journal.inner`.
+fn receiver_label(code: &[Tok], dot: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &code[i - 1];
+        if prev.kind == TokKind::Ident {
+            parts.push(prev.text.clone());
+            if i >= 2 && code[i - 2].is_punct('.') {
+                i -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    parts.reverse();
+    if parts.first().is_some_and(|p| p == "self") {
+        parts.remove(0);
+    }
+    if parts.is_empty() {
+        "<expr>".to_owned()
+    } else {
+        parts.join(".")
+    }
+}
+
+/// Extent of a zero-arg acquisition's guard.
+///
+/// `let g = x.lock();` → until `drop(g)` or the enclosing block closes;
+/// a temporary (`x.lock().field…`) → until the statement's `;`.
+fn guard_extent(code: &[Tok], dot: usize, fn_end: usize) -> (usize, usize) {
+    // Find the binding: statement start is after the previous `;`/`{`/`}`.
+    let mut s = dot;
+    while s > 0 {
+        let t = &code[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let bound_name = if code.get(s).is_some_and(|t| t.is_ident("let")) {
+        let mut n = s + 1;
+        if code.get(n).is_some_and(|t| t.is_ident("mut")) {
+            n += 1;
+        }
+        match code.get(n) {
+            Some(t)
+                if t.kind == TokKind::Ident && code.get(n + 1).is_some_and(|e| e.is_punct('=')) =>
+            {
+                Some(t.text.clone())
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let acq_end = dot + 4; // past `. name ( )`
+    match bound_name {
+        None => (acq_end, statement_end(code, acq_end).min(fn_end) + 1),
+        Some(name) => {
+            // Until `drop ( name )` or the enclosing block closes.
+            let mut depth = 0i64;
+            let mut i = acq_end;
+            while i < fn_end {
+                let t = &code[i];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                    if depth < 0 {
+                        return (acq_end, i);
+                    }
+                } else if t.is_ident("drop")
+                    && code.get(i + 1).is_some_and(|p| p.is_punct('('))
+                    && code.get(i + 2).is_some_and(|n| n.is_ident(&name))
+                    && code.get(i + 3).is_some_and(|p| p.is_punct(')'))
+                {
+                    return (acq_end, i);
+                }
+                i += 1;
+            }
+            (acq_end, fn_end)
+        }
+    }
+}
+
+/// Direct file-IO tokens in `[start, end)`: returns the first as
+/// `(name, line)`.
+fn scan_range_for_io(code: &[Tok], start: usize, end: usize) -> Option<(String, u32)> {
+    for i in start..end.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let called = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let pathy = code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(':'));
+        if (IO_METHODS.contains(&name) && called) || (IO_PATHS.contains(&name) && pathy) {
+            return Some((t.text.clone(), t.line));
+        }
+    }
+    None
+}
+
+/// Function/method calls in `[start, end)` as `(name, line)` —
+/// identifier directly followed by `(`, excluding keywords, macros
+/// (`name!`), and the lock methods themselves.
+fn calls_in_range(code: &[Tok], start: usize, end: usize) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in start..end.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokKind::Ident
+            || KEYWORDS.contains(&t.text.as_str())
+            || matches!(t.text.as_str(), "lock" | "read" | "write")
+        {
+            continue;
+        }
+        if i > 0 && code[i - 1].is_punct('!') {
+            continue;
+        }
+        if code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let ws = Workspace::from_sources(&[("crates/x/src/a.rs", src)]);
+        check(&ws, &Config::for_root(PathBuf::from(".")))
+    }
+
+    #[test]
+    fn lock_held_across_direct_io() {
+        let v = run("fn f(&self) { let g = self.state.lock(); self.file.sync_all(); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("held across file IO"));
+        assert!(v[0].message.contains("state"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        assert!(run(
+            "fn f(&self) { let g = self.state.lock(); use_it(&g); drop(g); self.file.sync_all(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn wrapper_closure_holds_for_its_body_only() {
+        let v =
+            run("fn f(&self) { self.j.read(|x| save(x)); }\nfn save(x: &X) { fs::write(p, x); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        let ok = run("fn f(&self) { let s = self.j.read(|x| x.clone()); save(&s); }\nfn save(x: &X) { fs::write(p, x); }");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn io_through_call_chain() {
+        let v = run(
+            "fn f(&self) { let g = self.state.lock(); step(); }\nfn step() { inner(); }\nfn inner() { file.write_all(buf); }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn cycle_between_two_locks() {
+        let v = run(
+            "fn f(&self) { let a = self.a.lock(); let b = self.b.lock(); }\nfn g(&self) { let b = self.b.lock(); let a = self.a.lock(); }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("cycle"), "{v:?}");
+    }
+
+    #[test]
+    fn self_reacquire_flags() {
+        let v = run("fn f(&self) { let a = self.m.lock(); helper(); }\nfn helper(&self) { let b = self.m.lock(); }");
+        assert!(v.iter().any(|v| v.message.contains("re-acquired")), "{v:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_fine() {
+        assert!(run(
+            "fn f(&self) { let a = self.a.lock(); let b = self.b.lock(); }\nfn g(&self) { let a = self.a.lock(); let b = self.b.lock(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn io_read_write_with_args_is_not_a_lock() {
+        assert!(run("fn f(file: &mut File) { file.write(buf); r.read(buf); }").is_empty());
+    }
+
+    #[test]
+    fn ambiguous_callee_names_are_not_linked() {
+        // Two `stats` definitions (a trait with two impls): holding a
+        // lock while calling `stats()` must not inherit either body.
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/x/src/a.rs",
+                "fn caller(&self) { let g = self.inner.lock(); self.j.stats(); }\nfn stats(&self) -> S { S::pure() }",
+            ),
+            ("crates/x/src/b.rs", "fn stats(&self) -> S { self.file.sync_all() }"),
+        ]);
+        let v = check(&ws, &Config::for_root(PathBuf::from(".")));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cross_crate_names_are_not_linked() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/a/src/l.rs",
+                "fn caller(&self) { let g = self.inner.lock(); helper(); }",
+            ),
+            ("crates/b/src/m.rs", "fn helper() { fs::write(p, d); }"),
+        ]);
+        let v = check(&ws, &Config::for_root(PathBuf::from(".")));
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

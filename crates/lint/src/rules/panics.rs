@@ -1,0 +1,109 @@
+//! Rule `panic`: no panicking constructs in hot/IO paths.
+//!
+//! A panic mid-append can tear a WAL frame while the process still
+//! believes the record was acknowledged, and a panic in an explorer
+//! kills a whole discovery run. Inside the configured hot paths
+//! (`crates/storage`, `crates/explorers`, the driver) `unwrap`,
+//! `expect`, `panic!`, `todo!`, `unimplemented!`, and `unreachable!`
+//! are forbidden; errors must travel the existing `Result` paths.
+//! Test code is exempt — a panicking assertion is what a test is.
+
+use crate::lexer::TokKind;
+use crate::{Config, Severity, Violation, Workspace};
+
+/// Methods that panic on the error/None arm.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Macros that abort the thread outright.
+const PANIC_MACROS: [&str; 4] = ["panic", "unimplemented", "todo", "unreachable"];
+
+pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !file.in_scope(&cfg.panic_scope) {
+            continue;
+        }
+        for (i, t) in file.code.iter().enumerate() {
+            if t.kind != TokKind::Ident || file.in_test(t.line) {
+                continue;
+            }
+            let name = t.text.as_str();
+            let prev_dot = i > 0 && file.code[i - 1].is_punct('.');
+            let next_bang = file.code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let message = if PANIC_METHODS.contains(&name) && prev_dot {
+                format!(
+                    "`.{name}()` in a hot/IO path can abort mid-append — \
+                     propagate through the existing Result path instead"
+                )
+            } else if PANIC_MACROS.contains(&name) && next_bang {
+                format!("`{name}!` in a hot/IO path — return an error instead")
+            } else {
+                continue;
+            };
+            out.push(Violation {
+                rule: "panic",
+                path: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                severity: Severity::Error,
+                message,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+    use std::path::PathBuf;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let ws = Workspace::from_sources(&[(path, src)]);
+        check(&ws, &Config::for_root(PathBuf::from(".")))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_scope() {
+        let v = run(
+            "crates/storage/src/x.rs",
+            "fn f() { a.unwrap(); b.expect(\"msg\"); panic!(\"boom\"); todo!(); }",
+        );
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(run(
+            "crates/storage/src/x.rs",
+            "fn f() { a.unwrap_or(0); b.unwrap_or_else(g); c.unwrap_or_default(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_exempt() {
+        assert!(run("crates/net/src/x.rs", "fn f() { a.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        assert!(run(
+            "crates/explorers/src/x.rs",
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n fn f() { a.unwrap(); panic!(); }\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn suppression_does_not_hide_from_raw_check() {
+        // Raw rule output includes the finding; lib::analyze applies
+        // the suppression (covered by integration tests).
+        let v = run(
+            "crates/storage/src/x.rs",
+            "// fremont-lint: allow(panic) -- infallible by construction\nfn f() { a.unwrap(); }",
+        );
+        assert_eq!(v.len(), 1);
+    }
+}

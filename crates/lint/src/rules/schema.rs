@@ -1,0 +1,546 @@
+//! Rule `wal-schema`: serialized record types are append-only.
+//!
+//! Every serde-derived type under the schema scope
+//! (`crates/journal/src/`, `crates/storage/src/`) is fingerprinted —
+//! enum variants and struct fields in declaration order — and compared
+//! against a committed golden (`crates/lint/wal-schema.golden`).
+//! Variant *order* is load-bearing twice over: `SourceSet` packs
+//! `Source` discriminants into bit positions, and any positional
+//! encoding of a WAL record breaks replay of existing journals if a
+//! variant is reordered, retyped, or removed. So:
+//!
+//! * reordering / retyping / removing an existing enum variant → error;
+//! * changing a struct's fields in any way → error (structs have no
+//!   append-safe position);
+//! * appending a new enum variant or adding a whole new type → warning,
+//!   cleared by regenerating the golden with `--write-golden` in the
+//!   same change (CI runs `--deny`, so the warning still blocks a PR
+//!   that forgets the refresh).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::matching_close;
+use crate::{Config, Severity, Violation, Workspace};
+
+/// One fingerprinted item: its kind, where it lives, and its ordered
+/// entries (variants or fields) as normalized token text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    pub kind: ItemKind,
+    pub name: String,
+    /// Where the item was found (empty for golden-parsed entries).
+    pub path: String,
+    pub line: u32,
+    pub entries: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Enum,
+    Struct,
+}
+
+impl ItemKind {
+    fn word(self) -> &'static str {
+        match self {
+            ItemKind::Enum => "enum",
+            ItemKind::Struct => "struct",
+        }
+    }
+}
+
+pub fn check(ws: &Workspace, cfg: &Config, write_golden: bool) -> (Vec<Violation>, Option<String>) {
+    let mut current: BTreeMap<String, Fingerprint> = BTreeMap::new();
+    for file in &ws.files {
+        if !file.in_scope(&cfg.schema_scope) {
+            continue;
+        }
+        for fp in fingerprint_file(&file.path, &file.code) {
+            if file.in_test(fp.line) {
+                continue;
+            }
+            current.insert(fp.name.clone(), fp);
+        }
+    }
+
+    if write_golden {
+        return (Vec::new(), Some(render_golden(&current)));
+    }
+
+    let golden_abs = cfg.root.join(&cfg.golden_path);
+    let golden_text = match std::fs::read_to_string(&golden_abs) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                vec![Violation {
+                    rule: "wal-schema",
+                    path: cfg.golden_path.clone(),
+                    line: 0,
+                    col: 0,
+                    severity: Severity::Error,
+                    message: format!(
+                        "schema golden `{}` is missing — generate and commit it with \
+                         `cargo run -p fremont-lint -- --write-golden`",
+                        cfg.golden_path
+                    ),
+                }],
+                None,
+            );
+        }
+    };
+    let golden = parse_golden(&golden_text);
+    (compare(&current, &golden, cfg), None)
+}
+
+/// Diffs the workspace fingerprints against the golden ones.
+fn compare(
+    current: &BTreeMap<String, Fingerprint>,
+    golden: &BTreeMap<String, Fingerprint>,
+    cfg: &Config,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (name, old) in golden {
+        let Some(new) = current.get(name) else {
+            out.push(Violation {
+                rule: "wal-schema",
+                path: cfg.golden_path.clone(),
+                line: 0,
+                col: 0,
+                severity: Severity::Error,
+                message: format!(
+                    "serialized {} `{name}` was removed (or moved out of the schema scope) — \
+                     existing journals still contain its records",
+                    old.kind.word()
+                ),
+            });
+            continue;
+        };
+        if new.kind != old.kind {
+            out.push(err(
+                new,
+                format!(
+                    "`{name}` changed from {} to {} — existing journals encode it as a {}",
+                    old.kind.word(),
+                    new.kind.word(),
+                    old.kind.word()
+                ),
+            ));
+            continue;
+        }
+        match old.kind {
+            ItemKind::Enum => {
+                let shared = old.entries.len().min(new.entries.len());
+                for i in 0..shared {
+                    if old.entries[i] != new.entries[i] {
+                        out.push(err(
+                            new,
+                            format!(
+                                "enum `{name}` variant {i} changed from `{}` to `{}` — \
+                             variants are positional (SourceSet bit indices, WAL \
+                             discriminants); append new variants at the end instead",
+                                old.entries[i], new.entries[i]
+                            ),
+                        ));
+                    }
+                }
+                if new.entries.len() < old.entries.len() {
+                    out.push(err(
+                        new,
+                        format!(
+                            "enum `{name}` lost {} trailing variant(s) (`{}` …) — \
+                         existing journals still use those discriminants",
+                            old.entries.len() - new.entries.len(),
+                            old.entries[new.entries.len()]
+                        ),
+                    ));
+                }
+                for i in old.entries.len()..new.entries.len() {
+                    out.push(warn(
+                        new,
+                        format!(
+                            "enum `{name}` gained variant `{}` (appended, position {i}) — \
+                         refresh the golden with `--write-golden` to accept it",
+                            new.entries[i]
+                        ),
+                    ));
+                }
+            }
+            ItemKind::Struct => {
+                if old.entries != new.entries {
+                    out.push(err(
+                        new,
+                        format!(
+                            "struct `{name}` fields changed (`{}` → `{}`) — any field \
+                         change breaks decoding of existing journals; add a new \
+                         record type instead",
+                            old.entries.join(", "),
+                            new.entries.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for (name, new) in current {
+        if !golden.contains_key(name) {
+            out.push(warn(
+                new,
+                format!(
+                    "new serialized {} `{name}` is not in the golden — refresh it with \
+                 `--write-golden` to accept the addition",
+                    new.kind.word()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn err(fp: &Fingerprint, message: String) -> Violation {
+    Violation {
+        rule: "wal-schema",
+        path: fp.path.clone(),
+        line: fp.line,
+        col: 1,
+        severity: Severity::Error,
+        message,
+    }
+}
+
+fn warn(fp: &Fingerprint, message: String) -> Violation {
+    Violation {
+        rule: "wal-schema",
+        path: fp.path.clone(),
+        line: fp.line,
+        col: 1,
+        severity: Severity::Warning,
+        message,
+    }
+}
+
+/// Extracts fingerprints for every serde-derived enum/struct in a file.
+pub fn fingerprint_file(path: &str, code: &[Tok]) -> Vec<Fingerprint> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let (mut j, mut serde) = scan_derive(code, i + 1);
+        // Collect any further attributes on the same item.
+        while j < code.len()
+            && code[j].is_punct('#')
+            && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let (e, s) = scan_derive(code, j + 1);
+            serde |= s;
+            j = e;
+        }
+        if !serde {
+            i = j;
+            continue;
+        }
+        // Optional visibility: `pub` or `pub(crate)` etc.
+        if code.get(j).is_some_and(|t| t.is_ident("pub")) {
+            j += 1;
+            if code.get(j).is_some_and(|t| t.is_punct('(')) {
+                j = matching_close(code, j) + 1;
+            }
+        }
+        let kind = match code.get(j) {
+            Some(t) if t.is_ident("enum") => ItemKind::Enum,
+            Some(t) if t.is_ident("struct") => ItemKind::Struct,
+            _ => {
+                i = j;
+                continue;
+            }
+        };
+        let Some(name_tok) = code.get(j + 1) else {
+            break;
+        };
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        // Body: first `{` / `(` / `;` after the name (generics skipped by
+        // the scan — `<`/`>` are plain puncts that we step over).
+        let mut k = j + 2;
+        while k < code.len()
+            && !code[k].is_punct('{')
+            && !code[k].is_punct('(')
+            && !code[k].is_punct(';')
+        {
+            k += 1;
+        }
+        let entries = match code.get(k) {
+            Some(t) if t.is_punct(';') => Vec::new(), // unit struct
+            Some(t) if t.is_punct('{') || t.is_punct('(') => {
+                let close = matching_close(code, k);
+                let items = split_body(&code[k + 1..close]);
+                i = close + 1;
+                match kind {
+                    ItemKind::Enum => items.iter().map(|v| variant_text(v)).collect(),
+                    ItemKind::Struct => items.iter().map(|f| field_text(f)).collect(),
+                }
+            }
+            _ => break,
+        };
+        out.push(Fingerprint {
+            kind,
+            name,
+            path: path.to_owned(),
+            line,
+            entries,
+        });
+        i = i.max(k + 1);
+    }
+    out
+}
+
+/// Scans an attribute at its `[`; returns (index past `]`, whether it is
+/// a serde derive — `derive(… Serialize/Deserialize …)`).
+fn scan_derive(code: &[Tok], open: usize) -> (usize, bool) {
+    let is_derive = code.get(open + 1).is_some_and(|t| t.is_ident("derive"));
+    let mut depth = 0i32;
+    let mut serde = false;
+    let mut j = open;
+    while j < code.len() {
+        let t = &code[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (j + 1, is_derive && serde);
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && matches!(t.text.as_str(), "Serialize" | "Deserialize")
+        {
+            serde = true;
+        }
+        j += 1;
+    }
+    (code.len(), false)
+}
+
+/// Splits a `{…}`/`(…)` body into top-level comma-separated chunks.
+fn split_body(body: &[Tok]) -> Vec<Vec<Tok>> {
+    let mut items: Vec<Vec<Tok>> = Vec::new();
+    let mut cur: Vec<Tok> = Vec::new();
+    let mut depth = 0i32;
+    for t in body {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    if !cur.is_empty() {
+                        items.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        items.push(cur);
+    }
+    items
+}
+
+/// Drops leading `#[…]` attributes from an entry's tokens.
+fn strip_attrs(toks: &[Tok]) -> &[Tok] {
+    let mut i = 0usize;
+    while i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+        let close = matching_close(toks, i + 1);
+        i = close + 1;
+    }
+    &toks[i..]
+}
+
+/// Normalized text of an enum variant: `Name`, `Name ( types )`, or
+/// `Name { fields }`.
+fn variant_text(toks: &[Tok]) -> String {
+    join(strip_attrs(toks))
+}
+
+/// Normalized text of a struct field, `pub` stripped: `name : Type`.
+fn field_text(toks: &[Tok]) -> String {
+    let mut toks = strip_attrs(toks);
+    if toks.first().is_some_and(|t| t.is_ident("pub")) {
+        toks = &toks[1..];
+        if toks.first().is_some_and(|t| t.is_punct('(')) {
+            let close = matching_close(toks, 0);
+            toks = &toks[close + 1..];
+        }
+    }
+    join(toks)
+}
+
+fn join(toks: &[Tok]) -> String {
+    toks.iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders fingerprints in the committed golden format.
+pub fn render_golden(items: &BTreeMap<String, Fingerprint>) -> String {
+    let mut s = String::from(
+        "# fremont-lint WAL schema golden — serialized type shapes, in declaration order.\n\
+         # Do not edit by hand; regenerate with: cargo run -p fremont-lint -- --write-golden\n",
+    );
+    for fp in items.values() {
+        s.push_str(&format!("{} {}\n", fp.kind.word(), fp.name));
+        for (i, e) in fp.entries.iter().enumerate() {
+            s.push_str(&format!("  {i}: {e}\n"));
+        }
+    }
+    s
+}
+
+/// Parses the golden format back into fingerprints.
+pub fn parse_golden(text: &str) -> BTreeMap<String, Fingerprint> {
+    let mut out: BTreeMap<String, Fingerprint> = BTreeMap::new();
+    let mut cur: Option<Fingerprint> = None;
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("enum ") {
+            if let Some(fp) = cur.take() {
+                out.insert(fp.name.clone(), fp);
+            }
+            cur = Some(Fingerprint {
+                kind: ItemKind::Enum,
+                name: rest.trim().to_owned(),
+                path: String::new(),
+                line: 0,
+                entries: Vec::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix("struct ") {
+            if let Some(fp) = cur.take() {
+                out.insert(fp.name.clone(), fp);
+            }
+            cur = Some(Fingerprint {
+                kind: ItemKind::Struct,
+                name: rest.trim().to_owned(),
+                path: String::new(),
+                line: 0,
+                entries: Vec::new(),
+            });
+        } else if let Some((_, entry)) = line.trim_start().split_once(": ") {
+            if let Some(fp) = cur.as_mut() {
+                fp.entries.push(entry.to_owned());
+            }
+        }
+    }
+    if let Some(fp) = cur.take() {
+        out.insert(fp.name.clone(), fp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+
+    const SRC: &str = "#[derive(Debug, Serialize, Deserialize)]\n\
+        pub enum Source { Icmp, Dns(u16), Rip { hops: u8 } }\n\
+        #[derive(Serialize, Deserialize)]\n\
+        pub struct Obs { pub src: Source, pub at: u64 }\n\
+        #[derive(Debug, Clone)]\n\
+        pub enum NotSerialized { A, B }\n";
+
+    fn fps(src: &str) -> BTreeMap<String, Fingerprint> {
+        let ws = Workspace::from_sources(&[("crates/journal/src/x.rs", src)]);
+        fingerprint_file(&ws.files[0].path, &ws.files[0].code)
+            .into_iter()
+            .map(|f| (f.name.clone(), f))
+            .collect()
+    }
+
+    #[test]
+    fn fingerprints_only_serde_types() {
+        let m = fps(SRC);
+        assert_eq!(m.len(), 2, "{m:?}");
+        assert_eq!(
+            m["Source"].entries,
+            vec!["Icmp", "Dns ( u16 )", "Rip { hops : u8 }"]
+        );
+        assert_eq!(m["Obs"].entries, vec!["src : Source", "at : u64"]);
+    }
+
+    #[test]
+    fn golden_roundtrips() {
+        let m = fps(SRC);
+        let text = render_golden(&m);
+        let back = parse_golden(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back["Source"].entries, m["Source"].entries);
+        assert_eq!(back["Obs"].entries, m["Obs"].entries);
+    }
+
+    fn diff(old_src: &str, new_src: &str) -> Vec<Violation> {
+        let cfg = Config::for_root(std::path::PathBuf::from("."));
+        compare(&fps(new_src), &fps(old_src), &cfg)
+    }
+
+    #[test]
+    fn append_is_a_warning() {
+        let v = diff(
+            "#[derive(Serialize)] pub enum E { A, B }",
+            "#[derive(Serialize)] pub enum E { A, B, C }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].severity, Severity::Warning);
+        assert!(v[0].message.contains("appended"));
+    }
+
+    #[test]
+    fn reorder_and_retype_are_errors() {
+        let v = diff(
+            "#[derive(Serialize)] pub enum E { A, B(u16) }",
+            "#[derive(Serialize)] pub enum E { B(u32), A }",
+        );
+        assert!(v.iter().all(|v| v.severity == Severity::Error), "{v:?}");
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn removal_is_an_error() {
+        let v = diff(
+            "#[derive(Serialize)] pub enum E { A, B }",
+            "#[derive(Serialize)] pub enum E { A }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn struct_field_change_is_an_error() {
+        let v = diff(
+            "#[derive(Serialize)] pub struct S { a: u32 }",
+            "#[derive(Serialize)] pub struct S { a: u64 }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn new_type_is_a_warning() {
+        let v = diff(
+            "#[derive(Serialize)] pub enum E { A }",
+            "#[derive(Serialize)] pub enum E { A }\n#[derive(Serialize)] pub struct S { a: u32 }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].severity, Severity::Warning);
+        assert!(v[0].message.contains("new serialized struct"));
+    }
+}

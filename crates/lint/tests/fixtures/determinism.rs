@@ -1,0 +1,7 @@
+//! Seeded `determinism` violation: wall-clock time in an explorer.
+
+pub fn observe_stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    drop(t);
+    0
+}

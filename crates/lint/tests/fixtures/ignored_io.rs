@@ -1,0 +1,5 @@
+//! Seeded `ignored-io` violation: a discarded flush result.
+
+pub fn shutdown(w: &mut impl std::io::Write) {
+    let _ = w.flush();
+}

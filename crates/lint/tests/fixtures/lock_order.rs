@@ -1,0 +1,15 @@
+//! Seeded `lock-order` violation: a lock held across file IO.
+
+pub struct Store {
+    state: parking_lot::Mutex<u64>,
+    file: std::fs::File,
+}
+
+impl Store {
+    pub fn persist(&self) -> std::io::Result<()> {
+        let guard = self.state.lock();
+        self.file.sync_all()?;
+        drop(guard);
+        Ok(())
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded `panic` violation: an unwrap in the storage hot path.
+
+pub fn read_header(data: &[u8]) -> u32 {
+    let bytes: [u8; 4] = data[0..4].try_into().unwrap();
+    u32::from_le_bytes(bytes)
+}

@@ -1,0 +1,11 @@
+//! Seeded `wal-schema` violation: variant 1 was `Named(u32)` when the
+//! fixture golden was written; this version mutates it in place.
+
+use serde::{Deserialize, Serialize};
+
+/// The fixture's stand-in for a WAL record payload.
+#[derive(Serialize, Deserialize)]
+pub enum FixtureFact {
+    Alive { ip: u32 },
+    Named(String),
+}

@@ -1,0 +1,93 @@
+//! The analyzer's verdict on the real workspace: zero errors within the
+//! suppression budget, and the acceptance property that mutating an
+//! existing WAL variant fails the build.
+
+use std::path::Path;
+
+use fremont_lint::{analyze, find_workspace_root, Config, Severity, SourceFile, Workspace};
+
+fn real_workspace() -> (Workspace, Config) {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let ws = Workspace::load(&root).expect("workspace sources readable");
+    let cfg = Config::for_root(root);
+    (ws, cfg)
+}
+
+#[test]
+fn workspace_is_clean_within_the_suppression_budget() {
+    let (ws, cfg) = real_workspace();
+    let (analysis, golden) = analyze(&ws, &cfg, false);
+    assert!(golden.is_none());
+    let errors: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "{errors:#?}");
+    assert!(
+        analysis.suppressions_total <= cfg.max_suppressions,
+        "{} suppressions exceed the budget of {}",
+        analysis.suppressions_total,
+        cfg.max_suppressions
+    );
+    // Hygiene: every committed suppression still earns its keep.
+    assert_eq!(analysis.suppressions_used, analysis.suppressions_total);
+}
+
+#[test]
+fn mutating_an_existing_wal_variant_fails_the_build() {
+    let (mut ws, cfg) = real_workspace();
+    let path = "crates/journal/src/observation.rs";
+    let idx = ws
+        .files
+        .iter()
+        .position(|f| f.path == path)
+        .expect("observation.rs is part of the schema scope");
+    let content = std::fs::read_to_string(cfg.root.join(path)).expect("observation.rs readable");
+    let mutated = content.replace("mask_assumed: bool", "mask_assumed: u8");
+    assert_ne!(content, mutated, "the guarded field exists");
+    ws.files[idx] = SourceFile::new(path.to_owned(), &mutated);
+
+    let (analysis, _) = analyze(&ws, &cfg, false);
+    assert!(
+        analysis.violations.iter().any(|v| v.rule == "wal-schema"
+            && v.severity == Severity::Error
+            && v.message.contains("variant")),
+        "mutated Fact variant must be an error: {:#?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn appending_a_wal_variant_is_only_a_warning() {
+    let (mut ws, cfg) = real_workspace();
+    let path = "crates/journal/src/observation.rs";
+    let idx = ws
+        .files
+        .iter()
+        .position(|f| f.path == path)
+        .expect("observation.rs is part of the schema scope");
+    let content = std::fs::read_to_string(cfg.root.join(path)).expect("observation.rs readable");
+    // Append a new variant after Fact's last (RipSource ends the enum).
+    let marker = "        promiscuous: bool,\n    },\n}";
+    assert!(content.contains(marker), "Fact ends with RipSource");
+    let mutated = content.replacen(
+        marker,
+        "        promiscuous: bool,\n    },\n    FixtureAppended { tag: u32 },\n}",
+        1,
+    );
+    ws.files[idx] = SourceFile::new(path.to_owned(), &mutated);
+
+    let (analysis, _) = analyze(&ws, &cfg, false);
+    let schema: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "wal-schema")
+        .collect();
+    assert!(!schema.is_empty(), "append is visible");
+    assert!(
+        schema.iter().all(|v| v.severity == Severity::Warning),
+        "append stays a warning until the golden is refreshed: {schema:#?}"
+    );
+}

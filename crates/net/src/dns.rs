@@ -132,6 +132,23 @@ impl DnsName {
         .expect("octet labels are always valid")
     }
 
+    /// The reverse-tree *zone* for a network, keeping only the octets
+    /// the prefix length covers: `10.0.0.0/8` → `10.in-addr.arpa`,
+    /// `128.138.0.0/16` → `138.128.in-addr.arpa`, anything longer →
+    /// three octets.
+    pub fn reverse_zone_for(network: Ipv4Addr, prefix_len: u8) -> DnsName {
+        let o = network.octets();
+        let kept = match prefix_len {
+            0..=8 => 1,
+            9..=16 => 2,
+            _ => 3,
+        };
+        let mut labels: Vec<String> = (0..kept).rev().map(|i| o[i].to_string()).collect();
+        labels.push("in-addr".to_owned());
+        labels.push("arpa".to_owned());
+        DnsName { labels }
+    }
+
     /// If this is a full `d.c.b.a.in-addr.arpa` name, recovers the address.
     pub fn reverse_to_addr(&self) -> Option<Ipv4Addr> {
         if self.labels.len() != 6 || self.labels[4] != "in-addr" || self.labels[5] != "arpa" {
@@ -791,6 +808,27 @@ mod tests {
         assert_eq!(r.reverse_to_addr(), Some(addr));
         assert_eq!(name("238.138.128.in-addr.arpa").reverse_to_addr(), None);
         assert_eq!(name("a.b.c.d.in-addr.arpa").reverse_to_addr(), None);
+    }
+
+    #[test]
+    fn reverse_zone_tracks_prefix_len() {
+        let net = Ipv4Addr::new(128, 138, 0, 0);
+        assert_eq!(
+            DnsName::reverse_zone_for(net, 8).to_string(),
+            "128.in-addr.arpa"
+        );
+        assert_eq!(
+            DnsName::reverse_zone_for(net, 16).to_string(),
+            "138.128.in-addr.arpa"
+        );
+        assert_eq!(
+            DnsName::reverse_zone_for(Ipv4Addr::new(128, 138, 238, 0), 24).to_string(),
+            "238.138.128.in-addr.arpa"
+        );
+        assert_eq!(
+            DnsName::reverse_zone_for(Ipv4Addr::new(10, 0, 0, 0), 0).to_string(),
+            "10.in-addr.arpa"
+        );
     }
 
     #[test]

@@ -33,6 +33,10 @@ use crate::ip::{addr_class, from_u32, to_u32, AddrClass, IpRange};
 pub struct SubnetMask(u32);
 
 impl SubnetMask {
+    /// The classful class-C mask, `255.255.255.0` — Fremont's fallback
+    /// when no mask observation has arrived yet.
+    pub const CLASS_C: SubnetMask = SubnetMask(0xFFFF_FF00);
+
     /// Creates a mask from a prefix length (`0..=32`).
     pub fn from_prefix_len(len: u8) -> Result<Self, AddrError> {
         if len > 32 {

@@ -111,6 +111,7 @@ struct WalState {
 impl Drop for WalState {
     fn drop(&mut self) {
         // Last-gasp durability for group-commit/never policies.
+        // fremont-lint: allow(ignored-io) -- Drop cannot propagate; callers wanting the error use sync() first
         let _ = self.writer.sync_now();
     }
 }
@@ -136,6 +137,7 @@ impl DurableJournal {
         // Compact immediately: snapshot the recovered state and start a
         // fresh segment, so stale segments can't accumulate and a
         // half-written pre-crash directory is normalized.
+        // fremont-lint: allow(lock-order) -- rotation snapshots under the read lock so no write can slip between capture and segment switch
         let writer = shared.read(|j| write_snapshot_and_rotate(&cfg, j))?;
         let durable = DurableJournal {
             shared,
@@ -151,12 +153,14 @@ impl DurableJournal {
 
     /// Forces buffered WAL appends to disk (group-commit flush point).
     pub fn sync(&self) -> io::Result<()> {
+        // fremont-lint: allow(lock-order) -- the WAL mutex exists to serialize exactly this fsync against appends
         self.wal.lock().writer.sync_now()
     }
 
     /// Writes a durable snapshot, rotates to a fresh segment, and
     /// deletes segments the snapshot made obsolete.
     pub fn compact(&self) -> io::Result<()> {
+        // fremont-lint: allow(lock-order) -- compaction must hold the WAL lock across its IO to keep appends out of the rotating segment
         let mut wal = self.wal.lock();
         self.compact_locked(&mut wal)
     }
@@ -165,6 +169,7 @@ impl DurableJournal {
         wal.writer.sync_now()?;
         wal.writer = self
             .shared
+            // fremont-lint: allow(lock-order) -- see open(): the snapshot must be captured under the read lock
             .read(|j| write_snapshot_and_rotate(&wal.cfg, j))?;
         Ok(())
     }
@@ -242,9 +247,11 @@ fn io_err(e: io::Error) -> ProtoError {
 
 impl JournalAccess for DurableJournal {
     fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
+        // fremont-lint: allow(lock-order) -- WAL-before-journal is the crate's one lock order; store/compact/delete all follow it
         let mut wal = self.wal.lock();
         let summary = self
             .shared
+            // fremont-lint: allow(lock-order) -- write-ahead logging: append and apply must be atomic under the write lock
             .write(|j| -> io::Result<StoreSummary> {
                 let mut sum = StoreSummary::default();
                 for obs in observations {
@@ -282,6 +289,7 @@ impl JournalAccess for DurableJournal {
     fn delete(&self, id: InterfaceId) -> Result<bool, ProtoError> {
         // Deletions are not observations, so they can't ride the WAL;
         // persist them by snapshotting the post-delete state.
+        // fremont-lint: allow(lock-order) -- same WAL-before-journal order as store(); held across the compaction IO
         let mut wal = self.wal.lock();
         let existed = self.shared.write(|j| j.delete_interface(id));
         if existed {

@@ -241,6 +241,12 @@ pub struct SegmentScan {
     pub tail: TailStatus,
 }
 
+/// Reads a little-endian `u32` at `offset`, if all four bytes exist.
+fn le_u32(data: &[u8], offset: usize) -> Option<u32> {
+    let bytes: [u8; 4] = data.get(offset..offset + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
 /// Reads the valid prefix of the segment at `path`.
 ///
 /// Never fails on corruption — corruption just ends the prefix. An
@@ -262,8 +268,9 @@ pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
         if remaining < FRAME_HEADER_BYTES as usize {
             break; // torn header
         }
-        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+        let (Some(len), Some(crc)) = (le_u32(&data, offset), le_u32(&data, offset + 4)) else {
+            break; // torn header (length checked above; belt and braces)
+        };
         if len > MAX_RECORD_BYTES {
             break; // corrupt length field
         }

@@ -24,7 +24,7 @@ fn main() {
 
     // Day 1: learn the healthy network.
     println!("\nDay 1: baseline exploration...");
-    system.explore(SimDuration::from_hours(4));
+    system.explore(SimDuration::from_hours(4)).expect("flush");
 
     // Then the trouble starts: the duplicate-address clone is powered on,
     // and `piper` dies and is replaced by new hardware with the same IP.
@@ -40,12 +40,12 @@ fn main() {
         sim.set_node_up(old_id, false);
         sim.set_node_up(new_id, true);
     }
-    system.explore(SimDuration::from_hours(8));
+    system.explore(SimDuration::from_hours(8)).expect("flush");
 
     // A re-sweep is due only after the module intervals elapse; force the
     // sweep modules to run again by advancing well past their minimums.
     println!("Day 3-5: continued monitoring...");
-    system.explore(SimDuration::from_days(3));
+    system.explore(SimDuration::from_days(3)).expect("flush");
 
     // Run the analysis programs.
     let report = system.problems(2 * 86400, 3600);

@@ -32,7 +32,7 @@ fn main() {
     );
 
     println!("\nExploring for one simulated day (this runs a few seconds of real time)...");
-    system.explore(SimDuration::from_hours(24));
+    system.explore(SimDuration::from_hours(24)).expect("flush");
 
     let stats = system.stats();
     println!(

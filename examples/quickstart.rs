@@ -19,7 +19,7 @@ fn main() {
         "Exploring a {}-subnet campus for 2 simulated hours...",
         cfg.subnets_connected
     );
-    system.explore(SimDuration::from_hours(2));
+    system.explore(SimDuration::from_hours(2)).expect("flush");
 
     let stats = system.stats();
     println!(

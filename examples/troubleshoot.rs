@@ -47,7 +47,7 @@ fn main() {
     );
 
     println!("Phase 1: normal operation — Fremont maps the campus.\n");
-    driver.run_for(SimDuration::from_mins(45));
+    driver.run_for(SimDuration::from_mins(45)).expect("flush");
 
     let graph = journal.read(TopologyGraph::from_journal);
     println!("{}", graph.to_ascii());
@@ -74,7 +74,7 @@ fn main() {
     println!("\nPhase 2: the coach unplugs the workstation.\n");
     let coach = driver.sim.node_by_name("coach-sun").expect("exists");
     driver.sim.set_node_up(coach, false);
-    driver.run_for(SimDuration::from_mins(10));
+    driver.run_for(SimDuration::from_mins(10)).expect("flush");
 
     // The live network can no longer reach the history server...
     // ...but the Journal remembers the topology, including which gateway

@@ -29,7 +29,7 @@
 //! let mut cfg = CampusConfig::small();
 //! cfg.cs_traffic = false;
 //! let mut system = Fremont::over_campus(&cfg);
-//! system.explore(SimDuration::from_mins(15));
+//! system.explore(SimDuration::from_mins(15)).unwrap();
 //! println!("{}", system.topology().to_ascii());
 //! assert!(system.stats().interfaces > 0);
 //! ```

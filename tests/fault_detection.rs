@@ -14,7 +14,7 @@ fn all_five_problem_classes_detected() {
     let faults = system.truth.faults.clone();
 
     // Healthy start.
-    system.explore(SimDuration::from_hours(6));
+    system.explore(SimDuration::from_hours(6)).unwrap();
 
     // Activate the mid-life faults.
     {
@@ -30,7 +30,7 @@ fn all_five_problem_classes_detected() {
     }
 
     // Keep exploring long enough for re-sweeps.
-    system.explore(SimDuration::from_days(3));
+    system.explore(SimDuration::from_days(3)).unwrap();
 
     let report = system.problems(2 * 86400, 3600);
 
@@ -86,7 +86,7 @@ fn healthy_network_reports_almost_nothing() {
     cfg.cs_ghost_entries = 0;
     cfg.seed = 99;
     let mut system = Fremont::over_campus(&cfg);
-    system.explore(SimDuration::from_hours(8));
+    system.explore(SimDuration::from_hours(8)).unwrap();
     let report = system.problems(4 * 86400, 3600);
     assert!(report.duplicates.is_empty(), "{report}");
     assert!(report.mask_conflicts.is_empty(), "{report}");

@@ -12,7 +12,7 @@ fn explored_small() -> Fremont {
     let mut cfg = CampusConfig::small();
     cfg.seed = 404;
     let mut system = Fremont::over_campus(&cfg);
-    system.explore(SimDuration::from_hours(2));
+    system.explore(SimDuration::from_hours(2)).unwrap();
     system
 }
 
@@ -146,7 +146,7 @@ fn schedule_adapts_over_repeated_runs() {
     let mut system = Fremont::over_campus(&cfg);
     // A week of simulated exploration: early eager runs back off as the
     // journal saturates.
-    system.explore(SimDuration::from_days(7));
+    system.explore(SimDuration::from_days(7)).unwrap();
     let m = &system.driver.manager;
     let rip = m.schedule(Source::RipWatch).expect("scheduled");
     assert!(rip.runs >= 2, "RIPwatch re-ran over the week: {}", rip.runs);
