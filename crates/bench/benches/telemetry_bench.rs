@@ -1,0 +1,53 @@
+//! Micro-benchmarks for the telemetry layer: the disabled path must be
+//! close to free (one branch on an `Option`), and the recording path
+//! must stay cheap enough to leave on during experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fremont_telemetry::{bounds, SpanId, TelTime, Telemetry};
+
+fn bench_disabled(c: &mut Criterion) {
+    let tel = Telemetry::noop();
+    let mut g = c.benchmark_group("telemetry_disabled");
+    g.bench_function("counter_add", |b| {
+        b.iter(|| tel.counter_add(black_box("fremont_bench_total"), "", 1))
+    });
+    g.bench_function("observe", |b| {
+        b.iter(|| tel.observe(black_box("fremont_bench_hist"), "", bounds::WORK_UNITS, 17))
+    });
+    g.finish();
+}
+
+fn bench_recording(c: &mut Criterion) {
+    let (tel, _rec) = Telemetry::recording();
+    let mut g = c.benchmark_group("telemetry_recording");
+    g.bench_function("counter_add", |b| {
+        b.iter(|| tel.counter_add(black_box("fremont_bench_total"), "", 1))
+    });
+    g.bench_function("observe", |b| {
+        b.iter(|| tel.observe(black_box("fremont_bench_hist"), "", bounds::WORK_UNITS, 17))
+    });
+    g.bench_function("span_pair", |b| {
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let s = tel.span_start("bench.span", "", SpanId::NONE, TelTime(n));
+            tel.span_end(s, "ok", TelTime(n));
+        })
+    });
+    g.finish();
+}
+
+fn bench_expose(c: &mut Criterion) {
+    let (tel, rec) = Telemetry::recording();
+    for i in 0..200u64 {
+        let label = format!("series=\"{i}\"");
+        tel.counter_add("fremont_bench_total", &label, i);
+        tel.observe("fremont_bench_hist", "", bounds::WORK_UNITS, i);
+    }
+    c.bench_function("telemetry_expose_200_series", |b| {
+        b.iter(|| black_box(rec.expose().len()))
+    });
+}
+
+criterion_group!(benches, bench_disabled, bench_recording, bench_expose);
+criterion_main!(benches);

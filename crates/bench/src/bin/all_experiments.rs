@@ -6,6 +6,11 @@ fn main() {
     println!("{}", fremont_bench::exp_static::table2().render());
     println!("{}", fremont_bench::exp_static::table3().render());
     println!("{}", fremont_bench::exp_runtime::table4(&cfg).render());
+    let small = CampusConfig::small();
+    println!(
+        "{}",
+        fremont_bench::exp_telemetry::table4_telemetry(&small, 6).render()
+    );
     println!("{}", fremont_bench::exp_discovery::table5(&cfg).render());
     println!("{}", fremont_bench::exp_discovery::table6(&cfg).render());
     let system = fremont_bench::exp_problems::full_campaign(&cfg, 3);

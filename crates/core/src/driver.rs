@@ -10,7 +10,7 @@
 //! timestamps, and the manager decides what runs next based on Journal
 //! contents.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
 
@@ -28,10 +28,12 @@ use fremont_net::Subnet;
 use fremont_netsim::engine::Sim;
 use fremont_netsim::process::ProcHandle;
 use fremont_netsim::segment::NodeId;
-use fremont_netsim::time::SimDuration;
+use fremont_netsim::time::{SimDuration, SimTime};
 use fremont_storage::{DurableJournal, PersistencePolicy, RecoveryReport};
+use fremont_telemetry::{SpanId, TelTime, Telemetry};
 
 use crate::correlate::correlate;
+use crate::load::{ModuleLoad, ModuleLoadReport};
 use crate::manager::{DiscoveryManager, RunOutcome};
 
 /// Driver configuration.
@@ -50,6 +52,9 @@ pub struct DriverConfig {
     /// How the Journal persists across restarts (see
     /// [`DiscoveryDriver::open`]; `new` always runs in memory).
     pub persistence: PersistencePolicy,
+    /// Telemetry sink handle, threaded into the simulator and the
+    /// persistence backend (default: no-op).
+    pub telemetry: Telemetry,
 }
 
 impl DriverConfig {
@@ -62,6 +67,7 @@ impl DriverConfig {
             pump_interval: SimDuration::from_secs(30),
             correlate: true,
             persistence: PersistencePolicy::InMemory,
+            telemetry: Telemetry::noop(),
         }
     }
 }
@@ -90,15 +96,25 @@ pub struct DiscoveryDriver {
     cfg: DriverConfig,
     home: NodeId,
     backend: Backend,
-    running: HashMap<Source, (ProcHandle, StoreSummary)>,
+    running: HashMap<Source, RunningModule>,
+    loads: BTreeMap<Source, ModuleLoad>,
+    pump_cycle: u64,
+}
+
+/// Book-keeping for one in-flight module run.
+struct RunningModule {
+    handle: ProcHandle,
+    stored: StoreSummary,
+    started: SimTime,
 }
 
 impl DiscoveryDriver {
     /// Creates a driver running modules on `home`, storing into the
     /// given in-memory journal (ignores `cfg.persistence`; use
     /// [`DiscoveryDriver::open`] for durable deployments).
-    pub fn new(sim: Sim, journal: SharedJournal, home: NodeId, cfg: DriverConfig) -> Self {
-        DiscoveryDriver {
+    pub fn new(mut sim: Sim, journal: SharedJournal, home: NodeId, cfg: DriverConfig) -> Self {
+        sim.set_telemetry(cfg.telemetry.clone());
+        let driver = DiscoveryDriver {
             sim,
             journal,
             manager: DiscoveryManager::new(),
@@ -107,7 +123,11 @@ impl DiscoveryDriver {
             home,
             backend: Backend::InMemory,
             running: HashMap::new(),
-        }
+            loads: BTreeMap::new(),
+            pump_cycle: 0,
+        };
+        driver.publish_startup();
+        driver
     }
 
     /// Creates a driver whose journal persists per `cfg.persistence`:
@@ -115,7 +135,8 @@ impl DiscoveryDriver {
     /// subsequent observation is logged before it is applied; a
     /// snapshot path is loaded if present and rewritten at flush
     /// points; in-memory starts empty.
-    pub fn open(sim: Sim, home: NodeId, cfg: DriverConfig) -> std::io::Result<Self> {
+    pub fn open(mut sim: Sim, home: NodeId, cfg: DriverConfig) -> std::io::Result<Self> {
+        sim.set_telemetry(cfg.telemetry.clone());
         let (journal, backend, recovery) = match &cfg.persistence {
             PersistencePolicy::InMemory => (SharedJournal::new(), Backend::InMemory, None),
             PersistencePolicy::SnapshotOnly { path } => {
@@ -127,12 +148,14 @@ impl DiscoveryDriver {
                 (journal, Backend::Snapshot { path: path.clone() }, None)
             }
             PersistencePolicy::Wal(wal_cfg) => {
-                let (durable, report) = DurableJournal::open(wal_cfg.clone())?;
+                // Recovery publishes its report into the sink itself.
+                let (durable, report) =
+                    DurableJournal::open_with_telemetry(wal_cfg.clone(), cfg.telemetry.clone())?;
                 let journal = durable.shared().clone();
                 (journal, Backend::Wal(durable), Some(report))
             }
         };
-        Ok(DiscoveryDriver {
+        let driver = DiscoveryDriver {
             sim,
             journal,
             manager: DiscoveryManager::new(),
@@ -141,7 +164,39 @@ impl DiscoveryDriver {
             home,
             backend,
             running: HashMap::new(),
-        })
+            loads: BTreeMap::new(),
+            pump_cycle: 0,
+        };
+        driver.publish_startup();
+        Ok(driver)
+    }
+
+    /// Startup telemetry dump: the journal's opening statistics (what
+    /// persistence restored) plus, for WAL deployments, the recovery
+    /// report — previously these were constructed and dropped silently.
+    fn publish_startup(&self) {
+        let tel = &self.cfg.telemetry;
+        if !tel.enabled() {
+            return;
+        }
+        if let Ok(stats) = self.journal.stats() {
+            fremont_journal::server::publish_journal_stats(tel, &stats);
+            let detail = format!(
+                "interfaces={} gateways={} subnets={} observations_applied={}",
+                stats.interfaces, stats.gateways, stats.subnets, stats.observations_applied
+            );
+            tel.event(
+                "driver.startup",
+                &detail,
+                SpanId::NONE,
+                TelTime(self.sim.now().as_micros()),
+            );
+        }
+        if let Some(report) = &self.recovery {
+            // Re-publish through the shared helper so in-memory sinks
+            // attached after `DurableJournal::open` still see it.
+            fremont_storage::publish_recovery(tel, report);
+        }
     }
 
     /// Stores through the persistence backend, so WAL deployments log
@@ -183,42 +238,64 @@ impl DiscoveryDriver {
     }
 
     /// One pump: drain observations, retire finished modules, start due
-    /// ones, cross-correlate.
+    /// ones, cross-correlate. With telemetry attached, each pump emits
+    /// a span tree (`driver.pump` with one child per phase); all spans
+    /// carry the same sim timestamp — a pump is instantaneous in
+    /// simulated time — so phase "timing" is reported as logical work
+    /// counts in the span end details.
     pub fn pump(&mut self) {
+        self.pump_cycle += 1;
+        let tel = self.cfg.telemetry.clone();
+        let at = TelTime(self.sim.now().as_micros());
+        let root = if tel.enabled() {
+            tel.span_start(
+                "driver.pump",
+                &format!("cycle={}", self.pump_cycle),
+                SpanId::NONE,
+                at,
+            )
+        } else {
+            SpanId::NONE
+        };
+
         // 1. Observations → Journal, attributed to their emitting module.
+        let drain_span = tel.span_start("driver.drain", "", root, at);
         let drained = self.sim.drain_observations();
         let had_news = !drained.is_empty();
+        let drained_count = drained.len();
         for (handle, at, obs) in drained {
             let summary = self.store(at.to_jtime(), std::slice::from_ref(&obs));
-            if let Some((_, acc)) = self.running.values_mut().find(|(h, _)| *h == handle) {
-                acc.absorb(summary);
+            if let Some(m) = self.running.values_mut().find(|m| m.handle == handle) {
+                m.stored.absorb(summary);
             }
+        }
+        if tel.enabled() {
+            tel.span_end(drain_span, &format!("observations={drained_count}"), at);
         }
 
         // 2. Retire finished modules.
-        let finished: Vec<Source> = self
+        let retire_span = tel.span_start("driver.retire", "", root, at);
+        // Sort: `running` is a HashMap, and retirement order is visible
+        // in the trace — it must not depend on hasher seeds.
+        let mut finished: Vec<Source> = self
             .running
             .iter()
-            .filter(|(_, (h, _))| self.sim.process_done(*h))
+            .filter(|(_, m)| self.sim.process_done(m.handle))
             .map(|(s, _)| *s)
             .collect();
+        finished.sort();
+        let retired_count = finished.len();
         for source in finished {
-            let Some((handle, stored)) = self.running.remove(&source) else {
-                continue; // Listed from this very map; cannot miss.
-            };
-            self.sim.kill_process(handle);
-            let deficit_after = self.deficit_for(source);
-            self.manager.record_run(
-                source,
-                RunOutcome {
-                    stored,
-                    deficit_after,
-                },
-            );
+            self.retire(source, at, root);
+        }
+        if tel.enabled() {
+            tel.span_end(retire_span, &format!("retired={retired_count}"), at);
         }
 
         // 3. Start due modules.
+        let start_span = tel.span_start("driver.schedule", "", root, at);
         let now = self.sim.now().to_jtime();
+        let mut started_count = 0usize;
         for source in self.manager.due(now) {
             if !self.cfg.enabled.contains(&source) || self.running.contains_key(&source) {
                 continue;
@@ -226,17 +303,134 @@ impl DiscoveryDriver {
             if let Some(handle) = self.spawn_module(source) {
                 self.manager
                     .mark_started(source, now, self.deficit_for(source));
-                self.running
-                    .insert(source, (handle, StoreSummary::default()));
+                self.track_start(source, handle);
+                started_count += 1;
+                if tel.enabled() {
+                    tel.event("module.start", source.name(), root, at);
+                }
             }
+        }
+        if tel.enabled() {
+            tel.span_end(start_span, &format!("started={started_count}"), at);
         }
 
         // 4. Cross-correlate — only when the journal actually changed.
         if self.cfg.correlate && had_news {
+            let corr_span = tel.span_start("driver.correlate", "", root, at);
             let derived = self.journal.read(correlate);
+            let derived_count = derived.len();
             if !derived.is_empty() {
                 let _ = self.store(now, &derived);
             }
+            if tel.enabled() {
+                tel.span_end(corr_span, &format!("derived={derived_count}"), at);
+            }
+        }
+
+        if tel.enabled() {
+            tel.span_end(root, "ok", at);
+            self.publish_metrics();
+        }
+    }
+
+    /// Starts load tracking for a freshly spawned module run.
+    fn track_start(&mut self, source: Source, handle: ProcHandle) {
+        self.loads.entry(source).or_default().runs += 1;
+        self.running.insert(
+            source,
+            RunningModule {
+                handle,
+                stored: StoreSummary::default(),
+                started: self.sim.now(),
+            },
+        );
+    }
+
+    /// Retires one running module: folds its per-process packet
+    /// counters into the load table, kills the process, and records
+    /// the run with the manager.
+    fn retire(&mut self, source: Source, at: TelTime, parent: SpanId) {
+        let Some(m) = self.running.remove(&source) else {
+            return; // Listed from this very map; cannot miss.
+        };
+        let stats = self.sim.proc_stats(m.handle);
+        let elapsed = self.sim.now().since(m.started);
+        let load = self.loads.entry(source).or_default();
+        load.completed_runs += 1;
+        load.packets_sent += stats.packets_sent;
+        load.packets_received += stats.packets_received;
+        load.frames_tapped += stats.frames_tapped;
+        load.busy = load.busy + elapsed;
+        load.last_completion = Some(elapsed);
+        self.sim.kill_process(m.handle);
+        let tel = &self.cfg.telemetry;
+        if tel.enabled() {
+            let detail = format!(
+                "{} sent={} recv={} tapped={} secs={:.0}",
+                source.name(),
+                stats.packets_sent,
+                stats.packets_received,
+                stats.frames_tapped,
+                elapsed.as_secs_f64()
+            );
+            tel.event("module.retire", &detail, parent, at);
+        }
+        let deficit_after = self.deficit_for(source);
+        self.manager.record_run(
+            source,
+            RunOutcome {
+                stored: m.stored,
+                deficit_after,
+            },
+        );
+    }
+
+    /// The Table 4 reproduction: measured per-module load, including
+    /// still-running modules' live counters.
+    pub fn load_report(&self) -> ModuleLoadReport {
+        let mut loads = self.loads.clone();
+        for (source, m) in &self.running {
+            let stats = self.sim.proc_stats(m.handle);
+            let elapsed = self.sim.now().since(m.started);
+            let load = loads.entry(*source).or_default();
+            load.packets_sent += stats.packets_sent;
+            load.packets_received += stats.packets_received;
+            load.frames_tapped += stats.frames_tapped;
+            load.busy = load.busy + elapsed;
+        }
+        ModuleLoadReport::new(&loads)
+    }
+
+    /// Publishes sim counters, journal gauges, and per-module packet
+    /// counters into the telemetry sink.
+    pub fn publish_metrics(&self) {
+        let tel = &self.cfg.telemetry;
+        if !tel.enabled() {
+            return;
+        }
+        self.sim.publish_metrics();
+        if let Ok(stats) = self.journal.stats() {
+            fremont_journal::server::publish_journal_stats(tel, &stats);
+        }
+        let report = self.load_report();
+        for row in &report.rows {
+            let label = format!("module=\"{}\"", row.source.name());
+            tel.counter_set(
+                "fremont_module_packets_sent_total",
+                &label,
+                row.load.packets_sent,
+            );
+            tel.counter_set(
+                "fremont_module_packets_received_total",
+                &label,
+                row.load.packets_received,
+            );
+            tel.counter_set(
+                "fremont_module_frames_tapped_total",
+                &label,
+                row.load.frames_tapped,
+            );
+            tel.counter_set("fremont_module_runs_total", &label, row.load.runs);
         }
     }
 
@@ -377,8 +571,7 @@ impl DiscoveryDriver {
         timeout: SimDuration,
     ) -> Option<(ProcHandle, StoreSummary)> {
         let handle = self.spawn_module(source)?;
-        self.running
-            .insert(source, (handle, StoreSummary::default()));
+        self.track_start(source, handle);
         self.manager
             .mark_started(source, self.sim.now().to_jtime(), None);
         let deadline = self.sim.now() + timeout;
@@ -390,8 +583,8 @@ impl DiscoveryDriver {
             for (h, at, obs) in drained {
                 let s = self.store(at.to_jtime(), std::slice::from_ref(&obs));
                 if h == handle {
-                    if let Some((_, acc)) = self.running.get_mut(&source) {
-                        acc.absorb(s);
+                    if let Some(m) = self.running.get_mut(&source) {
+                        m.stored.absorb(s);
                     }
                 }
             }
@@ -399,19 +592,15 @@ impl DiscoveryDriver {
                 break;
             }
         }
-        let (h, stored) = self.running.remove(&source)?;
+        let stored = self.running.get(&source).map(|m| m.stored)?;
         // Retire the process like pump() does, so its taps and timer chain
         // do not linger in the simulator.
-        self.sim.kill_process(h);
-        let deficit_after = self.deficit_for(source);
-        self.manager.record_run(
-            source,
-            RunOutcome {
-                stored,
-                deficit_after,
-            },
-        );
-        Some((h, stored))
+        let at = TelTime(self.sim.now().as_micros());
+        self.retire(source, at, SpanId::NONE);
+        if self.cfg.telemetry.enabled() {
+            self.publish_metrics();
+        }
+        Some((handle, stored))
     }
 }
 

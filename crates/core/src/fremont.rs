@@ -8,9 +8,11 @@ use fremont_journal::server::{JournalAccess, SharedJournal};
 use fremont_journal::time::JTime;
 use fremont_netsim::campus::{generate, CampusConfig, CampusTruth};
 use fremont_netsim::time::SimDuration;
+use fremont_telemetry::Telemetry;
 
 use crate::analysis::ProblemReport;
 use crate::driver::{DiscoveryDriver, DriverConfig};
+use crate::load::ModuleLoadReport;
 use crate::topology::TopologyGraph;
 
 /// A Fremont deployment exploring a synthetic campus.
@@ -27,12 +29,20 @@ impl Fremont {
     /// Builds a deployment over a campus generated from `cfg`, with the
     /// Explorer Modules running on a host of the departmental subnet.
     pub fn over_campus(cfg: &CampusConfig) -> Self {
+        Self::over_campus_with_telemetry(cfg, Telemetry::noop())
+    }
+
+    /// Like [`Fremont::over_campus`], with a telemetry sink attached to
+    /// the simulator and driver: same-seed runs produce byte-identical
+    /// traces, because every timestamp is simulated time.
+    pub fn over_campus_with_telemetry(cfg: &CampusConfig, telemetry: Telemetry) -> Self {
         let (sim, truth) = generate(cfg);
         let home = sim
             .node_by_name(&truth.explorer_host)
             .expect("campus generates its explorer host");
         let journal = SharedJournal::new();
-        let driver_cfg = DriverConfig::full(cfg.network, Some(truth.dns_server));
+        let mut driver_cfg = DriverConfig::full(cfg.network, Some(truth.dns_server));
+        driver_cfg.telemetry = telemetry;
         let driver = DiscoveryDriver::new(sim, journal.clone(), home, driver_cfg);
         Fremont {
             driver,
@@ -67,6 +77,11 @@ impl Fremont {
     /// Journal statistics.
     pub fn stats(&self) -> fremont_journal::store::JournalStats {
         self.journal.stats().unwrap_or_default()
+    }
+
+    /// Measured per-module load — the Table 4 reproduction.
+    pub fn load_report(&self) -> ModuleLoadReport {
+        self.driver.load_report()
     }
 }
 

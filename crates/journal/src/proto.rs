@@ -77,8 +77,10 @@ pub enum Response {
 pub enum ProtoError {
     /// Socket-level failure.
     Io(io::Error),
-    /// The peer sent an oversized or malformed frame.
+    /// The peer sent a frame that does not decode.
     Malformed(String),
+    /// The peer announced a frame larger than [`MAX_FRAME`].
+    Oversized(u64),
     /// The server answered with [`Response::Error`].
     Server(String),
 }
@@ -88,6 +90,9 @@ impl std::fmt::Display for ProtoError {
         match self {
             ProtoError::Io(e) => write!(f, "journal protocol i/o error: {e}"),
             ProtoError::Malformed(m) => write!(f, "malformed journal frame: {m}"),
+            ProtoError::Oversized(len) => {
+                write!(f, "journal frame of {len} bytes exceeds limit {MAX_FRAME}")
+            }
             ProtoError::Server(m) => write!(f, "journal server error: {m}"),
         }
     }
@@ -105,10 +110,7 @@ impl From<io::Error> for ProtoError {
 pub fn write_frame<W: Write, T: Serialize>(w: &mut W, value: &T) -> Result<(), ProtoError> {
     let body = serde_json::to_vec(value).map_err(|e| ProtoError::Malformed(e.to_string()))?;
     if body.len() as u64 > u64::from(MAX_FRAME) {
-        return Err(ProtoError::Malformed(format!(
-            "frame of {} bytes exceeds limit",
-            body.len()
-        )));
+        return Err(ProtoError::Oversized(body.len() as u64));
     }
     w.write_all(&(body.len() as u32).to_be_bytes())?;
     w.write_all(&body)?;
@@ -129,9 +131,7 @@ pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(
     }
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME {
-        return Err(ProtoError::Malformed(format!(
-            "frame length {len} too large"
-        )));
+        return Err(ProtoError::Oversized(u64::from(len)));
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
@@ -188,7 +188,7 @@ mod tests {
         let mut cur = Cursor::new(buf);
         assert!(matches!(
             read_frame::<_, Request>(&mut cur),
-            Err(ProtoError::Malformed(_))
+            Err(ProtoError::Oversized(_))
         ));
     }
 

@@ -8,13 +8,14 @@
 //! [`JournalAccess`] trait is implemented both by an in-process handle and
 //! by a TCP client ([`crate::client::RemoteJournal`]).
 
-use std::io::BufReader;
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use fremont_telemetry::{bounds, Telemetry};
 use parking_lot::RwLock;
 
 use crate::observation::Observation;
@@ -137,18 +138,33 @@ pub struct JournalServer<J: JournalAccess + Clone + Send + Sync + 'static = Shar
     snapshot_path: Option<PathBuf>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    telemetry: Telemetry,
 }
 
 impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// serving in background threads.
     pub fn start(journal: J, addr: &str, snapshot_path: Option<PathBuf>) -> std::io::Result<Self> {
+        Self::start_with_telemetry(journal, addr, snapshot_path, Telemetry::noop())
+    }
+
+    /// Like [`JournalServer::start`], with a telemetry handle: per-RPC
+    /// request counts, framed byte totals, error counters by kind, and
+    /// store-merge work histograms flow into the sink, and shutdown
+    /// publishes final [`JournalStats`] gauges.
+    pub fn start_with_telemetry(
+        journal: J,
+        addr: &str,
+        snapshot_path: Option<PathBuf>,
+        telemetry: Telemetry,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let j = journal.clone();
         let s = stop.clone();
         let snap = snapshot_path.clone();
+        let tel = telemetry.clone();
         let accept_thread = std::thread::spawn(move || {
             // Poll for stop between accepts.
             listener
@@ -160,8 +176,10 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
                         stream.set_nonblocking(false).ok();
                         let j2 = j.clone();
                         let snap2 = snap.clone();
+                        let t2 = tel.clone();
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &j2, snap2.as_deref());
+                            t2.counter_add("fremont_journal_connections_total", "", 1);
+                            let _ = serve_connection(stream, &j2, snap2.as_deref(), &t2);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -177,6 +195,7 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
             snapshot_path,
             stop,
             accept_thread: Some(accept_thread),
+            telemetry,
         })
     }
 
@@ -207,6 +226,12 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
                 }
             }
         }
+        // Final journal size gauges for the metrics dump.
+        if self.telemetry.enabled() {
+            if let Ok(stats) = self.journal.stats() {
+                publish_journal_stats(&self.telemetry, &stats);
+            }
+        }
     }
 }
 
@@ -216,30 +241,148 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> Drop for JournalServer<J>
     }
 }
 
+/// Publishes [`JournalStats`] as gauges (shared with the driver's
+/// startup dump).
+pub fn publish_journal_stats(telemetry: &Telemetry, stats: &JournalStats) {
+    telemetry.gauge_set("fremont_journal_interfaces", "", stats.interfaces as u64);
+    telemetry.gauge_set("fremont_journal_gateways", "", stats.gateways as u64);
+    telemetry.gauge_set("fremont_journal_subnets", "", stats.subnets as u64);
+    telemetry.gauge_set(
+        "fremont_journal_observations_applied",
+        "",
+        stats.observations_applied,
+    );
+}
+
+/// A reader that counts bytes pulled from the socket.
+struct CountingRead<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> Read for CountingRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+/// A writer that counts bytes pushed to the socket.
+struct CountingWrite<W> {
+    inner: W,
+    count: u64,
+}
+
+impl<W: Write> Write for CountingWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn rpc_label(req: &Request) -> &'static str {
+    match req {
+        Request::Store { .. } => "rpc=\"store\"",
+        Request::GetInterfaces(_) => "rpc=\"get_interfaces\"",
+        Request::GetGateways => "rpc=\"get_gateways\"",
+        Request::GetSubnets(_) => "rpc=\"get_subnets\"",
+        Request::Delete(_) => "rpc=\"delete\"",
+        Request::Stats => "rpc=\"stats\"",
+        Request::Flush => "rpc=\"flush\"",
+    }
+}
+
+fn error_kind_label(e: &ProtoError) -> &'static str {
+    match e {
+        ProtoError::Io(_) => "kind=\"io\"",
+        ProtoError::Malformed(_) => "kind=\"malformed\"",
+        ProtoError::Oversized(_) => "kind=\"oversized\"",
+        ProtoError::Server(_) => "kind=\"server\"",
+    }
+}
+
 fn serve_connection<J: JournalAccess>(
     stream: TcpStream,
     journal: &J,
     snapshot_path: Option<&std::path::Path>,
+    telemetry: &Telemetry,
 ) -> Result<(), ProtoError> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    while let Some(req) = read_frame::<_, Request>(&mut reader)? {
-        let resp = handle_request(journal, snapshot_path, req);
-        write_frame(&mut writer, &resp)?;
+    let mut writer = CountingWrite {
+        inner: stream.try_clone()?,
+        count: 0,
+    };
+    let mut reader = BufReader::new(CountingRead {
+        inner: stream,
+        count: 0,
+    });
+    let (mut published_r, mut published_w) = (0u64, 0u64);
+    let result = loop {
+        match read_frame::<_, Request>(&mut reader) {
+            Ok(Some(req)) => {
+                telemetry.counter_add("fremont_journal_rpc_total", rpc_label(&req), 1);
+                let resp = handle_request(journal, snapshot_path, telemetry, req);
+                if matches!(resp, Response::Error(_)) {
+                    telemetry.counter_add("fremont_journal_rpc_errors_total", "kind=\"server\"", 1);
+                }
+                if let Err(e) = write_frame(&mut writer, &resp) {
+                    break Err(e);
+                }
+            }
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+        // Keep byte totals fresh per request, not just at close.
+        let (r, w) = (reader.get_ref().count, writer.count);
+        telemetry.counter_add("fremont_journal_bytes_read_total", "", r - published_r);
+        telemetry.counter_add("fremont_journal_bytes_written_total", "", w - published_w);
+        published_r = r;
+        published_w = w;
+    };
+    if let Err(e) = &result {
+        telemetry.counter_add("fremont_journal_rpc_errors_total", error_kind_label(e), 1);
     }
-    Ok(())
+    let (r, w) = (reader.get_ref().count, writer.count);
+    telemetry.counter_add("fremont_journal_bytes_read_total", "", r - published_r);
+    telemetry.counter_add("fremont_journal_bytes_written_total", "", w - published_w);
+    result
 }
 
 fn handle_request<J: JournalAccess>(
     journal: &J,
     snapshot_path: Option<&std::path::Path>,
+    telemetry: &Telemetry,
     req: Request,
 ) -> Response {
     match req {
-        Request::Store { now, observations } => match journal.store(now, &observations) {
-            Ok(s) => Response::Stored(s),
-            Err(e) => Response::Error(e.to_string()),
-        },
+        Request::Store { now, observations } => {
+            // Merge cost in logical work units (observations offered /
+            // records touched) — the deterministic stand-in for wall
+            // latency, which the lint's clock ban rules out.
+            telemetry.observe(
+                "fremont_journal_store_batch_observations",
+                "",
+                bounds::WORK_UNITS,
+                observations.len() as u64,
+            );
+            match journal.store(now, &observations) {
+                Ok(s) => {
+                    telemetry.observe(
+                        "fremont_journal_store_merge_ops",
+                        "",
+                        bounds::WORK_UNITS,
+                        (s.created + s.updated + s.verified) as u64,
+                    );
+                    Response::Stored(s)
+                }
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
         Request::GetInterfaces(q) => match journal.interfaces(&q) {
             Ok(v) => Response::Interfaces(v),
             Err(e) => Response::Error(e.to_string()),

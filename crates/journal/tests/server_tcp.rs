@@ -157,3 +157,112 @@ fn snapshot_on_shutdown() {
     assert_eq!(snap.interfaces.len(), 1);
     std::fs::remove_file(&path).ok();
 }
+
+// ---------------------------------------------------------------------
+// Error-path behaviour: a hostile or broken client must not take the
+// server down, and each failure mode must land in its own error counter.
+
+/// Polls a telemetry counter until it reaches `want` (worker threads
+/// update counters slightly after the client observes the disconnect).
+fn wait_for_counter(rec: &fremont_telemetry::Recorder, name: &str, label: &str, want: u64) -> u64 {
+    for _ in 0..200 {
+        let got = rec.counter(name, label);
+        if got >= want {
+            return got;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    rec.counter(name, label)
+}
+
+/// After the bad connection, a fresh client must still get service.
+fn assert_server_alive(addr: &str) {
+    let client = RemoteJournal::connect(addr).unwrap();
+    let summary = client
+        .store(
+            JTime(2),
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 1, 2, 3),
+            )],
+        )
+        .unwrap();
+    assert_eq!(summary.created, 1);
+}
+
+#[test]
+fn malformed_frame_counts_and_server_survives() {
+    use std::io::Write;
+    let (telemetry, rec) = fremont_telemetry::Telemetry::recording();
+    let server =
+        JournalServer::start_with_telemetry(SharedJournal::new(), "127.0.0.1:0", None, telemetry)
+            .unwrap();
+    let addr = server.addr().to_string();
+
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    let garbage = b"this is not json";
+    raw.write_all(&(garbage.len() as u32).to_be_bytes())
+        .unwrap();
+    raw.write_all(garbage).unwrap();
+    raw.flush().unwrap();
+    drop(raw);
+
+    let errs = wait_for_counter(
+        &rec,
+        "fremont_journal_rpc_errors_total",
+        "kind=\"malformed\"",
+        1,
+    );
+    assert_eq!(errs, 1, "malformed frame must hit the malformed counter");
+    assert_server_alive(&addr);
+    server.shutdown();
+    assert!(rec.counter("fremont_journal_connections_total", "") >= 2);
+}
+
+#[test]
+fn oversized_frame_counts_and_server_survives() {
+    use std::io::Write;
+    let (telemetry, rec) = fremont_telemetry::Telemetry::recording();
+    let server =
+        JournalServer::start_with_telemetry(SharedJournal::new(), "127.0.0.1:0", None, telemetry)
+            .unwrap();
+    let addr = server.addr().to_string();
+
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    // A length header far past MAX_FRAME; the server must reject it from
+    // the header alone, without trying to buffer 2 GiB.
+    raw.write_all(&0x7fff_ffffu32.to_be_bytes()).unwrap();
+    raw.flush().unwrap();
+
+    let errs = wait_for_counter(
+        &rec,
+        "fremont_journal_rpc_errors_total",
+        "kind=\"oversized\"",
+        1,
+    );
+    assert_eq!(errs, 1, "oversized frame must hit the oversized counter");
+    assert_server_alive(&addr);
+    server.shutdown();
+}
+
+#[test]
+fn mid_request_disconnect_counts_and_server_survives() {
+    use std::io::Write;
+    let (telemetry, rec) = fremont_telemetry::Telemetry::recording();
+    let server =
+        JournalServer::start_with_telemetry(SharedJournal::new(), "127.0.0.1:0", None, telemetry)
+            .unwrap();
+    let addr = server.addr().to_string();
+
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    // Promise a 1000-byte frame, deliver only 3 bytes, then vanish.
+    raw.write_all(&1000u32.to_be_bytes()).unwrap();
+    raw.write_all(b"abc").unwrap();
+    raw.flush().unwrap();
+    drop(raw);
+
+    let errs = wait_for_counter(&rec, "fremont_journal_rpc_errors_total", "kind=\"io\"", 1);
+    assert_eq!(errs, 1, "truncated frame must hit the io counter");
+    assert_server_alive(&addr);
+    server.shutdown();
+}

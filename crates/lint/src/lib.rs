@@ -104,6 +104,7 @@ impl Config {
                 "crates/storage/".to_owned(),
                 "crates/explorers/".to_owned(),
                 "crates/core/src/driver.rs".to_owned(),
+                "crates/telemetry/".to_owned(),
             ],
             schema_scope: vec![
                 "crates/journal/src/".to_owned(),

@@ -7,7 +7,7 @@
 //! code paths the paper's modules did on the Colorado campus.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -23,10 +23,12 @@ use fremont_net::{
     MacAddr, UdpDatagram, UnreachableCode,
 };
 
+use fremont_telemetry::{SpanId, TelTime, Telemetry};
+
 use crate::node::{Node, NodeKind, TracerouteBug};
 use crate::process::{IfaceInfo, ProcHandle, Process};
 use crate::segment::{NodeId, Segment, SegmentCfg, SegmentId};
-use crate::stats::SimStats;
+use crate::stats::{ProcStats, SimStats};
 use crate::time::{SimDuration, SimTime};
 
 /// How long a packet waits in the ARP pending queue before being dropped.
@@ -134,6 +136,9 @@ pub struct Sim {
     ip_id: u16,
     traffic: Option<crate::traffic::TrafficModel>,
     uptime: Vec<Option<crate::uptime::UptimeModel>>,
+    telemetry: Telemetry,
+    /// Per-process packet counters, keyed by `(node, slot)`.
+    proc_stats: BTreeMap<(usize, usize), ProcStats>,
 }
 
 impl Sim {
@@ -152,12 +157,82 @@ impl Sim {
             ip_id: 1,
             traffic: None,
             uptime: Vec::new(),
+            telemetry: Telemetry::noop(),
+            proc_stats: BTreeMap::new(),
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Attaches a telemetry handle; node up/down transitions become
+    /// trace events and [`Sim::publish_metrics`] exports counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (no-op by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Packet counters for one process (zeroes if it never sent).
+    pub fn proc_stats(&self, h: ProcHandle) -> ProcStats {
+        self.proc_stats
+            .get(&(h.node.0, h.idx))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Publishes engine-wide counters into the telemetry sink. Called
+    /// at sync points (driver pump, end of run) rather than per event
+    /// so the hot loop stays allocation-free.
+    pub fn publish_metrics(&self) {
+        let t = &self.telemetry;
+        if !t.enabled() {
+            return;
+        }
+        t.counter_set(
+            "fremont_sim_events_processed_total",
+            "",
+            self.stats.events_processed,
+        );
+        t.counter_set(
+            "fremont_sim_packets_originated_total",
+            "",
+            self.stats.packets_originated,
+        );
+        t.counter_set(
+            "fremont_sim_packets_forwarded_total",
+            "",
+            self.stats.packets_forwarded,
+        );
+        t.counter_set("fremont_sim_icmp_errors_total", "", self.stats.icmp_errors);
+        t.counter_set(
+            "fremont_sim_arp_requests_total",
+            "",
+            self.stats.arp_requests,
+        );
+        t.gauge_max(
+            "fremont_sim_queue_depth_hwm",
+            "",
+            self.stats.queue_depth_hwm,
+        );
+        let (mut frames, mut bytes, mut lost, mut bcast, mut arp) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for seg in &self.segments {
+            frames += seg.stats.frames_sent;
+            bytes += seg.stats.bytes_sent;
+            lost += seg.stats.frames_lost;
+            bcast += seg.stats.broadcasts;
+            arp += seg.stats.arp_frames;
+        }
+        t.counter_set("fremont_sim_frames_sent_total", "", frames);
+        t.counter_set("fremont_sim_frame_bytes_total", "", bytes);
+        t.counter_set("fremont_sim_frames_lost_total", "", lost);
+        t.counter_set("fremont_sim_broadcast_frames_total", "", bcast);
+        t.counter_set("fremont_sim_arp_frames_total", "", arp);
     }
 
     // ------------------------------------------------------------------
@@ -265,6 +340,10 @@ impl Sim {
             seq: self.seq,
             event,
         }));
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_depth_hwm {
+            self.stats.queue_depth_hwm = depth;
+        }
     }
 
     /// Processes one event; returns `false` when the queue is empty.
@@ -375,6 +454,12 @@ impl Sim {
             n.arp_pending.clear();
             n.rip_learned.clear();
         }
+        if self.telemetry.enabled() {
+            let name = if up { "node.up" } else { "node.down" };
+            let detail = self.nodes[node.0].name.clone();
+            self.telemetry
+                .event(name, &detail, SpanId::NONE, TelTime(self.now.as_micros()));
+        }
     }
 
     fn traffic_tick(&mut self) {
@@ -414,6 +499,9 @@ impl Sim {
     }
 
     fn deliver_tap(&mut self, handle: ProcHandle, frame: &EthernetFrame) {
+        if self.nodes[handle.node.0].procs[handle.idx].is_some() {
+            self.proc_stats_mut(handle).frames_tapped += 1;
+        }
         self.with_proc(handle, |p, ctx| p.on_tap(frame, ctx));
     }
 
@@ -421,8 +509,17 @@ impl Sim {
         let count = self.nodes[node.0].procs.len();
         for idx in 0..count {
             let handle = ProcHandle { node, idx };
+            if self.nodes[node.0].procs[idx].is_some() {
+                self.proc_stats_mut(handle).packets_received += 1;
+            }
             self.with_proc(handle, |p, ctx| p.on_ip(pkt, ctx));
         }
+    }
+
+    fn proc_stats_mut(&mut self, handle: ProcHandle) -> &mut ProcStats {
+        self.proc_stats
+            .entry((handle.node.0, handle.idx))
+            .or_default()
     }
 
     // ------------------------------------------------------------------
@@ -1208,7 +1305,12 @@ impl ProcCtx<'_> {
         if let Some(t) = ttl {
             pkt.ttl = t;
         }
-        self.sim.node_send_ip(node, pkt)
+        let handle = self.handle;
+        let res = self.sim.node_send_ip(node, pkt);
+        if res.is_ok() {
+            self.sim.proc_stats_mut(handle).packets_sent += 1;
+        }
+        res
     }
 
     fn source_ip_for(&self, dst: Ipv4Addr) -> Ipv4Addr {

@@ -19,12 +19,16 @@ pub struct SegmentStats {
     pub broadcasts: u64,
     /// ARP frames among `frames_sent`.
     pub arp_frames: u64,
-    /// Per-second frame counts (sparse; enabled on demand).
-    buckets: Option<Vec<u32>>,
+    /// Per-second frame counts, stored sparsely as ascending
+    /// `(second, count)` pairs so an idle sim costs nothing: a frame
+    /// after hours of silence adds one slot, not hours' worth of
+    /// zeroed entries (enabled on demand).
+    buckets: Option<Vec<(u64, u32)>>,
 }
 
 impl SegmentStats {
-    /// Enables per-second rate buckets (costs one `u32` per sim-second).
+    /// Enables per-second rate buckets (costs one slot per *active*
+    /// sim-second — seconds with no traffic are never materialised).
     pub fn enable_buckets(&mut self) {
         if self.buckets.is_none() {
             self.buckets = Some(Vec::new());
@@ -42,11 +46,24 @@ impl SegmentStats {
             self.arp_frames += 1;
         }
         if let Some(b) = &mut self.buckets {
-            let sec = now.as_secs() as usize;
-            if b.len() <= sec {
-                b.resize(sec + 1, 0);
+            let sec = now.as_secs();
+            // The engine feeds monotone timestamps, so the hot path
+            // is "same second as the last slot" or a pure append.
+            match b.last().copied() {
+                Some((s, _)) if s == sec => {
+                    if let Some(last) = b.last_mut() {
+                        last.1 += 1;
+                    }
+                }
+                Some((s, _)) if s < sec => b.push((sec, 1)),
+                None => b.push((sec, 1)),
+                // Out-of-order (never from the engine, but the type
+                // doesn't forbid it): insert at the sorted position.
+                Some(_) => match b.binary_search_by_key(&sec, |&(s, _)| s) {
+                    Ok(i) => b[i].1 += 1,
+                    Err(i) => b.insert(i, (sec, 1)),
+                },
             }
-            b[sec] += 1;
         }
     }
 
@@ -60,22 +77,33 @@ impl SegmentStats {
     /// Requires [`SegmentStats::enable_buckets`]; returns 0 otherwise.
     pub fn frames_between(&self, from: SimTime, to: SimTime) -> u64 {
         let Some(b) = &self.buckets else { return 0 };
-        let lo = from.as_secs() as usize;
-        let hi = (to.as_secs() as usize).min(b.len());
+        let lo = from.as_secs();
+        let hi = to.as_secs();
         if lo >= hi {
             return 0;
         }
-        b[lo..hi].iter().map(|&c| u64::from(c)).sum()
+        let start = b.partition_point(|&(s, _)| s < lo);
+        let end = b.partition_point(|&(s, _)| s < hi);
+        b[start..end].iter().map(|&(_, c)| u64::from(c)).sum()
     }
 
     /// Peak frames observed in any single second of `[from, to)`.
     pub fn peak_rate(&self, from: SimTime, to: SimTime) -> u32 {
         let Some(b) = &self.buckets else { return 0 };
-        let lo = from.as_secs() as usize;
-        let hi = (to.as_secs() as usize).min(b.len());
-        b.get(lo..hi)
-            .map(|s| s.iter().copied().max().unwrap_or(0))
-            .unwrap_or(0)
+        let lo = from.as_secs();
+        let hi = to.as_secs();
+        if lo >= hi {
+            return 0;
+        }
+        let start = b.partition_point(|&(s, _)| s < lo);
+        let end = b.partition_point(|&(s, _)| s < hi);
+        b[start..end].iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+
+    /// Number of materialised bucket slots (`None` if buckets are
+    /// disabled). Exposed so tests can assert sparse storage.
+    pub fn bucket_slots(&self) -> Option<usize> {
+        self.buckets.as_ref().map(|b| b.len())
     }
 }
 
@@ -92,6 +120,20 @@ pub struct SimStats {
     pub icmp_errors: u64,
     /// ARP requests broadcast.
     pub arp_requests: u64,
+    /// High-water mark of the pending event queue depth.
+    pub queue_depth_hwm: u64,
+}
+
+/// Per-process packet counters, keyed by the owning process handle in
+/// the engine. These feed the Table 4 `ModuleLoadReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// IP packets this process originated (accepted by the stack).
+    pub packets_sent: u64,
+    /// UDP/ICMP payloads delivered to this process's handlers.
+    pub packets_received: u64,
+    /// Frames seen through a promiscuous tap.
+    pub frames_tapped: u64,
 }
 
 #[cfg(test)]
@@ -117,6 +159,7 @@ mod tests {
         let mut s = SegmentStats::default();
         s.record_frame(SimTime::ZERO, 100, false, false);
         assert_eq!(s.frames_between(SimTime::ZERO, SimTime(10_000_000)), 0);
+        assert_eq!(s.bucket_slots(), None);
     }
 
     #[test]
@@ -136,5 +179,56 @@ mod tests {
             s.frames_between(SimTime(50_000_000), SimTime(60_000_000)),
             0
         );
+    }
+
+    #[test]
+    fn idle_gaps_cost_no_slots() {
+        let mut s = SegmentStats::default();
+        s.enable_buckets();
+        s.record_frame(SimTime::ZERO, 64, false, false);
+        // A frame twelve hours later must not materialise 43k zeroes.
+        let later = SimTime::ZERO + SimDuration::from_hours(12);
+        s.record_frame(later, 64, false, false);
+        assert_eq!(s.bucket_slots(), Some(2));
+        assert_eq!(
+            s.frames_between(SimTime::ZERO, later + SimDuration::from_secs(1)),
+            2
+        );
+        // The idle middle reads as empty.
+        assert_eq!(s.frames_between(SimTime(1_000_000), later), 0,);
+        assert_eq!(
+            s.peak_rate(SimTime::ZERO, later + SimDuration::from_secs(1)),
+            1
+        );
+    }
+
+    #[test]
+    fn window_edges_are_half_open() {
+        let mut s = SegmentStats::default();
+        s.enable_buckets();
+        s.record_frame(SimTime(2_500_000), 64, false, false); // second 2
+        s.record_frame(SimTime(3_000_000), 64, false, false); // second 3
+                                                              // [2, 3) includes second 2 only.
+        assert_eq!(s.frames_between(SimTime(2_000_000), SimTime(3_000_000)), 1);
+        // [3, 4) includes second 3 only.
+        assert_eq!(s.frames_between(SimTime(3_000_000), SimTime(4_000_000)), 1);
+        // Empty and inverted windows.
+        assert_eq!(s.frames_between(SimTime(3_000_000), SimTime(3_000_000)), 0);
+        assert_eq!(s.frames_between(SimTime(4_000_000), SimTime(3_000_000)), 0);
+        assert_eq!(s.peak_rate(SimTime(3_000_000), SimTime(3_000_000)), 0);
+    }
+
+    #[test]
+    fn out_of_order_records_stay_sorted() {
+        let mut s = SegmentStats::default();
+        s.enable_buckets();
+        s.record_frame(SimTime(5_000_000), 64, false, false);
+        s.record_frame(SimTime(1_000_000), 64, false, false);
+        s.record_frame(SimTime(5_200_000), 64, false, false);
+        s.record_frame(SimTime(1_900_000), 64, false, false);
+        assert_eq!(s.bucket_slots(), Some(2));
+        assert_eq!(s.frames_between(SimTime(1_000_000), SimTime(2_000_000)), 2);
+        assert_eq!(s.frames_between(SimTime(5_000_000), SimTime(6_000_000)), 2);
+        assert_eq!(s.peak_rate(SimTime::ZERO, SimTime(10_000_000)), 2);
     }
 }

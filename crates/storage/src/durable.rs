@@ -23,6 +23,7 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use fremont_telemetry::{SpanId, TelTime, Telemetry};
 use parking_lot::Mutex;
 
 use fremont_journal::observation::Observation;
@@ -103,6 +104,51 @@ pub struct RecoveryReport {
     pub torn_bytes_dropped: u64,
 }
 
+/// Publishes a [`RecoveryReport`] into a telemetry sink: one counter
+/// per field plus a `storage.recovery` trace event (at time zero —
+/// recovery happens before the exploration clock starts).
+pub fn publish_recovery(telemetry: &Telemetry, report: &RecoveryReport) {
+    if !telemetry.enabled() {
+        return;
+    }
+    telemetry.gauge_set(
+        "fremont_wal_recovery_snapshot_loaded",
+        "",
+        u64::from(report.snapshot_loaded),
+    );
+    telemetry.gauge_set("fremont_wal_recovery_watermark", "", report.watermark);
+    telemetry.counter_set(
+        "fremont_wal_recovery_segments_scanned",
+        "",
+        report.segments_scanned as u64,
+    );
+    telemetry.counter_set(
+        "fremont_wal_recovery_records_replayed",
+        "",
+        report.records_replayed,
+    );
+    telemetry.counter_set(
+        "fremont_wal_recovery_records_skipped",
+        "",
+        report.records_skipped,
+    );
+    telemetry.counter_set(
+        "fremont_wal_recovery_torn_bytes_dropped",
+        "",
+        report.torn_bytes_dropped,
+    );
+    let detail = format!(
+        "snapshot_loaded={} watermark={} segments={} replayed={} skipped={} torn_bytes={}",
+        report.snapshot_loaded,
+        report.watermark,
+        report.segments_scanned,
+        report.records_replayed,
+        report.records_skipped,
+        report.torn_bytes_dropped,
+    );
+    telemetry.event("storage.recovery", &detail, SpanId::NONE, TelTime(0));
+}
+
 struct WalState {
     cfg: WalConfig,
     writer: WalWriter,
@@ -125,14 +171,26 @@ impl Drop for WalState {
 pub struct DurableJournal {
     shared: SharedJournal,
     wal: Arc<Mutex<WalState>>,
+    telemetry: Telemetry,
 }
 
 impl DurableJournal {
     /// Opens (creating if needed) a journal directory, running crash
     /// recovery and an initial compaction.
     pub fn open(cfg: WalConfig) -> io::Result<(DurableJournal, RecoveryReport)> {
+        Self::open_with_telemetry(cfg, Telemetry::noop())
+    }
+
+    /// Like [`DurableJournal::open`], with a telemetry handle: the
+    /// recovery report is published at startup and WAL activity
+    /// (appends, fsyncs, rotations) is counted from then on.
+    pub fn open_with_telemetry(
+        cfg: WalConfig,
+        telemetry: Telemetry,
+    ) -> io::Result<(DurableJournal, RecoveryReport)> {
         std::fs::create_dir_all(&cfg.dir)?;
         let (journal, report) = recover(&cfg)?;
+        publish_recovery(&telemetry, &report);
         let shared = SharedJournal::from_journal(journal);
         // Compact immediately: snapshot the recovered state and start a
         // fresh segment, so stale segments can't accumulate and a
@@ -142,6 +200,7 @@ impl DurableJournal {
         let durable = DurableJournal {
             shared,
             wal: Arc::new(Mutex::new(WalState { cfg, writer })),
+            telemetry,
         };
         Ok((durable, report))
     }
@@ -154,7 +213,11 @@ impl DurableJournal {
     /// Forces buffered WAL appends to disk (group-commit flush point).
     pub fn sync(&self) -> io::Result<()> {
         // fremont-lint: allow(lock-order) -- the WAL mutex exists to serialize exactly this fsync against appends
-        self.wal.lock().writer.sync_now()
+        if self.wal.lock().writer.sync_now()? {
+            self.telemetry
+                .counter_add("fremont_wal_fsyncs_total", "", 1);
+        }
+        Ok(())
     }
 
     /// Writes a durable snapshot, rotates to a fresh segment, and
@@ -166,11 +229,16 @@ impl DurableJournal {
     }
 
     fn compact_locked(&self, wal: &mut WalState) -> io::Result<()> {
-        wal.writer.sync_now()?;
+        if wal.writer.sync_now()? {
+            self.telemetry
+                .counter_add("fremont_wal_fsyncs_total", "", 1);
+        }
         wal.writer = self
             .shared
             // fremont-lint: allow(lock-order) -- see open(): the snapshot must be captured under the read lock
             .read(|j| write_snapshot_and_rotate(&wal.cfg, j))?;
+        self.telemetry
+            .counter_add("fremont_wal_segment_rotations_total", "", 1);
         Ok(())
     }
 }
@@ -249,6 +317,8 @@ impl JournalAccess for DurableJournal {
     fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
         // fremont-lint: allow(lock-order) -- WAL-before-journal is the crate's one lock order; store/compact/delete all follow it
         let mut wal = self.wal.lock();
+        let mut appends = 0u64;
+        let mut fsyncs = 0u64;
         let summary = self
             .shared
             // fremont-lint: allow(lock-order) -- write-ahead logging: append and apply must be atomic under the write lock
@@ -258,16 +328,26 @@ impl JournalAccess for DurableJournal {
                     // Log ahead of apply: the record carries the seq the
                     // counter will reach once applied.
                     let seq = j.stats().observations_applied + 1;
-                    wal.writer.append(&WalRecord {
+                    let synced = wal.writer.append(&WalRecord {
                         seq,
                         at: now,
                         obs: obs.clone(),
                     })?;
+                    appends += 1;
+                    fsyncs += u64::from(synced);
                     sum.absorb(j.apply(obs, now));
                 }
                 Ok(sum)
             })
             .map_err(io_err)?;
+        if appends > 0 {
+            self.telemetry
+                .counter_add("fremont_wal_appends_total", "", appends);
+        }
+        if fsyncs > 0 {
+            self.telemetry
+                .counter_add("fremont_wal_fsyncs_total", "", fsyncs);
+        }
         if wal.writer.bytes() >= wal.cfg.max_segment_bytes {
             self.compact_locked(&mut wal).map_err(io_err)?;
         }

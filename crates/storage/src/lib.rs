@@ -26,5 +26,5 @@ pub mod crc32;
 pub mod durable;
 pub mod wal;
 
-pub use durable::{DurableJournal, PersistencePolicy, RecoveryReport, WalConfig};
+pub use durable::{publish_recovery, DurableJournal, PersistencePolicy, RecoveryReport, WalConfig};
 pub use wal::{SyncPolicy, WalRecord};

@@ -168,8 +168,9 @@ impl WalWriter {
     }
 
     /// Appends one record (a single `write` of the assembled frame),
-    /// then applies the sync policy.
-    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+    /// then applies the sync policy. Returns whether this append
+    /// triggered an fsync (so callers can count real disk syncs).
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<bool> {
         let payload = serde_json::to_vec(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
@@ -185,25 +186,29 @@ impl WalWriter {
         self.file.write_all(&frame)?;
         self.bytes += frame.len() as u64;
         self.unsynced += 1;
-        match self.sync {
+        let synced = match self.sync {
             SyncPolicy::Always => self.sync_now()?,
             SyncPolicy::EveryN(n) => {
                 if self.unsynced >= n.max(1) {
-                    self.sync_now()?;
+                    self.sync_now()?
+                } else {
+                    false
                 }
             }
-            SyncPolicy::Never => {}
-        }
-        Ok(())
+            SyncPolicy::Never => false,
+        };
+        Ok(synced)
     }
 
-    /// Forces everything appended so far onto disk.
-    pub fn sync_now(&mut self) -> io::Result<()> {
+    /// Forces everything appended so far onto disk. Returns whether an
+    /// fsync was actually issued (`false` when nothing was pending).
+    pub fn sync_now(&mut self) -> io::Result<bool> {
         if self.unsynced > 0 {
             self.file.sync_data()?;
             self.unsynced = 0;
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Bytes written to this segment (including framing).

@@ -1,0 +1,315 @@
+//! Deterministic observability for the Fremont reproduction.
+//!
+//! The paper evaluates Fremont by its operational footprint (Table 4:
+//! per-module network load and completion time), and §5 diagnoses
+//! problems by correlating timestamped observations. This crate is the
+//! measurement substrate for that: a metrics registry (counters,
+//! gauges, fixed-bound histograms) and a span/event tracer.
+//!
+//! # Determinism contract
+//!
+//! Nothing in this crate reads a wall clock or an entropy source; the
+//! workspace lint (`fremont-lint`) enforces that at the token level.
+//! Every timestamp is a [`TelTime`] passed in by the caller, derived
+//! from `SimTime` (microseconds) or `JTime` (seconds). Latencies are
+//! therefore expressed in *simulated* time or in logical work units
+//! (e.g. observations merged per store call), never host time. Span
+//! ids are sequential per recorder. The result: two runs with the same
+//! seed produce byte-identical trace exports and metric dumps.
+//!
+//! # Usage
+//!
+//! Instrumented components hold a cheap [`Telemetry`] handle (a
+//! cloneable `Option<Arc<dyn TelemetrySink>>`). The default handle is
+//! a no-op — one branch per call, no allocation — so uninstrumented
+//! runs pay nothing. [`Telemetry::recording`] attaches a [`Recorder`]
+//! that keeps a ring buffer of trace events (JSONL export) and a
+//! metrics registry (Prometheus-style text exposition).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use metrics::{parse_exposition, Registry};
+pub use recorder::Recorder;
+pub use trace::{TraceBuffer, TraceEvent};
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A telemetry timestamp: microseconds of simulated (or journal) time.
+///
+/// Callers derive this from `SimTime::as_micros()` or from
+/// `JTime * 1_000_000`; it is never a wall-clock reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct TelTime(pub u64);
+
+impl TelTime {
+    /// A timestamp from whole seconds (journal time).
+    pub fn from_secs(secs: u64) -> Self {
+        TelTime(secs.saturating_mul(1_000_000))
+    }
+
+    /// The raw microsecond count.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TelTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+/// Identifier of an open span. `SpanId(0)` is the null span (no-op
+/// sinks return it, and it is the "no parent" marker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span: returned by no-op sinks, used as "no parent".
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is a real (recorded) span.
+    pub fn is_real(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Histogram bucket boundary presets. Bounds are `'static` so the
+/// registry can validate that repeated observations agree on shape.
+pub mod bounds {
+    /// Power-of-two logical work units (batch sizes, merge op counts).
+    pub const WORK_UNITS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+    /// Simulated durations in microseconds, 1ms .. 1h.
+    pub const SIM_MICROS: &[u64] = &[
+        1_000,
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        60_000_000,
+        600_000_000,
+        3_600_000_000,
+    ];
+
+    /// Frame/record sizes in bytes.
+    pub const BYTES: &[u64] = &[64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576];
+}
+
+/// Where instrumented components send their measurements.
+///
+/// Every method has a no-op default body so sinks implement only what
+/// they care about. Implementations must be internally synchronised
+/// (`&self` receivers; the engine and server threads share one sink).
+///
+/// The `label` argument is a single rendered Prometheus-style pair
+/// such as `module="ARPwatch"` — or `""` for an unlabelled series.
+pub trait TelemetrySink: Send + Sync {
+    /// Adds `delta` to a monotonic counter.
+    fn counter_add(&self, name: &'static str, label: &str, delta: u64) {
+        let _ = (name, label, delta);
+    }
+
+    /// Sets a counter to an absolute value (for publishing totals
+    /// accumulated outside the sink, e.g. the sim's event count).
+    fn counter_set(&self, name: &'static str, label: &str, value: u64) {
+        let _ = (name, label, value);
+    }
+
+    /// Sets a gauge.
+    fn gauge_set(&self, name: &'static str, label: &str, value: u64) {
+        let _ = (name, label, value);
+    }
+
+    /// Raises a gauge to `value` if it is below it (high-water marks).
+    fn gauge_max(&self, name: &'static str, label: &str, value: u64) {
+        let _ = (name, label, value);
+    }
+
+    /// Records `value` into a histogram with fixed bucket `bounds`.
+    fn observe(&self, name: &'static str, label: &str, bounds: &'static [u64], value: u64) {
+        let _ = (name, label, bounds, value);
+    }
+
+    /// Opens a span at `at`; returns its id ([`SpanId::NONE`] from
+    /// no-op sinks). `parent` nests it under an open span.
+    fn span_start(&self, name: &'static str, label: &str, parent: SpanId, at: TelTime) -> SpanId {
+        let _ = (name, label, parent, at);
+        SpanId::NONE
+    }
+
+    /// Closes a span at `at`, attaching a free-form result `detail`.
+    fn span_end(&self, span: SpanId, detail: &str, at: TelTime) {
+        let _ = (span, detail, at);
+    }
+
+    /// Records a point event at `at`, optionally parented to a span.
+    fn event(&self, name: &'static str, detail: &str, parent: SpanId, at: TelTime) {
+        let _ = (name, detail, parent, at);
+    }
+}
+
+/// The always-off sink: every method is the trait default no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noop;
+
+impl TelemetrySink for Noop {}
+
+/// A cheap, cloneable handle instrumented components hold.
+///
+/// Default ([`Telemetry::noop`]) carries no sink: each call is a
+/// single `Option` branch. [`Telemetry::recording`] attaches a
+/// [`Recorder`] and returns it for later export.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl Telemetry {
+    /// A disabled handle (the default).
+    pub fn noop() -> Self {
+        Telemetry { sink: None }
+    }
+
+    /// A handle forwarding to `sink`.
+    pub fn from_sink(sink: Arc<dyn TelemetrySink>) -> Self {
+        Telemetry { sink: Some(sink) }
+    }
+
+    /// A handle recording into a fresh [`Recorder`] (default trace
+    /// ring capacity), returned alongside for export.
+    pub fn recording() -> (Self, Arc<Recorder>) {
+        let rec = Arc::new(Recorder::new());
+        (Telemetry::from_sink(rec.clone()), rec)
+    }
+
+    /// Like [`Telemetry::recording`] with an explicit trace capacity.
+    pub fn recording_with_capacity(cap: usize) -> (Self, Arc<Recorder>) {
+        let rec = Arc::new(Recorder::with_capacity(cap));
+        (Telemetry::from_sink(rec.clone()), rec)
+    }
+
+    /// Whether a sink is attached. Guard allocation-heavy detail
+    /// formatting behind this.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// See [`TelemetrySink::counter_add`].
+    pub fn counter_add(&self, name: &'static str, label: &str, delta: u64) {
+        if let Some(s) = &self.sink {
+            s.counter_add(name, label, delta);
+        }
+    }
+
+    /// See [`TelemetrySink::counter_set`].
+    pub fn counter_set(&self, name: &'static str, label: &str, value: u64) {
+        if let Some(s) = &self.sink {
+            s.counter_set(name, label, value);
+        }
+    }
+
+    /// See [`TelemetrySink::gauge_set`].
+    pub fn gauge_set(&self, name: &'static str, label: &str, value: u64) {
+        if let Some(s) = &self.sink {
+            s.gauge_set(name, label, value);
+        }
+    }
+
+    /// See [`TelemetrySink::gauge_max`].
+    pub fn gauge_max(&self, name: &'static str, label: &str, value: u64) {
+        if let Some(s) = &self.sink {
+            s.gauge_max(name, label, value);
+        }
+    }
+
+    /// See [`TelemetrySink::observe`].
+    pub fn observe(&self, name: &'static str, label: &str, bounds: &'static [u64], value: u64) {
+        if let Some(s) = &self.sink {
+            s.observe(name, label, bounds, value);
+        }
+    }
+
+    /// See [`TelemetrySink::span_start`].
+    pub fn span_start(
+        &self,
+        name: &'static str,
+        label: &str,
+        parent: SpanId,
+        at: TelTime,
+    ) -> SpanId {
+        match &self.sink {
+            Some(s) => s.span_start(name, label, parent, at),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// See [`TelemetrySink::span_end`].
+    pub fn span_end(&self, span: SpanId, detail: &str, at: TelTime) {
+        if let Some(s) = &self.sink {
+            s.span_end(span, detail, at);
+        }
+    }
+
+    /// See [`TelemetrySink::event`].
+    pub fn event(&self, name: &'static str, detail: &str, parent: SpanId, at: TelTime) {
+        if let Some(s) = &self.sink {
+            s.event(name, detail, parent, at);
+        }
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let t = Telemetry::noop();
+        assert!(!t.enabled());
+        t.counter_add("x_total", "", 3);
+        let span = t.span_start("s", "", SpanId::NONE, TelTime(5));
+        assert!(!span.is_real());
+        t.span_end(span, "done", TelTime(9));
+        t.event("e", "", span, TelTime(9));
+    }
+
+    #[test]
+    fn recording_handle_round_trips() {
+        let (t, rec) = Telemetry::recording();
+        assert!(t.enabled());
+        t.counter_add("fremont_test_total", "", 2);
+        t.counter_add("fremont_test_total", "", 3);
+        assert_eq!(rec.counter("fremont_test_total", ""), 5);
+        let s = t.span_start("phase", "", SpanId::NONE, TelTime(1));
+        assert!(s.is_real());
+        t.span_end(s, "ok", TelTime(2));
+        assert_eq!(rec.trace_len(), 2);
+    }
+
+    #[test]
+    fn teltime_from_secs_scales() {
+        assert_eq!(TelTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(TelTime::from_secs(u64::MAX).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn debug_impl_reports_state_not_sink() {
+        let t = Telemetry::noop();
+        assert_eq!(format!("{t:?}"), "Telemetry { enabled: false }");
+    }
+}

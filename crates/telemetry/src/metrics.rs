@@ -1,0 +1,339 @@
+//! Metrics registry: counters, gauges, fixed-bound histograms, and a
+//! Prometheus-style text exposition (plus a validating parser for it).
+//!
+//! Series are keyed by `(name, label)` in `BTreeMap`s so iteration —
+//! and therefore the exposition text — is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram with fixed bucket boundaries set at first observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Upper bucket bounds (inclusive), ascending. A final implicit
+    /// `+Inf` bucket catches everything above the last bound.
+    bounds: Vec<u64>,
+    /// One count per bound plus the `+Inf` overflow bucket.
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.count += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+/// The metrics store behind a recording sink.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), u64>,
+    histograms: BTreeMap<(String, String), Histogram>,
+}
+
+fn key(name: &str, label: &str) -> (String, String) {
+    (name.to_string(), label.to_string())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, label: &str, delta: u64) {
+        let c = self.counters.entry(key(name, label)).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Sets a counter to an absolute value.
+    pub fn counter_set(&mut self, name: &str, label: &str, value: u64) {
+        self.counters.insert(key(name, label), value);
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, label: &str, value: u64) {
+        self.gauges.insert(key(name, label), value);
+    }
+
+    /// Raises a gauge to `value` if currently below it.
+    pub fn gauge_max(&mut self, name: &str, label: &str, value: u64) {
+        let g = self.gauges.entry(key(name, label)).or_insert(0);
+        if *g < value {
+            *g = value;
+        }
+    }
+
+    /// Records into a histogram, creating it with `bounds` on first
+    /// use. Later calls reuse the existing buckets (first bounds win,
+    /// so a series keeps one shape for its whole life).
+    pub fn observe(&mut self, name: &str, label: &str, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(key(name, label))
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// Current counter value (0 when the series does not exist).
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters.get(&key(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value (0 when the series does not exist).
+    pub fn gauge(&self, name: &str, label: &str) -> u64 {
+        self.gauges.get(&key(name, label)).copied().unwrap_or(0)
+    }
+
+    /// The histogram for a series, if any observation was recorded.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&Histogram> {
+        self.histograms.get(&key(name, label))
+    }
+
+    /// Counters whose name starts with `prefix`, as
+    /// `(name, label, value)` — handy for table rendering.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, String, u64)> {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n.starts_with(prefix))
+            .map(|((n, l), v)| (n.clone(), l.clone(), *v))
+            .collect()
+    }
+
+    /// Renders the whole registry as Prometheus-style text exposition.
+    ///
+    /// Counters and gauges become one sample line each; histograms
+    /// expand to cumulative `_bucket{le=...}` lines plus `_sum` and
+    /// `_count`. Series are emitted in sorted order, with one `# TYPE`
+    /// header per metric family (label variants share it).
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        let mut last: Option<&str> = None;
+        for ((name, label), value) in &self.counters {
+            if last != Some(name.as_str()) {
+                writeln!(out, "# TYPE {name} counter").ok();
+                last = Some(name);
+            }
+            writeln!(out, "{}{} {value}", name, braced(label)).ok();
+        }
+        last = None;
+        for ((name, label), value) in &self.gauges {
+            if last != Some(name.as_str()) {
+                writeln!(out, "# TYPE {name} gauge").ok();
+                last = Some(name);
+            }
+            writeln!(out, "{}{} {value}", name, braced(label)).ok();
+        }
+        last = None;
+        for ((name, label), h) in &self.histograms {
+            if last != Some(name.as_str()) {
+                writeln!(out, "# TYPE {name} histogram").ok();
+                last = Some(name);
+            }
+            let mut cum = 0u64;
+            for (i, bound) in h.bounds.iter().enumerate() {
+                cum += h.counts[i];
+                let le = format!("le=\"{bound}\"");
+                writeln!(out, "{name}_bucket{} {cum}", braced(&join(label, &le))).ok();
+            }
+            cum += h.counts[h.bounds.len()];
+            let inf = "le=\"+Inf\"".to_string();
+            writeln!(out, "{name}_bucket{} {cum}", braced(&join(label, &inf))).ok();
+            writeln!(out, "{name}_sum{} {}", braced(label), h.sum).ok();
+            writeln!(out, "{name}_count{} {}", braced(label), h.count).ok();
+        }
+        out
+    }
+}
+
+fn braced(label: &str) -> String {
+    if label.is_empty() {
+        String::new()
+    } else {
+        format!("{{{label}}}")
+    }
+}
+
+fn join(label: &str, extra: &str) -> String {
+    if label.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{label},{extra}")
+    }
+}
+
+/// Validates Prometheus-style exposition text produced by
+/// [`Registry::expose`] (or anything shaped like it). Returns the
+/// number of sample lines on success, or a description of the first
+/// malformed line.
+pub fn parse_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parse_sample(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?;
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<(), String> {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "missing value".to_string())?;
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("bad value {value:?}"))?;
+    let name = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unclosed label braces".to_string())?;
+            for pair in labels.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label {pair:?} missing '='"))?;
+                if !is_valid_name(k) {
+                    return Err(format!("bad label name {k:?}"));
+                }
+                if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                    return Err(format!("label value {v:?} not quoted"));
+                }
+            }
+            name
+        }
+        None => series,
+    };
+    if !is_valid_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(())
+}
+
+fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_set() {
+        let mut r = Registry::new();
+        r.counter_add("a_total", "", 2);
+        r.counter_add("a_total", "", 3);
+        assert_eq!(r.counter("a_total", ""), 5);
+        r.counter_set("a_total", "", 1);
+        assert_eq!(r.counter("a_total", ""), 1);
+        assert_eq!(r.counter("missing", ""), 0);
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let mut r = Registry::new();
+        r.counter_add("pkts_total", "module=\"ARPwatch\"", 7);
+        r.counter_add("pkts_total", "module=\"DNS\"", 1);
+        assert_eq!(r.counter("pkts_total", "module=\"ARPwatch\""), 7);
+        assert_eq!(r.counter("pkts_total", "module=\"DNS\""), 1);
+        let all = r.counters_with_prefix("pkts");
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn gauge_max_is_high_water_mark() {
+        let mut r = Registry::new();
+        r.gauge_max("depth", "", 4);
+        r.gauge_max("depth", "", 2);
+        assert_eq!(r.gauge("depth", ""), 4);
+        r.gauge_set("depth", "", 1);
+        assert_eq!(r.gauge("depth", ""), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let mut r = Registry::new();
+        let bounds: &[u64] = &[10, 100];
+        r.observe("lat", "", bounds, 5);
+        r.observe("lat", "", bounds, 50);
+        r.observe("lat", "", bounds, 500);
+        let h = r.histogram("lat", "").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 555);
+        let text = r.expose();
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_sum 555"), "{text}");
+        assert!(text.contains("lat_count 3"), "{text}");
+    }
+
+    #[test]
+    fn exposition_round_trips_through_parser() {
+        let mut r = Registry::new();
+        r.counter_add("fremont_x_total", "rpc=\"store\"", 9);
+        r.gauge_set("fremont_depth", "", 3);
+        r.observe("fremont_lat", "kind=\"merge\"", &[1, 8], 4);
+        let text = r.expose();
+        let n = parse_exposition(&text).expect("own exposition parses");
+        // 1 counter + 1 gauge + (2 buckets + Inf + sum + count).
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("ok_total 1\n").is_ok());
+        assert!(parse_exposition("no_value\n").is_err());
+        assert!(parse_exposition("bad name 1\n").is_err());
+        assert!(parse_exposition("x{unquoted=v} 1\n").is_err());
+        assert!(parse_exposition("x{open=\"v\" 1\n").is_err());
+        assert!(parse_exposition("x 12abc\n").is_err());
+        assert!(parse_exposition("# comment only\n\n").unwrap() == 0);
+    }
+
+    #[test]
+    fn expose_is_deterministic_across_insert_orders() {
+        let mut a = Registry::new();
+        a.counter_add("b_total", "", 1);
+        a.counter_add("a_total", "", 1);
+        let mut b = Registry::new();
+        b.counter_add("a_total", "", 1);
+        b.counter_add("b_total", "", 1);
+        assert_eq!(a.expose(), b.expose());
+    }
+}

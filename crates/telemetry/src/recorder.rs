@@ -1,0 +1,227 @@
+//! The in-memory recording sink: a [`Registry`] plus a [`TraceBuffer`]
+//! behind one mutex, implementing [`TelemetrySink`].
+
+use std::sync::{Mutex, MutexGuard};
+
+use crate::metrics::Registry;
+use crate::trace::{TraceBuffer, TraceEvent};
+use crate::{SpanId, TelTime, TelemetrySink};
+
+struct Inner {
+    registry: Registry,
+    trace: TraceBuffer,
+}
+
+/// Records metrics and trace events in memory for later export.
+///
+/// Shared across threads behind an `Arc` (the sim loop and the
+/// Journal Server's connection threads may feed the same recorder);
+/// a poisoned lock is recovered rather than propagated, since the
+/// registry and ring stay structurally valid after any panic.
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the default trace ring capacity.
+    pub fn new() -> Self {
+        Recorder::with_capacity(crate::trace::DEFAULT_CAPACITY)
+    }
+
+    /// A recorder whose trace ring holds at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Recorder {
+            inner: Mutex::new(Inner {
+                registry: Registry::new(),
+                trace: TraceBuffer::with_capacity(cap),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Renders the metrics as Prometheus-style text exposition.
+    pub fn expose(&self) -> String {
+        self.lock().registry.expose()
+    }
+
+    /// Exports the trace ring as JSON Lines, oldest-first.
+    pub fn trace_jsonl(&self) -> String {
+        self.lock().trace.to_jsonl()
+    }
+
+    /// Current value of a counter series (0 when absent).
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.lock().registry.counter(name, label)
+    }
+
+    /// Current value of a gauge series (0 when absent).
+    pub fn gauge(&self, name: &str, label: &str) -> u64 {
+        self.lock().registry.gauge(name, label)
+    }
+
+    /// `(count, sum)` of a histogram series, if it exists.
+    pub fn histogram_totals(&self, name: &str, label: &str) -> Option<(u64, u64)> {
+        let inner = self.lock();
+        inner
+            .registry
+            .histogram(name, label)
+            .map(|h| (h.count(), h.sum()))
+    }
+
+    /// Counters whose name starts with `prefix`.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, String, u64)> {
+        self.lock().registry.counters_with_prefix(prefix)
+    }
+
+    /// Number of buffered trace events.
+    pub fn trace_len(&self) -> usize {
+        self.lock().trace.len()
+    }
+
+    /// Events evicted from the trace ring so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.lock().trace.dropped()
+    }
+
+    /// Runs `f` over the buffered events (oldest-first) under the
+    /// lock — for assertions without cloning the whole ring.
+    pub fn with_trace<R>(&self, f: impl FnOnce(&TraceBuffer) -> R) -> R {
+        f(&self.lock().trace)
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Recorder")
+            .field("trace_len", &inner.trace.len())
+            .field("trace_dropped", &inner.trace.dropped())
+            .finish()
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn counter_add(&self, name: &'static str, label: &str, delta: u64) {
+        self.lock().registry.counter_add(name, label, delta);
+    }
+
+    fn counter_set(&self, name: &'static str, label: &str, value: u64) {
+        self.lock().registry.counter_set(name, label, value);
+    }
+
+    fn gauge_set(&self, name: &'static str, label: &str, value: u64) {
+        self.lock().registry.gauge_set(name, label, value);
+    }
+
+    fn gauge_max(&self, name: &'static str, label: &str, value: u64) {
+        self.lock().registry.gauge_max(name, label, value);
+    }
+
+    fn observe(&self, name: &'static str, label: &str, bounds: &'static [u64], value: u64) {
+        self.lock().registry.observe(name, label, bounds, value);
+    }
+
+    fn span_start(&self, name: &'static str, label: &str, parent: SpanId, at: TelTime) -> SpanId {
+        let mut inner = self.lock();
+        let id = inner.trace.next_span_id();
+        inner.trace.push(TraceEvent {
+            at: at.0,
+            kind: "span_start".to_string(),
+            id,
+            parent: parent.0,
+            name: name.to_string(),
+            detail: label.to_string(),
+        });
+        SpanId(id)
+    }
+
+    fn span_end(&self, span: SpanId, detail: &str, at: TelTime) {
+        if !span.is_real() {
+            return;
+        }
+        self.lock().trace.push(TraceEvent {
+            at: at.0,
+            kind: "span_end".to_string(),
+            id: span.0,
+            parent: 0,
+            name: String::new(),
+            detail: detail.to_string(),
+        });
+    }
+
+    fn event(&self, name: &'static str, detail: &str, parent: SpanId, at: TelTime) {
+        self.lock().trace.push(TraceEvent {
+            at: at.0,
+            kind: "event".to_string(),
+            id: 0,
+            parent: parent.0,
+            name: name.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_spans_with_nesting() {
+        let rec = Recorder::new();
+        let root = rec.span_start("driver.pump", "cycle=1", SpanId::NONE, TelTime(10));
+        let child = rec.span_start("driver.correlate", "", root, TelTime(11));
+        rec.span_end(child, "links=2", TelTime(12));
+        rec.span_end(root, "ok", TelTime(13));
+        rec.with_trace(|t| {
+            let evs: Vec<_> = t.iter().cloned().collect();
+            assert_eq!(evs.len(), 4);
+            assert_eq!(evs[0].kind, "span_start");
+            assert_eq!(evs[1].parent, evs[0].id);
+            assert_eq!(evs[2].detail, "links=2");
+        });
+    }
+
+    #[test]
+    fn span_end_on_null_span_is_ignored() {
+        let rec = Recorder::new();
+        rec.span_end(SpanId::NONE, "x", TelTime(1));
+        assert_eq!(rec.trace_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let rec = Arc::new(Recorder::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = rec.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    r.counter_add("n_total", "", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.counter("n_total", ""), 400);
+    }
+
+    #[test]
+    fn histogram_totals_surface() {
+        let rec = Recorder::new();
+        rec.observe("h", "", crate::bounds::WORK_UNITS, 3);
+        rec.observe("h", "", crate::bounds::WORK_UNITS, 5);
+        assert_eq!(rec.histogram_totals("h", ""), Some((2, 8)));
+        assert_eq!(rec.histogram_totals("missing", ""), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Span/event tracing: a bounded ring buffer of [`TraceEvent`]s with
+//! a JSONL exporter.
+//!
+//! Events carry sim-derived timestamps and sequential span ids, so a
+//! trace is byte-replayable: the same seed produces the same JSONL.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default ring capacity (events) before the oldest are dropped.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One trace record. `kind` is `"span_start"`, `"span_end"`, or
+/// `"event"`; `id`/`parent` are span ids with 0 meaning "none".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Timestamp in microseconds of simulated/journal time.
+    pub at: u64,
+    /// Record kind: `span_start`, `span_end`, or `event`.
+    pub kind: String,
+    /// Span id this record belongs to (0 for plain events).
+    pub id: u64,
+    /// Enclosing span id (0 when top-level).
+    pub parent: u64,
+    /// Metric-style name, e.g. `driver.pump`.
+    pub name: String,
+    /// Free-form detail (span label, result summary, event payload).
+    pub detail: String,
+}
+
+/// A bounded, drop-oldest buffer of trace events.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+    next_span: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `cap` events (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceBuffer {
+            events: VecDeque::new(),
+            cap: cap.max(1),
+            dropped: 0,
+            next_span: 1,
+        }
+    }
+
+    /// Allocates the next sequential span id.
+    pub fn next_span_id(&mut self) -> u64 {
+        let id = self.next_span;
+        self.next_span += 1;
+        id
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted to respect the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the buffered events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Serialises the buffer as JSON Lines, oldest-first, one event
+    /// per line. Serialisation of these flat records cannot fail, so
+    /// unencodable events are skipped defensively rather than panic.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            if let Ok(line) = serde_json::to_string(ev) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, name: &str) -> TraceEvent {
+        TraceEvent {
+            at,
+            kind: "event".into(),
+            id: 0,
+            parent: 0,
+            name: name.into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut b = TraceBuffer::with_capacity(2);
+        b.push(ev(1, "a"));
+        b.push(ev(2, "b"));
+        b.push(ev(3, "c"));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 1);
+        let names: Vec<_> = b.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn span_ids_are_sequential_from_one() {
+        let mut b = TraceBuffer::default();
+        assert_eq!(b.next_span_id(), 1);
+        assert_eq!(b.next_span_id(), 2);
+        assert_eq!(b.next_span_id(), 3);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut b = TraceBuffer::default();
+        b.push(ev(7, "node.up"));
+        let text = b.to_jsonl();
+        assert_eq!(text.lines().count(), 1);
+        let back: TraceEvent = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(back, ev(7, "node.up"));
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let mut b = TraceBuffer::with_capacity(0);
+        b.push(ev(1, "a"));
+        b.push(ev(2, "b"));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.dropped(), 1);
+    }
+}

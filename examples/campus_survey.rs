@@ -3,18 +3,51 @@
 //! Generates the 111-connected-subnet campus, runs all eight Explorer
 //! Modules under the Discovery Manager for a simulated day, and prints
 //! discovery effectiveness against ground truth — the live version of
-//! Tables 5 and 6 (the bench harness regenerates the exact tables).
+//! Tables 5 and 6 (the bench harness regenerates the exact tables) —
+//! plus the measured per-module load beside the paper's Table 4.
 //!
 //! ```sh
 //! cargo run --release --example campus_survey
+//! cargo run --release --example campus_survey -- --hours 6 \
+//!     --metrics-file metrics.prom --trace-jsonl trace.jsonl
 //! ```
+//!
+//! `--metrics-file` writes Prometheus text exposition at exit;
+//! `--trace-jsonl` writes the driver's span/event trace. Both are
+//! keyed to simulated time, so two runs with the same seed produce
+//! byte-identical output.
+
+use std::path::PathBuf;
 
 use fremont::core::Fremont;
 use fremont::journal::{JournalAccess, SubnetQuery};
 use fremont::netsim::campus::CampusConfig;
 use fremont::netsim::time::SimDuration;
+use fremont::telemetry::Telemetry;
 
 fn main() {
+    let mut metrics_file: Option<PathBuf> = None;
+    let mut trace_file: Option<PathBuf> = None;
+    let mut hours: u64 = 24;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-file" => metrics_file = args.next().map(PathBuf::from),
+            "--trace-jsonl" => trace_file = args.next().map(PathBuf::from),
+            "--hours" => {
+                hours = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --hours needs an integer argument");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let record = metrics_file.is_some() || trace_file.is_some();
+
     let cfg = CampusConfig::default();
     println!(
         "Generating campus: {} assigned subnets, {} connected, DNS coverage {:.0}%...",
@@ -22,7 +55,13 @@ fn main() {
         cfg.subnets_connected,
         cfg.dns_coverage * 100.0
     );
-    let mut system = Fremont::over_campus(&cfg);
+    let (telemetry, recorder) = if record {
+        let (t, r) = Telemetry::recording();
+        (t, Some(r))
+    } else {
+        (Telemetry::noop(), None)
+    };
+    let mut system = Fremont::over_campus_with_telemetry(&cfg, telemetry);
     println!(
         "Ground truth: {} gateways, {} interfaces on the CS subnet ({} in DNS), {} broken routers.",
         system.truth.gateways.len(),
@@ -31,8 +70,10 @@ fn main() {
         system.truth.broken_routers.len()
     );
 
-    println!("\nExploring for one simulated day (this runs a few seconds of real time)...");
-    system.explore(SimDuration::from_hours(24)).expect("flush");
+    println!("\nExploring for {hours} simulated hours (this runs a few seconds of real time)...");
+    system
+        .explore(SimDuration::from_hours(hours))
+        .expect("flush");
 
     let stats = system.stats();
     println!(
@@ -73,6 +114,10 @@ fn main() {
         system.truth.cs_interfaces.len()
     );
 
+    // Measured per-module load beside the paper's Table 4.
+    println!("\nModule load (measured vs paper Table 4):");
+    print!("{}", system.load_report().render());
+
     // The topology map (Figure 2), in SunNet Manager dump form (head).
     let sunnet = system.topology().to_sunnet();
     println!("\nSunNet Manager dump (first 12 lines):");
@@ -80,4 +125,21 @@ fn main() {
         println!("  {line}");
     }
     println!("  ...");
+
+    if let Some(rec) = recorder {
+        system.driver.publish_metrics();
+        if let Some(path) = metrics_file {
+            std::fs::write(&path, rec.expose()).expect("write metrics file");
+            println!("metrics exposition written to {}", path.display());
+        }
+        if let Some(path) = trace_file {
+            std::fs::write(&path, rec.trace_jsonl()).expect("write trace file");
+            println!(
+                "trace written to {} ({} events, {} dropped)",
+                path.display(),
+                rec.trace_len(),
+                rec.trace_dropped()
+            );
+        }
+    }
 }

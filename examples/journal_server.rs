@@ -6,6 +6,7 @@
 //! ```sh
 //! cargo run --example journal_server [addr] [snapshot.json] [hold-seconds]
 //! cargo run --example journal_server [addr] --data-dir journal-data [hold-seconds]
+//! cargo run --example journal_server [addr] --metrics-file metrics.prom
 //! ```
 //!
 //! With `--data-dir` the server runs on the `fremont-storage` engine:
@@ -14,6 +15,8 @@
 //! replay) — rerun the command and watch the record counts carry over.
 //! With a trailing hold argument the server stays up that many seconds
 //! after the demo, so external clients (other Fremont sites) can connect.
+//! With `--metrics-file` the server records per-RPC telemetry and writes
+//! Prometheus text exposition to the given path at shutdown.
 
 use std::path::PathBuf;
 
@@ -24,12 +27,14 @@ use fremont::net::IpRange;
 use fremont::netsim::builder::TopologyBuilder;
 use fremont::netsim::time::SimDuration;
 use fremont::storage::{DurableJournal, WalConfig};
+use fremont::telemetry::Telemetry;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:0".to_owned());
     let mut snapshot: Option<PathBuf> = None;
     let mut data_dir: Option<PathBuf> = None;
+    let mut metrics_file: Option<PathBuf> = None;
     let mut hold: Option<u64> = None;
     while let Some(arg) = args.next() {
         if arg == "--data-dir" {
@@ -38,17 +43,31 @@ fn main() {
                 eprintln!("error: --data-dir needs a directory argument");
                 std::process::exit(2);
             }
+        } else if arg == "--metrics-file" {
+            metrics_file = args.next().map(PathBuf::from);
+            if metrics_file.is_none() {
+                eprintln!("error: --metrics-file needs a path argument");
+                std::process::exit(2);
+            }
         } else if let Ok(secs) = arg.parse::<u64>() {
             hold = Some(secs);
         } else {
             snapshot = Some(PathBuf::from(arg));
         }
     }
+    let (telemetry, recorder) = if metrics_file.is_some() {
+        let (t, r) = Telemetry::recording();
+        (t, Some(r))
+    } else {
+        (Telemetry::noop(), None)
+    };
 
     match data_dir {
         Some(dir) => {
             // Durable mode: WAL + crash recovery + compaction.
-            let (journal, report) = match DurableJournal::open(WalConfig::new(&dir)) {
+            let opened =
+                DurableJournal::open_with_telemetry(WalConfig::new(&dir), telemetry.clone());
+            let (journal, report) = match opened {
                 Ok(v) => v,
                 Err(e) => {
                     eprintln!("error: cannot open journal dir {}: {e}", dir.display());
@@ -72,14 +91,14 @@ fn main() {
                 },
             );
             print_counts("after recovery", &journal);
-            let server = start_server(journal.clone(), &addr, None);
+            let server = start_server(journal.clone(), &addr, None, telemetry);
             run_demo(&server.addr().to_string());
             print_counts("at shutdown", &journal);
             hold_open(hold);
             server.shutdown();
         }
         None => {
-            let server = start_server(SharedJournal::new(), &addr, snapshot.clone());
+            let server = start_server(SharedJournal::new(), &addr, snapshot.clone(), telemetry);
             if let Some(p) = &snapshot {
                 println!("snapshot path: {}", p.display());
             }
@@ -94,6 +113,10 @@ fn main() {
             server.shutdown();
         }
     }
+    if let (Some(rec), Some(path)) = (recorder, metrics_file) {
+        std::fs::write(&path, rec.expose()).expect("write metrics file");
+        println!("metrics exposition written to {}", path.display());
+    }
     println!("server shut down cleanly");
 }
 
@@ -101,8 +124,9 @@ fn start_server<J: JournalAccess + Clone + Send + Sync + 'static>(
     journal: J,
     addr: &str,
     snapshot: Option<PathBuf>,
+    telemetry: Telemetry,
 ) -> JournalServer<J> {
-    match JournalServer::start(journal, addr, snapshot) {
+    match JournalServer::start_with_telemetry(journal, addr, snapshot, telemetry) {
         Ok(s) => {
             println!("journal server listening on {}", s.addr());
             s

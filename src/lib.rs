@@ -15,6 +15,8 @@
 //!   Server (TCP + in-process);
 //! * [`storage`] — the durable storage engine (write-ahead log, crash
 //!   recovery, segment compaction) behind `DurableJournal`;
+//! * [`telemetry`] — the deterministic metrics registry and span/event
+//!   tracer threaded through every layer above;
 //! * [`explorers`] — the eight Explorer Modules;
 //! * [`core`] — the Discovery Manager, cross-correlation, analysis
 //!   (Table 8), presentation programs, and topology export (Figure 2).
@@ -43,3 +45,4 @@ pub use fremont_journal as journal;
 pub use fremont_net as net;
 pub use fremont_netsim as netsim;
 pub use fremont_storage as storage;
+pub use fremont_telemetry as telemetry;

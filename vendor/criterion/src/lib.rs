@@ -7,6 +7,11 @@
 //! warm-up, then repeated batches, reporting the best mean ns/iter.
 //! Good enough to compare order-of-magnitude costs and to keep bench
 //! targets compiling and runnable without network dependencies.
+//!
+//! Like real criterion, `--test` (as passed by `cargo bench -- --test`)
+//! switches to smoke mode: every benchmark body runs exactly one short
+//! batch, unmeasured — CI uses this to prove the benches still run
+//! without paying for measurement.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -55,17 +60,28 @@ impl From<String> for BenchmarkId {
 }
 
 /// Top-level driver, one per bench binary.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
             sample_size: 20,
             measurement_time: Duration::from_millis(200),
             throughput: None,
+            test_mode,
         }
     }
 
@@ -88,6 +104,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -138,6 +155,18 @@ impl BenchmarkGroup<'_> {
             best_ns_per_iter: f64::INFINITY,
             batch_time: Duration::ZERO,
         };
+        if self.test_mode {
+            // Smoke mode: one minimal batch, no measurement.
+            bencher.batch_time = Duration::from_micros(1);
+            f(&mut bencher);
+            let label = if id.is_empty() {
+                self.name.clone()
+            } else {
+                format!("{}/{}", self.name, id)
+            };
+            println!("test {label:<48} ... ok");
+            return;
+        }
         // One warm-up batch, then `sample_size` timed batches bounded by
         // the measurement budget; keep the best (least-noisy) mean.
         bencher.batch_time = Duration::from_millis(1);
