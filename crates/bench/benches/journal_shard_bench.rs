@@ -1,0 +1,191 @@
+//! Criterion benchmarks for the sharded Journal store: batched store
+//! and query throughput at 1 / 4 / 8 shards while contending threads
+//! hammer the other side of the lock, plus the durable batched write
+//! path (group commit: at most one fsync per StoreBatch).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fremont_journal::observation::{Observation, Source};
+use fremont_journal::proto::StoreBatchItem;
+use fremont_journal::query::InterfaceQuery;
+use fremont_journal::server::{JournalAccess, SharedJournal};
+use fremont_journal::store::Journal;
+use fremont_journal::time::JTime;
+use fremont_net::MacAddr;
+use fremont_storage::{DurableJournal, WalConfig};
+
+const BATCH: u32 = 64;
+const HOSTS: u32 = 1024;
+
+fn ip_of(i: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 7, (i >> 8) as u8, i as u8)
+}
+
+fn mac_of(i: u32) -> MacAddr {
+    MacAddr::new([8, 0, 0x20, 9, (i >> 8) as u8, i as u8])
+}
+
+fn batch_at(t: u64) -> Vec<StoreBatchItem> {
+    let base = (t as u32 * BATCH) % HOSTS;
+    vec![StoreBatchItem {
+        now: JTime(t),
+        observations: (0..BATCH)
+            .map(|i| {
+                let h = (base + i) % HOSTS;
+                Observation::arp_pair(Source::ArpWatch, ip_of(h), mac_of(h))
+            })
+            .collect(),
+    }]
+}
+
+/// A journal pre-populated with the full host set, so queries hit and
+/// stores mostly verify (the steady-state mix of a long survey).
+fn populated(shards: usize) -> SharedJournal {
+    let journal = Journal::with_shards(shards);
+    journal.apply_batch(
+        (0..HOSTS)
+            .map(|h| Observation::arp_pair(Source::ArpWatch, ip_of(h), mac_of(h)))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|o| (o, JTime(0))),
+    );
+    SharedJournal::from_journal(journal)
+}
+
+/// Runs `f` while `contenders` background threads run `noise` in a
+/// loop, so the measured path pays real lock contention.
+fn under_contention<R>(
+    shared: &SharedJournal,
+    contenders: usize,
+    noise: impl Fn(&SharedJournal, u64) + Send + Sync + 'static,
+    f: impl FnOnce() -> R,
+) -> R {
+    let stop = Arc::new(AtomicBool::new(false));
+    let noise = Arc::new(noise);
+    let threads: Vec<_> = (0..contenders)
+        .map(|t| {
+            let shared = shared.clone();
+            let stop = stop.clone();
+            let noise = noise.clone();
+            std::thread::spawn(move || {
+                let mut i = t as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    noise(&shared, i);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    let out = f();
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        let _ = t.join();
+    }
+    out
+}
+
+fn bench_contended_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("journal_shard/contended_store_batch");
+    g.throughput(Throughput::Elements(u64::from(BATCH)));
+    for shards in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            let shared = populated(n);
+            // Three reader threads sweep keyed queries while the
+            // measured thread runs the batched store path.
+            under_contention(
+                &shared,
+                3,
+                |s, i| {
+                    let q = InterfaceQuery::by_ip(ip_of((i % u64::from(HOSTS)) as u32));
+                    black_box(s.interfaces(&q).unwrap().len());
+                },
+                || {
+                    let mut t = 1u64;
+                    b.iter(|| {
+                        t += 1;
+                        black_box(shared.store_batch(&batch_at(t)).unwrap())
+                    });
+                },
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_contended_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("journal_shard/contended_query");
+    g.throughput(Throughput::Elements(u64::from(BATCH)));
+    for shards in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            let shared = populated(n);
+            // One writer thread keeps the write path busy while the
+            // measured thread sweeps keyed queries.
+            under_contention(
+                &shared,
+                1,
+                |s, i| {
+                    black_box(s.store_batch(&batch_at(i)).unwrap());
+                },
+                || {
+                    let mut i = 0u32;
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for _ in 0..BATCH {
+                            i = (i + 1) % HOSTS;
+                            hits += shared
+                                .interfaces(&InterfaceQuery::by_ip(ip_of(i)))
+                                .unwrap()
+                                .len();
+                        }
+                        black_box(hits)
+                    });
+                },
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_cross_shard_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("journal_shard/full_scan");
+    g.throughput(Throughput::Elements(u64::from(HOSTS)));
+    for shards in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            let shared = populated(n);
+            b.iter(|| black_box(shared.interfaces(&InterfaceQuery::all()).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_durable_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("journal_shard/durable_store_batch");
+    g.throughput(Throughput::Elements(u64::from(BATCH)));
+    let dir = std::env::temp_dir().join("fremont-shard-bench-wal");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Group commit at 8: the batched path amortizes to one fsync per
+    // 64-observation StoreBatch where the one-at-a-time path paid 8.
+    let (durable, _) = DurableJournal::open(WalConfig::grouped(&dir, 8)).unwrap();
+    let mut t = 0u64;
+    g.bench_function("every_n_8", |b| {
+        b.iter(|| {
+            t += 1;
+            black_box(durable.store_batch(&batch_at(t)).unwrap())
+        })
+    });
+    g.finish();
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    journal_shard_bench,
+    bench_contended_store,
+    bench_contended_query,
+    bench_cross_shard_scan,
+    bench_durable_batch
+);
+criterion_main!(journal_shard_bench);

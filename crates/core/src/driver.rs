@@ -20,6 +20,7 @@ use fremont_explorers::{
     SubnetMasks, SubnetMasksConfig, Traceroute, TracerouteConfig,
 };
 use fremont_journal::observation::{Observation, Source};
+use fremont_journal::proto::StoreBatchItem;
 use fremont_journal::query::{InterfaceQuery, SubnetQuery};
 use fremont_journal::server::{JournalAccess, SharedJournal};
 use fremont_journal::snapshot::JournalSnapshot;
@@ -199,12 +200,14 @@ impl DiscoveryDriver {
         }
     }
 
-    /// Stores through the persistence backend, so WAL deployments log
-    /// each observation before it reaches the in-memory journal.
-    fn store(&self, now: fremont_journal::time::JTime, obs: &[Observation]) -> StoreSummary {
+    /// Stores a batched request through the persistence backend: the
+    /// in-memory journal applies the whole group under one write-lock
+    /// acquisition, and WAL deployments log the whole group ahead of
+    /// apply with at most one fsync.
+    fn store_batched(&self, batches: &[StoreBatchItem]) -> StoreSummary {
         match &self.backend {
-            Backend::Wal(durable) => durable.store(now, obs).unwrap_or_default(),
-            _ => self.journal.store(now, obs).unwrap_or_default(),
+            Backend::Wal(durable) => durable.store_batch(batches).unwrap_or_default(),
+            _ => self.journal.store_batch(batches).unwrap_or_default(),
         }
     }
 
@@ -259,18 +262,28 @@ impl DiscoveryDriver {
         };
 
         // 1. Observations → Journal, attributed to their emitting module.
+        // Consecutive observations from the same module travel as one
+        // batched store (one write-lock acquisition, at most one fsync)
+        // while keeping the exact drain order and per-module summary
+        // attribution of the one-at-a-time path.
         let drain_span = tel.span_start("driver.drain", "", root, at);
         let drained = self.sim.drain_observations();
         let had_news = !drained.is_empty();
         let drained_count = drained.len();
-        for (handle, at, obs) in drained {
-            let summary = self.store(at.to_jtime(), std::slice::from_ref(&obs));
-            if let Some(m) = self.running.values_mut().find(|m| m.handle == handle) {
+        let groups = group_drained(drained);
+        let batch_count = groups.len();
+        for (handle, batches) in &groups {
+            let summary = self.store_batched(batches);
+            if let Some(m) = self.running.values_mut().find(|m| m.handle == *handle) {
                 m.stored.absorb(summary);
             }
         }
         if tel.enabled() {
-            tel.span_end(drain_span, &format!("observations={drained_count}"), at);
+            tel.span_end(
+                drain_span,
+                &format!("observations={drained_count} batches={batch_count}"),
+                at,
+            );
         }
 
         // 2. Retire finished modules.
@@ -320,7 +333,10 @@ impl DiscoveryDriver {
             let derived = self.journal.read(correlate);
             let derived_count = derived.len();
             if !derived.is_empty() {
-                let _ = self.store(now, &derived);
+                let _ = self.store_batched(&[StoreBatchItem {
+                    now,
+                    observations: derived,
+                }]);
             }
             if tel.enabled() {
                 tel.span_end(corr_span, &format!("derived={derived_count}"), at);
@@ -411,6 +427,9 @@ impl DiscoveryDriver {
         self.sim.publish_metrics();
         if let Ok(stats) = self.journal.stats() {
             fremont_journal::server::publish_journal_stats(tel, &stats);
+        }
+        if let Some(sharding) = self.journal.sharding_metrics() {
+            fremont_journal::server::publish_sharding_metrics(tel, &sharding);
         }
         let report = self.load_report();
         for row in &report.rows {
@@ -578,11 +597,11 @@ impl DiscoveryDriver {
         while self.sim.now() < deadline {
             let slice = self.cfg.pump_interval.min(deadline - self.sim.now());
             self.sim.run_for(slice);
-            // Pump observations only (no new spawns).
-            let drained = self.sim.drain_observations();
-            for (h, at, obs) in drained {
-                let s = self.store(at.to_jtime(), std::slice::from_ref(&obs));
-                if h == handle {
+            // Pump observations only (no new spawns), batched like pump().
+            let groups = group_drained(self.sim.drain_observations());
+            for (h, batches) in &groups {
+                let s = self.store_batched(batches);
+                if *h == handle {
                     if let Some(m) = self.running.get_mut(&source) {
                         m.stored.absorb(s);
                     }
@@ -602,6 +621,37 @@ impl DiscoveryDriver {
         }
         Some((handle, stored))
     }
+}
+
+/// Groups a drain in order: consecutive observations from the same
+/// module form one store group, and within a group consecutive
+/// observations at the same sim time share one [`StoreBatchItem`].
+/// Apply order and per-module attribution are exactly those of
+/// storing one observation at a time.
+fn group_drained(
+    drained: Vec<(ProcHandle, SimTime, Observation)>,
+) -> Vec<(ProcHandle, Vec<StoreBatchItem>)> {
+    let mut groups: Vec<(ProcHandle, Vec<StoreBatchItem>)> = Vec::new();
+    for (handle, obs_at, obs) in drained {
+        let now = obs_at.to_jtime();
+        match groups.last_mut() {
+            Some((h, batches)) if *h == handle => match batches.last_mut() {
+                Some(b) if b.now == now => b.observations.push(obs),
+                _ => batches.push(StoreBatchItem {
+                    now,
+                    observations: vec![obs],
+                }),
+            },
+            _ => groups.push((
+                handle,
+                vec![StoreBatchItem {
+                    now,
+                    observations: vec![obs],
+                }],
+            )),
+        }
+    }
+    groups
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 
 use crate::observation::Observation;
-use crate::proto::{read_frame, write_frame, ProtoError, Request, Response};
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, StoreBatchItem};
 use crate::query::{InterfaceQuery, SubnetQuery};
 use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
 use crate::server::JournalAccess;
@@ -16,22 +16,28 @@ use crate::time::JTime;
 ///
 /// The connection is internally synchronized so one client handle can be
 /// shared by several module threads, matching the paper's "common library
-/// of access and data transfer routines".
+/// of access and data transfer routines". Idempotent query RPCs survive
+/// one dropped connection: the client reconnects to the original address
+/// and retries once. Mutating RPCs (Store, StoreBatch, Delete, Flush) are
+/// never retried — a lost response leaves it unknown whether the server
+/// applied them.
 pub struct RemoteJournal {
+    addr: String,
     io: Mutex<(BufReader<TcpStream>, TcpStream)>,
 }
 
 impl RemoteJournal {
     /// Connects to a Journal Server.
     pub fn connect(addr: &str) -> Result<Self, ProtoError> {
-        let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
+        let (reader, writer) = open(addr)?;
         Ok(RemoteJournal {
-            io: Mutex::new((BufReader::new(stream), writer)),
+            addr: addr.to_owned(),
+            io: Mutex::new((reader, writer)),
         })
     }
 
-    fn call(&self, req: &Request) -> Result<Response, ProtoError> {
+    /// One request/response round trip on the current connection.
+    fn call_once(&self, req: &Request) -> Result<Response, ProtoError> {
         // fremont-lint: allow(lock-order) -- the connection mutex exists to serialize request/response pairs; holding it across the socket IO is the point
         let mut guard = self.io.lock().expect("journal client poisoned");
         let (reader, writer) = &mut *guard;
@@ -46,6 +52,31 @@ impl RemoteJournal {
         }
     }
 
+    /// Round trip for a mutating request: no retry.
+    fn call(&self, req: &Request) -> Result<Response, ProtoError> {
+        self.call_once(req)
+    }
+
+    /// Round trip for an idempotent query: on a connection-level failure,
+    /// reconnect to the original address and retry exactly once.
+    fn call_idempotent(&self, req: &Request) -> Result<Response, ProtoError> {
+        match self.call_once(req) {
+            Err(ProtoError::Io(_)) => {
+                self.reconnect()?;
+                self.call_once(req)
+            }
+            other => other,
+        }
+    }
+
+    /// Replaces the connection with a fresh one to the original address.
+    fn reconnect(&self) -> Result<(), ProtoError> {
+        let fresh = open(&self.addr)?;
+        let mut guard = self.io.lock().expect("journal client poisoned");
+        *guard = fresh;
+        Ok(())
+    }
+
     /// Asks the server to write its snapshot.
     pub fn flush(&self) -> Result<(), ProtoError> {
         match self.call(&Request::Flush)? {
@@ -53,6 +84,12 @@ impl RemoteJournal {
             other => Err(unexpected(other)),
         }
     }
+}
+
+fn open(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ProtoError> {
+    let stream = TcpStream::connect(addr)?;
+    let writer = stream.try_clone()?;
+    Ok((BufReader::new(stream), writer))
 }
 
 fn unexpected(resp: Response) -> ProtoError {
@@ -70,22 +107,32 @@ impl JournalAccess for RemoteJournal {
         }
     }
 
+    fn store_batch(&self, batches: &[StoreBatchItem]) -> Result<StoreSummary, ProtoError> {
+        // The whole pump's worth of observations travels as one frame.
+        match self.call(&Request::StoreBatch {
+            batches: batches.to_vec(),
+        })? {
+            Response::Stored(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
     fn interfaces(&self, q: &InterfaceQuery) -> Result<Vec<InterfaceRecord>, ProtoError> {
-        match self.call(&Request::GetInterfaces(q.clone()))? {
+        match self.call_idempotent(&Request::GetInterfaces(q.clone()))? {
             Response::Interfaces(v) => Ok(v),
             other => Err(unexpected(other)),
         }
     }
 
     fn gateways(&self) -> Result<Vec<GatewayRecord>, ProtoError> {
-        match self.call(&Request::GetGateways)? {
+        match self.call_idempotent(&Request::GetGateways)? {
             Response::Gateways(v) => Ok(v),
             other => Err(unexpected(other)),
         }
     }
 
     fn subnets(&self, q: &SubnetQuery) -> Result<Vec<SubnetRecord>, ProtoError> {
-        match self.call(&Request::GetSubnets(q.clone()))? {
+        match self.call_idempotent(&Request::GetSubnets(q.clone()))? {
             Response::Subnets(v) => Ok(v),
             other => Err(unexpected(other)),
         }
@@ -99,7 +146,7 @@ impl JournalAccess for RemoteJournal {
     }
 
     fn stats(&self) -> Result<JournalStats, ProtoError> {
-        match self.call(&Request::Stats)? {
+        match self.call_idempotent(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected(other)),
         }

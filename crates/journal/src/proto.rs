@@ -49,6 +49,24 @@ pub enum Request {
     Stats,
     /// Ask the server to snapshot to its configured path.
     Flush,
+    /// Store/Update for several timestamped observation batches in one
+    /// framed round trip — the batched write path the explorers' pump
+    /// drains into. The server applies the whole request as one group,
+    /// so group-commit durability policies amortize to one fsync per
+    /// frame instead of one per observation.
+    StoreBatch {
+        /// The batches, in submission order.
+        batches: Vec<StoreBatchItem>,
+    },
+}
+
+/// One timestamped run of observations inside a [`Request::StoreBatch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreBatchItem {
+    /// Exploration clock for this run.
+    pub now: JTime,
+    /// Observations to merge at that time.
+    pub observations: Vec<Observation>,
 }
 
 /// A response from the Journal Server.
@@ -83,6 +101,10 @@ pub enum ProtoError {
     Oversized(u64),
     /// The server answered with [`Response::Error`].
     Server(String),
+    /// The backend does not implement the requested capability. A unit
+    /// variant so capability probes (snapshot capture, flush) cost no
+    /// allocation on the common unsupported path.
+    Unsupported,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -94,6 +116,9 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "journal frame of {len} bytes exceeds limit {MAX_FRAME}")
             }
             ProtoError::Server(m) => write!(f, "journal server error: {m}"),
+            ProtoError::Unsupported => {
+                write!(f, "operation not supported by this journal backend")
+            }
         }
     }
 }
@@ -214,6 +239,29 @@ mod tests {
             read_frame::<_, Request>(&mut cur),
             Err(ProtoError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn store_batch_roundtrip() {
+        let req = Request::StoreBatch {
+            batches: vec![
+                StoreBatchItem {
+                    now: JTime(7),
+                    observations: vec![Observation::ip_alive(
+                        Source::SeqPing,
+                        Ipv4Addr::new(10, 0, 0, 1),
+                    )],
+                },
+                StoreBatchItem {
+                    now: JTime(9),
+                    observations: vec![],
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: Request = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back, req);
     }
 
     #[test]

@@ -9,21 +9,20 @@
 //! by a TCP client ([`crate::client::RemoteJournal`]).
 
 use std::io::{BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use fremont_telemetry::{bounds, Telemetry};
-use parking_lot::RwLock;
 
 use crate::observation::Observation;
-use crate::proto::{read_frame, write_frame, ProtoError, Request, Response};
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, StoreBatchItem};
 use crate::query::{InterfaceQuery, SubnetQuery};
 use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
 use crate::snapshot::JournalSnapshot;
-use crate::store::{Journal, JournalStats, StoreSummary};
+use crate::store::{Journal, JournalStats, ShardingMetrics, StoreSummary};
 use crate::time::JTime;
 
 /// Unified access to a Journal, local or remote.
@@ -41,12 +40,22 @@ pub trait JournalAccess {
     /// Journal statistics.
     fn stats(&self) -> Result<JournalStats, ProtoError>;
 
+    /// Store/Update for several timestamped batches as one group. The
+    /// default applies batch by batch; backends with a batched write path
+    /// (one lock acquisition, one WAL group commit, one RPC frame)
+    /// override it.
+    fn store_batch(&self, batches: &[StoreBatchItem]) -> Result<StoreSummary, ProtoError> {
+        let mut sum = StoreSummary::default();
+        for b in batches {
+            sum.absorb(self.store(b.now, &b.observations)?);
+        }
+        Ok(sum)
+    }
+
     /// Captures a full snapshot image of the journal, for backends with
     /// direct access to one (used by Flush handling and shutdown).
     fn capture_snapshot(&self) -> Result<JournalSnapshot, ProtoError> {
-        Err(ProtoError::Server(
-            "snapshot capture not supported by this journal backend".to_owned(),
-        ))
+        Err(ProtoError::Unsupported)
     }
 
     /// Asks the backend to persist itself durably. `Ok(false)` means
@@ -55,70 +64,94 @@ pub trait JournalAccess {
     fn flush(&self) -> Result<bool, ProtoError> {
         Ok(false)
     }
+
+    /// Per-shard activity metrics, for backends wrapping the sharded
+    /// in-process store. `None` for remote or opaque backends.
+    fn sharding_metrics(&self) -> Option<ShardingMetrics> {
+        None
+    }
 }
 
 /// A shared in-process Journal handle.
 ///
 /// This is the deployment used inside the simulator: the Journal lives in
 /// the driving process and every module shares it through this handle.
+/// The store shards internally, so this is just an [`Arc`]: queries run
+/// concurrently against the shard locks while writers serialize on the
+/// store's meta lock.
 #[derive(Clone, Default)]
 pub struct SharedJournal {
-    inner: Arc<RwLock<Journal>>,
+    inner: Arc<Journal>,
 }
 
 impl SharedJournal {
     /// Creates an empty shared journal.
     pub fn new() -> Self {
         SharedJournal {
-            inner: Arc::new(RwLock::new(Journal::new())),
+            inner: Arc::new(Journal::new()),
         }
     }
 
     /// Wraps an existing journal.
     pub fn from_journal(j: Journal) -> Self {
-        SharedJournal {
-            inner: Arc::new(RwLock::new(j)),
-        }
+        SharedJournal { inner: Arc::new(j) }
     }
 
     /// Runs a closure with shared read access to the underlying journal.
     pub fn read<R>(&self, f: impl FnOnce(&Journal) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.inner)
     }
 
-    /// Runs a closure with exclusive access to the underlying journal.
-    pub fn write<R>(&self, f: impl FnOnce(&mut Journal) -> R) -> R {
-        f(&mut self.inner.write())
+    /// Runs a closure against the underlying journal for mutation through
+    /// its shared-reference write path (`apply_shared`, `apply_batch`,
+    /// `delete_interface_shared`); mutations serialize on the store's
+    /// internal meta lock.
+    pub fn write<R>(&self, f: impl FnOnce(&Journal) -> R) -> R {
+        f(&self.inner)
     }
 }
 
 impl JournalAccess for SharedJournal {
     fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
-        Ok(self.inner.write().apply_all(observations, now))
+        Ok(self
+            .inner
+            .apply_batch(observations.iter().map(|o| (o, now))))
+    }
+
+    fn store_batch(&self, batches: &[StoreBatchItem]) -> Result<StoreSummary, ProtoError> {
+        Ok(self.inner.apply_batch(
+            batches
+                .iter()
+                .flat_map(|b| b.observations.iter().map(move |o| (o, b.now))),
+        ))
     }
 
     fn interfaces(&self, q: &InterfaceQuery) -> Result<Vec<InterfaceRecord>, ProtoError> {
-        Ok(self.inner.read().get_interfaces(q))
+        Ok(self.inner.get_interfaces(q))
     }
 
     fn gateways(&self) -> Result<Vec<GatewayRecord>, ProtoError> {
-        Ok(self.inner.read().get_gateways())
+        Ok(self.inner.get_gateways())
     }
 
     fn subnets(&self, q: &SubnetQuery) -> Result<Vec<SubnetRecord>, ProtoError> {
-        Ok(self.inner.read().get_subnets(q))
+        Ok(self.inner.get_subnets(q))
     }
 
     fn delete(&self, id: InterfaceId) -> Result<bool, ProtoError> {
-        Ok(self.inner.write().delete_interface(id))
+        Ok(self.inner.delete_interface_shared(id))
     }
 
     fn stats(&self) -> Result<JournalStats, ProtoError> {
-        Ok(self.inner.read().stats())
+        Ok(self.inner.stats())
     }
 
     fn capture_snapshot(&self) -> Result<JournalSnapshot, ProtoError> {
         Ok(self.read(JournalSnapshot::capture))
+    }
+
+    fn sharding_metrics(&self) -> Option<ShardingMetrics> {
+        Some(self.inner.sharding_metrics())
     }
 }
 
@@ -138,6 +171,10 @@ pub struct JournalServer<J: JournalAccess + Clone + Send + Sync + 'static = Shar
     snapshot_path: Option<PathBuf>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Live connection handles, so shutdown can sever them — a client
+    /// holding an open connection to a stopped server sees EOF, exactly
+    /// as it would across a real server restart.
+    conns: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
     telemetry: Telemetry,
 }
 
@@ -161,10 +198,12 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<parking_lot::Mutex<Vec<TcpStream>>> = Arc::default();
         let j = journal.clone();
         let s = stop.clone();
         let snap = snapshot_path.clone();
         let tel = telemetry.clone();
+        let conns2 = conns.clone();
         let accept_thread = std::thread::spawn(move || {
             // Poll for stop between accepts.
             listener
@@ -174,6 +213,9 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
+                        if let Ok(handle) = stream.try_clone() {
+                            conns2.lock().push(handle);
+                        }
                         let j2 = j.clone();
                         let snap2 = snap.clone();
                         let t2 = tel.clone();
@@ -195,6 +237,7 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
             snapshot_path,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
             telemetry,
         })
     }
@@ -204,7 +247,8 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         self.addr
     }
 
-    /// Stops the accept loop and writes a final snapshot if configured.
+    /// Stops the accept loop, severs live connections, and writes a
+    /// final snapshot if configured.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
@@ -213,6 +257,12 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // Sever live connections so their worker threads wind down and
+        // clients observe the stop as a closed connection.
+        let live: Vec<TcpStream> = std::mem::take(&mut *self.conns.lock());
+        for stream in live {
+            let _ = stream.shutdown(Shutdown::Both);
         }
         // Termination persistence: self-managed backends flush
         // themselves; otherwise write the configured snapshot path.
@@ -230,6 +280,9 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         if self.telemetry.enabled() {
             if let Ok(stats) = self.journal.stats() {
                 publish_journal_stats(&self.telemetry, &stats);
+            }
+            if let Some(m) = self.journal.sharding_metrics() {
+                publish_sharding_metrics(&self.telemetry, &m);
             }
         }
     }
@@ -252,6 +305,35 @@ pub fn publish_journal_stats(telemetry: &Telemetry, stats: &JournalStats) {
         "",
         stats.observations_applied,
     );
+}
+
+/// Publishes the sharded store's per-shard activity: lock acquisitions
+/// and record counts per shard, plus cross-shard query fan-out and write
+/// batch totals (shared between server shutdown and the driver's
+/// per-pump dump).
+pub fn publish_sharding_metrics(telemetry: &Telemetry, m: &ShardingMetrics) {
+    for s in &m.shards {
+        let label = format!("shard=\"{}\"", s.shard);
+        telemetry.counter_set(
+            "fremont_journal_shard_read_locks_total",
+            &label,
+            s.read_locks,
+        );
+        telemetry.counter_set(
+            "fremont_journal_shard_write_locks_total",
+            &label,
+            s.write_locks,
+        );
+        telemetry.gauge_set("fremont_journal_shard_records", &label, s.records as u64);
+    }
+    telemetry.counter_set("fremont_journal_query_fanout_total", "", m.fanout_queries);
+    telemetry.counter_set("fremont_journal_store_batches_total", "", m.batches);
+    telemetry.counter_set(
+        "fremont_journal_store_batched_observations_total",
+        "",
+        m.batch_observations,
+    );
+    telemetry.gauge_set("fremont_journal_store_largest_batch", "", m.largest_batch);
 }
 
 /// A reader that counts bytes pulled from the socket.
@@ -295,6 +377,7 @@ fn rpc_label(req: &Request) -> &'static str {
         Request::Delete(_) => "rpc=\"delete\"",
         Request::Stats => "rpc=\"stats\"",
         Request::Flush => "rpc=\"flush\"",
+        Request::StoreBatch { .. } => "rpc=\"store_batch\"",
     }
 }
 
@@ -304,6 +387,7 @@ fn error_kind_label(e: &ProtoError) -> &'static str {
         ProtoError::Malformed(_) => "kind=\"malformed\"",
         ProtoError::Oversized(_) => "kind=\"oversized\"",
         ProtoError::Server(_) => "kind=\"server\"",
+        ProtoError::Unsupported => "kind=\"unsupported\"",
     }
 }
 
@@ -371,6 +455,27 @@ fn handle_request<J: JournalAccess>(
                 observations.len() as u64,
             );
             match journal.store(now, &observations) {
+                Ok(s) => {
+                    telemetry.observe(
+                        "fremont_journal_store_merge_ops",
+                        "",
+                        bounds::WORK_UNITS,
+                        (s.created + s.updated + s.verified) as u64,
+                    );
+                    Response::Stored(s)
+                }
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::StoreBatch { batches } => {
+            let total: u64 = batches.iter().map(|b| b.observations.len() as u64).sum();
+            telemetry.observe(
+                "fremont_journal_store_batch_observations",
+                "",
+                bounds::WORK_UNITS,
+                total,
+            );
+            match journal.store_batch(&batches) {
                 Ok(s) => {
                     telemetry.observe(
                         "fremont_journal_store_merge_ops",

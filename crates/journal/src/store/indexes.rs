@@ -1,0 +1,46 @@
+//! Secondary-index bookkeeping shared by the shard maps.
+//!
+//! Every posting carries the global insertion sequence it was created with,
+//! so per-shard posting lists stay sorted by sequence and a cross-shard
+//! merge reproduces the exact insertion order the pre-sharding single map
+//! maintained (the merge rules' tie-breaks depend on it).
+
+use crate::avl::AvlMap;
+use crate::records::InterfaceId;
+
+/// One index posting: global insertion sequence paired with the record id.
+pub(super) type Entry = (u64, InterfaceId);
+
+/// Adds `id` under `key`, stamping a fresh sequence number.
+///
+/// Re-adding an id that is already present keeps its original sequence, just
+/// as the old single-map index kept its original list position.
+pub(super) fn add<K: Ord>(idx: &mut AvlMap<K, Vec<Entry>>, key: K, id: InterfaceId, seq: &mut u64) {
+    match idx.get_mut(&key) {
+        Some(v) => {
+            if !v.iter().any(|e| e.1 == id) {
+                *seq += 1;
+                v.push((*seq, id));
+            }
+        }
+        None => {
+            *seq += 1;
+            idx.insert(key, vec![(*seq, id)]);
+        }
+    }
+}
+
+/// Removes `id` from the posting list under `key`, dropping the key when the
+/// list empties.
+pub(super) fn remove<K: Ord>(idx: &mut AvlMap<K, Vec<Entry>>, key: &K, id: InterfaceId) {
+    let emptied = match idx.get_mut(key) {
+        Some(v) => {
+            v.retain(|e| e.1 != id);
+            v.is_empty()
+        }
+        None => false,
+    };
+    if emptied {
+        idx.remove(key);
+    }
+}

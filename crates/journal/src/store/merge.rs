@@ -1,0 +1,54 @@
+//! K-way merge of sorted per-shard result lists.
+
+/// Merges per-shard lists, each already sorted ascending by `key`, into one
+/// sorted list.
+///
+/// Ties go to the lowest shard index; in practice every caller uses globally
+/// unique keys (insertion sequences, record ids, modification keys), so ties
+/// cannot occur. Shard counts are small, so a linear selection over the list
+/// heads beats a heap here.
+pub(super) fn k_way<T, K: Ord>(mut lists: Vec<Vec<T>>, key: impl Fn(&T) -> K) -> Vec<T> {
+    for list in &mut lists {
+        list.reverse(); // pop() now yields elements front-first
+    }
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<usize> = None;
+        for (i, list) in lists.iter().enumerate() {
+            let Some(head) = list.last() else { continue };
+            let better = match best.and_then(|b| lists[b].last()) {
+                None => true,
+                Some(best_head) => key(head) < key(best_head),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else { break };
+        if let Some(item) = lists[i].pop() {
+            out.push(item);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::k_way;
+
+    #[test]
+    fn merges_sorted_runs() {
+        let merged = k_way(
+            vec![vec![1u32, 4, 7], vec![2, 3, 9], vec![], vec![5, 6, 8]],
+            |x| *x,
+        );
+        assert_eq!(merged, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ties_prefer_lowest_list() {
+        let merged = k_way(vec![vec![(1u32, "a")], vec![(1, "b")]], |x| x.0);
+        assert_eq!(merged, vec![(1, "a"), (1, "b")]);
+    }
+}

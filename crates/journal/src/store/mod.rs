@@ -1,0 +1,1531 @@
+//! The Journal: merge, index, and query discovered network facts.
+//!
+//! This is the in-memory representation the paper's Journal Server keeps:
+//! records in modification-time order, interface records indexed by AVL
+//! trees on Ethernet address, IP address, and DNS name, and subnet records
+//! indexed by subnet address. "Because it is the shared place where
+//! observations are stored ... the Journal is more than just the sum of
+//! its parts": the merge rules below are what turn per-module observations
+//! into cross-correlated knowledge.
+//!
+//! # Sharding
+//!
+//! Interface records are partitioned into N shards by id hash, each shard
+//! behind its own reader-writer lock with its own AVL indexes. All
+//! mutations serialize on the `meta` write lock (the gateway and subnet
+//! slabs plus the global ordering sequences live there) and then visit one
+//! shard lock at a time; interface queries take only shard locks and so
+//! run concurrently with a writer, merging sorted per-shard results back
+//! into the global order. Lock order is strictly `meta` before any shard,
+//! and no two shard locks are ever held at once.
+//!
+//! Consistency: readers that go through `meta` (`stats`, `to_snapshot`,
+//! `check_invariants`, gateway/subnet queries) are fully serialized
+//! against writers. Shard-only interface queries may observe a write
+//! batch's intermediate states (one observation fully applied, the next
+//! not yet), never a torn single observation.
+
+mod indexes;
+mod merge;
+mod shard;
+mod stats;
+
+pub use stats::{JournalStats, ShardMetrics, ShardingMetrics, StoreSummary};
+
+use std::net::Ipv4Addr;
+use std::ops::Bound;
+use std::sync::atomic::Ordering;
+
+use parking_lot::RwLock;
+
+use fremont_net::{MacAddr, Subnet};
+
+use crate::avl::AvlMap;
+use crate::observation::{Fact, Observation, Source};
+use crate::query::{InterfaceQuery, SubnetQuery};
+use crate::records::{GatewayId, GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
+use crate::time::{JTime, Timestamped};
+
+use shard::Shard;
+use stats::{ShardCounters, StoreCounters};
+
+/// Default number of interface shards.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Mutation-ordering state: everything a writer must update atomically with
+/// respect to other writers. The `meta` write lock is the single write gate;
+/// holding it, a writer touches shards one at a time.
+struct Meta {
+    gateways: Vec<Option<GatewayRecord>>,
+    subnets: AvlMap<Subnet, SubnetRecord>,
+    /// Next interface id to allocate (ids are never reused).
+    next_iface: u64,
+    /// Global insertion sequence stamped on every index posting.
+    idx_seq: u64,
+    /// Global modification sequence (tie-break within one `JTime`).
+    mod_seq: u64,
+    observations_applied: u64,
+}
+
+impl Meta {
+    fn new() -> Self {
+        Meta {
+            gateways: Vec::new(),
+            subnets: AvlMap::new(),
+            next_iface: 0,
+            idx_seq: 0,
+            mod_seq: 0,
+            observations_applied: 0,
+        }
+    }
+}
+
+/// The Journal store: a sharded, concurrently-readable partition of
+/// interface records plus the gateway/subnet slabs behind a meta lock.
+pub struct Journal {
+    meta: RwLock<Meta>,
+    shards: Vec<RwLock<Shard>>,
+    shard_counters: Vec<ShardCounters>,
+    counters: StoreCounters,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Journal {
+    /// Creates an empty journal with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty journal partitioned into `shards` shards.
+    ///
+    /// A single-shard journal is the reference model the equivalence
+    /// proptest compares sharded journals against.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        Journal {
+            meta: RwLock::new(Meta::new()),
+            shards: (0..n).map(|_| RwLock::new(Shard::new())).collect(),
+            shard_counters: (0..n).map(|_| ShardCounters::default()).collect(),
+            counters: StoreCounters::default(),
+        }
+    }
+
+    /// Number of shards the interface records are partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Shard access (the only places shard locks are taken)
+    // ------------------------------------------------------------------
+
+    fn shard_of(&self, id: InterfaceId) -> usize {
+        shard::shard_of(id, self.shards.len())
+    }
+
+    fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&Shard) -> R) -> R {
+        self.shard_counters[idx]
+            .read_locks
+            .fetch_add(1, Ordering::Relaxed);
+        let guard = self.shards[idx].read();
+        f(&guard)
+    }
+
+    fn with_shard_mut<R>(&self, idx: usize, f: impl FnOnce(&mut Shard) -> R) -> R {
+        self.shard_counters[idx]
+            .write_locks
+            .fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.shards[idx].write();
+        f(&mut guard)
+    }
+
+    /// Reads one record, panicking (via map indexing) if the id is dead —
+    /// callers only pass ids taken from live index postings.
+    fn peek<R>(&self, id: InterfaceId, f: impl FnOnce(&InterfaceRecord) -> R) -> R {
+        self.with_shard(self.shard_of(id), |sh| f(&sh.records[&id.0]))
+    }
+
+    /// Merges the per-shard posting lists one index key resolves to,
+    /// restoring global insertion order.
+    fn merged_ids(&self, get: impl Fn(&Shard) -> Vec<indexes::Entry>) -> Vec<InterfaceId> {
+        let lists: Vec<Vec<indexes::Entry>> = (0..self.shards.len())
+            .map(|s| self.with_shard(s, &get))
+            .collect();
+        merge::k_way(lists, |e| e.0)
+            .into_iter()
+            .map(|e| e.1)
+            .collect()
+    }
+
+    fn ip_ids(&self, ip: Ipv4Addr) -> Vec<InterfaceId> {
+        self.merged_ids(|sh| sh.idx_ip.get(&ip).cloned().unwrap_or_default())
+    }
+
+    fn mac_ids(&self, mac: MacAddr) -> Vec<InterfaceId> {
+        self.merged_ids(|sh| sh.idx_mac.get(&mac).cloned().unwrap_or_default())
+    }
+
+    fn name_ids(&self, name: &str) -> Vec<InterfaceId> {
+        self.merged_ids(|sh| {
+            sh.idx_name
+                .get(&name.to_owned())
+                .cloned()
+                .unwrap_or_default()
+        })
+    }
+
+    fn note_fanout(&self) {
+        if self.shards.len() > 1 {
+            self.counters.fanout_queries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Store / Update
+    // ------------------------------------------------------------------
+
+    /// Applies one observation at time `now` (the Journal Server's
+    /// Store/Update operation).
+    pub fn apply(&mut self, obs: &Observation, now: JTime) -> StoreSummary {
+        self.apply_shared(obs, now)
+    }
+
+    /// Applies one observation through a shared reference, serializing on
+    /// the meta write lock.
+    pub fn apply_shared(&self, obs: &Observation, now: JTime) -> StoreSummary {
+        let mut meta = self.meta.write();
+        self.apply_locked(&mut meta, obs, now)
+    }
+
+    /// Applies a batch of observations.
+    pub fn apply_all<'a>(
+        &mut self,
+        obs: impl IntoIterator<Item = &'a Observation>,
+        now: JTime,
+    ) -> StoreSummary {
+        self.apply_batch(obs.into_iter().map(move |o| (o, now)))
+    }
+
+    /// Applies a batch of `(observation, at)` pairs under **one** meta
+    /// write-lock acquisition — the batched write path the driver, the
+    /// server's StoreBatch RPC, and the WAL group commit all funnel into.
+    pub fn apply_batch<'a>(
+        &self,
+        items: impl IntoIterator<Item = (&'a Observation, JTime)>,
+    ) -> StoreSummary {
+        let mut meta = self.meta.write();
+        let mut sum = StoreSummary::default();
+        let mut n = 0u64;
+        for (obs, at) in items {
+            sum.absorb(self.apply_locked(&mut meta, obs, at));
+            n += 1;
+        }
+        self.counters.note_batch(n);
+        sum
+    }
+
+    fn apply_locked(&self, meta: &mut Meta, obs: &Observation, now: JTime) -> StoreSummary {
+        meta.observations_applied += 1;
+        match &obs.fact {
+            Fact::Interface {
+                ip,
+                mac,
+                name,
+                mask,
+            } => self.apply_interface(meta, obs.source, *ip, *mac, name.as_deref(), *mask, now),
+            Fact::Subnet {
+                subnet,
+                mask_assumed,
+            } => self.apply_subnet(meta, obs.source, *subnet, *mask_assumed, now),
+            Fact::SubnetStats {
+                subnet,
+                host_count,
+                lowest,
+                highest,
+            } => self.apply_subnet_stats(
+                meta,
+                obs.source,
+                *subnet,
+                *host_count,
+                *lowest,
+                *highest,
+                now,
+            ),
+            Fact::Gateway {
+                interface_ips,
+                interface_names,
+                subnets,
+            } => self.apply_gateway(
+                meta,
+                obs.source,
+                interface_ips,
+                interface_names,
+                subnets,
+                now,
+            ),
+            Fact::RipSource {
+                ip,
+                mac,
+                advertised_routes: _,
+                promiscuous,
+            } => self.apply_rip_source(meta, obs.source, *ip, *mac, *promiscuous, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interface merge
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_interface(
+        &self,
+        meta: &mut Meta,
+        source: Source,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+        mask: Option<fremont_net::SubnetMask>,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+        let targets = self.resolve_targets(ip, mac, name);
+        if targets.is_empty() {
+            if ip.is_none() && mac.is_none() && name.is_none() {
+                return sum; // Nothing identifying; drop.
+            }
+            let id = self.create_interface(meta, now);
+            self.update_interface(meta, id, source, ip, mac, name, mask, now);
+            sum.created += 1;
+            return sum;
+        }
+        for id in targets {
+            if self.update_interface(meta, id, source, ip, mac, name, mask, now) {
+                sum.updated += 1;
+            } else {
+                sum.verified += 1;
+            }
+        }
+        sum
+    }
+
+    /// Finds the records an interface observation should apply to.
+    ///
+    /// Identity resolution, in order of address quality (MAC > IP > name):
+    ///
+    /// 1. With a MAC: the record carrying this MAC *and* the same IP (or no
+    ///    IP yet). A MAC already bound to a *different* IP gets a separate
+    ///    record — that is how "multiple IP addresses for a single Ethernet
+    ///    address" (proxy ARP / gateways) stays visible to analysis.
+    /// 2. With only an IP: the record that currently *owns* the address —
+    ///    the one most recently verified alive. A ping cannot distinguish
+    ///    duplicate-address hosts or old hardware, so crediting every
+    ///    record would keep dead claimants looking alive forever; only
+    ///    MAC-bearing evidence (ARP) refreshes the other claimants.
+    /// 3. With only a name: every record carrying that name.
+    fn resolve_targets(
+        &self,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+    ) -> Vec<InterfaceId> {
+        if let Some(mac) = mac {
+            let with_mac = self.mac_ids(mac);
+            if let Some(ip) = ip {
+                // Exact (mac, ip) record?
+                if let Some(&id) = with_mac
+                    .iter()
+                    .find(|&&id| self.peek(id, |r| r.ip_addr()) == Some(ip))
+                {
+                    return vec![id];
+                }
+                // A record with this MAC and no IP yet?
+                if let Some(&id) = with_mac
+                    .iter()
+                    .find(|&&id| self.peek(id, |r| r.ip_addr()).is_none())
+                {
+                    return vec![id];
+                }
+                // A record with this IP and no MAC yet (created by a ping)?
+                if let Some(&id) = self
+                    .ip_ids(ip)
+                    .iter()
+                    .find(|&&id| self.peek(id, |r| r.mac_addr()).is_none())
+                {
+                    return vec![id];
+                }
+                // Otherwise: new record (same MAC answering another IP, or
+                // same IP on different hardware).
+                return Vec::new();
+            }
+            return with_mac;
+        }
+        if let Some(ip) = ip {
+            let ids = self.ip_ids(ip);
+            if ids.len() <= 1 {
+                return ids;
+            }
+            // Multiple claimants: credit the presumed current owner only.
+            return ids
+                .into_iter()
+                .max_by_key(|&id| self.peek(id, |r| (r.live_verified, r.verified, r.discovered)))
+                .into_iter()
+                .collect();
+        }
+        if let Some(name) = name {
+            return self.name_ids(name);
+        }
+        Vec::new()
+    }
+
+    fn create_interface(&self, meta: &mut Meta, now: JTime) -> InterfaceId {
+        let id = InterfaceId(meta.next_iface);
+        meta.next_iface += 1;
+        self.with_shard_mut(self.shard_of(id), |sh| {
+            sh.records.insert(id.0, InterfaceRecord::new(id, now));
+            sh.touch_modified(&mut meta.mod_seq, id, now);
+        });
+        id
+    }
+
+    /// Applies fields to one record; returns `true` when anything changed.
+    #[allow(clippy::too_many_arguments)]
+    fn update_interface(
+        &self,
+        meta: &mut Meta,
+        id: InterfaceId,
+        source: Source,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+        mask: Option<fremont_net::SubnetMask>,
+        now: JTime,
+    ) -> bool {
+        self.with_shard_mut(self.shard_of(id), |sh| {
+            let Some(r) = sh.records.get_mut(&id.0) else {
+                return false;
+            };
+
+            // Index maintenance requires knowing old values first.
+            let (old_ip, old_mac, old_name) =
+                (r.ip_addr(), r.mac_addr(), r.dns_name().map(str::to_owned));
+
+            let mut changed = false;
+            if let Some(ip) = ip {
+                match &mut r.ip {
+                    Some(t) => changed |= t.observe(ip, now),
+                    None => {
+                        r.ip = Some(Timestamped::new(ip, now));
+                        changed = true;
+                    }
+                }
+            }
+            if let Some(mac) = mac {
+                match &mut r.mac {
+                    Some(t) => changed |= t.observe(mac, now),
+                    None => {
+                        r.mac = Some(Timestamped::new(mac, now));
+                        changed = true;
+                    }
+                }
+            }
+            if let Some(name) = name {
+                match &mut r.name {
+                    Some(t) => changed |= t.observe(name.to_owned(), now),
+                    None => {
+                        r.name = Some(Timestamped::new(name.to_owned(), now));
+                        changed = true;
+                    }
+                }
+            }
+            if let Some(mask) = mask {
+                match &mut r.mask {
+                    Some(t) => changed |= t.observe(mask, now),
+                    None => {
+                        r.mask = Some(Timestamped::new(mask, now));
+                        changed = true;
+                    }
+                }
+            }
+            r.sources.insert(source);
+            r.verified = now;
+            if source != Source::Dns {
+                r.live_verified = Some(now);
+            }
+            if changed {
+                r.changed = now;
+            }
+
+            // The record borrow ends here; now maintain this shard's indexes.
+            if let Some(ip) = ip {
+                if old_ip != Some(ip) {
+                    if let Some(old) = old_ip {
+                        indexes::remove(&mut sh.idx_ip, &old, id);
+                    }
+                    indexes::add(&mut sh.idx_ip, ip, id, &mut meta.idx_seq);
+                }
+            }
+            if let Some(mac) = mac {
+                if old_mac != Some(mac) {
+                    if let Some(old) = old_mac {
+                        indexes::remove(&mut sh.idx_mac, &old, id);
+                    }
+                    indexes::add(&mut sh.idx_mac, mac, id, &mut meta.idx_seq);
+                }
+            }
+            if let Some(name) = name {
+                if old_name.as_deref() != Some(name) {
+                    if let Some(old) = old_name {
+                        indexes::remove(&mut sh.idx_name, &old, id);
+                    }
+                    indexes::add(&mut sh.idx_name, name.to_owned(), id, &mut meta.idx_seq);
+                }
+            }
+            if changed {
+                sh.touch_modified(&mut meta.mod_seq, id, now);
+            }
+            changed
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Subnets
+    // ------------------------------------------------------------------
+
+    fn apply_subnet(
+        &self,
+        meta: &mut Meta,
+        source: Source,
+        subnet: Subnet,
+        mask_assumed: bool,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+        match meta.subnets.get_mut(&subnet) {
+            Some(rec) => {
+                let mut changed = false;
+                if rec.mask_assumed && !mask_assumed {
+                    rec.mask_assumed = false;
+                    changed = true;
+                }
+                rec.sources.insert(source);
+                rec.verified = now;
+                if changed {
+                    rec.changed = now;
+                    sum.updated += 1;
+                } else {
+                    sum.verified += 1;
+                }
+            }
+            None => {
+                let mut rec = SubnetRecord::new(subnet, mask_assumed, now);
+                rec.sources.insert(source);
+                meta.subnets.insert(subnet, rec);
+                sum.created += 1;
+            }
+        }
+        sum
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_subnet_stats(
+        &self,
+        meta: &mut Meta,
+        source: Source,
+        subnet: Subnet,
+        host_count: u32,
+        lowest: Ipv4Addr,
+        highest: Ipv4Addr,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = self.apply_subnet(meta, source, subnet, false, now);
+        let Some(rec) = meta.subnets.get_mut(&subnet) else {
+            return sum; // apply_subnet ensures presence
+        };
+        let mut changed = false;
+        match &mut rec.host_count {
+            Some(t) => changed |= t.observe(host_count, now),
+            None => {
+                rec.host_count = Some(Timestamped::new(host_count, now));
+                changed = true;
+            }
+        }
+        if rec.lowest != Some(lowest) {
+            rec.lowest = Some(lowest);
+            changed = true;
+        }
+        if rec.highest != Some(highest) {
+            rec.highest = Some(highest);
+            changed = true;
+        }
+        if changed {
+            rec.changed = now;
+            sum.updated += 1;
+        }
+        sum
+    }
+
+    // ------------------------------------------------------------------
+    // Gateways
+    // ------------------------------------------------------------------
+
+    fn apply_gateway(
+        &self,
+        meta: &mut Meta,
+        source: Source,
+        interface_ips: &[Ipv4Addr],
+        interface_names: &[String],
+        subnets: &[Subnet],
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+
+        // Resolve or create an interface record per address.
+        let mut members: Vec<InterfaceId> = Vec::new();
+        for &ip in interface_ips {
+            let s = self.apply_interface(meta, source, Some(ip), None, None, None, now);
+            sum.absorb(s);
+            // Prefer the record that already belongs to a gateway so
+            // repeated observations converge; otherwise take the first.
+            let ids = self.ip_ids(ip);
+            let chosen = ids
+                .iter()
+                .copied()
+                .find(|&id| self.peek(id, |r| r.gateway.is_some()))
+                .or_else(|| ids.first().copied());
+            if let Some(id) = chosen {
+                if !members.contains(&id) {
+                    members.push(id);
+                }
+            }
+        }
+        for name in interface_names {
+            for id in self.name_ids(name) {
+                if !members.contains(&id) {
+                    members.push(id);
+                }
+            }
+        }
+
+        // An observation that resolved to no interfaces would create an
+        // unmergeable ghost gateway on every re-observation; record only
+        // the subnet knowledge and wait for identifiable evidence.
+        if members.is_empty() {
+            for &s in subnets {
+                sum.absorb(self.apply_subnet(meta, source, s, true, now));
+            }
+            return sum;
+        }
+
+        // Find the gateways any member already belongs to.
+        let mut gids: Vec<GatewayId> = Vec::new();
+        for &m in &members {
+            if let Some(g) = self.peek(m, |r| r.gateway) {
+                if !gids.contains(&g) {
+                    gids.push(g);
+                }
+            }
+        }
+        // Take the gateway record out of the slab while we mutate it, so
+        // the borrow of `meta` stays free for subnet upserts below.
+        let (gid, mut g) = match gids.first().copied() {
+            Some(primary) => {
+                // Merge any additional gateways into the primary: two
+                // modules discovered the same box from different sides.
+                for &other in &gids[1..] {
+                    self.merge_gateways(meta, primary, other, now);
+                }
+                let Some(g) = meta
+                    .gateways
+                    .get_mut(primary.0 as usize)
+                    .and_then(Option::take)
+                else {
+                    return sum; // member pointed at a live gateway
+                };
+                (primary, g)
+            }
+            None => {
+                let gid = GatewayId(meta.gateways.len() as u64);
+                meta.gateways.push(None); // placeholder, restored below
+                sum.created += 1;
+                (gid, GatewayRecord::new(gid, now))
+            }
+        };
+
+        // Attach members and subnets.
+        let mut gw_changed = false;
+        for &m in &members {
+            self.with_shard_mut(self.shard_of(m), |sh| {
+                if let Some(r) = sh.records.get_mut(&m.0) {
+                    if r.gateway != Some(gid) {
+                        r.gateway = Some(gid);
+                        r.changed = now;
+                        sh.touch_modified(&mut meta.mod_seq, m, now);
+                    }
+                }
+            });
+            gw_changed |= g.add_interface(m);
+        }
+        // Subnets derived from member interfaces carry confirmed masks;
+        // explicitly-claimed subnets keep their mask *assumed* (modules
+        // guess /24 when linking hops) until a mask reply confirms them.
+        let mut all_subnets: Vec<(Subnet, bool)> = subnets.iter().map(|s| (*s, true)).collect();
+        for &m in &members {
+            if let Some(s) = self.peek(m, |r| r.subnet()) {
+                if let Some(e) = all_subnets.iter_mut().find(|(x, _)| *x == s) {
+                    e.1 = false;
+                } else {
+                    all_subnets.push((s, false));
+                }
+            }
+        }
+        for (s, assumed) in all_subnets {
+            sum.absorb(self.apply_subnet(meta, source, s, assumed, now));
+            gw_changed |= g.add_subnet(s);
+            if let Some(srec) = meta.subnets.get_mut(&s) {
+                if srec.add_gateway(gid) {
+                    srec.changed = now;
+                }
+            }
+        }
+        g.sources.insert(source);
+        g.verified = now;
+        if gw_changed {
+            g.changed = now;
+            sum.updated += 1;
+        } else {
+            sum.verified += 1;
+        }
+        meta.gateways[gid.0 as usize] = Some(g);
+        sum
+    }
+
+    fn merge_gateways(&self, meta: &mut Meta, into: GatewayId, from: GatewayId, now: JTime) {
+        let Some(old) = meta
+            .gateways
+            .get_mut(from.0 as usize)
+            .and_then(Option::take)
+        else {
+            return;
+        };
+        for &i in &old.interfaces {
+            self.with_shard_mut(self.shard_of(i), |sh| {
+                if let Some(r) = sh.records.get_mut(&i.0) {
+                    if r.gateway != Some(into) {
+                        r.gateway = Some(into);
+                        r.changed = now;
+                    }
+                    sh.touch_modified(&mut meta.mod_seq, i, now);
+                }
+            });
+        }
+        // Re-point subnet records.
+        for s in &old.subnets {
+            if let Some(rec) = meta.subnets.get_mut(s) {
+                rec.gateways.retain(|g| *g != from);
+                rec.add_gateway(into);
+            }
+        }
+        if let Some(g) = meta
+            .gateways
+            .get_mut(into.0 as usize)
+            .and_then(Option::as_mut)
+        {
+            for i in old.interfaces {
+                g.add_interface(i);
+            }
+            for s in old.subnets {
+                g.add_subnet(s);
+            }
+            g.changed = now;
+            for src in old.sources.iter() {
+                g.sources.insert(src);
+            }
+        }
+    }
+
+    fn apply_rip_source(
+        &self,
+        meta: &mut Meta,
+        source: Source,
+        ip: Ipv4Addr,
+        mac: Option<MacAddr>,
+        promiscuous: bool,
+        now: JTime,
+    ) -> StoreSummary {
+        let mut sum = self.apply_interface(meta, source, Some(ip), mac, None, None, now);
+        for id in self.ip_ids(ip) {
+            let matches_mac = match (mac, self.peek(id, |r| r.mac_addr())) {
+                (Some(m), Some(rm)) => m == rm,
+                _ => true,
+            };
+            if matches_mac {
+                let updated = self.with_shard_mut(self.shard_of(id), |sh| {
+                    if let Some(r) = sh.records.get_mut(&id.0) {
+                        if !r.rip_source || r.rip_promiscuous != promiscuous {
+                            r.rip_source = true;
+                            r.rip_promiscuous = promiscuous;
+                            r.changed = now;
+                            sh.touch_modified(&mut meta.mod_seq, id, now);
+                            return true;
+                        }
+                    }
+                    false
+                });
+                if updated {
+                    sum.updated += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Fetches an interface record by id.
+    pub fn interface(&self, id: InterfaceId) -> Option<InterfaceRecord> {
+        self.with_shard(self.shard_of(id), |sh| sh.records.get(&id.0).cloned())
+    }
+
+    /// Fetches a gateway record by id.
+    pub fn gateway(&self, id: GatewayId) -> Option<GatewayRecord> {
+        let meta = self.meta.read();
+        meta.gateways
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .cloned()
+    }
+
+    /// Fetches the subnet record for an exact subnet.
+    pub fn subnet(&self, s: &Subnet) -> Option<SubnetRecord> {
+        let meta = self.meta.read();
+        meta.subnets.get(s).cloned()
+    }
+
+    /// Returns all interface records matching the query (the Journal
+    /// Server's Get operation), using the IP index when the query allows.
+    /// Fans out across shards and merges the sorted per-shard results.
+    pub fn get_interfaces(&self, q: &InterfaceQuery) -> Vec<InterfaceRecord> {
+        self.note_fanout();
+        // Fast paths through the indexes.
+        if let Some(ip) = q.ip {
+            return self
+                .ip_ids(ip)
+                .into_iter()
+                .filter_map(|id| self.interface(id))
+                .filter(|r| q.matches(r))
+                .collect();
+        }
+        if let Some(mac) = q.mac {
+            return self
+                .mac_ids(mac)
+                .into_iter()
+                .filter_map(|id| self.interface(id))
+                .filter(|r| q.matches(r))
+                .collect();
+        }
+        if let Some(s) = q.in_subnet {
+            let lo = s.network();
+            let hi = s.directed_broadcast();
+            return self.scan_ip_range(lo, hi, q);
+        }
+        if let Some((lo, hi)) = q.ip_range {
+            return self.scan_ip_range(lo, hi, q);
+        }
+        // Full scan: each shard's matches in id order, merged back by id.
+        let lists: Vec<Vec<InterfaceRecord>> = (0..self.shards.len())
+            .map(|s| {
+                self.with_shard(s, |sh| {
+                    let mut v: Vec<InterfaceRecord> = sh
+                        .records
+                        .values()
+                        .filter(|r| q.matches(r))
+                        .cloned()
+                        .collect();
+                    v.sort_unstable_by_key(|r| r.id.0);
+                    v
+                })
+            })
+            .collect();
+        merge::k_way(lists, |r| r.id.0)
+    }
+
+    fn scan_ip_range(
+        &self,
+        lo: Ipv4Addr,
+        hi: Ipv4Addr,
+        q: &InterfaceQuery,
+    ) -> Vec<InterfaceRecord> {
+        let lists: Vec<Vec<(Ipv4Addr, u64, InterfaceId)>> = (0..self.shards.len())
+            .map(|s| {
+                self.with_shard(s, |sh| {
+                    let mut v = Vec::new();
+                    for (ip, entries) in sh
+                        .idx_ip
+                        .range((Bound::Included(&lo), Bound::Included(&hi)))
+                    {
+                        for e in entries {
+                            v.push((*ip, e.0, e.1));
+                        }
+                    }
+                    v
+                })
+            })
+            .collect();
+        merge::k_way(lists, |e| (e.0, e.1))
+            .into_iter()
+            .filter_map(|(_, _, id)| self.interface(id))
+            .filter(|r| q.matches(r))
+            .collect()
+    }
+
+    /// Interfaces in ascending order of last modification (oldest first).
+    pub fn interfaces_by_modification(&self) -> Vec<InterfaceRecord> {
+        self.note_fanout();
+        let lists: Vec<Vec<((JTime, u64), InterfaceRecord)>> = (0..self.shards.len())
+            .map(|s| {
+                self.with_shard(s, |sh| {
+                    sh.idx_modified
+                        .iter()
+                        .filter_map(|(k, id)| sh.records.get(&id.0).map(|r| (*k, r.clone())))
+                        .collect()
+                })
+            })
+            .collect();
+        merge::k_way(lists, |e| e.0)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// All gateway records.
+    pub fn get_gateways(&self) -> Vec<GatewayRecord> {
+        let meta = self.meta.read();
+        meta.gateways.iter().flatten().cloned().collect()
+    }
+
+    /// Subnet records matching the query, in address order.
+    pub fn get_subnets(&self, q: &SubnetQuery) -> Vec<SubnetRecord> {
+        let meta = self.meta.read();
+        meta.subnets
+            .iter()
+            .map(|(_, r)| r)
+            .filter(|r| q.matches(r))
+            .cloned()
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Deletes an interface record (the Journal Server's Delete operation).
+    ///
+    /// Returns `true` when the record existed.
+    pub fn delete_interface(&mut self, id: InterfaceId) -> bool {
+        self.delete_interface_shared(id)
+    }
+
+    /// Deletes through a shared reference, serializing on the meta lock.
+    pub fn delete_interface_shared(&self, id: InterfaceId) -> bool {
+        let mut meta = self.meta.write();
+        self.delete_locked(&mut meta, id)
+    }
+
+    fn delete_locked(&self, meta: &mut Meta, id: InterfaceId) -> bool {
+        let rec = self.with_shard_mut(self.shard_of(id), |sh| {
+            let rec = sh.records.remove(&id.0)?;
+            if let Some(ip) = rec.ip_addr() {
+                indexes::remove(&mut sh.idx_ip, &ip, id);
+            }
+            if let Some(mac) = rec.mac_addr() {
+                indexes::remove(&mut sh.idx_mac, &mac, id);
+            }
+            if let Some(name) = rec.dns_name() {
+                indexes::remove(&mut sh.idx_name, &name.to_owned(), id);
+            }
+            if let Some(key) = sh.mod_keys.remove(&id.0) {
+                sh.idx_modified.remove(&key);
+            }
+            Some(rec)
+        });
+        let Some(rec) = rec else {
+            return false;
+        };
+        if let Some(gid) = rec.gateway {
+            if let Some(g) = meta
+                .gateways
+                .get_mut(gid.0 as usize)
+                .and_then(Option::as_mut)
+            {
+                g.interfaces.retain(|i| *i != id);
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Stats, snapshots, invariants
+    // ------------------------------------------------------------------
+
+    /// Journal-wide statistics.
+    pub fn stats(&self) -> JournalStats {
+        let meta = self.meta.read();
+        let interfaces = (0..self.shards.len())
+            .map(|s| self.with_shard(s, |sh| sh.records.len()))
+            .sum();
+        JournalStats {
+            interfaces,
+            gateways: meta.gateways.iter().flatten().count(),
+            subnets: meta.subnets.len(),
+            observations_applied: meta.observations_applied,
+        }
+    }
+
+    /// Point-in-time sharding and batching metrics for observability.
+    pub fn sharding_metrics(&self) -> ShardingMetrics {
+        let shards = (0..self.shards.len())
+            .map(|i| {
+                let records = self.with_shard(i, |sh| sh.records.len());
+                let c = &self.shard_counters[i];
+                ShardMetrics {
+                    shard: i,
+                    records,
+                    read_locks: c.read_locks.load(Ordering::Relaxed),
+                    write_locks: c.write_locks.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        ShardingMetrics {
+            shards,
+            fanout_queries: self.counters.fanout_queries.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batch_observations: self.counters.batch_observations.load(Ordering::Relaxed),
+            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exports all records as a snapshot.
+    pub fn to_snapshot(&self) -> crate::snapshot::JournalSnapshot {
+        let meta = self.meta.read();
+        let lists: Vec<Vec<InterfaceRecord>> = (0..self.shards.len())
+            .map(|s| {
+                self.with_shard(s, |sh| {
+                    let mut v: Vec<InterfaceRecord> = sh.records.values().cloned().collect();
+                    v.sort_unstable_by_key(|r| r.id.0);
+                    v
+                })
+            })
+            .collect();
+        crate::snapshot::JournalSnapshot {
+            version: crate::snapshot::SNAPSHOT_VERSION,
+            interfaces: merge::k_way(lists, |r| r.id.0),
+            gateways: meta.gateways.iter().flatten().cloned().collect(),
+            subnets: meta.subnets.iter().map(|(_, r)| r.clone()).collect(),
+            observations_applied: meta.observations_applied,
+        }
+    }
+
+    /// Rebuilds a journal (including every index) from a snapshot, with the
+    /// default shard count.
+    pub fn from_snapshot(snap: &crate::snapshot::JournalSnapshot) -> Journal {
+        Self::from_snapshot_sharded(snap, DEFAULT_SHARDS)
+    }
+
+    /// Rebuilds a journal from a snapshot with an explicit shard count.
+    pub fn from_snapshot_sharded(
+        snap: &crate::snapshot::JournalSnapshot,
+        shards: usize,
+    ) -> Journal {
+        let j = Journal::with_shards(shards);
+        {
+            let mut meta = j.meta.write();
+            meta.observations_applied = snap.observations_applied;
+
+            // Records keep their identifiers, so allocation resumes past
+            // the maximum and the gateway slab is sized to it.
+            meta.next_iface = snap
+                .interfaces
+                .iter()
+                .map(|r| r.id.0 + 1)
+                .max()
+                .unwrap_or(0);
+            let max_gw = snap.gateways.iter().map(|r| r.id.0 + 1).max().unwrap_or(0);
+            meta.gateways = (0..max_gw).map(|_| None).collect();
+
+            // Rebuild the modification index in changed-time order.
+            let mut by_changed: Vec<&InterfaceRecord> = snap.interfaces.iter().collect();
+            by_changed.sort_by_key(|r| r.changed);
+            for rec in by_changed {
+                let id = rec.id;
+                j.with_shard_mut(shard::shard_of(id, j.shards.len()), |sh| {
+                    sh.records.insert(id.0, rec.clone());
+                    if let Some(ip) = rec.ip_addr() {
+                        indexes::add(&mut sh.idx_ip, ip, id, &mut meta.idx_seq);
+                    }
+                    if let Some(mac) = rec.mac_addr() {
+                        indexes::add(&mut sh.idx_mac, mac, id, &mut meta.idx_seq);
+                    }
+                    if let Some(name) = rec.dns_name() {
+                        indexes::add(&mut sh.idx_name, name.to_owned(), id, &mut meta.idx_seq);
+                    }
+                    sh.touch_modified(&mut meta.mod_seq, id, rec.changed);
+                });
+            }
+            for g in &snap.gateways {
+                meta.gateways[g.id.0 as usize] = Some(g.clone());
+            }
+            for s in &snap.subnets {
+                meta.subnets.insert(s.subnet, s.clone());
+            }
+        }
+        j
+    }
+
+    /// Verifies internal index consistency (used by tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let meta = self.meta.read();
+        for s in 0..self.shards.len() {
+            let members =
+                self.with_shard(s, |sh| -> Result<Vec<(InterfaceId, GatewayId)>, String> {
+                    sh.check_invariants()?;
+                    for r in sh.records.values() {
+                        if shard::shard_of(r.id, self.shards.len()) != s {
+                            return Err(format!("record {:?} stored in wrong shard {s}", r.id));
+                        }
+                    }
+                    Ok(sh
+                        .records
+                        .values()
+                        .filter_map(|r| r.gateway.map(|g| (r.id, g)))
+                        .collect())
+                })?;
+            for (id, gid) in members {
+                let g = meta
+                    .gateways
+                    .get(gid.0 as usize)
+                    .and_then(Option::as_ref)
+                    .ok_or_else(|| format!("record {id:?} points at dead gateway"))?;
+                if !g.interfaces.contains(&id) {
+                    return Err(format!("gateway {gid:?} missing member {id:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn mac(s: &str) -> MacAddr {
+        s.parse().unwrap()
+    }
+
+    fn subnet(s: &str) -> Subnet {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ping_then_arp_merges_into_one_record() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.5")),
+            JTime(10),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05")),
+            JTime(20),
+        );
+        let recs = j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.5")));
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.mac_addr(), Some(mac("08:00:20:00:00:05")));
+        assert_eq!(r.discovered, JTime(10));
+        assert!(r.sources.contains(Source::SeqPing));
+        assert!(r.sources.contains(Source::ArpWatch));
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_ip_keeps_two_records() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("08:00:20:00:00:01")),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.9"), mac("00:00:0c:00:00:02")),
+            JTime(2),
+        );
+        let recs = j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.9")));
+        assert_eq!(recs.len(), 2, "duplicate address must stay visible");
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn proxy_arp_mac_with_multiple_ips_keeps_records() {
+        let mut j = Journal::new();
+        let gw_mac = mac("00:00:0c:aa:bb:cc");
+        for i in 1..=3u8 {
+            j.apply(
+                &Observation::arp_pair(Source::EtherHostProbe, Ipv4Addr::new(10, 0, 0, i), gw_mac),
+                JTime(u64::from(i)),
+            );
+        }
+        let recs = j.get_interfaces(&InterfaceQuery::by_mac(gw_mac));
+        assert_eq!(recs.len(), 3, "one MAC answering three IPs: three records");
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reverification_updates_timestamps_only() {
+        let mut j = Journal::new();
+        let o = Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05"));
+        let s1 = j.apply(&o, JTime(10));
+        assert_eq!(s1.created, 1);
+        let s2 = j.apply(&o, JTime(99));
+        assert_eq!(s2.verified, 1);
+        assert_eq!(s2.updated, 0);
+        let r = &j.get_interfaces(&InterfaceQuery::all())[0];
+        assert_eq!(r.verified, JTime(99));
+        assert_eq!(r.changed, JTime(10));
+    }
+
+    #[test]
+    fn dns_verification_does_not_count_as_live() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::named_ip(Source::Dns, ip("10.0.0.7"), "ghost.cs"),
+            JTime(5),
+        );
+        let r = &j.get_interfaces(&InterfaceQuery::all())[0];
+        assert_eq!(r.live_verified, None);
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.7")),
+            JTime(9),
+        );
+        let r = &j.get_interfaces(&InterfaceQuery::all())[0];
+        assert_eq!(r.live_verified, Some(JTime(9)));
+        assert_eq!(r.dns_name(), Some("ghost.cs"));
+    }
+
+    #[test]
+    fn mask_observation_attaches_to_ip() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.1.4")),
+            JTime(0),
+        );
+        j.apply(
+            &Observation::mask(
+                Source::SubnetMasks,
+                ip("10.0.1.4"),
+                fremont_net::SubnetMask::from_prefix_len(24).unwrap(),
+            ),
+            JTime(1),
+        );
+        let r = &j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.1.4")))[0];
+        assert_eq!(r.subnet(), Some(subnet("10.0.1.0/24")));
+    }
+
+    #[test]
+    fn subnet_upsert_and_mask_confirmation() {
+        let mut j = Journal::new();
+        let s = subnet("128.138.238.0/24");
+        let s1 = j.apply(&Observation::subnet(Source::RipWatch, s, true), JTime(1));
+        assert_eq!(s1.created, 1);
+        assert!(j.subnet(&s).unwrap().mask_assumed);
+        let s2 = j.apply(
+            &Observation::subnet(Source::SubnetMasks, s, false),
+            JTime(2),
+        );
+        assert_eq!(s2.updated, 1);
+        assert!(!j.subnet(&s).unwrap().mask_assumed);
+        // A later assumed observation does not downgrade.
+        j.apply(&Observation::subnet(Source::RipWatch, s, true), JTime(3));
+        assert!(!j.subnet(&s).unwrap().mask_assumed);
+    }
+
+    #[test]
+    fn gateway_merge_across_modules() {
+        let mut j = Journal::new();
+        // Traceroute sees interfaces .1 on two subnets as one gateway.
+        j.apply(
+            &Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![ip("128.138.238.1")],
+                    interface_names: vec![],
+                    subnets: vec![subnet("128.138.238.0/24"), subnet("128.138.240.0/24")],
+                },
+            ),
+            JTime(10),
+        );
+        // DNS later learns the same box via another interface plus a shared ip.
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::Gateway {
+                    interface_ips: vec![ip("128.138.238.1"), ip("128.138.240.1")],
+                    interface_names: vec![],
+                    subnets: vec![],
+                },
+            ),
+            JTime(20),
+        );
+        let gws = j.get_gateways();
+        assert_eq!(gws.len(), 1, "both observations describe one gateway");
+        let g = &gws[0];
+        assert!(g.subnets.contains(&subnet("128.138.238.0/24")));
+        assert!(g.subnets.contains(&subnet("128.138.240.0/24")));
+        assert_eq!(g.interfaces.len(), 2);
+        assert!(g.sources.contains(Source::Traceroute));
+        assert!(g.sources.contains(Source::Dns));
+        // Subnet records point back at the gateway.
+        assert_eq!(
+            j.subnet(&subnet("128.138.238.0/24")).unwrap().gateways,
+            vec![g.id]
+        );
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn distinct_gateways_merge_when_bridged() {
+        let mut j = Journal::new();
+        // Two modules each discover a different interface of the same box.
+        j.apply(
+            &Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.1.0.1")],
+                    interface_names: vec![],
+                    subnets: vec![subnet("10.1.0.0/24")],
+                },
+            ),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.2.0.1")],
+                    interface_names: vec![],
+                    subnets: vec![subnet("10.2.0.0/24")],
+                },
+            ),
+            JTime(2),
+        );
+        assert_eq!(j.get_gateways().len(), 2);
+        // A third observation bridges them.
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.1.0.1"), ip("10.2.0.1")],
+                    interface_names: vec![],
+                    subnets: vec![],
+                },
+            ),
+            JTime(3),
+        );
+        let gws = j.get_gateways();
+        assert_eq!(gws.len(), 1, "bridging observation merges gateways");
+        assert_eq!(gws[0].interfaces.len(), 2);
+        assert_eq!(gws[0].subnets.len(), 2);
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rip_source_flags() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::new(
+                Source::RipWatch,
+                Fact::RipSource {
+                    ip: ip("10.0.0.1"),
+                    mac: Some(mac("00:00:0c:01:02:03")),
+                    advertised_routes: 40,
+                    promiscuous: false,
+                },
+            ),
+            JTime(1),
+        );
+        let r = &j.get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.1")))[0];
+        assert!(r.rip_source);
+        assert!(!r.rip_promiscuous);
+        let q = InterfaceQuery {
+            rip_source: Some(true),
+            ..Default::default()
+        };
+        assert_eq!(j.get_interfaces(&q).len(), 1);
+    }
+
+    #[test]
+    fn subnet_stats_recorded() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::SubnetStats {
+                    subnet: subnet("128.138.243.0/24"),
+                    host_count: 56,
+                    lowest: ip("128.138.243.1"),
+                    highest: ip("128.138.243.91"),
+                },
+            ),
+            JTime(1),
+        );
+        let r = j.subnet(&subnet("128.138.243.0/24")).unwrap();
+        assert_eq!(r.host_count.as_ref().map(|t| *t.get()), Some(56));
+        assert_eq!(r.lowest, Some(ip("128.138.243.1")));
+        assert_eq!(r.highest, Some(ip("128.138.243.91")));
+    }
+
+    #[test]
+    fn delete_interface_cleans_indexes() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05")),
+            JTime(1),
+        );
+        let id = j.get_interfaces(&InterfaceQuery::all())[0].id;
+        assert!(j.delete_interface(id));
+        assert!(!j.delete_interface(id));
+        assert!(j.get_interfaces(&InterfaceQuery::all()).is_empty());
+        assert!(j
+            .get_interfaces(&InterfaceQuery::by_ip(ip("10.0.0.5")))
+            .is_empty());
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn modification_order_tracks_changes() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.2")),
+            JTime(2),
+        );
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.3")),
+            JTime(3),
+        );
+        // Touch .1 with a change (new mac) so it moves to the end.
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.1"), mac("08:00:20:00:00:01")),
+            JTime(4),
+        );
+        let order: Vec<_> = j
+            .interfaces_by_modification()
+            .iter()
+            .map(|r| r.ip_addr().unwrap())
+            .collect();
+        assert_eq!(
+            order,
+            vec![ip("10.0.0.2"), ip("10.0.0.3"), ip("10.0.0.1")],
+            "most recently changed records move to the end"
+        );
+    }
+
+    #[test]
+    fn ip_change_on_same_mac_reindexes() {
+        let mut j = Journal::new();
+        let m = mac("08:00:20:00:00:07");
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.7"), m),
+            JTime(1),
+        );
+        // The host was renumbered; EtherHostProbe sees the same MAC with a
+        // previously-unknown IP. Policy: new record (visible reconfiguration).
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.77"), m),
+            JTime(2),
+        );
+        let recs = j.get_interfaces(&InterfaceQuery::by_mac(m));
+        assert_eq!(recs.len(), 2);
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")),
+            JTime(1),
+        );
+        j.apply(
+            &Observation::subnet(Source::RipWatch, subnet("10.0.0.0/24"), true),
+            JTime(1),
+        );
+        let s = j.stats();
+        assert_eq!(s.interfaces, 1);
+        assert_eq!(s.subnets, 1);
+        assert_eq!(s.gateways, 0);
+        assert_eq!(s.observations_applied, 2);
+    }
+
+    #[test]
+    fn query_uses_subnet_index_path() {
+        let mut j = Journal::new();
+        for i in 1..=20u8 {
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 1, i)),
+                JTime(1),
+            );
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 2, i)),
+                JTime(1),
+            );
+        }
+        let recs = j.get_interfaces(&InterfaceQuery::in_subnet(subnet("10.0.1.0/24")));
+        assert_eq!(recs.len(), 20);
+        assert!(recs.iter().all(|r| r.ip_addr().unwrap().octets()[2] == 1));
+    }
+
+    #[test]
+    fn single_shard_journal_behaves_identically() {
+        let mut j = Journal::with_shards(1);
+        assert_eq!(j.shard_count(), 1);
+        j.apply(
+            &Observation::arp_pair(Source::ArpWatch, ip("10.0.0.5"), mac("08:00:20:00:00:05")),
+            JTime(1),
+        );
+        assert_eq!(j.get_interfaces(&InterfaceQuery::all()).len(), 1);
+        j.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_batch_counts_one_batch() {
+        let j = Journal::with_shards(4);
+        let obs = [
+            Observation::ip_alive(Source::SeqPing, ip("10.0.0.1")),
+            Observation::ip_alive(Source::SeqPing, ip("10.0.0.2")),
+            Observation::ip_alive(Source::SeqPing, ip("10.0.0.3")),
+        ];
+        let sum = j.apply_batch(obs.iter().map(|o| (o, JTime(1))));
+        assert_eq!(sum.created, 3);
+        let m = j.sharding_metrics();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.batch_observations, 3);
+        assert_eq!(m.largest_batch, 3);
+        assert_eq!(m.shards.len(), 4);
+        assert_eq!(m.shards.iter().map(|s| s.records).sum::<usize>(), 3);
+        j.check_invariants().unwrap();
+    }
+}

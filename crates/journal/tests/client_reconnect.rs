@@ -1,0 +1,84 @@
+//! Integration test: the client's reconnect-and-retry behaviour for
+//! idempotent query RPCs when the Journal Server restarts between calls.
+
+use std::net::Ipv4Addr;
+
+use fremont_journal::client::RemoteJournal;
+use fremont_journal::observation::{Observation, Source};
+use fremont_journal::proto::ProtoError;
+use fremont_journal::server::{JournalAccess, JournalServer, SharedJournal};
+use fremont_journal::time::JTime;
+
+/// Binds a fresh server to the address a previous one just vacated.
+/// The old accepted sockets may briefly linger in TIME_WAIT, so retry.
+fn restart_at(shared: &SharedJournal, addr: &str) -> JournalServer {
+    for _ in 0..100 {
+        match JournalServer::start(shared.clone(), addr, None) {
+            Ok(s) => return s,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    panic!("could not rebind journal server at {addr}");
+}
+
+#[test]
+fn queries_survive_a_server_restart_but_mutations_do_not_retry() {
+    let shared = SharedJournal::new();
+    let first = JournalServer::start(shared.clone(), "127.0.0.1:0", None).unwrap();
+    let addr = first.addr().to_string();
+    let client = RemoteJournal::connect(&addr).unwrap();
+
+    client
+        .store(
+            JTime(1),
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 3, 0, 1),
+            )],
+        )
+        .unwrap();
+    assert_eq!(client.stats().unwrap().interfaces, 1);
+
+    // Restart the server behind the client's back. The client's TCP
+    // connection is now dead, but the journal state survives in-process.
+    first.shutdown();
+    let second = restart_at(&shared, &addr);
+
+    // A mutating RPC on the dead connection fails with an IO error and
+    // is NOT retried — even though a healthy server is listening (a
+    // lost response leaves it unknown whether the store was applied).
+    let before = shared.stats().unwrap().observations_applied;
+    let err = client
+        .store(
+            JTime(2),
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 3, 0, 2),
+            )],
+        )
+        .unwrap_err();
+    assert!(matches!(err, ProtoError::Io(_)), "got {err}");
+    assert_eq!(
+        shared.stats().unwrap().observations_applied,
+        before,
+        "a failed mutation must not be silently replayed"
+    );
+
+    // An idempotent query on the same client reconnects and succeeds.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.interfaces, 1);
+
+    // The refreshed connection serves mutations again.
+    client
+        .store(
+            JTime(3),
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 3, 0, 3),
+            )],
+        )
+        .unwrap();
+    assert_eq!(client.stats().unwrap().interfaces, 2);
+
+    second.shutdown();
+}

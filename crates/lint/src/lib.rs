@@ -105,6 +105,7 @@ impl Config {
                 "crates/explorers/".to_owned(),
                 "crates/core/src/driver.rs".to_owned(),
                 "crates/telemetry/".to_owned(),
+                "crates/journal/src/store/".to_owned(),
             ],
             schema_scope: vec![
                 "crates/journal/src/".to_owned(),

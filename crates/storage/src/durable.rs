@@ -27,7 +27,7 @@ use fremont_telemetry::{SpanId, TelTime, Telemetry};
 use parking_lot::Mutex;
 
 use fremont_journal::observation::Observation;
-use fremont_journal::proto::ProtoError;
+use fremont_journal::proto::{ProtoError, StoreBatchItem};
 use fremont_journal::query::{InterfaceQuery, SubnetQuery};
 use fremont_journal::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
 use fremont_journal::server::{JournalAccess, SharedJournal};
@@ -313,37 +313,47 @@ fn io_err(e: io::Error) -> ProtoError {
     ProtoError::Io(e)
 }
 
-impl JournalAccess for DurableJournal {
-    fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
+impl DurableJournal {
+    /// The one write path: logs every observation in `runs` ahead of
+    /// applying it, as a single group — one WAL lock acquisition, one
+    /// buffered segment write, and at most one fsync for the whole
+    /// call (the sync policy is applied once, after the group).
+    fn store_runs(&self, runs: &[(JTime, &[Observation])]) -> Result<StoreSummary, ProtoError> {
+        let total: usize = runs.iter().map(|(_, obs)| obs.len()).sum();
+        if total == 0 {
+            return Ok(StoreSummary::default());
+        }
         // fremont-lint: allow(lock-order) -- WAL-before-journal is the crate's one lock order; store/compact/delete all follow it
         let mut wal = self.wal.lock();
-        let mut appends = 0u64;
         let mut fsyncs = 0u64;
         let summary = self
             .shared
             // fremont-lint: allow(lock-order) -- write-ahead logging: append and apply must be atomic under the write lock
             .write(|j| -> io::Result<StoreSummary> {
-                let mut sum = StoreSummary::default();
-                for obs in observations {
-                    // Log ahead of apply: the record carries the seq the
-                    // counter will reach once applied.
-                    let seq = j.stats().observations_applied + 1;
-                    let synced = wal.writer.append(&WalRecord {
-                        seq,
-                        at: now,
-                        obs: obs.clone(),
-                    })?;
-                    appends += 1;
-                    fsyncs += u64::from(synced);
-                    sum.absorb(j.apply(obs, now));
+                // Log ahead of apply: each record carries the seq the
+                // counter will reach once that observation is applied.
+                let mut seq = j.stats().observations_applied;
+                let mut records = Vec::with_capacity(total);
+                for (now, observations) in runs {
+                    for obs in *observations {
+                        seq += 1;
+                        records.push(WalRecord {
+                            seq,
+                            at: *now,
+                            obs: obs.clone(),
+                        });
+                    }
                 }
-                Ok(sum)
+                let synced = wal.writer.append_batch(&records)?;
+                fsyncs += u64::from(synced);
+                Ok(j.apply_batch(
+                    runs.iter()
+                        .flat_map(|(now, observations)| observations.iter().map(|o| (o, *now))),
+                ))
             })
             .map_err(io_err)?;
-        if appends > 0 {
-            self.telemetry
-                .counter_add("fremont_wal_appends_total", "", appends);
-        }
+        self.telemetry
+            .counter_add("fremont_wal_appends_total", "", total as u64);
         if fsyncs > 0 {
             self.telemetry
                 .counter_add("fremont_wal_fsyncs_total", "", fsyncs);
@@ -352,6 +362,20 @@ impl JournalAccess for DurableJournal {
             self.compact_locked(&mut wal).map_err(io_err)?;
         }
         Ok(summary)
+    }
+}
+
+impl JournalAccess for DurableJournal {
+    fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
+        self.store_runs(&[(now, observations)])
+    }
+
+    fn store_batch(&self, batches: &[StoreBatchItem]) -> Result<StoreSummary, ProtoError> {
+        let runs: Vec<(JTime, &[Observation])> = batches
+            .iter()
+            .map(|b| (b.now, b.observations.as_slice()))
+            .collect();
+        self.store_runs(&runs)
     }
 
     fn interfaces(&self, q: &InterfaceQuery) -> Result<Vec<InterfaceRecord>, ProtoError> {
@@ -371,7 +395,7 @@ impl JournalAccess for DurableJournal {
         // persist them by snapshotting the post-delete state.
         // fremont-lint: allow(lock-order) -- same WAL-before-journal order as store(); held across the compaction IO
         let mut wal = self.wal.lock();
-        let existed = self.shared.write(|j| j.delete_interface(id));
+        let existed = self.shared.write(|j| j.delete_interface_shared(id));
         if existed {
             self.compact_locked(&mut wal).map_err(io_err)?;
         }
@@ -489,6 +513,39 @@ mod tests {
         }
         let (dj, _) = DurableJournal::open(cfg).unwrap();
         assert_eq!(dj.stats().unwrap().interfaces, 3, "deletion resurrected");
+    }
+
+    #[test]
+    fn store_batch_costs_one_fsync_and_survives_restart() {
+        let dir = tmp("batch-fsync");
+        let (tel, rec) = fremont_telemetry::Telemetry::recording();
+        let cfg = WalConfig::grouped(&dir, 8);
+        {
+            let (dj, _) = DurableJournal::open_with_telemetry(cfg.clone(), tel).unwrap();
+            // 64 observations across 4 timestamped items, group commit
+            // every 8 appends: the batched path pays ONE fsync where
+            // the one-at-a-time path would have paid 8.
+            let batches: Vec<StoreBatchItem> = (0..4)
+                .map(|b| StoreBatchItem {
+                    now: JTime(b + 1),
+                    observations: (0..16).map(|h| obs((b * 16 + h) as u8 + 1)).collect(),
+                })
+                .collect();
+            let summary = dj.store_batch(&batches).unwrap();
+            assert_eq!(summary.created, 64);
+            assert_eq!(rec.counter("fremont_wal_appends_total", ""), 64);
+            assert_eq!(
+                rec.counter("fremont_wal_fsyncs_total", ""),
+                1,
+                "one group, one fsync"
+            );
+            assert_eq!(dj.stats().unwrap().observations_applied, 64);
+        }
+        // Every observation of the batch was logged ahead of apply.
+        let (dj, report) = DurableJournal::open(cfg).unwrap();
+        assert!(report.records_replayed + report.watermark >= 64);
+        assert_eq!(dj.stats().unwrap().observations_applied, 64);
+        dj.shared().read(|j| j.check_invariants()).unwrap();
     }
 
     #[test]
