@@ -71,6 +71,48 @@ pub struct PromiscuousRipHost {
     pub mac: Option<MacAddr>,
 }
 
+/// A gateway whose routes look stale: it was seen forwarding once, but
+/// none of its known interfaces has answered anything for a long time —
+/// hosts still point default routes at a dead box.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleRoute {
+    /// Interface addresses of the silent gateway.
+    pub gateway_ips: Vec<Ipv4Addr>,
+    /// Subnets the journal believes it connects (the blast radius).
+    pub subnets: Vec<Subnet>,
+    /// The most recent live verification across all its interfaces.
+    pub last_live: JTime,
+}
+
+/// A subnet that went quiet wholesale: several interfaces there were
+/// once verified on the wire, and now none of them answers. One dead
+/// host is a stale address; a whole silent population is a partitioned
+/// segment or a downed uplink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SilentSubnet {
+    /// The quiet subnet.
+    pub subnet: Subnet,
+    /// Interfaces there that were once seen alive.
+    pub once_live: usize,
+    /// The most recent live verification anywhere on the subnet.
+    pub last_live: JTime,
+}
+
+/// An interface whose journal timestamps run *ahead of the present* —
+/// impossible unless the reporting host's clock is skewed, since every
+/// legitimate observation is stamped at or before the store time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockSkewSuspect {
+    /// The interface's address, when known.
+    pub ip: Option<Ipv4Addr>,
+    /// Its DNS name, when known.
+    pub name: Option<String>,
+    /// The offending (future) timestamp.
+    pub seen_at: JTime,
+    /// How far ahead of `now` the timestamp is, in seconds.
+    pub ahead_secs: u64,
+}
+
 /// Finds subnets whose member interfaces report conflicting masks.
 pub fn subnet_mask_conflicts(journal: &Journal) -> Vec<MaskConflict> {
     // Group mask-bearing interfaces by the subnet implied by the
@@ -285,6 +327,116 @@ pub fn stale_addresses(journal: &Journal, now: JTime, threshold: u64) -> Vec<Sta
     out
 }
 
+/// Finds dead gateways: every interface of a known gateway was last
+/// live-verified more than `threshold` seconds ago (and at least one
+/// ever was). "Fremont can also spot the problem where hosts are using a
+/// gateway whose route has become stale" — the router disappeared but
+/// everything still routes through it.
+pub fn stale_routes(journal: &Journal, now: JTime, threshold: u64) -> Vec<StaleRoute> {
+    let cutoff = JTime(now.as_secs().saturating_sub(threshold));
+    let mut out = Vec::new();
+    for gw in journal.get_gateways() {
+        let mut last_live: Option<JTime> = None;
+        let mut ips: Vec<Ipv4Addr> = Vec::new();
+        for &iface_id in &gw.interfaces {
+            let Some(rec) = journal.interface(iface_id) else {
+                continue;
+            };
+            if let Some(ip) = rec.ip_addr() {
+                ips.push(ip);
+            }
+            if let Some(lv) = rec.live_verified {
+                last_live = Some(last_live.map_or(lv, |prev: JTime| prev.max(lv)));
+            }
+        }
+        let Some(last) = last_live else {
+            // Never seen alive on the wire (e.g. DNS/traceroute-topology
+            // knowledge only): silence proves nothing.
+            continue;
+        };
+        if last < cutoff {
+            ips.sort_by_key(|ip| u32::from(*ip));
+            ips.dedup();
+            out.push(StaleRoute {
+                gateway_ips: ips,
+                subnets: gw.subnets.clone(),
+                last_live: last,
+            });
+        }
+    }
+    out.sort_by_key(|r| r.gateway_ips.first().map(|ip| u32::from(*ip)));
+    out
+}
+
+/// Finds subnets that fell silent wholesale: at least `min_members`
+/// interfaces were once live-verified there, and *none* of them (nor any
+/// neighbor) has been verified within `threshold` seconds.
+///
+/// This is the complement of the coverage-aware [`stale_addresses`]
+/// detector, which deliberately refuses to call individual hosts
+/// abandoned when their whole subnet is quiet — whole-subnet silence is
+/// its own finding: a partitioned segment or a dead uplink.
+pub fn silent_subnets(
+    journal: &Journal,
+    now: JTime,
+    threshold: u64,
+    min_members: usize,
+) -> Vec<SilentSubnet> {
+    let cutoff = JTime(now.as_secs().saturating_sub(threshold));
+    let default_mask = SubnetMask::from_prefix_len(24).expect("24 valid");
+    // Per subnet: (once-live count, fresh count, latest live verification).
+    let mut by_subnet: HashMap<Subnet, (usize, usize, JTime)> = HashMap::new();
+    for r in journal.get_interfaces(&InterfaceQuery::all()) {
+        let Some(ip) = r.ip_addr() else { continue };
+        let Some(lv) = r.live_verified else { continue };
+        let subnet = Subnet::containing(ip, r.subnet_mask().unwrap_or(default_mask));
+        let e = by_subnet.entry(subnet).or_insert((0, 0, JTime(0)));
+        e.0 += 1;
+        if lv >= cutoff {
+            e.1 += 1;
+        }
+        e.2 = e.2.max(lv);
+    }
+    let mut out: Vec<SilentSubnet> = by_subnet
+        .into_iter()
+        .filter(|(_, (once_live, fresh, _))| *once_live >= min_members && *fresh == 0)
+        .map(|(subnet, (once_live, _, last_live))| SilentSubnet {
+            subnet,
+            once_live,
+            last_live,
+        })
+        .collect();
+    out.sort_by_key(|s| s.subnet);
+    out
+}
+
+/// Finds interfaces whose records carry timestamps from the future.
+///
+/// The Journal stamps every record at store time, so a `live_verified`
+/// or `discovered` *ahead* of the query's `now` can only come from an
+/// observation timestamped by a host whose clock runs fast — the
+/// journal-poisoning symptom of a clock-skewed reporter.
+pub fn clock_skew_suspects(journal: &Journal, now: JTime) -> Vec<ClockSkewSuspect> {
+    let mut out = Vec::new();
+    for r in journal.get_interfaces(&InterfaceQuery::all()) {
+        let newest = [Some(r.discovered), Some(r.changed), r.live_verified]
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(JTime(0));
+        if newest > now {
+            out.push(ClockSkewSuspect {
+                ip: r.ip_addr(),
+                name: r.dns_name().map(str::to_owned),
+                seen_at: newest,
+                ahead_secs: newest.as_secs() - now.as_secs(),
+            });
+        }
+    }
+    out.sort_by_key(|s| (std::cmp::Reverse(s.ahead_secs), s.ip.map(u32::from)));
+    out
+}
+
 /// Finds hosts flagged as promiscuous RIP sources.
 pub fn promiscuous_rip_hosts(journal: &Journal) -> Vec<PromiscuousRipHost> {
     let q = InterfaceQuery {
@@ -320,6 +472,12 @@ pub struct ProblemReport {
     pub duplicates: Vec<AddressConflict>,
     /// "Promiscuous RIP Hosts".
     pub promiscuous: Vec<PromiscuousRipHost>,
+    /// Gateways gone silent while hosts still route through them.
+    pub stale_routes: Vec<StaleRoute>,
+    /// Subnets whose entire once-alive population stopped answering.
+    pub silent_subnets: Vec<SilentSubnet>,
+    /// Interfaces reported with future timestamps (skewed reporters).
+    pub clock_skew: Vec<ClockSkewSuspect>,
 }
 
 impl ProblemReport {
@@ -340,6 +498,9 @@ impl ProblemReport {
             mask_conflicts: subnet_mask_conflicts(journal),
             duplicates: dups,
             promiscuous: promiscuous_rip_hosts(journal),
+            stale_routes: stale_routes(journal, now, stale_after),
+            silent_subnets: silent_subnets(journal, now, stale_after, 3),
+            clock_skew: clock_skew_suspects(journal, now),
         }
     }
 
@@ -350,6 +511,9 @@ impl ProblemReport {
             + self.mask_conflicts.len()
             + self.duplicates.len()
             + self.promiscuous.len()
+            + self.stale_routes.len()
+            + self.silent_subnets.len()
+            + self.clock_skew.len()
     }
 }
 
@@ -391,6 +555,37 @@ impl std::fmt::Display for ProblemReport {
         writeln!(f, "  Promiscuous RIP hosts: {}", self.promiscuous.len())?;
         for p in &self.promiscuous {
             writeln!(f, "    {}", p.ip)?;
+        }
+        writeln!(
+            f,
+            "  Stale routes (dead gateways): {}",
+            self.stale_routes.len()
+        )?;
+        for r in &self.stale_routes {
+            writeln!(
+                f,
+                "    gateway {:?} silent since {} (connects {:?})",
+                r.gateway_ips, r.last_live, r.subnets
+            )?;
+        }
+        writeln!(f, "  Silent subnets: {}", self.silent_subnets.len())?;
+        for s in &self.silent_subnets {
+            writeln!(
+                f,
+                "    {} ({} once-alive interfaces, last heard {})",
+                s.subnet, s.once_live, s.last_live
+            )?;
+        }
+        writeln!(f, "  Clock-skewed reporters: {}", self.clock_skew.len())?;
+        for c in &self.clock_skew {
+            writeln!(
+                f,
+                "    {} ({}) stamped {}s in the future",
+                c.ip.map(|ip| ip.to_string())
+                    .unwrap_or_else(|| "?".to_owned()),
+                c.name.as_deref().unwrap_or("unnamed"),
+                c.ahead_secs
+            )?;
         }
         Ok(())
     }
@@ -606,5 +801,122 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("Duplicate address assignments: 1"));
         assert!(report.total() >= 1);
+    }
+
+    #[test]
+    fn detects_stale_route_for_dead_gateway() {
+        let mut j = Journal::new();
+        // A gateway with two interfaces, both verified early, then silent.
+        j.apply(
+            &Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.0.1.1"), ip("10.0.2.1")],
+                    interface_names: vec![],
+                    subnets: vec!["10.0.1.0/24".parse().unwrap()],
+                },
+            ),
+            JTime::from_days(1),
+        );
+        for g in ["10.0.1.1", "10.0.2.1"] {
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, ip(g)),
+                JTime::from_days(1),
+            );
+        }
+        // Healthy gateway for contrast, freshly verified.
+        j.apply(
+            &Observation::new(
+                Source::Traceroute,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.0.3.1")],
+                    interface_names: vec![],
+                    subnets: vec!["10.0.3.0/24".parse().unwrap()],
+                },
+            ),
+            JTime::from_days(1),
+        );
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.3.1")),
+            JTime::from_days(20),
+        );
+        let found = stale_routes(&j, JTime::from_days(21), 7 * 86400);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].gateway_ips.contains(&ip("10.0.1.1")));
+        assert_eq!(found[0].last_live, JTime::from_days(1));
+    }
+
+    #[test]
+    fn gateway_never_live_is_not_a_stale_route() {
+        let mut j = Journal::new();
+        j.apply(
+            &Observation::new(
+                Source::Dns,
+                Fact::Gateway {
+                    interface_ips: vec![ip("10.0.9.1")],
+                    interface_names: vec![],
+                    subnets: vec![],
+                },
+            ),
+            JTime::from_days(1),
+        );
+        assert!(stale_routes(&j, JTime::from_days(30), 86400).is_empty());
+    }
+
+    #[test]
+    fn detects_silent_subnet() {
+        let mut j = Journal::new();
+        // Four hosts verified on day 1, then the whole wire goes dark.
+        for h in 10..14u8 {
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 5, h)),
+                JTime::from_days(1),
+            );
+        }
+        // A healthy subnet stays fresh.
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.6.10")),
+            JTime::from_days(9),
+        );
+        let found = silent_subnets(&j, JTime::from_days(10), 2 * 86400, 3);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].subnet, "10.0.5.0/24".parse().unwrap());
+        assert_eq!(found[0].once_live, 4);
+        // And the coverage-aware stale detector stays quiet about those
+        // same hosts — whole-subnet silence is not per-host abandonment.
+        assert!(stale_addresses(&j, JTime::from_days(10), 2 * 86400)
+            .iter()
+            .all(|s| !s.ip.octets().starts_with(&[10, 0, 5])));
+    }
+
+    #[test]
+    fn small_population_is_not_a_silent_subnet() {
+        let mut j = Journal::new();
+        for h in 10..12u8 {
+            j.apply(
+                &Observation::ip_alive(Source::SeqPing, Ipv4Addr::new(10, 0, 5, h)),
+                JTime::from_days(1),
+            );
+        }
+        assert!(silent_subnets(&j, JTime::from_days(10), 86400, 3).is_empty());
+    }
+
+    #[test]
+    fn detects_clock_skew_suspects() {
+        let mut j = Journal::new();
+        // A skewed host's observation arrives stamped a day in the future.
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.5")),
+            JTime::from_days(11),
+        );
+        j.apply(
+            &Observation::ip_alive(Source::SeqPing, ip("10.0.0.6")),
+            JTime::from_days(10),
+        );
+        let found = clock_skew_suspects(&j, JTime::from_days(10));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].ip, Some(ip("10.0.0.5")));
+        assert_eq!(found[0].ahead_secs, 86400);
+        assert!(clock_skew_suspects(&j, JTime::from_days(12)).is_empty());
     }
 }

@@ -56,6 +56,12 @@ pub struct DriverConfig {
     /// Telemetry sink handle, threaded into the simulator and the
     /// persistence backend (default: no-op).
     pub telemetry: Telemetry,
+    /// Hard cap on a single module run in sim time. A module still
+    /// running past this is forcibly retired at the next pump — its
+    /// observations so far are kept — so a wedged probe (dead gateway,
+    /// partitioned segment) degrades discovery instead of stopping it.
+    /// `None` (the default) never times out.
+    pub max_module_runtime: Option<SimDuration>,
 }
 
 impl DriverConfig {
@@ -69,6 +75,7 @@ impl DriverConfig {
             correlate: true,
             persistence: PersistencePolicy::InMemory,
             telemetry: Telemetry::noop(),
+            max_module_runtime: None,
         }
     }
 }
@@ -100,6 +107,7 @@ pub struct DiscoveryDriver {
     running: HashMap<Source, RunningModule>,
     loads: BTreeMap<Source, ModuleLoad>,
     pump_cycle: u64,
+    module_timeouts: u64,
 }
 
 /// Book-keeping for one in-flight module run.
@@ -126,6 +134,7 @@ impl DiscoveryDriver {
             running: HashMap::new(),
             loads: BTreeMap::new(),
             pump_cycle: 0,
+            module_timeouts: 0,
         };
         driver.publish_startup();
         driver
@@ -167,6 +176,7 @@ impl DiscoveryDriver {
             running: HashMap::new(),
             loads: BTreeMap::new(),
             pump_cycle: 0,
+            module_timeouts: 0,
         };
         driver.publish_startup();
         Ok(driver)
@@ -286,19 +296,39 @@ impl DiscoveryDriver {
             );
         }
 
-        // 2. Retire finished modules.
+        // 2. Retire finished modules — and, when a runtime cap is set,
+        // forcibly retire wedged ones so one unreachable target cannot
+        // stall the whole schedule (graceful degradation under faults).
         let retire_span = tel.span_start("driver.retire", "", root, at);
         // Sort: `running` is a HashMap, and retirement order is visible
         // in the trace — it must not depend on hasher seeds.
-        let mut finished: Vec<Source> = self
+        let now_sim = self.sim.now();
+        let mut finished: Vec<(Source, bool)> = self
             .running
             .iter()
-            .filter(|(_, m)| self.sim.process_done(m.handle))
-            .map(|(s, _)| *s)
+            .filter_map(|(s, m)| {
+                if self.sim.process_done(m.handle) {
+                    Some((*s, false))
+                } else if self
+                    .cfg
+                    .max_module_runtime
+                    .is_some_and(|cap| now_sim.since(m.started) > cap)
+                {
+                    Some((*s, true))
+                } else {
+                    None
+                }
+            })
             .collect();
         finished.sort();
         let retired_count = finished.len();
-        for source in finished {
+        for (source, timed_out) in finished {
+            if timed_out {
+                self.module_timeouts += 1;
+                if tel.enabled() {
+                    tel.event("module.timeout", source.name(), root, at);
+                }
+            }
             self.retire(source, at, root);
         }
         if tel.enabled() {
@@ -451,6 +481,24 @@ impl DiscoveryDriver {
             );
             tel.counter_set("fremont_module_runs_total", &label, row.load.runs);
         }
+        // Gated on the cap being configured so deployments that never
+        // opt in keep a byte-identical exposition.
+        if self.cfg.max_module_runtime.is_some() {
+            tel.counter_set("fremont_module_timeouts_total", "", self.module_timeouts);
+        }
+    }
+
+    /// How many module runs the driver has forcibly retired for
+    /// exceeding [`DriverConfig::max_module_runtime`].
+    pub fn module_timeouts(&self) -> u64 {
+        self.module_timeouts
+    }
+
+    /// Sets the module runtime cap after construction — chaos tests and
+    /// deployments built through [`crate::fremont::Fremont`] (whose
+    /// config is assembled internally) opt in here.
+    pub fn set_max_module_runtime(&mut self, cap: Option<SimDuration>) {
+        self.cfg.max_module_runtime = cap;
     }
 
     /// The unmet-need metric the manager tracks per module.

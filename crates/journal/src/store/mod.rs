@@ -453,7 +453,12 @@ impl Journal {
             }
             r.sources.insert(source);
             r.verified = now;
-            if source != Source::Dns {
+            // `live_verified` means on-wire evidence. DNS records and the
+            // Manager's cross-correlation derivations re-describe what is
+            // already in the Journal — neither proves the interface still
+            // answers, and counting them would keep a dead gateway
+            // "alive" for as long as correlation keeps re-deriving it.
+            if source != Source::Dns && source != Source::Manager {
                 r.live_verified = Some(now);
             }
             if changed {

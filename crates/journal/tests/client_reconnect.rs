@@ -1,7 +1,9 @@
 //! Integration test: the client's reconnect-and-retry behaviour for
-//! idempotent query RPCs when the Journal Server restarts between calls.
+//! idempotent query RPCs when the Journal Server restarts between calls,
+//! and when the connection dies mid-RPC rather than between clean calls.
 
-use std::net::Ipv4Addr;
+use std::io::Read;
+use std::net::{Ipv4Addr, TcpListener};
 
 use fremont_journal::client::RemoteJournal;
 use fremont_journal::observation::{Observation, Source};
@@ -81,4 +83,64 @@ fn queries_survive_a_server_restart_but_mutations_do_not_retry() {
     assert_eq!(client.stats().unwrap().interfaces, 2);
 
     second.shutdown();
+}
+
+/// The harsher fault: the connection dies *mid-RPC* — after the request
+/// leaves the client, before any reply arrives. This is what a crashed
+/// server process (or a fault-injected node kill) looks like on the
+/// wire, as opposed to the clean shutdown above where the connection is
+/// already dead before the client writes. The store must fail without
+/// being applied or replayed, and the same client must recover once a
+/// real server takes over the address.
+#[test]
+fn a_mid_rpc_kill_fails_the_mutation_and_the_client_recovers() {
+    // A bare listener plays the doomed server: it accepts the client,
+    // reads the first byte of the request so the RPC is provably in
+    // flight, then drops the socket without ever answering.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let killer = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let mut first_byte = [0u8; 1];
+        sock.read_exact(&mut first_byte).unwrap();
+        // Dropping `sock` and `listener` here kills the connection with
+        // the request half-read and frees the port for the real server.
+    });
+
+    let client = RemoteJournal::connect(&addr).unwrap();
+    let err = client
+        .store(
+            JTime(1),
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 3, 1, 1),
+            )],
+        )
+        .unwrap_err();
+    assert!(matches!(err, ProtoError::Io(_)), "got {err}");
+    killer.join().unwrap();
+
+    // A real server takes over the same address with an empty journal.
+    let shared = SharedJournal::new();
+    let server = restart_at(&shared, &addr);
+
+    // The killed mutation was never applied anywhere and must not be
+    // silently replayed by the reconnect path.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.interfaces, 0, "killed store must not be replayed");
+    assert_eq!(shared.stats().unwrap().observations_applied, 0);
+
+    // The same client object is fully usable after the mid-RPC death.
+    client
+        .store(
+            JTime(2),
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 3, 1, 2),
+            )],
+        )
+        .unwrap();
+    assert_eq!(client.stats().unwrap().interfaces, 1);
+
+    server.shutdown();
 }

@@ -106,10 +106,12 @@ impl Config {
                 "crates/core/src/driver.rs".to_owned(),
                 "crates/telemetry/".to_owned(),
                 "crates/journal/src/store/".to_owned(),
+                "crates/netsim/src/faults.rs".to_owned(),
             ],
             schema_scope: vec![
                 "crates/journal/src/".to_owned(),
                 "crates/storage/src/".to_owned(),
+                "crates/netsim/src/faults.rs".to_owned(),
             ],
             golden_path: "crates/lint/wal-schema.golden".to_owned(),
             max_suppressions: 15,

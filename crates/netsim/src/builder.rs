@@ -13,6 +13,7 @@ use std::net::Ipv4Addr;
 use fremont_net::{MacAddr, Subnet, SubnetMask};
 
 use crate::engine::Sim;
+use crate::faults::FaultPlan;
 use crate::node::{Behavior, Iface, Node, NodeKind, RipConfig};
 use crate::routing::Route;
 use crate::segment::{NodeId, SegmentCfg, SegmentId};
@@ -99,6 +100,7 @@ pub struct TopologyBuilder {
     hosts: Vec<HostSpec>,
     routers: Vec<RouterSpec>,
     mac_counter: u32,
+    fault_plan: FaultPlan,
 }
 
 impl Default for TopologyBuilder {
@@ -115,7 +117,16 @@ impl TopologyBuilder {
             hosts: Vec::new(),
             routers: Vec::new(),
             mac_counter: 0,
+            fault_plan: FaultPlan::default(),
         }
+    }
+
+    /// Installs a fault plan that [`TopologyBuilder::build`] schedules
+    /// on the finished simulator. The default (empty) plan is a strict
+    /// no-op: see [`Sim::install_fault_plan`].
+    pub fn faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Adds a segment with its true subnet.
@@ -338,6 +349,9 @@ impl TopologyBuilder {
             routers: router_ids,
             interfaces,
         };
+        // Installed last: all node/segment names the plan addresses exist.
+        let plan = std::mem::take(&mut self.fault_plan);
+        sim.install_fault_plan(&plan);
         (sim, topo)
     }
 }

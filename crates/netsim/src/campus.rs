@@ -28,6 +28,7 @@ use fremont_net::{Subnet, SubnetMask};
 use crate::builder::{HostIdx, Topology, TopologyBuilder};
 use crate::dns_server::{DnsServerState, Zone};
 use crate::engine::Sim;
+use crate::faults::FaultPlan;
 use crate::node::RipConfig;
 use crate::segment::NodeId;
 use crate::time::SimDuration;
@@ -70,6 +71,11 @@ pub struct CampusConfig {
     pub inject_faults: bool,
     /// Attach background traffic on the CS subnet (drives ARPwatch).
     pub cs_traffic: bool,
+    /// Scheduled mid-run faults, installed on the finished simulator.
+    /// The default (empty) plan is a strict no-op — see
+    /// [`Sim::install_fault_plan`] — so existing campus runs are
+    /// unchanged.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for CampusConfig {
@@ -90,6 +96,7 @@ impl Default for CampusConfig {
             churn_cycle: SimDuration::from_hours(8),
             inject_faults: true,
             cs_traffic: true,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -627,6 +634,9 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         .filter(|(_, ip)| cs_subnet.contains(*ip))
         .count()
         + cs_gw_registered;
+
+    // Scheduled mid-run faults, last: every name they address now exists.
+    sim.install_fault_plan(&cfg.fault_plan);
 
     let truth = CampusTruth {
         topology,

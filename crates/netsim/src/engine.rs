@@ -25,6 +25,7 @@ use fremont_net::{
 
 use fremont_telemetry::{SpanId, TelTime, Telemetry};
 
+use crate::faults::{FaultKind, FaultPlan, FaultStats};
 use crate::node::{Node, NodeKind, TracerouteBug};
 use crate::process::{IfaceInfo, ProcHandle, Process};
 use crate::segment::{NodeId, Segment, SegmentCfg, SegmentId};
@@ -94,6 +95,9 @@ enum Event {
         pkt: Ipv4Packet,
     },
     TrafficTick,
+    Fault {
+        kind: FaultKind,
+    },
 }
 
 struct Queued {
@@ -139,6 +143,12 @@ pub struct Sim {
     telemetry: Telemetry,
     /// Per-process packet counters, keyed by `(node, slot)`.
     proc_stats: BTreeMap<(usize, usize), ProcStats>,
+    /// Counters of applied fault events and partition frame drops.
+    pub fault_stats: FaultStats,
+    /// True once a non-empty [`FaultPlan`] was installed; gates the
+    /// `fremont_sim_fault_*` metric family so fault-free expositions
+    /// stay byte-identical.
+    faults_installed: bool,
 }
 
 impl Sim {
@@ -159,6 +169,8 @@ impl Sim {
             uptime: Vec::new(),
             telemetry: Telemetry::noop(),
             proc_stats: BTreeMap::new(),
+            fault_stats: FaultStats::default(),
+            faults_installed: false,
         }
     }
 
@@ -233,6 +245,64 @@ impl Sim {
         t.counter_set("fremont_sim_frames_lost_total", "", lost);
         t.counter_set("fremont_sim_broadcast_frames_total", "", bcast);
         t.counter_set("fremont_sim_arp_frames_total", "", arp);
+        // The fault family appears only once a non-empty plan is
+        // installed: a fault-free exposition must stay byte-identical.
+        if self.faults_installed {
+            let f = &self.fault_stats;
+            t.counter_set("fremont_sim_fault_events_total", "", f.total());
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"node_crash\"",
+                f.node_crashes,
+            );
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"node_reboot\"",
+                f.node_reboots,
+            );
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"gateway_death\"",
+                f.gateway_deaths,
+            );
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"partition\"",
+                f.partitions,
+            );
+            t.counter_set("fremont_sim_fault_events_total", "kind=\"heal\"", f.heals);
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"degrade\"",
+                f.degrades,
+            );
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"clear_degrade\"",
+                f.degrade_clears,
+            );
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"duplicate_ip\"",
+                f.duplicate_ips,
+            );
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"wrong_mask\"",
+                f.wrong_masks,
+            );
+            t.counter_set(
+                "fremont_sim_fault_events_total",
+                "kind=\"clock_skew\"",
+                f.clock_skews,
+            );
+            t.counter_set("fremont_sim_fault_unresolved_total", "", f.unresolved);
+            t.counter_set(
+                "fremont_sim_fault_partition_frames_dropped_total",
+                "",
+                f.frames_dropped,
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -287,6 +357,149 @@ impl Sim {
     /// Finds a node id by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
         self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Finds a segment id by name.
+    pub fn segment_by_name(&self, name: &str) -> Option<SegmentId> {
+        self.segments
+            .iter()
+            .position(|s| s.cfg.name == name)
+            .map(SegmentId)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Schedules every event of a [`FaultPlan`] on the ordinary event
+    /// queue. Events whose time is already past fire "now" (still in
+    /// deterministic queue order).
+    ///
+    /// Installing an *empty* plan is a guaranteed no-op: it schedules
+    /// nothing, draws nothing from the RNG, and leaves the telemetry
+    /// exposition untouched, so a fault-free run with an empty plan is
+    /// byte-identical to one without this call.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        self.faults_installed = true;
+        for ev in &plan.events {
+            let delay = ev.at().since(self.now); // saturates to ZERO if past
+            self.schedule(
+                delay,
+                Event::Fault {
+                    kind: ev.kind.clone(),
+                },
+            );
+        }
+    }
+
+    /// Applies one fault event. Unknown node/segment names are counted
+    /// and traced rather than panicking, so a plan written for one
+    /// topology degrades loudly-but-safely on another.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        let resolved = match &kind {
+            FaultKind::NodeCrash { node } | FaultKind::GatewayDeath { gateway: node } => {
+                match self.node_by_name(node) {
+                    Some(id) => {
+                        self.apply_node_up(id, false);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            FaultKind::NodeReboot { node } => match self.node_by_name(node) {
+                Some(id) => {
+                    self.apply_node_up(id, true);
+                    true
+                }
+                None => false,
+            },
+            FaultKind::Partition { segment } => match self.segment_by_name(segment) {
+                Some(id) => {
+                    self.segments[id.0].partitioned = true;
+                    true
+                }
+                None => false,
+            },
+            FaultKind::Heal { segment } => match self.segment_by_name(segment) {
+                Some(id) => {
+                    self.segments[id.0].partitioned = false;
+                    true
+                }
+                None => false,
+            },
+            FaultKind::Degrade {
+                segment,
+                extra_loss,
+                extra_latency_micros,
+            } => match self.segment_by_name(segment) {
+                Some(id) => {
+                    let seg = &mut self.segments[id.0];
+                    seg.fault_loss = extra_loss.clamp(0.0, 1.0);
+                    seg.fault_latency = SimDuration::from_micros(*extra_latency_micros);
+                    true
+                }
+                None => false,
+            },
+            FaultKind::ClearDegrade { segment } => match self.segment_by_name(segment) {
+                Some(id) => {
+                    let seg = &mut self.segments[id.0];
+                    seg.fault_loss = 0.0;
+                    seg.fault_latency = SimDuration::ZERO;
+                    true
+                }
+                None => false,
+            },
+            FaultKind::DuplicateIp { node, ip } => match self.node_by_name(node) {
+                Some(id) if !self.nodes[id.0].ifaces.is_empty() => {
+                    self.nodes[id.0].ifaces[0].ip = *ip;
+                    true
+                }
+                _ => false,
+            },
+            FaultKind::WrongMask { node, prefix_len } => {
+                match (
+                    self.node_by_name(node),
+                    fremont_net::SubnetMask::from_prefix_len(*prefix_len),
+                ) {
+                    (Some(id), Ok(mask)) if !self.nodes[id.0].ifaces.is_empty() => {
+                        // Routes are deliberately left alone: the host now
+                        // *answers mask requests* with the wrong mask, which
+                        // is the observable symptom the paper reports.
+                        self.nodes[id.0].ifaces[0].mask = mask;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            FaultKind::ClockSkew { node, skew_micros } => match self.node_by_name(node) {
+                Some(id) => {
+                    self.nodes[id.0].clock_skew = *skew_micros;
+                    true
+                }
+                None => false,
+            },
+        };
+        if resolved {
+            self.fault_stats.record(&kind);
+        } else {
+            self.fault_stats.unresolved += 1;
+        }
+        if self.telemetry.enabled() {
+            let name = if resolved {
+                kind.trace_name()
+            } else {
+                "fault.unresolved"
+            };
+            self.telemetry.event(
+                name,
+                kind.target(),
+                SpanId::NONE,
+                TelTime(self.now.as_micros()),
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -401,6 +614,7 @@ impl Sim {
                 let _ = self.node_send_ip(node, pkt);
             }
             Event::TrafficTick => self.traffic_tick(),
+            Event::Fault { kind } => self.apply_fault(kind),
         }
     }
 
@@ -566,6 +780,13 @@ impl Sim {
         let seg_id = self.nodes[node.0].ifaces[iface].segment;
         let now = self.now;
         let seg = &mut self.segments[seg_id.0];
+        // A partitioned (cut) wire swallows every frame before any loss
+        // roll, so no RNG is consumed for it.
+        if seg.partitioned {
+            seg.stats.record_loss();
+            self.fault_stats.frames_dropped += 1;
+            return;
+        }
         let loss = seg.loss_probability(now);
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             seg.stats.record_loss();
@@ -575,7 +796,7 @@ impl Sim {
         seg.stats
             .record_frame(now, frame.wire_len(), frame.is_broadcast(), is_arp);
 
-        let latency = seg.cfg.latency;
+        let latency = seg.cfg.latency + seg.fault_latency;
         let jitter_bound = seg.cfg.jitter.as_micros();
         let broadcast = frame.is_broadcast();
         // Borrow dance: take the attachment list out of the segment so we
@@ -1229,9 +1450,19 @@ pub struct ProcCtx<'a> {
 }
 
 impl ProcCtx<'_> {
-    /// Current simulated time.
+    /// Current time *as this node's clock reads it*. On a healthy host
+    /// this is true simulated time; under a
+    /// [`crate::faults::FaultKind::ClockSkew`] fault it is shifted by
+    /// the node's offset — processes timestamp their observations with
+    /// this clock, which is exactly how a real host with a broken clock
+    /// poisons a journal.
     pub fn now(&self) -> SimTime {
-        self.sim.now
+        let skew = self.sim.nodes[self.handle.node.0].clock_skew;
+        if skew == 0 {
+            return self.sim.now;
+        }
+        let shifted = (self.sim.now.as_micros() as i64).saturating_add(skew);
+        SimTime(shifted.max(0) as u64)
     }
 
     /// The hosting node's name.
@@ -1344,7 +1575,10 @@ impl ProcCtx<'_> {
 
     /// Emits a discovered fact toward the Journal.
     pub fn emit(&mut self, obs: Observation) {
-        let at = self.sim.now;
+        // Observations carry the *node's* clock, so a clock-skewed host
+        // stamps its reports wrongly (see `ProcCtx::now`). Kernel timers
+        // (`set_timer`) stay on true simulated time.
+        let at = self.now();
         let handle = self.handle;
         self.sim.outbox.push((handle, at, obs));
     }

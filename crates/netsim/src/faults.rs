@@ -1,0 +1,407 @@
+//! Deterministic fault injection: the [`FaultPlan`].
+//!
+//! The paper's value proposition is discovering *problems*, not just
+//! characteristics — stale addresses, duplicate IPs, conflicting masks,
+//! dead gateways (§1, §5, Table 8). A `FaultPlan` is a committable,
+//! serializable script of such problems: every entry fires at an exact
+//! simulated time through the engine's ordinary event queue, so same-seed
+//! runs (with the same plan) are byte-identical, and an *empty* plan
+//! schedules nothing at all — it cannot perturb the RNG stream or the
+//! event order of a fault-free run.
+//!
+//! Faults address nodes and segments by *name*, not by id, so a plan
+//! written against the synthetic campus ("cs-gw", "cs-net", "bruno")
+//! stays valid across topology-construction changes and can live in a
+//! fixture file under `scenarios/`.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// One injectable fault. See each variant for the Table 8 problem class
+/// it reproduces and how the analysis layer is expected to surface it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Powers a node off. Volatile state (ARP cache, pending ARP queue,
+    /// RIP-learned routes) is lost, exactly as on `SetNodeUp(false)`.
+    /// A long-crashed host surfaces as an "IP address no longer in use".
+    NodeCrash {
+        /// Node name.
+        node: String,
+    },
+    /// Powers a node back on (cold boot: caches start empty).
+    NodeReboot {
+        /// Node name.
+        node: String,
+    },
+    /// Kills a router. Semantically a crash, but counted and traced
+    /// separately because the payoff differs: subnets behind the dead
+    /// gateway go silent and its own interfaces stop verifying, which
+    /// the analysis layer reports as a stale route.
+    GatewayDeath {
+        /// Router name.
+        gateway: String,
+    },
+    /// Severs a segment: every frame offered to the wire is dropped
+    /// (both directions — a cut cable, not a lossy one).
+    Partition {
+        /// Segment name.
+        segment: String,
+    },
+    /// Reconnects a partitioned segment.
+    Heal {
+        /// Segment name.
+        segment: String,
+    },
+    /// Opens an elevated loss/latency window on a segment (a failing
+    /// transceiver, an overloaded bridge). Discovery should degrade
+    /// gracefully, not wedge.
+    Degrade {
+        /// Segment name.
+        segment: String,
+        /// Additional independent frame-loss probability in `[0, 1]`.
+        extra_loss: f64,
+        /// Additional per-frame one-way latency, in microseconds.
+        extra_latency_micros: u64,
+    },
+    /// Closes a [`FaultKind::Degrade`] window.
+    ClearDegrade {
+        /// Segment name.
+        segment: String,
+    },
+    /// Reconfigures a node's primary interface to `ip` — when `ip`
+    /// already belongs to another live host, this is the "Duplicate
+    /// Address Assignment" of Table 8 appearing mid-run.
+    DuplicateIp {
+        /// Node whose primary interface is reconfigured.
+        node: String,
+        /// The (already taken) address it now claims.
+        ip: Ipv4Addr,
+    },
+    /// Misconfigures a node's primary-interface subnet mask — the
+    /// "Inconsistent Network Masks" problem. Routes are left alone: the
+    /// host now *answers mask requests* wrongly, which is what the
+    /// SubnetMasks module observes and the analysis flags.
+    WrongMask {
+        /// Node whose mask is rewritten.
+        node: String,
+        /// The wrong prefix length to configure.
+        prefix_len: u8,
+    },
+    /// Skews a node's time-of-day clock by a signed offset. Kernel
+    /// timers still fire on true simulated time (an interval timer does
+    /// not care what the wall clock says), but everything the node
+    /// *timestamps* — including Journal observations emitted by
+    /// processes hosted there — carries the skewed clock.
+    ClockSkew {
+        /// Node whose clock drifts.
+        node: String,
+        /// Signed offset in microseconds (positive = clock runs ahead).
+        skew_micros: i64,
+    },
+}
+
+impl FaultKind {
+    /// Trace-event name for this fault kind (stable, `fault.`-prefixed).
+    pub fn trace_name(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash { .. } => "fault.node_crash",
+            FaultKind::NodeReboot { .. } => "fault.node_reboot",
+            FaultKind::GatewayDeath { .. } => "fault.gateway_death",
+            FaultKind::Partition { .. } => "fault.partition",
+            FaultKind::Heal { .. } => "fault.heal",
+            FaultKind::Degrade { .. } => "fault.degrade",
+            FaultKind::ClearDegrade { .. } => "fault.clear_degrade",
+            FaultKind::DuplicateIp { .. } => "fault.duplicate_ip",
+            FaultKind::WrongMask { .. } => "fault.wrong_mask",
+            FaultKind::ClockSkew { .. } => "fault.clock_skew",
+        }
+    }
+
+    /// The name of the node or segment this fault targets.
+    pub fn target(&self) -> &str {
+        match self {
+            FaultKind::NodeCrash { node }
+            | FaultKind::NodeReboot { node }
+            | FaultKind::DuplicateIp { node, .. }
+            | FaultKind::WrongMask { node, .. }
+            | FaultKind::ClockSkew { node, .. } => node,
+            FaultKind::GatewayDeath { gateway } => gateway,
+            FaultKind::Partition { segment }
+            | FaultKind::Heal { segment }
+            | FaultKind::Degrade { segment, .. }
+            | FaultKind::ClearDegrade { segment } => segment,
+        }
+    }
+}
+
+/// A fault scheduled at an absolute simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires, in microseconds of simulated time.
+    pub at_micros: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// The firing time as a [`SimTime`].
+    pub fn at(&self) -> SimTime {
+        SimTime(self.at_micros)
+    }
+}
+
+/// An ordered script of injectable faults.
+///
+/// Same-time events fire in plan order (the engine's queue breaks time
+/// ties by insertion sequence). The default plan is empty, and an empty
+/// plan is *behaviorally invisible*: installing it schedules no events
+/// and draws nothing from the engine RNG.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedules one fault at `at`; returns `self` for chaining.
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent {
+            at_micros: at.as_micros(),
+            kind,
+        });
+        self
+    }
+
+    /// Crash `node` at `down_at` and reboot it `downtime` later.
+    pub fn crash_between(self, node: &str, down_at: SimTime, downtime: SimDuration) -> Self {
+        let node = node.to_owned();
+        self.at(down_at, FaultKind::NodeCrash { node: node.clone() })
+            .at(down_at + downtime, FaultKind::NodeReboot { node })
+    }
+
+    /// Partition `segment` at `from` and heal it `outage` later.
+    pub fn partition_between(self, segment: &str, from: SimTime, outage: SimDuration) -> Self {
+        let segment = segment.to_owned();
+        self.at(
+            from,
+            FaultKind::Partition {
+                segment: segment.clone(),
+            },
+        )
+        .at(from + outage, FaultKind::Heal { segment })
+    }
+
+    /// Open a loss/latency window on `segment` at `from`, closing it
+    /// `window` later.
+    pub fn degrade_window(
+        self,
+        segment: &str,
+        from: SimTime,
+        window: SimDuration,
+        extra_loss: f64,
+        extra_latency: SimDuration,
+    ) -> Self {
+        let segment = segment.to_owned();
+        self.at(
+            from,
+            FaultKind::Degrade {
+                segment: segment.clone(),
+                extra_loss,
+                extra_latency_micros: extra_latency.as_micros(),
+            },
+        )
+        .at(from + window, FaultKind::ClearDegrade { segment })
+    }
+
+    /// Serializes the plan as a committable JSON fixture.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+
+    /// Parses a plan from a JSON fixture.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Counters of faults the engine has *applied* (not merely scheduled),
+/// plus frames dropped on partitioned segments. Exposed as the
+/// `fremont_sim_fault_*` metric family — but only once a non-empty plan
+/// is installed, so fault-free expositions stay byte-identical to
+/// builds without this module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// `NodeCrash` events applied.
+    pub node_crashes: u64,
+    /// `NodeReboot` events applied.
+    pub node_reboots: u64,
+    /// `GatewayDeath` events applied.
+    pub gateway_deaths: u64,
+    /// `Partition` events applied.
+    pub partitions: u64,
+    /// `Heal` events applied.
+    pub heals: u64,
+    /// `Degrade` events applied.
+    pub degrades: u64,
+    /// `ClearDegrade` events applied.
+    pub degrade_clears: u64,
+    /// `DuplicateIp` events applied.
+    pub duplicate_ips: u64,
+    /// `WrongMask` events applied.
+    pub wrong_masks: u64,
+    /// `ClockSkew` events applied.
+    pub clock_skews: u64,
+    /// Fault events naming an unknown node/segment (skipped).
+    pub unresolved: u64,
+    /// Frames swallowed by partitioned segments.
+    pub frames_dropped: u64,
+}
+
+impl FaultStats {
+    /// Total fault events applied (excluding per-frame drop counts).
+    pub fn total(&self) -> u64 {
+        self.node_crashes
+            + self.node_reboots
+            + self.gateway_deaths
+            + self.partitions
+            + self.heals
+            + self.degrades
+            + self.degrade_clears
+            + self.duplicate_ips
+            + self.wrong_masks
+            + self.clock_skews
+    }
+
+    /// Bumps the counter for one applied fault kind.
+    pub fn record(&mut self, kind: &FaultKind) {
+        match kind {
+            FaultKind::NodeCrash { .. } => self.node_crashes += 1,
+            FaultKind::NodeReboot { .. } => self.node_reboots += 1,
+            FaultKind::GatewayDeath { .. } => self.gateway_deaths += 1,
+            FaultKind::Partition { .. } => self.partitions += 1,
+            FaultKind::Heal { .. } => self.heals += 1,
+            FaultKind::Degrade { .. } => self.degrades += 1,
+            FaultKind::ClearDegrade { .. } => self.degrade_clears += 1,
+            FaultKind::DuplicateIp { .. } => self.duplicate_ips += 1,
+            FaultKind::WrongMask { .. } => self.wrong_masks += 1,
+            FaultKind::ClockSkew { .. } => self.clock_skews += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_pair_events() {
+        let plan = FaultPlan::new()
+            .crash_between("piper", SimTime(5_000_000), SimDuration::from_secs(30))
+            .partition_between("cs-net", SimTime(1_000_000), SimDuration::from_secs(10))
+            .degrade_window(
+                "backbone",
+                SimTime(2_000_000),
+                SimDuration::from_secs(60),
+                0.4,
+                SimDuration::from_millis(50),
+            );
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.events[0].at(), SimTime(5_000_000));
+        assert!(matches!(plan.events[1].kind, FaultKind::NodeReboot { .. }));
+        assert_eq!(plan.events[5].at_micros, 62_000_000);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_kind() {
+        let plan = FaultPlan::new()
+            .at(
+                SimTime(1),
+                FaultKind::GatewayDeath {
+                    gateway: "cs-gw".to_owned(),
+                },
+            )
+            .at(
+                SimTime(2),
+                FaultKind::DuplicateIp {
+                    node: "rogue".to_owned(),
+                    ip: "128.138.243.10".parse().unwrap(),
+                },
+            )
+            .at(
+                SimTime(3),
+                FaultKind::WrongMask {
+                    node: "badmask".to_owned(),
+                    prefix_len: 16,
+                },
+            )
+            .at(
+                SimTime(4),
+                FaultKind::ClockSkew {
+                    node: "bruno".to_owned(),
+                    skew_micros: -86_400_000_000,
+                },
+            )
+            .at(
+                SimTime(5),
+                FaultKind::Degrade {
+                    segment: "cs-net".to_owned(),
+                    extra_loss: 0.25,
+                    extra_latency_micros: 30_000,
+                },
+            );
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+    }
+
+    #[test]
+    fn stats_record_by_kind() {
+        let mut s = FaultStats::default();
+        s.record(&FaultKind::NodeCrash {
+            node: "x".to_owned(),
+        });
+        s.record(&FaultKind::Partition {
+            segment: "y".to_owned(),
+        });
+        s.record(&FaultKind::Partition {
+            segment: "y".to_owned(),
+        });
+        assert_eq!(s.node_crashes, 1);
+        assert_eq!(s.partitions, 2);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn trace_names_and_targets() {
+        let k = FaultKind::Heal {
+            segment: "cs-net".to_owned(),
+        };
+        assert_eq!(k.trace_name(), "fault.heal");
+        assert_eq!(k.target(), "cs-net");
+    }
+}

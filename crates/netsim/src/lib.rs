@@ -39,6 +39,7 @@ pub mod builder;
 pub mod campus;
 pub mod dns_server;
 pub mod engine;
+pub mod faults;
 pub mod node;
 pub mod process;
 pub mod routing;
@@ -50,6 +51,7 @@ pub mod uptime;
 
 pub use builder::{Topology, TopologyBuilder};
 pub use engine::{ProcCtx, SendError, Sim};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultStats};
 pub use node::{Behavior, Iface, Node, NodeKind, RipConfig, TracerouteBug};
 pub use process::{IfaceInfo, ProcHandle, Process};
 pub use segment::{CollisionModel, NodeId, Segment, SegmentCfg, SegmentId};

@@ -161,6 +161,12 @@ pub struct Node {
     pub dns: Option<DnsServerState>,
     /// Routes learned from RIP (used by promiscuous rebroadcasters).
     pub rip_learned: Vec<(Ipv4Addr, u32)>,
+    /// Signed time-of-day clock offset in microseconds (a
+    /// [`crate::faults::FaultKind::ClockSkew`] fault). Kernel interval
+    /// timers still fire on true simulated time; only what the node
+    /// *reads as the current time* — and therefore every timestamp it
+    /// attaches to emitted observations — is shifted.
+    pub clock_skew: i64,
     /// Packets queued awaiting ARP resolution: `(next_hop, iface,
     /// encoded-ip-packet, queued-at)`.
     pub(crate) arp_pending: Vec<(Ipv4Addr, usize, Vec<u8>, crate::time::SimTime)>,
@@ -181,6 +187,7 @@ impl Node {
             behavior: Behavior::default(),
             dns: None,
             rip_learned: Vec::new(),
+            clock_skew: 0,
             arp_pending: Vec::new(),
             procs: Vec::new(),
         }

@@ -128,6 +128,14 @@ pub struct Segment {
     recent: VecDeque<SimTime>,
     /// Traffic statistics.
     pub stats: SegmentStats,
+    /// True while a [`crate::faults::FaultKind::Partition`] is in effect:
+    /// the wire is cut and every offered frame is dropped.
+    pub partitioned: bool,
+    /// Additional independent loss probability from an active
+    /// [`crate::faults::FaultKind::Degrade`] window (0.0 when healthy).
+    pub fault_loss: f64,
+    /// Additional per-frame latency from an active degrade window.
+    pub fault_latency: SimDuration,
 }
 
 impl Segment {
@@ -138,6 +146,9 @@ impl Segment {
             attached: Vec::new(),
             recent: VecDeque::new(),
             stats: SegmentStats::default(),
+            partitioned: false,
+            fault_loss: 0.0,
+            fault_latency: SimDuration::ZERO,
         }
     }
 
@@ -157,12 +168,15 @@ impl Segment {
     }
 
     /// The drop probability for a frame sent at `now` (base loss plus
-    /// collision loss); also updates the contention window.
+    /// collision loss plus any active fault-degrade loss); also updates
+    /// the contention window.
     pub fn loss_probability(&mut self, now: SimTime) -> f64 {
         let concurrent = self.record_transmission(now);
         let collision = self.cfg.collisions.drop_probability(concurrent);
-        // Independent loss sources combine as 1 - (1-a)(1-b).
-        1.0 - (1.0 - self.cfg.base_loss) * (1.0 - collision)
+        // Independent loss sources combine as 1 - (1-a)(1-b). With
+        // fault_loss at its healthy 0.0 the extra factor is exactly 1.0,
+        // so fault-free arithmetic is bit-identical to the pre-fault code.
+        1.0 - (1.0 - self.cfg.base_loss) * (1.0 - collision) * (1.0 - self.fault_loss)
     }
 }
 

@@ -1,0 +1,114 @@
+//! Property tests over the fault-injection layer: an empty plan must be
+//! a strict no-op, and any plan must survive a JSON round trip so that
+//! committed scenario fixtures stay faithful.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use fremont_netsim::builder::TopologyBuilder;
+use fremont_netsim::time::SimDuration;
+use fremont_netsim::traffic::{Flow, TrafficModel};
+use fremont_netsim::{FaultEvent, FaultKind, FaultPlan};
+
+/// A small routed world with background traffic, the same shape the
+/// engine's own determinism tests use.
+fn world(seed: u64, with_empty_plan: bool) -> (u64, u64, u64, u64, String) {
+    let mut b = TopologyBuilder::new();
+    let bb = b.segment("bb", "10.9.0.0/24");
+    let lan = b.segment("lan", "10.9.1.0/24");
+    b.router("gw", &[(bb, 2), (lan, 1)]);
+    b.host("alpha", lan, 10);
+    b.host("beta", lan, 11);
+    if with_empty_plan {
+        b.faults(FaultPlan::default());
+    }
+    let (mut sim, topo) = b.build(seed);
+    let dst = sim.nodes[topo.hosts[1].0].ifaces[0].ip;
+    sim.set_traffic(TrafficModel::new(
+        vec![Flow {
+            src: topo.hosts[0],
+            dst,
+            weight: 1.0,
+        }],
+        SimDuration::from_secs(3),
+        1,
+    ));
+    sim.run_for(SimDuration::from_mins(10));
+    let drained = format!("{:?}", sim.drain_observations());
+    (
+        sim.stats.events_processed,
+        sim.stats.packets_originated,
+        sim.stats.arp_requests,
+        sim.fault_stats.total() + sim.fault_stats.unresolved + sim.fault_stats.frames_dropped,
+        drained,
+    )
+}
+
+/// Target names: a mix of real-looking and unknown names (the vendored
+/// proptest has no regex string strategy, so pick from a fixed pool).
+fn arb_name() -> impl Strategy<Value = String> {
+    (0usize..6).prop_map(|i| ["alpha", "beta", "gw", "lan", "bb", "ghost"][i].to_string())
+}
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    let name = arb_name;
+    prop_oneof![
+        name().prop_map(|node| FaultKind::NodeCrash { node }),
+        name().prop_map(|node| FaultKind::NodeReboot { node }),
+        name().prop_map(|gateway| FaultKind::GatewayDeath { gateway }),
+        name().prop_map(|segment| FaultKind::Partition { segment }),
+        name().prop_map(|segment| FaultKind::Heal { segment }),
+        (name(), any::<u32>(), any::<u64>()).prop_map(|(segment, loss, extra_latency_micros)| {
+            FaultKind::Degrade {
+                segment,
+                // A finite loss fraction in [0, 1] — the vendored
+                // proptest has no f64 range strategy.
+                extra_loss: f64::from(loss) / f64::from(u32::MAX),
+                extra_latency_micros,
+            }
+        }),
+        name().prop_map(|segment| FaultKind::ClearDegrade { segment }),
+        (name(), any::<u32>()).prop_map(|(node, ip)| FaultKind::DuplicateIp {
+            node,
+            ip: Ipv4Addr::from(ip),
+        }),
+        (name(), 0u8..33).prop_map(|(node, prefix_len)| FaultKind::WrongMask { node, prefix_len }),
+        (name(), any::<i64>())
+            .prop_map(|(node, skew_micros)| FaultKind::ClockSkew { node, skew_micros }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec((any::<u64>(), arb_kind()), 0..12).prop_map(|events| FaultPlan {
+        events: events
+            .into_iter()
+            .map(|(at_micros, kind)| FaultEvent { at_micros, kind })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Installing an empty `FaultPlan` changes nothing: same seed, same
+    /// event counts, same drained observation stream, zero fault stats.
+    #[test]
+    fn empty_plan_is_a_strict_noop(seed in any::<u64>()) {
+        let plain = world(seed, false);
+        let with_plan = world(seed, true);
+        prop_assert_eq!(with_plan.3, 0, "empty plan recorded fault activity");
+        prop_assert_eq!(plain, with_plan);
+    }
+
+    /// Any plan survives `to_json` → `from_json` unchanged, so committed
+    /// scenario fixtures reproduce the exact in-memory plan.
+    #[test]
+    fn plan_round_trips_through_json(plan in arb_plan()) {
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).map_err(|e| {
+            TestCaseError::fail(format!("fixture failed to parse: {e}"))
+        })?;
+        prop_assert_eq!(back, plan);
+    }
+}

@@ -15,30 +15,46 @@
 //! `--metrics-file` writes Prometheus text exposition at exit;
 //! `--trace-jsonl` writes the driver's span/event trace. Both are
 //! keyed to simulated time, so two runs with the same seed produce
-//! byte-identical output.
+//! byte-identical output. `--faults scenarios/<name>.json` loads a
+//! committed fault-plan fixture and injects it into the campus run:
+//!
+//! ```sh
+//! cargo run --release --example campus_survey -- --hours 48 \
+//!     --faults scenarios/gateway_death.json
+//! ```
 
 use std::path::PathBuf;
 
 use fremont::core::Fremont;
 use fremont::journal::{JournalAccess, SubnetQuery};
 use fremont::netsim::campus::CampusConfig;
+use fremont::netsim::faults::FaultPlan;
 use fremont::netsim::time::SimDuration;
 use fremont::telemetry::Telemetry;
 
 fn main() {
     let mut metrics_file: Option<PathBuf> = None;
     let mut trace_file: Option<PathBuf> = None;
+    let mut faults_file: Option<PathBuf> = None;
     let mut hours: u64 = 24;
+    let mut seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-file" => metrics_file = args.next().map(PathBuf::from),
             "--trace-jsonl" => trace_file = args.next().map(PathBuf::from),
+            "--faults" => faults_file = args.next().map(PathBuf::from),
             "--hours" => {
                 hours = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("error: --hours needs an integer argument");
                     std::process::exit(2);
                 })
+            }
+            "--seed" => {
+                seed = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --seed needs an integer argument");
+                    std::process::exit(2);
+                }))
             }
             other => {
                 eprintln!("error: unknown argument {other}");
@@ -48,7 +64,25 @@ fn main() {
     }
     let record = metrics_file.is_some() || trace_file.is_some();
 
-    let cfg = CampusConfig::default();
+    let mut cfg = CampusConfig::default();
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    if let Some(path) = &faults_file {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        cfg.fault_plan = FaultPlan::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: bad fault plan in {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!(
+            "Loaded fault plan from {}: {} scheduled event(s).",
+            path.display(),
+            cfg.fault_plan.len()
+        );
+    }
     println!(
         "Generating campus: {} assigned subnets, {} connected, DNS coverage {:.0}%...",
         cfg.subnets_assigned,
@@ -125,6 +159,25 @@ fn main() {
         println!("  {line}");
     }
     println!("  ...");
+
+    // Only fault runs print the fault ledger — the no-fault output is a
+    // byte-stable baseline that determinism checks diff against.
+    if faults_file.is_some() {
+        let f = system.driver.sim.fault_stats;
+        println!(
+            "\nFaults injected: {} applied ({} crashes, {} reboots, {} gateway deaths, \
+             {} partitions, {} heals, {} degrades), {} unresolved, {} frames dropped.",
+            f.total(),
+            f.node_crashes,
+            f.node_reboots,
+            f.gateway_deaths,
+            f.partitions,
+            f.heals,
+            f.degrades,
+            f.unresolved,
+            f.frames_dropped
+        );
+    }
 
     if let Some(rec) = recorder {
         system.driver.publish_metrics();
