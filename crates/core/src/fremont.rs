@@ -62,6 +62,41 @@ impl Fremont {
         self.driver.sim.now().to_jtime()
     }
 
+    /// Explores until discovery is *structurally quiescent*: the
+    /// journal's interface/gateway/subnet counts have not changed for
+    /// `idle` of simulated time (checked in `idle/4` slices), or `max`
+    /// has elapsed. Returns the simulated instant at which the stable
+    /// window began, or `None` if the run hit `max` still churning.
+    ///
+    /// "Quiescent" here means the topology census has converged —
+    /// modules keep re-verifying on their Table 4 intervals, but they
+    /// stop finding new objects. The chaos suite and the model checker
+    /// use this to know a baseline has settled before judging findings.
+    pub fn explore_until_quiescent(
+        &mut self,
+        max: SimDuration,
+        idle: SimDuration,
+    ) -> std::io::Result<Option<fremont_netsim::time::SimTime>> {
+        let slice = SimDuration(idle.as_micros().div_ceil(4).max(1));
+        let mut stable_since = self.driver.sim.now();
+        let mut last = self.stats();
+        let deadline = self.driver.sim.now() + max;
+        while self.driver.sim.now() < deadline {
+            let remaining = deadline.since(self.driver.sim.now());
+            self.explore(if slice < remaining { slice } else { remaining })?;
+            let cur = self.stats();
+            let changed = (cur.interfaces, cur.gateways, cur.subnets)
+                != (last.interfaces, last.gateways, last.subnets);
+            if changed {
+                stable_since = self.driver.sim.now();
+                last = cur;
+            } else if self.driver.sim.now().since(stable_since) >= idle {
+                return Ok(Some(stable_since));
+            }
+        }
+        Ok(None)
+    }
+
     /// Runs all Table 8 analyses at the current time.
     pub fn problems(&self, stale_after: u64, recent: u64) -> ProblemReport {
         let now = self.now();

@@ -34,6 +34,7 @@ pub mod analysis;
 pub mod correlate;
 pub mod driver;
 pub mod fremont;
+pub mod invariants;
 pub mod load;
 pub mod manager;
 pub mod present;

@@ -47,6 +47,22 @@ impl JournalSnapshot {
         j
     }
 
+    /// A stable FNV-1a fingerprint of the snapshot's canonical JSON
+    /// encoding. [`Journal::to_snapshot`] is canonical — records are
+    /// emitted in id order regardless of shard layout — so two journals
+    /// holding the same facts fingerprint identically even when built
+    /// with different shard counts (property-tested in the store). The
+    /// model checker uses this to recognize fault interleavings that
+    /// leave the Journal in the same state.
+    pub fn fingerprint(&self) -> u64 {
+        match serde_json::to_vec(self) {
+            Ok(body) => fremont_net::fnv1a_64(&body),
+            // Plain-data snapshots always serialize; keep a stable
+            // sentinel rather than a panic path if that ever changes.
+            Err(_) => fremont_net::fnv1a_64(b"fremont-journal:unserializable"),
+        }
+    }
+
     /// Writes the snapshot as JSON, atomically and durably: the temp
     /// file is fsync'd before the rename, and the parent directory is
     /// fsync'd after it, so a crash at any point leaves either the old

@@ -1037,6 +1037,14 @@ impl Journal {
         }
     }
 
+    /// A stable fingerprint of the journal's canonical snapshot — see
+    /// [`crate::snapshot::JournalSnapshot::fingerprint`]. Independent of
+    /// shard layout and observation arrival batching; two journals that
+    /// hold the same facts fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        self.to_snapshot().fingerprint()
+    }
+
     /// Rebuilds a journal (including every index) from a snapshot, with the
     /// default shard count.
     pub fn from_snapshot(snap: &crate::snapshot::JournalSnapshot) -> Journal {

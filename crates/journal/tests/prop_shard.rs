@@ -151,6 +151,23 @@ proptest! {
         assert_equivalent(&reference, &sharded);
     }
 
+    /// The canonical-snapshot fingerprint the model checker prunes on
+    /// is shard-count independent: the same observations land on the
+    /// same fingerprint however the interface records are partitioned.
+    #[test]
+    fn fingerprint_is_shard_count_independent(
+        obs in proptest::collection::vec(arb_obs(), 0..120),
+        shards in prop_oneof![Just(2usize), Just(4), Just(7), Just(8)],
+    ) {
+        let mut reference = Journal::with_shards(1);
+        let mut sharded = Journal::with_shards(shards);
+        for (i, o) in obs.iter().enumerate() {
+            reference.apply(o, JTime(i as u64));
+            sharded.apply(o, JTime(i as u64));
+        }
+        prop_assert_eq!(reference.fingerprint(), sharded.fingerprint());
+    }
+
     /// Deleting the same records from both stores keeps them equal —
     /// index removal and gateway back-pointer cleanup agree per shard.
     #[test]

@@ -1,0 +1,38 @@
+//! # fremont-mc
+//!
+//! A bounded model checker over fault-schedule interleavings.
+//!
+//! The paper's central claim (§4–5, Table 8) is that Fremont's
+//! discovered inconsistencies reliably surface real network problems.
+//! The chaos suite samples that claim with eleven hand-written
+//! scenarios; this crate *searches* it: every combination of fault
+//! templates and injection times — up to a configurable depth and
+//! concurrency bound — runs on the same-seed deterministic micro
+//! campus, and the analysis layer's findings are checked against the
+//! differential invariant catalogue in `fremont_core::invariants`.
+//!
+//! Architecture:
+//!
+//! * [`space`] — the canonical (bucket × template) schedule space and
+//!   its iterative-deepening DFS enumeration.
+//! * [`runner`] — executes schedules to a fixed horizon, prunes
+//!   converged interleavings by fingerprinting the canonical Journal
+//!   snapshot plus simulator ground state at bucket boundaries, checks
+//!   invariants on every interleaving (pruned ones included — their
+//!   evaluation carries over, their fault plan is their own), and
+//!   shrinks any violation to a 1-minimal `scenarios/*.json` fixture.
+//!
+//! The `fremont-mc` binary wraps this with `--budget`, `--deep`,
+//! `--seed`, `--json`, `--assert-quiet` (a deliberately broken
+//! invariant proving the counterexample pipeline), and `--replay`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod runner;
+pub mod space;
+
+pub use runner::{
+    replay, Counterexample, CounterexampleFixture, McConfig, McError, McReport, ModelChecker,
+};
+pub use space::{Schedule, Space};

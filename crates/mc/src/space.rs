@@ -1,0 +1,356 @@
+//! The bounded fault-schedule space the checker enumerates.
+//!
+//! A schedule is a set of *(time bucket, fault template)* pairs: each
+//! template is one concrete [`FaultKind`] aimed at a fixed target on
+//! the micro campus, and each bucket is a fixed simulated instant.
+//! Bounds: every template fires at most once per schedule, at most
+//! [`Space::max_per_bucket`] faults share a bucket, and a schedule has
+//! at most `depth` events. Enumeration is iterative-deepening DFS in a
+//! canonical order (ascending pair index, which is bucket-major), so
+//! no permutation of the same event set is ever visited twice and
+//! every prefix of a schedule is itself a canonical prefix.
+
+use std::net::Ipv4Addr;
+
+use fremont_netsim::faults::{FaultKind, FaultPlan};
+use fremont_netsim::time::SimTime;
+
+/// Whether a template's target names a node or a segment (used to
+/// validate the space against the live topology before checking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetNs {
+    /// The target must be a node name.
+    Node,
+    /// The target must be a segment name.
+    Segment,
+}
+
+/// One concrete fault aimed at a fixed target.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Short human label, used in schedule descriptions.
+    pub label: &'static str,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pair {
+    bucket: usize,
+    template: usize,
+}
+
+/// A schedule: indices into the space's canonical pair list, strictly
+/// ascending.
+pub type Schedule = Vec<u16>;
+
+/// The enumerable space: buckets × templates with bounds.
+#[derive(Debug, Clone)]
+pub struct Space {
+    /// The simulated instants faults may fire at. Bucket 0 is the
+    /// "before first sweep" slot reserved for the wrong-mask fault.
+    pub buckets: Vec<SimTime>,
+    templates: Vec<Template>,
+    pairs: Vec<Pair>,
+    /// Maximum concurrent faults per bucket.
+    pub max_per_bucket: usize,
+}
+
+impl Space {
+    /// The space over [`CampusConfig::micro`]'s topology: ten fault
+    /// templates over three mid-run buckets (2 h, 5 h, 8 h), plus a
+    /// wrong-mask template pinned to a pre-sweep bucket — the Subnet
+    /// Mask module only queries interfaces that still lack a mask
+    /// observation, so a late wrong mask is undiscoverable by design.
+    ///
+    /// [`CampusConfig::micro`]: fremont_netsim::campus::CampusConfig::micro
+    pub fn micro() -> Self {
+        let templates = vec![
+            Template {
+                label: "crash(piper)",
+                kind: FaultKind::NodeCrash {
+                    node: "piper".to_owned(),
+                },
+            },
+            Template {
+                label: "reboot(piper)",
+                kind: FaultKind::NodeReboot {
+                    node: "piper".to_owned(),
+                },
+            },
+            Template {
+                label: "gwdeath(cs-gw)",
+                kind: FaultKind::GatewayDeath {
+                    gateway: "cs-gw".to_owned(),
+                },
+            },
+            Template {
+                label: "partition(cs-net)",
+                kind: FaultKind::Partition {
+                    segment: "cs-net".to_owned(),
+                },
+            },
+            Template {
+                label: "heal(cs-net)",
+                kind: FaultKind::Heal {
+                    segment: "cs-net".to_owned(),
+                },
+            },
+            Template {
+                label: "degrade(cs-net)",
+                kind: FaultKind::Degrade {
+                    segment: "cs-net".to_owned(),
+                    extra_loss: 0.3,
+                    extra_latency_micros: 25_000,
+                },
+            },
+            Template {
+                label: "cleardegrade(cs-net)",
+                kind: FaultKind::ClearDegrade {
+                    segment: "cs-net".to_owned(),
+                },
+            },
+            Template {
+                label: "dupip(bruno=128.138.243.11)",
+                kind: FaultKind::DuplicateIp {
+                    node: "bruno".to_owned(),
+                    ip: Ipv4Addr::new(128, 138, 243, 11),
+                },
+            },
+            Template {
+                label: "skew(bruno,+48h)",
+                kind: FaultKind::ClockSkew {
+                    node: "bruno".to_owned(),
+                    skew_micros: 48 * 3_600_000_000,
+                },
+            },
+            Template {
+                label: "skew(spot,+48h)",
+                kind: FaultKind::ClockSkew {
+                    node: "spot".to_owned(),
+                    skew_micros: 48 * 3_600_000_000,
+                },
+            },
+            // Bucket-0 only (see doc comment).
+            Template {
+                label: "wrongmask(anchor,/16)",
+                kind: FaultKind::WrongMask {
+                    node: "anchor".to_owned(),
+                    prefix_len: 16,
+                },
+            },
+        ];
+        let wrong_mask = templates.len() - 1;
+        let buckets = vec![
+            SimTime(1_000_000),
+            SimTime::from_hours(2),
+            SimTime::from_hours(5),
+            SimTime::from_hours(8),
+        ];
+        let mut pairs = vec![Pair {
+            bucket: 0,
+            template: wrong_mask,
+        }];
+        for bucket in 1..buckets.len() {
+            for template in 0..wrong_mask {
+                pairs.push(Pair { bucket, template });
+            }
+        }
+        Space {
+            buckets,
+            templates,
+            pairs,
+            max_per_bucket: 2,
+        }
+    }
+
+    /// Number of (bucket, template) pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Every template's target with its namespace, for validation
+    /// against the live topology.
+    pub fn targets(&self) -> Vec<(&str, TargetNs)> {
+        self.templates
+            .iter()
+            .map(|t| {
+                let ns = match &t.kind {
+                    FaultKind::Partition { .. }
+                    | FaultKind::Heal { .. }
+                    | FaultKind::Degrade { .. }
+                    | FaultKind::ClearDegrade { .. } => TargetNs::Segment,
+                    _ => TargetNs::Node,
+                };
+                (t.kind.target(), ns)
+            })
+            .collect()
+    }
+
+    /// The concrete [`FaultPlan`] for a schedule.
+    pub fn plan_for(&self, schedule: &[u16]) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for &p in schedule {
+            let pair = self.pairs[usize::from(p)];
+            plan = plan.at(
+                self.buckets[pair.bucket],
+                self.templates[pair.template].kind.clone(),
+            );
+        }
+        plan
+    }
+
+    /// Human description of a schedule, e.g.
+    /// `crash(piper)@7200s + heal(cs-net)@28800s`.
+    pub fn describe(&self, schedule: &[u16]) -> String {
+        if schedule.is_empty() {
+            return "(empty)".to_owned();
+        }
+        let parts: Vec<String> = schedule
+            .iter()
+            .map(|&p| {
+                let pair = self.pairs[usize::from(p)];
+                format!(
+                    "{}@{}s",
+                    self.templates[pair.template].label,
+                    self.buckets[pair.bucket].as_secs()
+                )
+            })
+            .collect();
+        parts.join(" + ")
+    }
+
+    /// The pairs of `schedule` whose bucket index is `<= bucket`: the
+    /// canonical prefix whose effects a state fingerprint taken at that
+    /// bucket's boundary reflects.
+    pub fn prefix_at(&self, schedule: &[u16], bucket: usize) -> Schedule {
+        schedule
+            .iter()
+            .copied()
+            .filter(|&p| self.pairs[usize::from(p)].bucket <= bucket)
+            .collect()
+    }
+
+    /// Whether `p` may extend `cur` (template unused, bucket not full).
+    fn compatible(&self, cur: &[u16], p: u16) -> bool {
+        let pair = self.pairs[usize::from(p)];
+        let mut in_bucket = 1;
+        for &q in cur {
+            let qp = self.pairs[usize::from(q)];
+            if qp.template == pair.template {
+                return false;
+            }
+            if qp.bucket == pair.bucket {
+                in_bucket += 1;
+            }
+        }
+        in_bucket <= self.max_per_bucket
+    }
+
+    /// Iterative-deepening DFS over all schedules of size `1..=depth`,
+    /// shallowest first. `visit` returns `false` to stop the whole
+    /// enumeration (budget exhausted).
+    pub fn enumerate(&self, depth: usize, visit: &mut dyn FnMut(&[u16]) -> bool) {
+        for want in 1..=depth {
+            let mut cur: Schedule = Vec::with_capacity(want);
+            if !self.dfs(want, 0, &mut cur, visit) {
+                return;
+            }
+        }
+    }
+
+    fn dfs(
+        &self,
+        want: usize,
+        start: usize,
+        cur: &mut Schedule,
+        visit: &mut dyn FnMut(&[u16]) -> bool,
+    ) -> bool {
+        if cur.len() == want {
+            return visit(cur);
+        }
+        // Not enough pairs left to reach `want`: cut the branch.
+        if self.pairs.len() - start < want - cur.len() {
+            return true;
+        }
+        for p in start..self.pairs.len() {
+            let id = p as u16;
+            if !self.compatible(cur, id) {
+                continue;
+            }
+            cur.push(id);
+            let keep_going = self.dfs(want, p + 1, cur, visit);
+            cur.pop();
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_enumeration_has_no_duplicates() {
+        let space = Space::micro();
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0u64;
+        space.enumerate(2, &mut |s| {
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "not canonical: {s:?}");
+            assert!(seen.insert(s.to_vec()), "duplicate: {s:?}");
+            count += 1;
+            true
+        });
+        // 31 pairs; depth 1 = 31; depth 2 = C(31,2) minus same-template
+        // bucket pairs (10 templates × C(3,2) = 30) = 435.
+        assert_eq!(count, 31 + 435);
+    }
+
+    #[test]
+    fn bucket_concurrency_bound_is_enforced() {
+        let space = Space::micro();
+        space.enumerate(3, &mut |s| {
+            let plan = space.plan_for(s);
+            for t in &space.buckets {
+                let n = plan.events.iter().filter(|e| e.at() == *t).count();
+                assert!(n <= space.max_per_bucket, "{}", space.describe(s));
+            }
+            true
+        });
+    }
+
+    #[test]
+    fn enumeration_stops_on_false() {
+        let space = Space::micro();
+        let mut count = 0;
+        space.enumerate(3, &mut |_| {
+            count += 1;
+            count < 10
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn prefix_at_splits_by_bucket() {
+        let space = Space::micro();
+        // Pair 0 is bucket 0; pair 1 is bucket 1; last pair is bucket 3.
+        let last = (space.pair_count() - 1) as u16;
+        let s = vec![0, 1, last];
+        assert_eq!(space.prefix_at(&s, 0), vec![0]);
+        assert_eq!(space.prefix_at(&s, 1), vec![0, 1]);
+        assert_eq!(space.prefix_at(&s, 3), s);
+    }
+
+    #[test]
+    fn plans_fire_in_bucket_order() {
+        let space = Space::micro();
+        space.enumerate(2, &mut |s| {
+            let plan = space.plan_for(s);
+            assert!(plan.events.windows(2).all(|w| w[0].at() <= w[1].at()));
+            true
+        });
+    }
+}

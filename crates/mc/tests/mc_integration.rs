@@ -1,0 +1,128 @@
+//! End-to-end checks of the model checker: a clean bounded run with
+//! pruning, the deliberately broken invariant's counterexample
+//! pipeline (minimize, emit, replay), byte-stable telemetry, and the
+//! no-op-prefix premise the pruning abstraction rests on.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fremont_core::fremont::Fremont;
+use fremont_core::invariants::RunEvaluation;
+use fremont_mc::runner::{CONTROL_WINDOW, HORIZON, TIGHT_WINDOW};
+use fremont_mc::{replay, McConfig, ModelChecker};
+use fremont_netsim::campus::CampusConfig;
+use fremont_netsim::faults::{FaultKind, FaultPlan};
+use fremont_netsim::time::{SimDuration, SimTime};
+use fremont_telemetry::Telemetry;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fremont-mc-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn bounded_run_is_clean_and_prunes() {
+    // Budget 120 reaches the depth-2 region where no-op prefixes
+    // (heal without a partition, clear-degrade without a degrade)
+    // alias the baseline and pruning kicks in.
+    let report = ModelChecker::new(McConfig::new(120)).run().expect("run");
+    assert_eq!(report.violations, 0, "{:?}", report.counterexamples);
+    assert_eq!(report.states_explored, 120);
+    assert!(report.states_pruned > 0, "no schedule was pruned");
+    assert_eq!(
+        report.schedules_checked,
+        report.states_explored + report.states_pruned
+    );
+    assert!(report.distinct_states > 0);
+    // Discovery must settle well before the first mid-run bucket (2 h).
+    assert!(report.quiescent_at_secs < 7_200);
+    assert!(report.budget_exhausted);
+}
+
+#[test]
+fn assert_quiet_yields_minimal_replayable_counterexample() {
+    let dir = temp_dir("aq");
+    let mut cfg = McConfig::new(40);
+    cfg.assert_quiet = true;
+    cfg.emit_dir = Some(dir.clone());
+    let report = ModelChecker::new(cfg).run().expect("run");
+    assert!(report.violations > 0, "broken invariant found no violation");
+
+    let ce = report
+        .counterexamples
+        .iter()
+        .find(|c| c.fixture.invariant == "assert-quiet")
+        .expect("assert-quiet counterexample");
+    // Any single effective fault violates assert-quiet, so the greedy
+    // minimizer must reach a 1-event plan.
+    assert_eq!(ce.fixture.plan.len(), 1, "not minimal: {:?}", ce.fixture);
+    let path = ce.path.as_ref().expect("fixture path");
+    assert!(path.exists());
+
+    let (fixture, violations) = replay(path).expect("replay");
+    assert_eq!(fixture.invariant, "assert-quiet");
+    assert!(!violations.is_empty(), "fixture did not reproduce");
+    assert!(violations.iter().all(|v| v.invariant == "assert-quiet"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_exposition_is_byte_stable() {
+    let expose = || {
+        let (telemetry, recorder) = Telemetry::recording();
+        let mut cfg = McConfig::new(20);
+        cfg.telemetry = telemetry;
+        ModelChecker::new(cfg).run().expect("run");
+        recorder.expose()
+    };
+    let first = expose();
+    let second = expose();
+    assert_eq!(
+        first, second,
+        "same seed and budget must expose identically"
+    );
+    for name in [
+        "fremont_mc_states_explored_total",
+        "fremont_mc_states_pruned_total",
+        "fremont_mc_violations_total",
+    ] {
+        assert!(first.contains(name), "missing `{name}` in:\n{first}");
+    }
+}
+
+/// The pruning abstraction treats a `Heal` with no prior partition and
+/// a `ClearDegrade` with no prior degrade as no-ops whose prefixes
+/// alias the empty schedule. Verify that premise at the report level:
+/// the full-horizon evaluation of a no-op-only plan is identical to
+/// the baseline's.
+#[test]
+fn noop_fault_plans_match_the_baseline_evaluation() {
+    let run = |plan: FaultPlan| {
+        let mut cfg = CampusConfig::micro(1993);
+        cfg.fault_plan = plan;
+        let mut f = Fremont::over_campus(&cfg);
+        f.driver
+            .set_max_module_runtime(Some(SimDuration::from_hours(1)));
+        let end = SimTime::ZERO + HORIZON;
+        f.explore(end.since(f.driver.sim.now())).expect("explore");
+        let control = f.problems(CONTROL_WINDOW.0, CONTROL_WINDOW.1);
+        let tight = f.problems(TIGHT_WINDOW.0, TIGHT_WINDOW.1);
+        RunEvaluation::new(&control, &tight)
+    };
+    let baseline = run(FaultPlan::new());
+    let noop = run(FaultPlan::new()
+        .at(
+            SimTime::from_hours(2),
+            FaultKind::Heal {
+                segment: "cs-net".into(),
+            },
+        )
+        .at(
+            SimTime::from_hours(5),
+            FaultKind::ClearDegrade {
+                segment: "cs-net".into(),
+            },
+        ));
+    assert_eq!(baseline, noop);
+}

@@ -46,6 +46,7 @@ pub mod checksum;
 pub mod dns;
 pub mod error;
 pub mod ethernet;
+pub mod fnv;
 pub mod icmp;
 pub mod ip;
 pub mod ipv4;
@@ -61,6 +62,7 @@ pub use arp::{ArpOp, ArpPacket};
 pub use dns::{DnsMessage, DnsName, DnsQuestion, DnsRecord, RData, Rcode, RecordType};
 pub use error::{AddrError, ParseError};
 pub use ethernet::{EtherType, EthernetFrame};
+pub use fnv::{fnv1a_64, Fnv1a};
 pub use icmp::{IcmpMessage, UnreachableCode};
 pub use ip::{AddrClass, IpRange};
 pub use ipv4::{IpProtocol, Ipv4Packet};

@@ -112,6 +112,37 @@ impl CampusConfig {
             ..Default::default()
         }
     }
+
+    /// The small campus with the injected problem inventory switched
+    /// off: no Table 8 faults, no ghost DNS entries. Chaos tests start
+    /// from this quiet baseline so that every finding is attributable
+    /// to an explicitly scheduled [`FaultPlan`]. Ordinary availability
+    /// churn stays on — scenarios that need a fully static population
+    /// (like the model checker) pin `availability` themselves.
+    pub fn quiet_small(seed: u64) -> Self {
+        CampusConfig {
+            seed,
+            inject_faults: false,
+            cs_ghost_entries: 0,
+            ..CampusConfig::small()
+        }
+    }
+
+    /// The micro campus the model checker enumerates over: two subnets
+    /// (backbone + departmental), one gateway, six fully available CS
+    /// hosts, quiet baseline. Small enough that a single 16-hour
+    /// discovery run takes milliseconds, so thousands of fault
+    /// interleavings are affordable, and free of availability churn so
+    /// the differential invariants see a stable baseline.
+    pub fn micro(seed: u64) -> Self {
+        CampusConfig {
+            subnets_assigned: 2,
+            subnets_connected: 2,
+            cs_hosts: 6,
+            availability: 1.0,
+            ..CampusConfig::quiet_small(seed)
+        }
+    }
 }
 
 /// The Table 8 fault inventory, by node name.

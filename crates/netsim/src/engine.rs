@@ -367,6 +367,57 @@ impl Sim {
             .map(SegmentId)
     }
 
+    /// Names of every node, in slab order. Schedule enumerators use
+    /// this to validate fault targets against the live topology.
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    /// Names of every segment, in slab order.
+    pub fn segment_names(&self) -> Vec<&str> {
+        self.segments.iter().map(|s| s.cfg.name.as_str()).collect()
+    }
+
+    /// Primary IPv4 address of every node with an interface, in slab
+    /// order. Taken before fault injection this is the pristine address
+    /// map — a `DuplicateIp` fault rewrites the live interface address.
+    pub fn node_ips(&self) -> Vec<(&str, Ipv4Addr)> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.ifaces.is_empty())
+            .map(|n| (n.name.as_str(), n.ifaces[0].ip))
+            .collect()
+    }
+
+    /// A stable FNV-1a fingerprint of the simulator's *ground* state:
+    /// per-node name, up/down, clock skew, and interface addressing,
+    /// plus per-segment partition/degradation status. Deliberately an
+    /// abstraction — transient state (ARP caches, the event queue, RNG
+    /// position) and bookkeeping (fault-stats counters) are omitted,
+    /// which is what lets the model checker identify interleavings that
+    /// converge to the same network condition (e.g. a `Heal` with no
+    /// prior partition leaves the ground state untouched). See
+    /// DESIGN.md §5e for the soundness argument.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = fremont_net::Fnv1a::new();
+        for n in &self.nodes {
+            h.write(n.name.as_bytes());
+            h.write(&[u8::from(n.up)]);
+            h.write_u64(n.clock_skew as u64);
+            for i in &n.ifaces {
+                h.write(&i.ip.octets());
+                h.write_u64(u64::from(i.mask.bits()));
+            }
+        }
+        for s in &self.segments {
+            h.write(s.cfg.name.as_bytes());
+            h.write(&[u8::from(s.partitioned)]);
+            h.write_u64(s.fault_loss.to_bits());
+            h.write_u64(s.fault_latency.as_micros());
+        }
+        h.finish()
+    }
+
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------

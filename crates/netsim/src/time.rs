@@ -41,6 +41,12 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// An instant `h` whole hours after the simulation epoch. Chaos
+    /// scenarios and the model checker schedule faults on hour marks.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000_000)
+    }
 }
 
 impl SimDuration {

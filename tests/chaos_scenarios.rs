@@ -16,23 +16,9 @@ use fremont::netsim::campus::CampusConfig;
 use fremont::netsim::faults::{FaultKind, FaultPlan};
 use fremont::netsim::time::{SimDuration, SimTime};
 
-/// A campus with none of the statically injected Table 8 faults, so each
-/// scenario proves exactly the problem its plan injects.
-fn quiet_campus(seed: u64) -> CampusConfig {
-    let mut cfg = CampusConfig::small();
-    cfg.seed = seed;
-    cfg.inject_faults = false;
-    cfg.cs_ghost_entries = 0;
-    cfg
-}
-
-fn hours(h: u64) -> SimTime {
-    SimTime(h * 3_600_000_000)
-}
-
 #[test]
 fn control_run_with_empty_plan_reports_nothing() {
-    let mut cfg = quiet_campus(99);
+    let mut cfg = CampusConfig::quiet_small(99);
     cfg.fault_plan = FaultPlan::default(); // explicit: the no-fault control
     let mut system = Fremont::over_campus(&cfg);
     system.explore(SimDuration::from_hours(12)).unwrap();
@@ -53,11 +39,11 @@ fn control_run_with_empty_plan_reports_nothing() {
 
 #[test]
 fn injected_duplicate_ip_is_rediscovered() {
-    let mut cfg = quiet_campus(42);
+    let mut cfg = CampusConfig::quiet_small(42);
     // "piper" never churns and participates in CS traffic; two hours in,
     // it is cloned onto bruno's address (128.138.243.10).
     cfg.fault_plan = FaultPlan::new().at(
-        hours(2),
+        SimTime::from_hours(2),
         FaultKind::DuplicateIp {
             node: "piper".to_owned(),
             ip: "128.138.243.10".parse().unwrap(),
@@ -77,11 +63,11 @@ fn injected_duplicate_ip_is_rediscovered() {
 
 #[test]
 fn dead_gateway_becomes_a_stale_route() {
-    let mut cfg = quiet_campus(7);
+    let mut cfg = CampusConfig::quiet_small(7);
     // Six healthy hours to discover and live-verify the CS gateway, then
     // it dies and stays dead.
     cfg.fault_plan = FaultPlan::new().at(
-        hours(6),
+        SimTime::from_hours(6),
         FaultKind::GatewayDeath {
             gateway: "cs-gw".to_owned(),
         },
@@ -107,13 +93,13 @@ fn dead_gateway_becomes_a_stale_route() {
 
 #[test]
 fn partitioned_segment_goes_silent() {
-    let mut cfg = quiet_campus(5);
+    let mut cfg = CampusConfig::quiet_small(5);
     // Eighteen healthy hours verify the well-populated departmental
     // wire, then its cable is cut for good: every interface there stops
     // verifying at once, which is exactly the whole-subnet-silence
     // signature the detector looks for.
     cfg.fault_plan = FaultPlan::new().at(
-        hours(18),
+        SimTime::from_hours(18),
         FaultKind::Partition {
             segment: "cs-net".to_owned(),
         },
@@ -142,11 +128,14 @@ fn partitioned_segment_goes_silent() {
 
 #[test]
 fn healed_partition_recovers_and_is_not_silent() {
-    let mut cfg = quiet_campus(5);
+    let mut cfg = CampusConfig::quiet_small(5);
     // Same cut, but the cable is spliced six hours later: the local
     // sweeps re-verify the wire well inside the reporting window.
-    cfg.fault_plan =
-        FaultPlan::new().partition_between("cs-net", hours(18), SimDuration::from_hours(6));
+    cfg.fault_plan = FaultPlan::new().partition_between(
+        "cs-net",
+        SimTime::from_hours(18),
+        SimDuration::from_hours(6),
+    );
     let mut system = Fremont::over_campus(&cfg);
     system
         .driver
@@ -169,7 +158,7 @@ fn healed_partition_recovers_and_is_not_silent() {
 
 #[test]
 fn injected_wrong_mask_is_rediscovered() {
-    let mut cfg = quiet_campus(42);
+    let mut cfg = CampusConfig::quiet_small(42);
     // Fires one simulated second in — before the first SubnetMasks
     // sweep, which only ever queries interfaces the Journal is missing
     // a mask for (a host whose mask goes wrong *after* it answered once
@@ -196,11 +185,11 @@ fn injected_wrong_mask_is_rediscovered() {
 
 #[test]
 fn clock_skewed_reporter_poisons_the_journal_and_is_flagged() {
-    let mut cfg = quiet_campus(42);
+    let mut cfg = CampusConfig::quiet_small(42);
     // The explorer host itself runs two days fast: everything it reports
     // from hour six onward carries future timestamps.
     cfg.fault_plan = FaultPlan::new().at(
-        hours(6),
+        SimTime::from_hours(6),
         FaultKind::ClockSkew {
             node: "bruno".to_owned(),
             skew_micros: 48 * 3_600_000_000,
@@ -223,12 +212,12 @@ fn clock_skewed_reporter_poisons_the_journal_and_is_flagged() {
 
 #[test]
 fn crashed_host_goes_stale() {
-    let mut cfg = quiet_campus(42);
+    let mut cfg = CampusConfig::quiet_small(42);
     // "piper" is DNS-registered, never churns, and crashes for good four
     // hours in: past the reporting horizon it is an address no longer in
     // use that was once seen alive.
     cfg.fault_plan = FaultPlan::new().at(
-        hours(4),
+        SimTime::from_hours(4),
         FaultKind::NodeCrash {
             node: "piper".to_owned(),
         },
@@ -252,10 +241,11 @@ fn crashed_host_goes_stale() {
 
 #[test]
 fn rebooted_host_recovers_and_is_not_stale() {
-    let mut cfg = quiet_campus(42);
+    let mut cfg = CampusConfig::quiet_small(42);
     // Same crash, but the machine is rebooted two hours later (cold
     // boot, empty ARP cache) — re-verification must clear it.
-    cfg.fault_plan = FaultPlan::new().crash_between("piper", hours(4), SimDuration::from_hours(2));
+    cfg.fault_plan =
+        FaultPlan::new().crash_between("piper", SimTime::from_hours(4), SimDuration::from_hours(2));
     let mut system = Fremont::over_campus(&cfg);
     system.explore(SimDuration::from_hours(36)).unwrap();
     let stats = system.driver.sim.fault_stats;
@@ -273,11 +263,11 @@ fn rebooted_host_recovers_and_is_not_stale() {
 
 #[test]
 fn degraded_segment_slows_discovery_but_never_wedges_it() {
-    let mut cfg = quiet_campus(42);
+    let mut cfg = CampusConfig::quiet_small(42);
     // A six-hour window of heavy loss and added latency on the CS wire.
     cfg.fault_plan = FaultPlan::new().degrade_window(
         "cs-net",
-        hours(2),
+        SimTime::from_hours(2),
         SimDuration::from_hours(6),
         0.30,
         SimDuration::from_millis(25),
@@ -310,22 +300,22 @@ fn degraded_segment_slows_discovery_but_never_wedges_it() {
 
 #[test]
 fn unknown_fault_targets_are_counted_not_fatal() {
-    let mut cfg = quiet_campus(42);
+    let mut cfg = CampusConfig::quiet_small(42);
     cfg.fault_plan = FaultPlan::new()
         .at(
-            hours(1),
+            SimTime::from_hours(1),
             FaultKind::NodeCrash {
                 node: "no-such-host".to_owned(),
             },
         )
         .at(
-            hours(1),
+            SimTime::from_hours(1),
             FaultKind::Partition {
                 segment: "no-such-wire".to_owned(),
             },
         )
         .at(
-            hours(1),
+            SimTime::from_hours(1),
             FaultKind::ClockSkew {
                 node: "still-missing".to_owned(),
                 skew_micros: 1,
