@@ -1,11 +1,14 @@
 //! Criterion benchmarks for the in-tree static analyzer: workspace
-//! source loading and the full five-rule analysis pass, measured over
-//! the real workspace so the CI `--deny` gate's cost stays visible.
+//! source loading, the cross-crate call-graph build, the two newest
+//! rules in isolation, and the full seven-rule analysis pass — all
+//! measured over the real workspace so the CI `--deny` gate's cost
+//! stays visible.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use std::path::Path;
 
-use fremont_lint::{analyze, find_workspace_root, Config, Workspace};
+use fremont_lint::callgraph::CallGraph;
+use fremont_lint::{analyze, find_workspace_root, rules, Config, Workspace};
 
 fn bench_lint(c: &mut Criterion) {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
@@ -20,6 +23,26 @@ fn bench_lint(c: &mut Criterion) {
         b.iter(|| {
             let ws = Workspace::load(&root).expect("workspace sources readable");
             black_box(ws.files.len())
+        })
+    });
+    g.bench_function("callgraph_build", |b| {
+        b.iter(|| {
+            let cg = CallGraph::build(&ws);
+            black_box(cg.fns.len())
+        })
+    });
+    let cg = CallGraph::build(&ws);
+    let lock = rules::lock_order::check(&ws, &cfg, &cg);
+    g.bench_function("rule_shard_lock_order", |b| {
+        b.iter(|| {
+            let report = rules::shard_lock_order::check(&ws, &cfg, &cg, &lock.reach_locks);
+            black_box(report.violations.len())
+        })
+    });
+    g.bench_function("rule_metric_registry", |b| {
+        b.iter(|| {
+            let (violations, _) = rules::metric_registry::check(&ws, &cfg, false);
+            black_box(violations.len())
         })
     });
     g.bench_function("analyze_full", |b| {

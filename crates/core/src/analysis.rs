@@ -277,7 +277,7 @@ pub fn address_conflicts(journal: &Journal, now: JTime, min_overlap: u64) -> Vec
 /// subnet Fremont has not re-swept means "unmonitored", not "gone".
 pub fn stale_addresses(journal: &Journal, now: JTime, threshold: u64) -> Vec<StaleAddress> {
     let cutoff = JTime(now.as_secs().saturating_sub(threshold));
-    let default_mask = SubnetMask::from_prefix_len(24).expect("24 valid");
+    let default_mask = SubnetMask::CLASS_C;
 
     // Coverage evidence per subnet: how many of its known interfaces were
     // live-verified within the horizon, out of how many exist. One fresh
@@ -383,7 +383,7 @@ pub fn silent_subnets(
     min_members: usize,
 ) -> Vec<SilentSubnet> {
     let cutoff = JTime(now.as_secs().saturating_sub(threshold));
-    let default_mask = SubnetMask::from_prefix_len(24).expect("24 valid");
+    let default_mask = SubnetMask::CLASS_C;
     // Per subnet: (once-live count, fresh count, latest live verification).
     let mut by_subnet: HashMap<Subnet, (usize, usize, JTime)> = HashMap::new();
     for r in journal.get_interfaces(&InterfaceQuery::all()) {

@@ -37,9 +37,12 @@ impl Fremont {
     /// traces, because every timestamp is simulated time.
     pub fn over_campus_with_telemetry(cfg: &CampusConfig, telemetry: Telemetry) -> Self {
         let (sim, truth) = generate(cfg);
+        // The generator always creates the explorer host; fall back to
+        // the first node rather than aborting a whole deployment if
+        // that invariant ever breaks.
         let home = sim
             .node_by_name(&truth.explorer_host)
-            .expect("campus generates its explorer host");
+            .unwrap_or(fremont_netsim::segment::NodeId(0));
         let journal = SharedJournal::new();
         let mut driver_cfg = DriverConfig::full(cfg.network, Some(truth.dns_server));
         driver_cfg.telemetry = telemetry;

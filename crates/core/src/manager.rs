@@ -168,7 +168,9 @@ impl DiscoveryManager {
     /// move: double it toward the maximum — the paper's "will not shorten
     /// the interval" rule, generalized to back off.
     pub fn record_run(&mut self, source: Source, outcome: RunOutcome) {
-        let info = info_for(source).expect("registry covers sources");
+        let Some(info) = info_for(source) else {
+            return;
+        };
         let Some(s) = self.schedules.iter_mut().find(|s| s.source == source) else {
             return;
         };

@@ -198,7 +198,7 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<parking_lot::Mutex<Vec<TcpStream>>> = Arc::default();
+        let conns = Arc::new(parking_lot::Mutex::labeled("journal.conns", Vec::new()));
         let j = journal.clone();
         let s = stop.clone();
         let snap = snapshot_path.clone();
@@ -221,7 +221,9 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
                         let t2 = tel.clone();
                         std::thread::spawn(move || {
                             t2.counter_add("fremont_journal_connections_total", "", 1);
-                            let _ = serve_connection(stream, &j2, snap2.as_deref(), &t2);
+                            if serve_connection(stream, &j2, snap2.as_deref(), &t2).is_err() {
+                                t2.counter_add("fremont_journal_connection_errors_total", "", 1);
+                            }
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -262,6 +264,7 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         // clients observe the stop as a closed connection.
         let live: Vec<TcpStream> = std::mem::take(&mut *self.conns.lock());
         for stream in live {
+            // fremont-lint: allow(ignored-io) -- TcpStream::shutdown severs a socket, nothing flushes
             let _ = stream.shutdown(Shutdown::Both);
         }
         // Termination persistence: self-managed backends flush
@@ -271,7 +274,13 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
             _ => {
                 if let Some(path) = &self.snapshot_path {
                     if let Ok(snap) = self.journal.capture_snapshot() {
-                        let _ = snap.save(path);
+                        if snap.save(path).is_err() {
+                            self.telemetry.counter_add(
+                                "fremont_journal_snapshot_errors_total",
+                                "",
+                                1,
+                            );
+                        }
                     }
                 }
             }

@@ -108,8 +108,10 @@ impl Journal {
     pub fn with_shards(shards: usize) -> Self {
         let n = shards.max(1);
         Journal {
-            meta: RwLock::new(Meta::new()),
-            shards: (0..n).map(|_| RwLock::new(Shard::new())).collect(),
+            meta: RwLock::labeled("journal.meta", Meta::new()),
+            shards: (0..n)
+                .map(|i| RwLock::labeled_ranked("journal.shard", i, Shard::new()))
+                .collect(),
             shard_counters: (0..n).map(|_| ShardCounters::default()).collect(),
             counters: StoreCounters::default(),
         }

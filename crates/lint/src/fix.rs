@@ -1,0 +1,165 @@
+//! `--fix`: delete stale `// fremont-lint: allow(...)` annotations.
+//!
+//! An unused suppression is a finding (`suppression` rule, warning
+//! severity): the violation it silenced is gone and the annotation now
+//! only hides future regressions. The fix is mechanical — remove the
+//! annotation — so the CLI can do it. Dry-run is the default; `--apply`
+//! rewrites files in place.
+//!
+//! Only the annotation is removed: when it sits on its own line the
+//! whole line goes; when it trails code, the line is truncated at the
+//! comment and trailing whitespace is trimmed.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::{Analysis, Violation};
+
+/// The comment marker that introduces a suppression annotation.
+const MARKER: &str = "// fremont-lint:";
+
+/// One planned deletion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line holding the stale annotation.
+    pub line: u32,
+}
+
+/// Plans fixes from an analysis: every unused-suppression warning
+/// becomes a deletion. Malformed suppressions (missing reason, unknown
+/// rule) are *not* auto-fixed — they need a human to decide whether the
+/// annotation should exist at all.
+pub fn plan(analysis: &Analysis) -> Vec<Fix> {
+    analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "suppression" && v.message.starts_with("unused suppression"))
+        .map(|v: &Violation| Fix {
+            path: v.path.clone(),
+            line: v.line,
+        })
+        .collect()
+}
+
+/// Removes the annotations on `lines` (1-based) from `content`.
+/// Comment-only lines are deleted outright; trailing annotations are
+/// truncated at the marker.
+pub fn fix_content(content: &str, lines: &[u32]) -> String {
+    let mut out = String::with_capacity(content.len());
+    for (idx, line) in content.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        if lines.contains(&lineno) {
+            if let Some(at) = line.find(MARKER) {
+                let head = line[..at].trim_end();
+                if head.is_empty() {
+                    continue; // annotation-only line: drop it entirely
+                }
+                out.push_str(head);
+                out.push('\n');
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Applies `fixes` under `root`. With `dry_run` nothing is written;
+/// either way the return value lists `path:line` for each planned
+/// deletion, grouped by file in path order.
+pub fn apply(root: &Path, fixes: &[Fix], dry_run: bool) -> std::io::Result<Vec<String>> {
+    let mut by_file: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for f in fixes {
+        by_file.entry(f.path.as_str()).or_default().push(f.line);
+    }
+    let mut described = Vec::new();
+    for (path, lines) in &by_file {
+        for l in lines {
+            described.push(format!("{path}:{l}"));
+        }
+        if !dry_run {
+            let full = root.join(path);
+            let content = std::fs::read_to_string(&full)?;
+            std::fs::write(&full, fix_content(&content, lines))?;
+        }
+    }
+    Ok(described)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_only_lines_are_deleted() {
+        let src = "fn a() {}\n// fremont-lint: allow(panic) -- old\nfn b() {}\n";
+        assert_eq!(fix_content(src, &[2]), "fn a() {}\nfn b() {}\n");
+    }
+
+    #[test]
+    fn trailing_annotations_are_truncated() {
+        let src = "let x = 1; // fremont-lint: allow(determinism) -- seed\n";
+        assert_eq!(fix_content(src, &[1]), "let x = 1;\n");
+    }
+
+    #[test]
+    fn untargeted_lines_survive() {
+        let src = "// fremont-lint: allow(panic) -- live\nx.unwrap();\n";
+        assert_eq!(fix_content(src, &[9]), src);
+    }
+
+    #[test]
+    fn marker_free_target_lines_survive() {
+        // Defensive: a stale plan pointing at a rewritten line must not
+        // delete code.
+        let src = "fn a() {}\n";
+        assert_eq!(fix_content(src, &[1]), src);
+    }
+
+    #[test]
+    fn plan_selects_only_unused_suppressions() {
+        use crate::{Severity, Violation};
+        let analysis = Analysis {
+            violations: vec![
+                Violation {
+                    rule: "suppression",
+                    path: "a.rs".into(),
+                    line: 3,
+                    col: 1,
+                    severity: Severity::Warning,
+                    message: "unused suppression for `panic` — the finding it silenced is gone; remove it".into(),
+                },
+                Violation {
+                    rule: "suppression",
+                    path: "a.rs".into(),
+                    line: 7,
+                    col: 1,
+                    severity: Severity::Error,
+                    message: "suppression has no reason".into(),
+                },
+                Violation {
+                    rule: "panic",
+                    path: "b.rs".into(),
+                    line: 1,
+                    col: 1,
+                    severity: Severity::Error,
+                    message: "`.unwrap()`".into(),
+                },
+            ],
+            suppressed: Vec::new(),
+            suppressions_used: 0,
+            suppressions_total: 2,
+            files: 2,
+        };
+        assert_eq!(
+            plan(&analysis),
+            vec![Fix {
+                path: "a.rs".into(),
+                line: 3
+            }]
+        );
+    }
+}

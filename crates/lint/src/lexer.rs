@@ -29,13 +29,24 @@ pub enum TokKind {
     Comment,
 }
 
-/// One lexed token with its source position (1-based line/column).
+/// One lexed token with its source position (1-based line/column) and
+/// byte span (`start..end` into the source, half-open).
+///
+/// Spans tile the file: every byte of the source is inside exactly one
+/// token's span or inter-token whitespace — the conformance sweep in
+/// `tests/lexer_conformance.rs` asserts this over every `.rs` file in
+/// the repository. `text` equals the spanned bytes except for raw
+/// identifiers, whose span includes the `r#` prefix that `text` strips.
 #[derive(Debug, Clone)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
     pub col: u32,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
 }
 
 impl Tok {
@@ -163,6 +174,8 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     text: String::from_utf8_lossy(&c.src[name_start..c.pos]).into_owned(),
                     line,
                     col,
+                    start,
+                    end: c.pos,
                 });
             }
             _ if b.is_ascii_digit() => {
@@ -184,6 +197,8 @@ fn push(out: &mut Vec<Tok>, kind: TokKind, c: &Cursor<'_>, start: usize, line: u
         text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
         line,
         col,
+        start,
+        end: c.pos,
     });
 }
 
@@ -509,5 +524,34 @@ mod tests {
     fn c_string_literals() {
         let ids = idents("f(c\"const char\", cr#\"raw c\"#)");
         assert_eq!(ids, vec!["f"]);
+    }
+
+    #[test]
+    fn byte_spans_tile_the_source() {
+        let src = "fn f<'a>(x: &'a str) -> u8 { r#match + 1.0e-5 /* c */ + b'x' }";
+        let toks = lex(src);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert!(t.start >= pos, "overlap at {t:?}");
+            assert!(
+                src[pos..t.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "non-whitespace gap before {t:?}"
+            );
+            let spanned = &src[t.start..t.end];
+            assert!(
+                spanned == t.text || spanned == format!("r#{}", t.text),
+                "span text mismatch: {spanned:?} vs {:?}",
+                t.text
+            );
+            pos = t.end;
+        }
+        assert!(src[pos..].bytes().all(|b| b.is_ascii_whitespace()));
+    }
+
+    #[test]
+    fn raw_identifier_span_includes_the_prefix() {
+        let toks = lex("r#fn + g");
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!((toks[0].start, toks[0].end), (0, 4));
     }
 }

@@ -7,26 +7,40 @@
 //! properties no unit test can guard — one `SystemTime::now()` added to
 //! an explorer breaks replay everywhere — so this crate walks every
 //! `.rs` file in the workspace with its own token-level lexer
-//! ([`lexer`]) and enforces five rules:
+//! ([`lexer`]), builds a cross-crate symbol table and call graph
+//! ([`callgraph`]), and enforces seven rules:
 //!
-//! | rule          | invariant |
-//! |---------------|-----------|
-//! | `determinism` | no wall-clock / unseeded RNG outside the clock module |
-//! | `panic`       | no `unwrap`/`expect`/`panic!` in hot/IO paths |
-//! | `ignored-io`  | no `let _ =` discarding a flush/sync result |
-//! | `lock-order`  | no lock cycles; no lock held across file IO |
-//! | `wal-schema`  | serialized record types are append-only vs a golden |
+//! | rule               | invariant |
+//! |--------------------|-----------|
+//! | `determinism`      | no wall-clock / unseeded RNG outside the clock module |
+//! | `panic`            | no `unwrap`/`expect`/`panic!` reachable from hot/IO paths |
+//! | `ignored-io`       | no `let _ =` discarding a (transitive) flush/sync result |
+//! | `lock-order`       | no lock cycles; no lock held across file IO |
+//! | `shard-lock-order` | the Journal store's meta-gate-then-ascending-shards discipline |
+//! | `metric-registry`  | `fremont_*` metric names are append-only vs a golden |
+//! | `wal-schema`       | serialized record types are append-only vs a golden |
+//!
+//! `panic`, `ignored-io`, and the lock rules follow call chains across
+//! crate boundaries (resolved through `use` imports and qualified
+//! paths, with a one-definition precision guard per resolved crate).
+//! The acquired-while-held lock edges are exported to
+//! `crates/lint/lock-order.golden`, the same DAG the runtime lock
+//! sanitizer (`parking_lot`'s `tracked` feature) asserts on every test
+//! run — static pass and dynamic sanitizer cross-validate one golden.
 //!
 //! Findings can be suppressed inline with
 //! `// fremont-lint: allow(<rule>) -- <reason>` on the offending line or
 //! the line above; suppressions are counted against a workspace budget
 //! and unused or reasonless ones are themselves violations.
 
+pub mod callgraph;
+pub mod fix;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod suppress;
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -34,11 +48,13 @@ use lexer::{lex, Tok, TokKind};
 use suppress::Suppression;
 
 /// All rule names, in reporting order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 7] = [
     "determinism",
     "panic",
     "ignored-io",
     "lock-order",
+    "shard-lock-order",
+    "metric-registry",
     "wal-schema",
 ];
 
@@ -90,6 +106,21 @@ pub struct Config {
     pub schema_scope: Vec<String>,
     /// Workspace-relative path of the committed schema golden.
     pub golden_path: String,
+    /// Path prefixes the `shard-lock-order` rule covers (the sharded
+    /// Journal store).
+    pub shard_lock_scope: Vec<String>,
+    /// Workspace-relative path of the committed metric-name golden.
+    pub metrics_golden_path: String,
+    /// Path prefixes excluded from metric collection (the lint crate's
+    /// own fixtures and matchers).
+    pub metric_exclude: Vec<String>,
+    /// Workspace-relative path of the committed lock-order DAG golden
+    /// (also baked into the runtime sanitizer).
+    pub lock_golden_path: String,
+    /// Receiver-label → sanitizer-label map: lock fields whose runtime
+    /// constructors carry a `labeled(…)` name. Only edges between
+    /// mapped labels are exported to the lock-order golden.
+    pub lock_labels: Vec<(String, String)>,
     /// Maximum `fremont-lint: allow` annotations tolerated workspace-wide.
     pub max_suppressions: usize,
 }
@@ -115,6 +146,16 @@ impl Config {
                 "crates/netsim/src/faults.rs".to_owned(),
             ],
             golden_path: "crates/lint/wal-schema.golden".to_owned(),
+            shard_lock_scope: vec!["crates/journal/src/store/".to_owned()],
+            metrics_golden_path: "crates/lint/metrics.golden".to_owned(),
+            metric_exclude: vec!["crates/lint/".to_owned()],
+            lock_golden_path: "crates/lint/lock-order.golden".to_owned(),
+            lock_labels: vec![
+                ("meta".to_owned(), "journal.meta".to_owned()),
+                ("shards".to_owned(), "journal.shard".to_owned()),
+                ("wal".to_owned(), "storage.wal".to_owned()),
+                ("conns".to_owned(), "journal.conns".to_owned()),
+            ],
             max_suppressions: 15,
         }
     }
@@ -131,6 +172,9 @@ pub struct SourceFile {
     /// Line ranges (inclusive) belonging to `#[cfg(test)]` / `#[test]`
     /// items; rules skip them.
     test_spans: Vec<(u32, u32)>,
+    /// True when the whole file is test-only code: its out-of-line
+    /// `mod` declaration in the parent module is `#[cfg(test)]`-gated.
+    all_test: bool,
 }
 
 impl SourceFile {
@@ -149,12 +193,13 @@ impl SourceFile {
             code,
             suppressions,
             test_spans,
+            all_test: false,
         }
     }
 
     /// True when `line` is inside test-only code.
     pub fn in_test(&self, line: u32) -> bool {
-        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+        self.all_test || self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
     }
 
     /// True when the path starts with any of the given prefixes.
@@ -268,17 +313,68 @@ impl Workspace {
             let content = std::fs::read_to_string(root.join(&rel))?;
             files.push(SourceFile::new(rel, &content));
         }
+        mark_cfg_test_modules(&mut files);
         Ok(Workspace { files })
     }
 
     /// Builds a workspace from in-memory (path, content) pairs — the
     /// unit-test entry point.
     pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
-        Workspace {
-            files: sources
-                .iter()
-                .map(|(p, c)| SourceFile::new((*p).to_owned(), c))
-                .collect(),
+        let mut files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, c)| SourceFile::new((*p).to_owned(), c))
+            .collect();
+        mark_cfg_test_modules(&mut files);
+        Workspace { files }
+    }
+}
+
+/// The directory an out-of-line `mod foo;` in `path` resolves against:
+/// `lib.rs`/`main.rs`/`mod.rs` own their directory, `bar.rs` owns `bar/`.
+fn parent_module_dir(path: &str) -> String {
+    let (dir, file) = match path.rsplit_once('/') {
+        Some((d, f)) => (format!("{d}/"), f),
+        None => (String::new(), path),
+    };
+    if matches!(file, "lib.rs" | "main.rs" | "mod.rs") {
+        dir
+    } else {
+        format!("{dir}{}/", file.trim_end_matches(".rs"))
+    }
+}
+
+/// Marks files test-only when their out-of-line `mod` declaration is
+/// `#[cfg(test)]`-gated (e.g. `#[cfg(test)] mod testutil;`), iterating
+/// so modules of test-only modules are covered too. `#[cfg(test)]` only
+/// applies across files through this declaration, which per-file
+/// `test_spans` cannot see.
+fn mark_cfg_test_modules(files: &mut [SourceFile]) {
+    loop {
+        let mut test_files: BTreeSet<String> = BTreeSet::new();
+        for f in files.iter() {
+            for (i, t) in f.code.iter().enumerate() {
+                if !(t.is_ident("mod")
+                    && f.code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+                    && f.code.get(i + 2).is_some_and(|n| n.is_punct(';'))
+                    && f.in_test(t.line))
+                {
+                    continue;
+                }
+                let dir = parent_module_dir(&f.path);
+                let name = &f.code[i + 1].text;
+                test_files.insert(format!("{dir}{name}.rs"));
+                test_files.insert(format!("{dir}{name}/mod.rs"));
+            }
+        }
+        let mut changed = false;
+        for f in files.iter_mut() {
+            if !f.all_test && test_files.contains(&f.path) {
+                f.all_test = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
         }
     }
 }
@@ -307,6 +403,10 @@ fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()
 pub struct Analysis {
     /// Findings that survived suppression, sorted by position.
     pub violations: Vec<Violation>,
+    /// Findings silenced by a matching suppression, sorted by position
+    /// (surfaced in `--json` output so tooling can audit what the
+    /// annotations are hiding).
+    pub suppressed: Vec<Violation>,
     /// Suppression annotations that matched a finding.
     pub suppressions_used: usize,
     /// All suppression annotations seen.
@@ -333,23 +433,148 @@ impl Analysis {
     }
 }
 
+/// The three committed goldens, re-rendered. Returned from [`analyze`]
+/// when `write_golden` is set, for the caller to persist.
+pub struct Goldens {
+    /// New content for `Config::golden_path` (WAL record fingerprints).
+    pub wal_schema: String,
+    /// New content for `Config::metrics_golden_path` (metric names).
+    pub metrics: String,
+    /// New content for `Config::lock_golden_path` (the acquired-while-
+    /// held DAG the runtime sanitizer also asserts).
+    pub lock_order: String,
+}
+
+/// Maps a receiver label (`meta`, `shards[idx]`) to its sanitizer label
+/// via `Config::lock_labels`, ignoring any index expression.
+fn sanitizer_label(cfg: &Config, label: &str) -> Option<String> {
+    let base = label.split('[').next().unwrap_or(label);
+    cfg.lock_labels
+        .iter()
+        .find(|(k, _)| k == base)
+        .map(|(_, v)| v.clone())
+}
+
+/// Renders the lock-order DAG golden: one `held -> acquired` line per
+/// edge, sorted, over sanitizer labels.
+fn render_lock_golden(edges: &BTreeSet<(String, String)>) -> String {
+    let mut out = String::from(
+        "# fremont-lint lock-order golden: the acquired-while-held DAG over sanitizer\n\
+         # labels. The tracked-lock runtime asserts exactly these edges at runtime.\n\
+         # Regenerate: cargo run -p fremont-lint -- --write-golden\n",
+    );
+    for (a, b) in edges {
+        out.push_str(a);
+        out.push_str(" -> ");
+        out.push_str(b);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a lock-order golden back into its edge set.
+pub fn parse_lock_golden(text: &str) -> BTreeSet<(String, String)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            l.split_once("->")
+                .map(|(a, b)| (a.trim().to_owned(), b.trim().to_owned()))
+        })
+        .collect()
+}
+
 /// Runs every rule over the workspace and applies suppressions.
 ///
-/// `write_golden` regenerates the WAL-schema golden instead of checking
-/// against it (the returned string is the new golden content for the
-/// caller to persist).
-pub fn analyze(ws: &Workspace, cfg: &Config, write_golden: bool) -> (Analysis, Option<String>) {
+/// `write_golden` regenerates the three committed goldens (WAL schema,
+/// metric registry, lock-order DAG) instead of checking against them;
+/// the returned [`Goldens`] holds the new contents for the caller to
+/// persist.
+pub fn analyze(ws: &Workspace, cfg: &Config, write_golden: bool) -> (Analysis, Option<Goldens>) {
+    let cg = callgraph::CallGraph::build(ws);
     let mut raw: Vec<Violation> = Vec::new();
     raw.extend(rules::determinism::check(ws, cfg));
-    raw.extend(rules::panics::check(ws, cfg));
-    raw.extend(rules::ignored_io::check(ws, cfg));
-    raw.extend(rules::lock_order::check(ws, cfg));
-    let (schema_violations, new_golden) = rules::schema::check(ws, cfg, write_golden);
+    raw.extend(rules::panics::check(ws, cfg, &cg));
+    raw.extend(rules::ignored_io::check(ws, cfg, &cg));
+    let lock = rules::lock_order::check(ws, cfg, &cg);
+    raw.extend(lock.violations);
+    let shard = rules::shard_lock_order::check(ws, cfg, &cg, &lock.reach_locks);
+    raw.extend(shard.violations);
+    let (metric_violations, metrics_golden) = rules::metric_registry::check(ws, cfg, write_golden);
+    raw.extend(metric_violations);
+    let (schema_violations, wal_golden) = rules::schema::check(ws, cfg, write_golden);
     raw.extend(schema_violations);
+
+    // The acquired-while-held DAG over sanitizer labels — the contract
+    // shared with the runtime lock sanitizer. Only edges between
+    // runtime-labeled locks are exported.
+    let mut sanitizer_edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for (a, b) in lock.edges.iter().chain(shard.edges.iter()) {
+        if let (Some(sa), Some(sb)) = (sanitizer_label(cfg, a), sanitizer_label(cfg, b)) {
+            if sa != sb {
+                sanitizer_edges.insert((sa, sb));
+            }
+        }
+    }
+    let goldens = if write_golden {
+        Some(Goldens {
+            wal_schema: wal_golden.unwrap_or_default(),
+            metrics: metrics_golden.unwrap_or_default(),
+            lock_order: render_lock_golden(&sanitizer_edges),
+        })
+    } else {
+        match std::fs::read_to_string(cfg.root.join(&cfg.lock_golden_path)) {
+            Err(_) => raw.push(Violation {
+                rule: "lock-order",
+                path: cfg.lock_golden_path.clone(),
+                line: 0,
+                col: 0,
+                severity: Severity::Error,
+                message: format!(
+                    "lock-order golden `{}` is missing — the runtime sanitizer asserts \
+                     this DAG; generate it with --write-golden",
+                    cfg.lock_golden_path
+                ),
+            }),
+            Ok(text) => {
+                let committed = parse_lock_golden(&text);
+                for (a, b) in sanitizer_edges.difference(&committed) {
+                    raw.push(Violation {
+                        rule: "lock-order",
+                        path: cfg.lock_golden_path.clone(),
+                        line: 0,
+                        col: 0,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "new lock-order edge `{a} -> {b}` is absent from the committed \
+                             golden — review the acquisition order, then refresh with \
+                             --write-golden so the sanitizer learns it"
+                        ),
+                    });
+                }
+                for (a, b) in committed.difference(&sanitizer_edges) {
+                    raw.push(Violation {
+                        rule: "lock-order",
+                        path: cfg.lock_golden_path.clone(),
+                        line: 0,
+                        col: 0,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "stale lock-order edge `{a} -> {b}` — no acquisition site \
+                             produces it; refresh with --write-golden so the static pass \
+                             and the sanitizer agree"
+                        ),
+                    });
+                }
+            }
+        }
+        None
+    };
 
     // Apply suppressions: an annotation covers its own line and the
     // next line, for its listed rules only.
     let mut violations = Vec::new();
+    let mut suppressed_out = Vec::new();
     for v in raw {
         let suppressed = ws
             .files
@@ -364,7 +589,9 @@ pub fn analyze(ws: &Workspace, cfg: &Config, write_golden: bool) -> (Analysis, O
                 })
             })
             .unwrap_or(false);
-        if !suppressed {
+        if suppressed {
+            suppressed_out.push(v);
+        } else {
             violations.push(v);
         }
     }
@@ -416,17 +643,20 @@ pub fn analyze(ws: &Workspace, cfg: &Config, write_golden: bool) -> (Analysis, O
         });
     }
 
-    violations.sort_by(|a, b| {
+    let by_pos = |a: &Violation, b: &Violation| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
+    };
+    violations.sort_by(by_pos);
+    suppressed_out.sort_by(by_pos);
     (
         Analysis {
             violations,
+            suppressed: suppressed_out,
             suppressions_used: used,
             suppressions_total: total,
             files: ws.files.len(),
         },
-        new_golden,
+        goldens,
     )
 }
 
@@ -444,5 +674,51 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         if !dir.pop() {
             return None;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_declarations_mark_the_whole_child_file() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/explorers/src/lib.rs",
+                "#[cfg(test)]\nmod testutil;\nmod ping;\n",
+            ),
+            ("crates/explorers/src/testutil.rs", "pub fn topo() {}\n"),
+            ("crates/explorers/src/ping.rs", "pub fn run() {}\n"),
+        ]);
+        let by_path = |p: &str| ws.files.iter().find(|f| f.path == p).unwrap();
+        assert!(by_path("crates/explorers/src/testutil.rs").in_test(1));
+        assert!(!by_path("crates/explorers/src/ping.rs").in_test(1));
+    }
+
+    #[test]
+    fn test_only_marking_is_transitive_through_mod_rs() {
+        let ws = Workspace::from_sources(&[
+            ("src/lib.rs", "#[cfg(test)]\nmod harness;\n"),
+            ("src/harness/mod.rs", "mod fixtures;\n"),
+            ("src/harness/fixtures.rs", "pub fn all() {}\n"),
+        ]);
+        let fixtures = ws
+            .files
+            .iter()
+            .find(|f| f.path == "src/harness/fixtures.rs")
+            .unwrap();
+        assert!(fixtures.in_test(1));
+    }
+
+    #[test]
+    fn module_dirs_resolve_like_rustc() {
+        assert_eq!(parent_module_dir("crates/x/src/lib.rs"), "crates/x/src/");
+        assert_eq!(
+            parent_module_dir("crates/x/src/a/mod.rs"),
+            "crates/x/src/a/"
+        );
+        assert_eq!(parent_module_dir("crates/x/src/a.rs"), "crates/x/src/a/");
+        assert_eq!(parent_module_dir("main.rs"), "");
     }
 }

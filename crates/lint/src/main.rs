@@ -3,22 +3,26 @@
 //! ```text
 //! cargo run -p fremont-lint                 # human report, exit 1 on errors
 //! cargo run -p fremont-lint -- --deny       # warnings are fatal too (CI)
-//! cargo run -p fremont-lint -- --json       # machine-readable report
-//! cargo run -p fremont-lint -- --write-golden   # regenerate the WAL-schema golden
+//! cargo run -p fremont-lint -- --json       # machine-readable report (schema 2)
+//! cargo run -p fremont-lint -- --write-golden   # regenerate all three goldens
+//! cargo run -p fremont-lint -- --fix        # preview stale-suppression deletions
+//! cargo run -p fremont-lint -- --fix --apply    # delete them in place
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fremont_lint::{analyze, find_workspace_root, report, Config, Workspace};
+use fremont_lint::{analyze, find_workspace_root, fix, report, Config, Workspace};
 
 const USAGE: &str = "usage: fremont-lint [--json] [--deny] [--write-golden] \
-                     [--root <dir>] [--max-suppressions <n>]";
+                     [--fix [--apply]] [--root <dir>] [--max-suppressions <n>]";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut deny = false;
     let mut write_golden = false;
+    let mut do_fix = false;
+    let mut apply = false;
     let mut root: Option<PathBuf> = None;
     let mut max_suppressions: Option<usize> = None;
 
@@ -28,6 +32,8 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--deny" => deny = true,
             "--write-golden" => write_golden = true,
+            "--fix" => do_fix = true,
+            "--apply" => apply = true,
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage_error("--root needs a directory"),
@@ -75,15 +81,49 @@ fn main() -> ExitCode {
         cfg.max_suppressions = n;
     }
 
-    let (analysis, new_golden) = analyze(&ws, &cfg, write_golden);
-    if let Some(content) = new_golden {
-        let path = cfg.root.join(&cfg.golden_path);
-        if let Err(e) = std::fs::write(&path, content) {
-            eprintln!("fremont-lint: failed to write {}: {e}", path.display());
-            return ExitCode::from(2);
+    if apply && !do_fix {
+        return usage_error("--apply only makes sense with --fix");
+    }
+
+    let (analysis, goldens) = analyze(&ws, &cfg, write_golden);
+    if let Some(g) = goldens {
+        for (rel, content) in [
+            (&cfg.golden_path, &g.wal_schema),
+            (&cfg.metrics_golden_path, &g.metrics),
+            (&cfg.lock_golden_path, &g.lock_order),
+        ] {
+            let path = cfg.root.join(rel);
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("fremont-lint: failed to write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("fremont-lint: wrote {rel}");
         }
-        println!("fremont-lint: wrote {}", cfg.golden_path);
         return ExitCode::SUCCESS;
+    }
+
+    if do_fix {
+        let fixes = fix::plan(&analysis);
+        if fixes.is_empty() {
+            println!("fremont-lint: no stale suppressions to fix");
+            return ExitCode::SUCCESS;
+        }
+        match fix::apply(&cfg.root, &fixes, !apply) {
+            Ok(lines) => {
+                let verb = if apply { "removed" } else { "would remove" };
+                for l in &lines {
+                    println!("fremont-lint: {verb} stale suppression at {l}");
+                }
+                if !apply {
+                    println!("fremont-lint: dry run — pass --apply to rewrite files");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("fremont-lint: --fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let out = if json {

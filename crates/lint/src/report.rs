@@ -2,23 +2,38 @@
 //!
 //! The JSON emitter is hand-rolled (this crate is dependency-free by
 //! design — it must build even when the analyzer itself has found the
-//! workspace wanting) and emits a stable shape:
+//! workspace wanting) and emits a stable, versioned shape — schema 2:
 //!
 //! ```json
 //! {
+//!   "schema": 2,
 //!   "files": 110,
 //!   "violations": [
-//!     {"rule": "panic", "path": "crates/storage/src/wal.rs",
-//!      "line": 265, "col": 60, "severity": "error", "message": "…"}
+//!     {"rule": "panic", "severity": "error",
+//!      "path": "crates/storage/src/wal.rs",
+//!      "span": {"line": 265, "col": 60},
+//!      "suppressed": false, "message": "…"}
 //!   ],
 //!   "errors": 1, "warnings": 0,
 //!   "suppressions": {"used": 8, "total": 8, "budget": 15}
 //! }
 //! ```
+//!
+//! Contract, byte-for-byte pinned by `tests/golden.rs`:
+//! - `schema` bumps on any key change; consumers must check it.
+//! - `violations` merges active and suppressed findings, sorted by
+//!   (path, line, col, rule); `suppressed: true` marks findings an
+//!   inline `allow(...)` silenced. `errors`/`warnings` count only
+//!   active findings — a suppressed error does not fail the build.
+//! - `span.line`/`span.col` are 1-based; 0 means file-level (the
+//!   whole-golden findings) or unknown.
 
 use std::fmt::Write as _;
 
-use crate::{Analysis, Severity};
+use crate::{Analysis, Severity, Violation};
+
+/// The current `--json` schema version.
+pub const JSON_SCHEMA: u32 = 2;
 
 /// `file:line:col: severity[rule]: message` lines plus a summary —
 /// the shape editors and CI log scrapers already understand.
@@ -48,28 +63,45 @@ pub fn human(a: &Analysis, budget: usize) -> String {
     s
 }
 
-/// Machine-readable report (see module docs for the shape).
+/// Machine-readable report (see module docs for the schema contract).
 pub fn json(a: &Analysis, budget: usize) -> String {
+    // Merge active and suppressed findings into one position-sorted
+    // stream; both inputs are already sorted.
+    let mut merged: Vec<(&Violation, bool)> = a
+        .violations
+        .iter()
+        .map(|v| (v, false))
+        .chain(a.suppressed.iter().map(|v| (v, true)))
+        .collect();
+    merged.sort_by(|(x, _), (y, _)| {
+        (x.path.as_str(), x.line, x.col, x.rule).cmp(&(y.path.as_str(), y.line, y.col, y.rule))
+    });
+
     let mut s = String::from("{\n");
-    let _ = write!(s, "  \"files\": {},\n  \"violations\": [", a.files);
-    for (i, v) in a.violations.iter().enumerate() {
+    let _ = write!(
+        s,
+        "  \"schema\": {JSON_SCHEMA},\n  \"files\": {},\n  \"violations\": [",
+        a.files
+    );
+    for (i, (v, suppressed)) in merged.iter().enumerate() {
         let sep = if i == 0 { "\n" } else { ",\n" };
         let _ = write!(
             s,
-            "{sep}    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
-             \"severity\": {}, \"message\": {}}}",
+            "{sep}    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \
+             \"span\": {{\"line\": {}, \"col\": {}}}, \"suppressed\": {suppressed}, \
+             \"message\": {}}}",
             quote(v.rule),
-            quote(&v.path),
-            v.line,
-            v.col,
             quote(match v.severity {
                 Severity::Warning => "warning",
                 Severity::Error => "error",
             }),
+            quote(&v.path),
+            v.line,
+            v.col,
             quote(&v.message)
         );
     }
-    if !a.violations.is_empty() {
+    if !merged.is_empty() {
         s.push_str("\n  ");
     }
     let _ = write!(
@@ -121,6 +153,14 @@ mod tests {
                 severity: Severity::Error,
                 message: "`.unwrap()` says \"boom\"".to_owned(),
             }],
+            suppressed: vec![Violation {
+                rule: "determinism",
+                path: "crates/core/src/a.rs".to_owned(),
+                line: 4,
+                col: 9,
+                severity: Severity::Error,
+                message: "wall clock".to_owned(),
+            }],
             suppressions_used: 1,
             suppressions_total: 2,
             files: 3,
@@ -135,17 +175,39 @@ mod tests {
     }
 
     #[test]
+    fn human_omits_suppressed_findings() {
+        assert!(!human(&sample(), 15).contains("crates/core/src/a.rs"));
+    }
+
+    #[test]
     fn json_escapes_and_counts() {
         let out = json(&sample(), 15);
         assert!(out.contains("\\\"boom\\\""), "{out}");
+        assert!(out.contains("\"schema\": 2"), "{out}");
         assert!(out.contains("\"errors\": 1"));
         assert!(out.contains("\"budget\": 15"));
+    }
+
+    #[test]
+    fn json_merges_suppressed_findings_in_position_order() {
+        let out = json(&sample(), 15);
+        let active = out.find("crates/storage/src/wal.rs").unwrap();
+        let silenced = out.find("crates/core/src/a.rs").unwrap();
+        assert!(silenced < active, "sorted by path:\n{out}");
+        assert!(out.contains("\"suppressed\": true"), "{out}");
+        assert!(
+            out.contains("\"span\": {\"line\": 265, \"col\": 60}"),
+            "{out}"
+        );
+        // A suppressed error is not an error.
+        assert!(out.contains("\"errors\": 1"), "{out}");
     }
 
     #[test]
     fn empty_violations_render_empty_array() {
         let a = Analysis {
             violations: vec![],
+            suppressed: vec![],
             suppressions_used: 0,
             suppressions_total: 0,
             files: 0,

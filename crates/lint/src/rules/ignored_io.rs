@@ -7,7 +7,16 @@
 //! fsync reaches the `SyncPolicy` caller — so it is enforced
 //! statically. Test code is exempt (cleanup `let _ =` is idiomatic
 //! there).
+//!
+//! The rule is interprocedural: discarding the result of a function
+//! that (transitively, through the cross-crate call graph) performs a
+//! flush/sync is the same lie one hop removed, so
+//! `let _ = journal.flush_to_disk();` is flagged with the chain to the
+//! sync site in the message.
 
+use std::collections::BTreeMap;
+
+use crate::callgraph::{self, CallGraph};
 use crate::lexer::TokKind;
 use crate::rules::statement_end;
 use crate::{Config, Severity, Violation, Workspace};
@@ -22,9 +31,43 @@ const SYNC_FNS: [&str; 6] = [
     "sync",
 ];
 
-pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
+/// The first direct sync-class call in `[start, end)`, as `(name, line)`.
+fn scan_range_for_sync(
+    code: &[crate::lexer::Tok],
+    start: usize,
+    end: usize,
+) -> Option<(String, u32)> {
+    for i in start..end.min(code.len()) {
+        let t = &code[i];
+        if t.kind == TokKind::Ident
+            && SYNC_FNS.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            return Some((t.text.clone(), t.line));
+        }
+    }
+    None
+}
+
+pub fn check(ws: &Workspace, _cfg: &Config, cg: &CallGraph) -> Vec<Violation> {
+    // Functions that (transitively) flush or sync, with the chain to
+    // the first sync site.
+    let mut witness_seed: BTreeMap<String, String> = BTreeMap::new();
+    for f in &cg.fns {
+        let Some(qname) = cg.qname_of(f) else {
+            continue;
+        };
+        let file = &ws.files[f.file];
+        if let Some((name, line)) = scan_range_for_sync(&file.code, f.body_start, f.body_end) {
+            witness_seed
+                .entry(qname)
+                .or_insert_with(|| format!("`{name}` at {}:{line}", file.path));
+        }
+    }
+    let witness = callgraph::reach_witness(&cg.calls, &witness_seed);
+
     let mut out = Vec::new();
-    for file in &ws.files {
+    for (fi, file) in ws.files.iter().enumerate() {
         let code = &file.code;
         for i in 0..code.len() {
             if !(code[i].is_ident("let")
@@ -35,13 +78,27 @@ pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
                 continue;
             }
             let end = statement_end(code, i + 3);
-            // The first sync-class call in the discarded expression.
-            for j in i + 3..end {
-                let t = &code[j];
-                if t.kind == TokKind::Ident
-                    && SYNC_FNS.contains(&t.text.as_str())
-                    && code.get(j + 1).is_some_and(|n| n.is_punct('('))
-                {
+            // The first sync-class call in the discarded expression…
+            if let Some((name, _)) = scan_range_for_sync(code, i + 3, end) {
+                out.push(Violation {
+                    rule: "ignored-io",
+                    path: file.path.clone(),
+                    line: code[i].line,
+                    col: code[i].col,
+                    severity: Severity::Error,
+                    message: format!(
+                        "`let _ =` discards the result of `{name}` — a failed \
+                         flush/sync must propagate or durability is a lie"
+                    ),
+                });
+                continue;
+            }
+            // …else the first resolved call that reaches one.
+            for site in callgraph::calls_in_range(code, i + 3, end) {
+                let Some(q) = cg.resolve(fi, &site) else {
+                    continue;
+                };
+                if let Some(w) = witness.get(&q) {
                     out.push(Violation {
                         rule: "ignored-io",
                         path: file.path.clone(),
@@ -49,9 +106,9 @@ pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
                         col: code[i].col,
                         severity: Severity::Error,
                         message: format!(
-                            "`let _ =` discards the result of `{}` — a failed \
-                             flush/sync must propagate or durability is a lie",
-                            t.text
+                            "`let _ =` discards the result of `{q}`, which flushes \
+                             ({w}) — a failed flush/sync must propagate or \
+                             durability is a lie"
                         ),
                     });
                     break;
@@ -68,9 +125,16 @@ mod tests {
     use crate::Workspace;
     use std::path::PathBuf;
 
+    fn check_ws(ws: &Workspace) -> Vec<Violation> {
+        let cg = CallGraph::build(ws);
+        check(ws, &Config::for_root(PathBuf::from(".")), &cg)
+    }
+
     fn run(src: &str) -> Vec<Violation> {
-        let ws = Workspace::from_sources(&[("crates/storage/src/x.rs", src)]);
-        check(&ws, &Config::for_root(PathBuf::from(".")))
+        check_ws(&Workspace::from_sources(&[(
+            "crates/storage/src/x.rs",
+            src,
+        )]))
     }
 
     #[test]
@@ -93,5 +157,35 @@ mod tests {
     #[test]
     fn test_code_is_exempt() {
         assert!(run("#[cfg(test)]\nmod t { fn f() { let _ = file.sync_all(); } }").is_empty());
+    }
+
+    #[test]
+    fn discarding_a_function_that_flushes_flags() {
+        let v = run("fn f() { let _ = persist(); }\nfn persist() -> io::Result<()> { w.flush() }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("storage::persist"), "{v:?}");
+        assert!(v[0].message.contains("crates/storage/src/x.rs:2"), "{v:?}");
+    }
+
+    #[test]
+    fn cross_crate_discarded_flush_flags() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/d.rs",
+                "fn f() { let _ = fremont_storage::wal::persist(); }",
+            ),
+            (
+                "crates/storage/src/w.rs",
+                "pub fn persist() -> io::Result<()> { w.flush() }",
+            ),
+        ]);
+        let v = check_ws(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].path, "crates/core/src/d.rs");
+    }
+
+    #[test]
+    fn discarding_a_sync_free_function_is_fine() {
+        assert!(run("fn f() { let _ = tally(); }\nfn tally() -> u8 { 1 }").is_empty());
     }
 }

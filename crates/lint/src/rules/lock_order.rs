@@ -9,27 +9,28 @@
 //! then:
 //!
 //! 1. builds the inter-function *acquired-while-held* graph over lock
-//!    labels — nested acquisitions plus, transitively through the call
-//!    graph, locks taken inside called functions — and flags every cycle
-//!    (including re-acquiring the same label, which self-deadlocks with
-//!    non-reentrant `parking_lot` locks);
+//!    labels — nested acquisitions plus, transitively through the
+//!    cross-crate call graph ([`crate::callgraph`]), locks taken inside
+//!    called functions — and flags every cycle (including re-acquiring
+//!    the same label, which self-deadlocks with non-reentrant
+//!    `parking_lot` locks);
 //! 2. flags any guard whose extent reaches file IO (directly, or via a
 //!    call chain to a function that does file IO) — holding the journal
 //!    lock across an fsync turns every reader into a disk-latency
 //!    victim, so the sites that do it on purpose (the WAL serialization
 //!    point) must say so with a suppression.
 //!
-//! Calls are resolved by name, with two precision guards: a callee name
-//! only links to a function defined in the *same crate*, and only when
-//! that name has exactly *one* definition there. Ambiguous names —
-//! trait methods with several impls (`stats`), std-trait lookalikes
-//! (`new`, `collect`, `default`) — are not linked at all: a wrong link
-//! would manufacture findings that force untrue suppressions, while a
-//! skipped link at worst misses a chain the direct-IO scan usually
-//! catches anyway.
+//! Calls resolve through `use` imports and fully-qualified paths across
+//! crates, with the one-definition precision guard per resolved crate
+//! (see the call-graph module docs). The acquired-while-held edges are
+//! also the source of `crates/lint/lock-order.golden`, the acquisition
+//! DAG the runtime sanitizer (`parking_lot` `tracked` feature) asserts
+//! on every test run — the static pass and the dynamic sanitizer
+//! cross-validate the same golden.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{self, CallGraph};
 use crate::lexer::{Tok, TokKind};
 use crate::rules::{matching_close, statement_end};
 use crate::{Config, Severity, Violation, Workspace};
@@ -52,111 +53,97 @@ const IO_METHODS: [&str; 10] = [
 /// `File::…`, `OpenOptions::…`).
 const IO_PATHS: [&str; 3] = ["fs", "File", "OpenOptions"];
 
-/// Keywords never treated as function calls.
-const KEYWORDS: [&str; 14] = [
-    "if", "else", "while", "for", "loop", "match", "return", "let", "fn", "move", "in", "as",
-    "where", "unsafe",
-];
-
 /// One lock acquisition with its guard extent (token index range).
-struct Acq {
-    /// Graph label: receiver chain with a leading `self.` stripped.
-    label: String,
-    line: u32,
-    col: u32,
+pub(crate) struct Acq {
+    /// Graph label: receiver chain with a leading `self.` stripped;
+    /// indexed receivers keep their index expression
+    /// (`self.shards[idx].read()` → `shards[idx]`).
+    pub(crate) label: String,
+    /// The acquiring method: `lock`, `read`, or `write`.
+    pub(crate) method: String,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
     /// First token index inside the guard's live range.
-    start: usize,
+    pub(crate) start: usize,
     /// Token index one past the guard's live range.
-    end: usize,
+    pub(crate) end: usize,
 }
 
-/// A function body and what it contains.
-struct FnInfo {
-    name: String,
-    file: usize,
-    body_start: usize,
-    body_end: usize,
-    acqs: Vec<Acq>,
+/// What the `lock-order` pass learned, shared with `shard-lock-order`
+/// and the golden exporter in `lib.rs`.
+pub struct LockReport {
+    pub violations: Vec<Violation>,
+    /// Acquired-while-held edges over receiver labels.
+    pub edges: BTreeSet<(String, String)>,
+    /// Lock labels each function (transitively) acquires.
+    pub reach_locks: BTreeMap<String, BTreeSet<String>>,
 }
 
-/// The crate a workspace-relative path belongs to (`crates/net/src/…` →
-/// `net`; anything else is keyed by its top-level directory).
-fn crate_of(path: &str) -> String {
-    let mut parts = path.split('/');
-    match (parts.next(), parts.next()) {
-        (Some("crates"), Some(name)) => name.to_owned(),
-        (Some(top), _) => top.to_owned(),
-        _ => String::new(),
-    }
-}
-
-pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
-    // Pass 1: functions, acquisitions, per-function calls and direct IO.
-    let mut fns: Vec<FnInfo> = Vec::new();
-    for (fi, file) in ws.files.iter().enumerate() {
-        collect_functions(fi, &file.code, &mut fns);
-    }
-    // Filter acquisitions inside test code.
-    for f in &mut fns {
+/// Per-function acquisitions, exposed so `shard-lock-order` reuses the
+/// same extraction.
+pub(crate) fn acquisitions_of(
+    ws: &Workspace,
+    cg: &CallGraph,
+) -> Vec<(usize /* fn index */, Vec<Acq>)> {
+    let mut out = Vec::new();
+    for (i, f) in cg.fns.iter().enumerate() {
         let file = &ws.files[f.file];
-        f.acqs.retain(|a| !file.in_test(a.line));
-    }
-
-    // How many definitions each (crate, name) has — only unique names
-    // participate in call linking (see module docs).
-    let mut def_count: BTreeMap<(String, String), usize> = BTreeMap::new();
-    for f in &fns {
-        let key = (crate_of(&ws.files[f.file].path), f.name.clone());
-        *def_count.entry(key).or_insert(0) += 1;
-    }
-    let resolve = |caller_file: usize, name: &str| -> Option<String> {
-        let krate = crate_of(&ws.files[caller_file].path);
-        let key = (krate, name.to_owned());
-        if def_count.get(&key).copied() == Some(1) {
-            Some(format!("{}::{}", key.0, key.1))
-        } else {
-            None
+        let mut acqs = Vec::new();
+        find_acquisitions(&file.code, f.body_start, f.body_end, &mut acqs);
+        acqs.retain(|a| !file.in_test(a.line));
+        if !acqs.is_empty() {
+            out.push((i, acqs));
         }
-    };
+    }
+    out
+}
 
-    // Crate-qualified summaries.
-    let mut does_io: BTreeMap<String, bool> = BTreeMap::new();
-    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+pub fn check(ws: &Workspace, _cfg: &Config, cg: &CallGraph) -> LockReport {
+    let fn_acqs = acquisitions_of(ws, cg);
+
+    // Crate-qualified summaries over the shared call graph.
+    let mut io_seed: BTreeSet<String> = BTreeSet::new();
     let mut own_locks: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for f in &fns {
-        let Some(qname) = resolve(f.file, &f.name) else {
+    for f in &cg.fns {
+        let Some(qname) = cg.qname_of(f) else {
             continue;
         };
         let code = &ws.files[f.file].code;
-        let io = scan_range_for_io(code, f.body_start, f.body_end).is_some();
-        *does_io.entry(qname.clone()).or_insert(false) |= io;
-        let callees = calls.entry(qname.clone()).or_default();
-        for (name, _) in calls_in_range(code, f.body_start, f.body_end) {
-            if let Some(q) = resolve(f.file, &name) {
-                callees.insert(q);
-            }
+        if scan_range_for_io(code, f.body_start, f.body_end).is_some() {
+            io_seed.insert(qname.clone());
         }
+    }
+    for (fi, acqs) in &fn_acqs {
+        let f = &cg.fns[*fi];
+        let Some(qname) = cg.qname_of(f) else {
+            continue;
+        };
         let locks = own_locks.entry(qname).or_default();
-        for a in &f.acqs {
+        for a in acqs {
             locks.insert(a.label.clone());
         }
     }
     // Fixpoint: IO-reachability and lock-reachability through calls.
-    let io_fns = fixpoint(&calls, &does_io);
-    let reach_locks = lock_fixpoint(&calls, &own_locks);
+    let io_fns = callgraph::reach_flag(&cg.calls, &io_seed);
+    let reach_locks = callgraph::reach_sets(&cg.calls, &own_locks);
 
     let mut out = Vec::new();
     // Edges of the acquired-while-held graph, with a witness site.
     let mut edges: BTreeMap<(String, String), (usize, u32, u32, String)> = BTreeMap::new();
 
-    for f in &fns {
+    for (fi, acqs) in &fn_acqs {
+        let f = &cg.fns[*fi];
         let code = &ws.files[f.file].code;
-        for a in &f.acqs {
+        for a in acqs {
             // (2) IO while the guard is live — direct, or via a callee.
             let io_site = scan_range_for_io(code, a.start, a.end).or_else(|| {
-                calls_in_range(code, a.start, a.end)
+                callgraph::calls_in_range(code, a.start, a.end)
                     .into_iter()
-                    .find(|(name, _)| resolve(f.file, name).is_some_and(|q| io_fns.contains(&q)))
+                    .find(|site| {
+                        cg.resolve(f.file, site)
+                            .is_some_and(|q| io_fns.contains(&q))
+                    })
+                    .map(|site| (site.name, site.line))
             });
             if let Some((callee, line)) = io_site {
                 out.push(Violation {
@@ -174,7 +161,7 @@ pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
                 });
             }
             // (1) Locks acquired while this guard is live.
-            for b in &f.acqs {
+            for b in acqs {
                 if b.start > a.start && b.start < a.end {
                     edges.entry((a.label.clone(), b.label.clone())).or_insert((
                         f.file,
@@ -184,8 +171,8 @@ pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
                     ));
                 }
             }
-            for (callee, _) in calls_in_range(code, a.start, a.end) {
-                let Some(q) = resolve(f.file, &callee) else {
+            for site in callgraph::calls_in_range(code, a.start, a.end) {
+                let Some(q) = cg.resolve(f.file, &site) else {
                     continue;
                 };
                 if let Some(locks) = reach_locks.get(&q) {
@@ -194,7 +181,7 @@ pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
                             f.file,
                             a.line,
                             a.col,
-                            format!("`{}` held while `{}` locks `{}`", a.label, callee, l),
+                            format!("`{}` held while `{}` locks `{}`", a.label, site.name, l),
                         ));
                     }
                 }
@@ -244,7 +231,11 @@ pub fn check(ws: &Workspace, _cfg: &Config) -> Vec<Violation> {
             message,
         });
     }
-    out
+    LockReport {
+        violations: out,
+        edges: edges.into_keys().collect(),
+        reach_locks,
+    }
 }
 
 /// DFS reachability over the label graph.
@@ -265,107 +256,8 @@ fn reaches(graph: &BTreeMap<&String, Vec<&String>>, from: &String, to: &String) 
     false
 }
 
-/// Propagates `does_io` backwards over the call graph.
-fn fixpoint(
-    calls: &BTreeMap<String, BTreeSet<String>>,
-    seed: &BTreeMap<String, bool>,
-) -> BTreeSet<String> {
-    let mut io: BTreeSet<String> = seed
-        .iter()
-        .filter(|(_, v)| **v)
-        .map(|(k, _)| k.clone())
-        .collect();
-    loop {
-        let mut grew = false;
-        for (name, callees) in calls {
-            if !io.contains(name) && callees.iter().any(|c| io.contains(c)) {
-                io.insert(name.clone());
-                grew = true;
-            }
-        }
-        if !grew {
-            return io;
-        }
-    }
-}
-
-/// Propagates acquired-lock sets backwards over the call graph.
-fn lock_fixpoint(
-    calls: &BTreeMap<String, BTreeSet<String>>,
-    own: &BTreeMap<String, BTreeSet<String>>,
-) -> BTreeMap<String, BTreeSet<String>> {
-    let mut reach = own.clone();
-    loop {
-        let mut grew = false;
-        for (name, callees) in calls {
-            let mut add: BTreeSet<String> = BTreeSet::new();
-            for c in callees {
-                if let Some(ls) = reach.get(c) {
-                    add.extend(ls.iter().cloned());
-                }
-            }
-            let entry = reach.entry(name.clone()).or_default();
-            let before = entry.len();
-            entry.extend(add);
-            grew |= entry.len() != before;
-        }
-        if !grew {
-            return reach;
-        }
-    }
-}
-
-/// Finds `fn name … { body }` items and their acquisitions.
-fn collect_functions(file: usize, code: &[Tok], out: &mut Vec<FnInfo>) {
-    let mut i = 0usize;
-    while i < code.len() {
-        if !code[i].is_ident("fn") {
-            i += 1;
-            continue;
-        }
-        let Some(name_tok) = code.get(i + 1) else {
-            break;
-        };
-        if name_tok.kind != TokKind::Ident {
-            i += 1;
-            continue;
-        }
-        // Parameter list.
-        let mut j = i + 2;
-        while j < code.len() && !code[j].is_punct('(') {
-            j += 1;
-        }
-        if j >= code.len() {
-            break;
-        }
-        let params_close = matching_close(code, j);
-        // Body `{` or declaration `;`.
-        let mut k = params_close + 1;
-        while k < code.len() && !code[k].is_punct('{') && !code[k].is_punct(';') {
-            k += 1;
-        }
-        if k >= code.len() || code[k].is_punct(';') {
-            i = k.max(i + 1);
-            continue;
-        }
-        let body_end = matching_close(code, k);
-        let mut info = FnInfo {
-            name: name_tok.text.clone(),
-            file,
-            body_start: k + 1,
-            body_end,
-            acqs: Vec::new(),
-        };
-        find_acquisitions(code, k + 1, body_end, &mut info.acqs);
-        out.push(info);
-        // Continue *inside* the body so nested fns are found too; their
-        // acquisitions will be attributed to both, which only over-reports.
-        i = k + 1;
-    }
-}
-
 /// Scans `[start, end)` for lock acquisitions and computes guard extents.
-fn find_acquisitions(code: &[Tok], start: usize, end: usize, out: &mut Vec<Acq>) {
+pub(crate) fn find_acquisitions(code: &[Tok], start: usize, end: usize, out: &mut Vec<Acq>) {
     for i in start..end {
         if !code[i].is_punct('.') {
             continue;
@@ -392,6 +284,7 @@ fn find_acquisitions(code: &[Tok], start: usize, end: usize, out: &mut Vec<Acq>)
         };
         out.push(Acq {
             label,
+            method: m.text.clone(),
             line: m.line,
             col: m.col,
             start: ext_start,
@@ -401,8 +294,10 @@ fn find_acquisitions(code: &[Tok], start: usize, end: usize, out: &mut Vec<Acq>)
 }
 
 /// Walks the receiver chain backwards from the `.` at `dot`:
-/// `self . wal . lock` → `wal`; `journal . inner . read` → `journal.inner`.
-fn receiver_label(code: &[Tok], dot: usize) -> String {
+/// `self . wal . lock` → `wal`; `journal . inner . read` →
+/// `journal.inner`; indexed receivers keep the index expression, so
+/// `self . shards [ idx ] . read` → `shards[idx]`.
+pub(crate) fn receiver_label(code: &[Tok], dot: usize) -> String {
     let mut parts: Vec<String> = Vec::new();
     let mut i = dot;
     loop {
@@ -415,6 +310,30 @@ fn receiver_label(code: &[Tok], dot: usize) -> String {
             if i >= 2 && code[i - 2].is_punct('.') {
                 i -= 2;
                 continue;
+            }
+        } else if prev.is_punct(']') {
+            // Indexing: match back to the `[`, then the indexed name.
+            let mut depth = 1i64;
+            let mut q = i - 1;
+            while q > 0 && depth > 0 {
+                q -= 1;
+                if code[q].is_punct(']') {
+                    depth += 1;
+                } else if code[q].is_punct('[') {
+                    depth -= 1;
+                }
+            }
+            if depth == 0 && q > 0 && code[q - 1].kind == TokKind::Ident {
+                let idx: String = code[q + 1..i - 1]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join("");
+                parts.push(format!("{}[{idx}]", code[q - 1].text));
+                if q >= 2 && code[q - 2].is_punct('.') {
+                    i = q - 1;
+                    continue;
+                }
             }
         }
         break;
@@ -509,38 +428,19 @@ fn scan_range_for_io(code: &[Tok], start: usize, end: usize) -> Option<(String, 
     None
 }
 
-/// Function/method calls in `[start, end)` as `(name, line)` —
-/// identifier directly followed by `(`, excluding keywords, macros
-/// (`name!`), and the lock methods themselves.
-fn calls_in_range(code: &[Tok], start: usize, end: usize) -> Vec<(String, u32)> {
-    let mut out = Vec::new();
-    for i in start..end.min(code.len()) {
-        let t = &code[i];
-        if t.kind != TokKind::Ident
-            || KEYWORDS.contains(&t.text.as_str())
-            || matches!(t.text.as_str(), "lock" | "read" | "write")
-        {
-            continue;
-        }
-        if i > 0 && code[i - 1].is_punct('!') {
-            continue;
-        }
-        if code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
-            out.push((t.text.clone(), t.line));
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Workspace;
     use std::path::PathBuf;
 
+    fn check_ws(ws: &Workspace) -> Vec<Violation> {
+        let cg = CallGraph::build(ws);
+        check(ws, &Config::for_root(PathBuf::from(".")), &cg).violations
+    }
+
     fn run(src: &str) -> Vec<Violation> {
-        let ws = Workspace::from_sources(&[("crates/x/src/a.rs", src)]);
-        check(&ws, &Config::for_root(PathBuf::from(".")))
+        check_ws(&Workspace::from_sources(&[("crates/x/src/a.rs", src)]))
     }
 
     #[test]
@@ -605,6 +505,17 @@ mod tests {
     }
 
     #[test]
+    fn indexed_receivers_keep_their_index() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/a.rs",
+            "fn f(&self) { let g = self.shards[idx].read(); self.file.sync_all(); }",
+        )]);
+        let v = check_ws(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`shards[idx]`"), "{v:?}");
+    }
+
+    #[test]
     fn ambiguous_callee_names_are_not_linked() {
         // Two `stats` definitions (a trait with two impls): holding a
         // lock while calling `stats()` must not inherit either body.
@@ -615,12 +526,13 @@ mod tests {
             ),
             ("crates/x/src/b.rs", "fn stats(&self) -> S { self.file.sync_all() }"),
         ]);
-        let v = check(&ws, &Config::for_root(PathBuf::from(".")));
-        assert!(v.is_empty(), "{v:?}");
+        assert!(check_ws(&ws).is_empty());
     }
 
     #[test]
-    fn cross_crate_names_are_not_linked() {
+    fn unique_cross_crate_names_link() {
+        // `helper` has exactly one definition anywhere in the workspace,
+        // so the chain crosses the crate boundary.
         let ws = Workspace::from_sources(&[
             (
                 "crates/a/src/l.rs",
@@ -628,7 +540,87 @@ mod tests {
             ),
             ("crates/b/src/m.rs", "fn helper() { fs::write(p, d); }"),
         ]);
-        let v = check(&ws, &Config::for_root(PathBuf::from(".")));
-        assert!(v.is_empty(), "{v:?}");
+        let v = check_ws(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("held across file IO"), "{v:?}");
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_names_are_not_linked() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/a/src/l.rs",
+                "fn caller(&self) { let g = self.inner.lock(); helper(); }",
+            ),
+            ("crates/b/src/m.rs", "fn helper() { fs::write(p, d); }"),
+            ("crates/c/src/n.rs", "fn helper() {}"),
+        ]);
+        assert!(check_ws(&ws).is_empty());
+    }
+
+    #[test]
+    fn qualified_cross_crate_call_links() {
+        // A clean same-crate `helper` exists, but the fully-qualified
+        // path selects crate `b`'s IO-doing one.
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/a/src/l.rs",
+                "fn caller(&self) { let g = self.inner.lock(); fremont_b::util::helper(); }\nfn helper() {}",
+            ),
+            ("crates/b/src/m.rs", "fn helper() { fs::write(p, d); }"),
+        ]);
+        let v = check_ws(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn imported_name_selects_its_crate() {
+        // Without the import, `helper` (two crates define it) would be
+        // ambiguous; the `use` pins it to crate `b`.
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/a/src/l.rs",
+                "use fremont_b::util::helper;\nfn caller(&self) { let g = self.inner.lock(); helper(); }",
+            ),
+            ("crates/b/src/m.rs", "fn helper() { fs::write(p, d); }"),
+            ("crates/c/src/n.rs", "fn helper() {}"),
+        ]);
+        let v = check_ws(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn cross_crate_lock_cycle_is_found() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/a/src/l.rs",
+                "fn f(&self) { let a = self.alpha.lock(); fremont_b::take_beta(); }",
+            ),
+            (
+                "crates/b/src/m.rs",
+                "pub fn take_beta() { let b = BETA.lock(); fremont_a::take_alpha(); }",
+            ),
+            (
+                "crates/a/src/n.rs",
+                "pub fn take_alpha() { let a2 = ALPHA2.lock(); }",
+            ),
+        ]);
+        // a holds `alpha` then b locks `BETA`… the edge set crosses
+        // crates; no cycle here, so only assert the chain linked by
+        // checking the io-free run stays violation-free.
+        assert!(check_ws(&ws).is_empty());
+        // Now a genuine cycle: b re-enters alpha.
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/a/src/l.rs",
+                "fn f(&self) { let a = self.alpha.lock(); fremont_b::take_beta(); }\npub fn take_alpha() { let g = self.beta.lock(); let a = self.alpha.lock(); }",
+            ),
+            (
+                "crates/b/src/m.rs",
+                "pub fn take_beta() { let b = self.beta.lock(); }",
+            ),
+        ]);
+        let v = check_ws(&ws);
+        assert!(v.iter().any(|v| v.message.contains("cycle")), "{v:?}");
     }
 }

@@ -1,0 +1,202 @@
+//! Rule `metric-registry`: every `fremont_*` metric name is fingerprinted.
+//!
+//! The telemetry layer's byte-identical exposition guarantee (same-seed
+//! runs emit the same Prometheus text) is also a *naming* contract:
+//! dashboards, the CI byte-diff jobs, and EXPERIMENTS.md recipes all
+//! grep for `fremont_…` metric names. A rename silently breaks every
+//! one of them while the test suite stays green.
+//!
+//! This rule collects every string literal in non-test workspace code
+//! that is a metric name — `fremont_` followed by `[a-z0-9_]` — and
+//! fingerprints the set against the committed
+//! `crates/lint/metrics.golden`, with the wal-schema semantics: a name
+//! that disappears is an **error** (rename or removal), a new name is a
+//! **warning** until `--write-golden` registers it.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::{Config, Severity, Violation, Workspace};
+
+/// True for a string-literal *content* that is a metric name.
+fn is_metric_name(content: &str) -> bool {
+    match content.strip_prefix("fremont_") {
+        Some(rest) => {
+            !rest.is_empty()
+                && rest
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        }
+        None => false,
+    }
+}
+
+/// Strips quotes (and any `r#`/`b` prefix) off a `Str` token's text.
+fn literal_content(text: &str) -> Option<&str> {
+    let open = text.find('"')?;
+    let inner = &text[open + 1..];
+    let close = inner.rfind('"')?;
+    Some(&inner[..close])
+}
+
+/// Collects `name → first (path, line, col)` over the workspace.
+fn collect(ws: &Workspace, cfg: &Config) -> BTreeMap<String, (String, u32, u32)> {
+    let mut names: BTreeMap<String, (String, u32, u32)> = BTreeMap::new();
+    for file in &ws.files {
+        if file.in_scope(&cfg.metric_exclude) {
+            continue;
+        }
+        for t in &file.code {
+            if t.kind != TokKind::Str || file.in_test(t.line) {
+                continue;
+            }
+            let Some(content) = literal_content(&t.text) else {
+                continue;
+            };
+            if is_metric_name(content) {
+                names
+                    .entry(content.to_owned())
+                    .or_insert((file.path.clone(), t.line, t.col));
+            }
+        }
+    }
+    names
+}
+
+/// Renders the golden file content for a collected name set.
+fn render_golden(names: &BTreeMap<String, (String, u32, u32)>) -> String {
+    let mut out = String::new();
+    out.push_str("# fremont-lint metric-registry golden: every `fremont_*` metric name\n");
+    out.push_str("# in the workspace. Regenerate: cargo run -p fremont-lint -- --write-golden\n");
+    for name in names.keys() {
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a committed golden back into its name list.
+fn parse_golden(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Checks the workspace against the committed golden; in `write_golden`
+/// mode returns the fresh content instead of violations.
+pub fn check(ws: &Workspace, cfg: &Config, write_golden: bool) -> (Vec<Violation>, Option<String>) {
+    let names = collect(ws, cfg);
+    if write_golden {
+        return (Vec::new(), Some(render_golden(&names)));
+    }
+    let golden_abs = cfg.root.join(&cfg.metrics_golden_path);
+    let committed = match std::fs::read_to_string(&golden_abs) {
+        Ok(text) => parse_golden(&text),
+        Err(_) => {
+            return (
+                vec![Violation {
+                    rule: "metric-registry",
+                    path: cfg.metrics_golden_path.clone(),
+                    line: 0,
+                    col: 0,
+                    severity: Severity::Error,
+                    message: format!(
+                        "metric-registry golden missing at `{}` — generate it with \
+                         `cargo run -p fremont-lint -- --write-golden`",
+                        cfg.metrics_golden_path
+                    ),
+                }],
+                None,
+            );
+        }
+    };
+    let mut out = Vec::new();
+    for name in &committed {
+        if !names.contains_key(name) {
+            out.push(Violation {
+                rule: "metric-registry",
+                path: cfg.metrics_golden_path.clone(),
+                line: 0,
+                col: 0,
+                severity: Severity::Error,
+                message: format!(
+                    "metric `{name}` was removed or renamed — dashboards and CI byte-diffs \
+                     reference it; restore the name or refresh the golden with --write-golden"
+                ),
+            });
+        }
+    }
+    for (name, (path, line, col)) in &names {
+        if !committed.iter().any(|c| c == name) {
+            out.push(Violation {
+                rule: "metric-registry",
+                path: path.clone(),
+                line: *line,
+                col: *col,
+                severity: Severity::Warning,
+                message: format!(
+                    "new metric `{name}` is not in the registry golden — register it with \
+                     `cargo run -p fremont-lint -- --write-golden`"
+                ),
+            });
+        }
+    }
+    (out, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+    use std::path::PathBuf;
+
+    #[test]
+    fn metric_name_shape() {
+        assert!(is_metric_name("fremont_wal_appends_total"));
+        assert!(is_metric_name("fremont_depth"));
+        assert!(!is_metric_name("fremont_"));
+        assert!(!is_metric_name("fremont_Wal"));
+        assert!(!is_metric_name("fremont-wal"));
+        assert!(!is_metric_name("prefix fremont_x"));
+    }
+
+    #[test]
+    fn collects_first_site_and_skips_tests_and_excluded_paths() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/storage/src/a.rs",
+                "fn f() { c(\"fremont_wal_appends_total\"); }\nfn g() { c(\"fremont_wal_appends_total\"); }",
+            ),
+            (
+                "crates/storage/src/b.rs",
+                "#[cfg(test)]\nmod tests { fn t() { c(\"fremont_test_only\"); } }",
+            ),
+            (
+                "crates/lint/src/c.rs",
+                "fn f() { c(\"fremont_self_match\"); }",
+            ),
+        ]);
+        let cfg = Config::for_root(PathBuf::from("."));
+        let names = collect(&ws, &cfg);
+        assert_eq!(names.len(), 1, "{names:?}");
+        assert_eq!(
+            names["fremont_wal_appends_total"],
+            ("crates/storage/src/a.rs".to_owned(), 1, 12)
+        );
+    }
+
+    #[test]
+    fn golden_round_trips() {
+        let ws = Workspace::from_sources(&[(
+            "crates/storage/src/a.rs",
+            "fn f() { c(\"fremont_b\"); c(\"fremont_a\"); }",
+        )]);
+        let cfg = Config::for_root(PathBuf::from("."));
+        let (v, golden) = check(&ws, &cfg, true);
+        assert!(v.is_empty());
+        let golden = golden.unwrap();
+        assert_eq!(parse_golden(&golden), vec!["fremont_a", "fremont_b"]);
+    }
+}

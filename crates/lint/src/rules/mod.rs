@@ -1,10 +1,12 @@
-//! The five Fremont invariant rules.
+//! The seven Fremont invariant rules.
 
 pub mod determinism;
 pub mod ignored_io;
 pub mod lock_order;
+pub mod metric_registry;
 pub mod panics;
 pub mod schema;
+pub mod shard_lock_order;
 
 use crate::lexer::{Tok, TokKind};
 

@@ -7,7 +7,17 @@
 //! `expect`, `panic!`, `todo!`, `unimplemented!`, and `unreachable!`
 //! are forbidden; errors must travel the existing `Result` paths.
 //! Test code is exempt — a panicking assertion is what a test is.
+//!
+//! The rule is interprocedural: a hot-path function calling an
+//! *out-of-scope* function that (transitively, through the cross-crate
+//! call graph) reaches a panicking construct is flagged at the call
+//! site, with the chain to the offending token in the message. Only
+//! boundary crossings are reported — a chain that stays inside the
+//! panic scope is already flagged where the construct sits.
 
+use std::collections::BTreeMap;
+
+use crate::callgraph::{self, CallGraph};
 use crate::lexer::TokKind;
 use crate::{Config, Severity, Violation, Workspace};
 
@@ -17,8 +27,35 @@ const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 /// Macros that abort the thread outright.
 const PANIC_MACROS: [&str; 4] = ["panic", "unimplemented", "todo", "unreachable"];
 
-pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
+/// The first panicking construct in `[start, end)` outside test lines,
+/// as `(construct, line)`.
+fn scan_range_for_panic(
+    file: &crate::SourceFile,
+    start: usize,
+    end: usize,
+) -> Option<(String, u32)> {
+    let code = &file.code;
+    for i in start..end.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokKind::Ident || file.in_test(t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let prev_dot = i > 0 && code[i - 1].is_punct('.');
+        let next_bang = code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if PANIC_METHODS.contains(&name) && prev_dot {
+            return Some((format!(".{name}()"), t.line));
+        }
+        if PANIC_MACROS.contains(&name) && next_bang {
+            return Some((format!("{name}!"), t.line));
+        }
+    }
+    None
+}
+
+pub fn check(ws: &Workspace, cfg: &Config, cg: &CallGraph) -> Vec<Violation> {
     let mut out = Vec::new();
+    // Direct constructs inside the scope.
     for file in &ws.files {
         if !file.in_scope(&cfg.panic_scope) {
             continue;
@@ -50,6 +87,61 @@ pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
             });
         }
     }
+
+    // Interprocedural: calls from the scope to out-of-scope functions
+    // that reach a panic.
+    let mut fn_file: BTreeMap<String, usize> = BTreeMap::new();
+    let mut witness_seed: BTreeMap<String, String> = BTreeMap::new();
+    for f in &cg.fns {
+        let Some(qname) = cg.qname_of(f) else {
+            continue;
+        };
+        let file = &ws.files[f.file];
+        fn_file.entry(qname.clone()).or_insert(f.file);
+        if let Some((construct, line)) = scan_range_for_panic(file, f.body_start, f.body_end) {
+            witness_seed
+                .entry(qname)
+                .or_insert_with(|| format!("`{construct}` at {}:{line}", file.path));
+        }
+    }
+    let witness = callgraph::reach_witness(&cg.calls, &witness_seed);
+
+    for f in &cg.fns {
+        let file = &ws.files[f.file];
+        if f.in_test || !file.in_scope(&cfg.panic_scope) {
+            continue;
+        }
+        for site in callgraph::calls_in_range(&file.code, f.body_start, f.body_end) {
+            if file.in_test(site.line) {
+                continue;
+            }
+            let Some(q) = cg.resolve(f.file, &site) else {
+                continue;
+            };
+            let Some(w) = witness.get(&q) else {
+                continue;
+            };
+            // Only boundary crossings: in-scope callees carry their own
+            // direct findings.
+            let callee_in_scope = fn_file
+                .get(&q)
+                .is_some_and(|fi| ws.files[*fi].in_scope(&cfg.panic_scope));
+            if callee_in_scope {
+                continue;
+            }
+            out.push(Violation {
+                rule: "panic",
+                path: file.path.clone(),
+                line: site.line,
+                col: site.col,
+                severity: Severity::Error,
+                message: format!(
+                    "call to `{q}` from a hot/IO path can panic ({w}) — \
+                     handle the error in the callee or keep it off this path"
+                ),
+            });
+        }
+    }
     out
 }
 
@@ -59,9 +151,13 @@ mod tests {
     use crate::Workspace;
     use std::path::PathBuf;
 
+    fn check_ws(ws: &Workspace) -> Vec<Violation> {
+        let cg = CallGraph::build(ws);
+        check(ws, &Config::for_root(PathBuf::from(".")), &cg)
+    }
+
     fn run(path: &str, src: &str) -> Vec<Violation> {
-        let ws = Workspace::from_sources(&[(path, src)]);
-        check(&ws, &Config::for_root(PathBuf::from(".")))
+        check_ws(&Workspace::from_sources(&[(path, src)]))
     }
 
     #[test]
@@ -105,5 +201,42 @@ mod tests {
             "// fremont-lint: allow(panic) -- infallible by construction\nfn f() { a.unwrap(); }",
         );
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn cross_crate_panic_chain_flags_the_call_site() {
+        let ws = Workspace::from_sources(&[
+            ("crates/storage/src/x.rs", "fn hot() { helper(); }"),
+            (
+                "crates/net/src/m.rs",
+                "pub fn helper() { inner(); }\nfn inner() { v.unwrap(); }",
+            ),
+        ]);
+        let v = check_ws(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].path, "crates/storage/src/x.rs");
+        assert!(v[0].message.contains("net::helper"), "{v:?}");
+        assert!(v[0].message.contains("crates/net/src/m.rs:2"), "{v:?}");
+    }
+
+    #[test]
+    fn in_scope_callees_are_not_double_reported() {
+        // `step` is itself in scope: its own `unwrap` is the (single)
+        // finding; the call site adds nothing.
+        let v = run(
+            "crates/storage/src/x.rs",
+            "fn hot() { step(); }\nfn step() { v.unwrap(); }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn panic_free_cross_crate_chains_are_fine() {
+        let ws = Workspace::from_sources(&[
+            ("crates/storage/src/x.rs", "fn hot() { helper(); }"),
+            ("crates/net/src/m.rs", "pub fn helper() -> u8 { 0 }"),
+        ]);
+        assert!(check_ws(&ws).is_empty());
     }
 }

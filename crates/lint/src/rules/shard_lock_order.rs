@@ -1,0 +1,272 @@
+//! Rule `shard-lock-order`: the sharded Journal store's lock discipline.
+//!
+//! `crates/journal/src/store/` partitions interface records into
+//! id-hashed shards, each behind its own `RwLock`, with a `meta` RwLock
+//! gating the global slabs and sequences. The documented discipline
+//! (DESIGN.md § 3.3) that keeps writers deadlock-free while queries run
+//! concurrently is:
+//!
+//! 1. the `meta` write gate is acquired **before** any shard lock —
+//!    never while a shard guard is live (directly or through a call
+//!    chain);
+//! 2. shard locks are taken in **ascending index order** when more than
+//!    one is ever held;
+//! 3. two shard **write** locks are never held simultaneously — the
+//!    sanctioned batch path visits one shard at a time.
+//!
+//! The rule fires on the scope `cfg.shard_lock_scope`, using the same
+//! acquisition extraction as `lock-order` (so `self.shards[idx].read()`
+//! labels as `shards[idx]`) and the cross-crate call graph for
+//! transitive meta acquisitions. Violations here are exactly the ones
+//! the runtime sanitizer (`parking_lot` `tracked` feature) would panic
+//! on, with the shard ranks carrying the ascending-index requirement.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{self, CallGraph};
+use crate::rules::lock_order::{acquisitions_of, Acq};
+use crate::{Config, Severity, Violation, Workspace};
+
+/// What a shard-scope acquisition is.
+enum Kind<'a> {
+    /// The `meta` gate.
+    Meta,
+    /// A shard lock with its index expression text.
+    Shard {
+        index: &'a str,
+        write: bool,
+    },
+    Other,
+}
+
+fn classify(a: &Acq) -> Kind<'_> {
+    if a.label == "meta" {
+        return Kind::Meta;
+    }
+    if let Some(rest) = a.label.strip_prefix("shards[") {
+        if let Some(index) = rest.strip_suffix(']') {
+            return Kind::Shard {
+                index,
+                write: a.method == "write",
+            };
+        }
+    }
+    Kind::Other
+}
+
+/// The report: violations plus the label edges the golden exporter
+/// needs (`meta` before `shards[…]` is the sanctioned direction).
+pub struct ShardReport {
+    pub violations: Vec<Violation>,
+    pub edges: BTreeSet<(String, String)>,
+}
+
+pub fn check(
+    ws: &Workspace,
+    cfg: &Config,
+    cg: &CallGraph,
+    reach_locks: &std::collections::BTreeMap<String, BTreeSet<String>>,
+) -> ShardReport {
+    let mut out = Vec::new();
+    let mut edges = BTreeSet::new();
+    for (fi, acqs) in acquisitions_of(ws, cg) {
+        let f = &cg.fns[fi];
+        let file = &ws.files[f.file];
+        if !file.in_scope(&cfg.shard_lock_scope) {
+            continue;
+        }
+        for a in &acqs {
+            let Kind::Shard {
+                index: a_idx,
+                write: a_write,
+            } = classify(a)
+            else {
+                continue;
+            };
+            // Overlapping acquisitions while this shard guard is live.
+            for b in &acqs {
+                if !(b.start > a.start && b.start < a.end) {
+                    continue;
+                }
+                match classify(b) {
+                    Kind::Meta => {
+                        edges.insert((a.label.clone(), b.label.clone()));
+                        out.push(Violation {
+                            rule: "shard-lock-order",
+                            path: file.path.clone(),
+                            line: b.line,
+                            col: b.col,
+                            severity: Severity::Error,
+                            message: format!(
+                                "`meta` acquired while shard lock `{}` is held (in `{}`) — \
+                                 the meta write gate must come before any shard lock",
+                                a.label, f.name
+                            ),
+                        });
+                    }
+                    Kind::Shard {
+                        index: b_idx,
+                        write: b_write,
+                    } => {
+                        edges.insert((a.label.clone(), b.label.clone()));
+                        if a_write && b_write {
+                            out.push(Violation {
+                                rule: "shard-lock-order",
+                                path: file.path.clone(),
+                                line: b.line,
+                                col: b.col,
+                                severity: Severity::Error,
+                                message: format!(
+                                    "two shard write locks held simultaneously (`{}` then `{}` \
+                                     in `{}`) — the batch path visits one shard at a time",
+                                    a.label, b.label, f.name
+                                ),
+                            });
+                        } else if let (Ok(ai), Ok(bi)) =
+                            (a_idx.parse::<u64>(), b_idx.parse::<u64>())
+                        {
+                            if bi <= ai {
+                                out.push(Violation {
+                                    rule: "shard-lock-order",
+                                    path: file.path.clone(),
+                                    line: b.line,
+                                    col: b.col,
+                                    severity: Severity::Error,
+                                    message: format!(
+                                        "shard lock `{}` acquired while `{}` is held (in `{}`) — \
+                                         shard locks must be taken in ascending index order",
+                                        b.label, a.label, f.name
+                                    ),
+                                });
+                            }
+                        } else if a_idx == b_idx {
+                            out.push(Violation {
+                                rule: "shard-lock-order",
+                                path: file.path.clone(),
+                                line: b.line,
+                                col: b.col,
+                                severity: Severity::Error,
+                                message: format!(
+                                    "shard `{}` re-acquired while already held (in `{}`) — \
+                                     parking_lot locks are not reentrant; this self-deadlocks",
+                                    a.label, f.name
+                                ),
+                            });
+                        }
+                    }
+                    Kind::Other => {}
+                }
+            }
+            // Transitive: a callee that (eventually) takes the meta gate
+            // while this shard guard is live inverts the discipline.
+            for site in callgraph::calls_in_range(&file.code, a.start, a.end) {
+                let Some(q) = cg.resolve(f.file, &site) else {
+                    continue;
+                };
+                if reach_locks.get(&q).is_some_and(|ls| ls.contains("meta")) {
+                    out.push(Violation {
+                        rule: "shard-lock-order",
+                        path: file.path.clone(),
+                        line: site.line,
+                        col: site.col,
+                        severity: Severity::Error,
+                        message: format!(
+                            "shard lock `{}` held while calling `{}`, which acquires the \
+                             `meta` gate — the meta write gate must come first",
+                            a.label, site.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    ShardReport {
+        violations: out,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::lock_order;
+    use crate::Workspace;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let ws = Workspace::from_sources(&[("crates/journal/src/store/x.rs", src)]);
+        let cfg = Config::for_root(PathBuf::from("."));
+        let cg = CallGraph::build(&ws);
+        let lock = lock_order::check(&ws, &cfg, &cg);
+        check(&ws, &cfg, &cg, &lock.reach_locks).violations
+    }
+
+    #[test]
+    fn meta_after_shard_is_inverted() {
+        let v = run("fn f(&self) { let s = self.shards[0].read(); let m = self.meta.write(); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("meta write gate"), "{v:?}");
+    }
+
+    #[test]
+    fn meta_before_shard_is_sanctioned() {
+        assert!(
+            run("fn f(&self) { let m = self.meta.write(); let s = self.shards[0].write(); }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn two_shard_writes_flag() {
+        let v =
+            run("fn f(&self) { let a = self.shards[0].write(); let b = self.shards[1].write(); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("two shard write locks"), "{v:?}");
+    }
+
+    #[test]
+    fn descending_shard_reads_flag() {
+        let v =
+            run("fn f(&self) { let a = self.shards[2].read(); let b = self.shards[1].read(); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("ascending index order"), "{v:?}");
+    }
+
+    #[test]
+    fn ascending_shard_reads_are_fine() {
+        assert!(run(
+            "fn f(&self) { let a = self.shards[0].read(); let b = self.shards[1].read(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn dynamic_same_index_reacquire_flags() {
+        let v = run("fn f(&self, i: usize) { let a = self.shards[i].read(); let b = self.shards[i].read(); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("re-acquired"), "{v:?}");
+    }
+
+    #[test]
+    fn transitive_meta_while_shard_held_flags() {
+        let v = run(
+            "fn f(&self) { let s = self.shards[0].read(); tally(); }\nfn tally(&self) { let m = self.meta.read(); }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("which acquires the"), "{v:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let ws = Workspace::from_sources(&[(
+            "crates/storage/src/x.rs",
+            "fn f(&self) { let s = self.shards[0].read(); let m = self.meta.write(); }",
+        )]);
+        let cfg = Config::for_root(PathBuf::from("."));
+        let cg = CallGraph::build(&ws);
+        let lock = lock_order::check(&ws, &cfg, &cg);
+        assert!(check(&ws, &cfg, &cg, &lock.reach_locks)
+            .violations
+            .is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded `metric-registry` violations. Mounted at
+//! `crates/telemetry/src/fixture_metrics.rs` by the golden test; never
+//! compiled. The fixture golden registers `fremont_fixture_renamed_total`
+//! (no longer emitted here → error) but not
+//! `fremont_fixture_appended_total` (→ warning at this span).
+
+fn fixture_metrics(reg: &mut Registry) {
+    reg.counter("fremont_fixture_appended_total", 1);
+}

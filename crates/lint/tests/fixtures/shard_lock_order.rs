@@ -1,0 +1,27 @@
+//! Seeded `shard-lock-order` violations. Mounted at
+//! `crates/journal/src/store/fixture.rs` (the rule's scope) by the
+//! golden test; never compiled.
+
+impl FixtureStore {
+    /// Inverted: the meta gate taken while a shard guard is live.
+    fn inverted(&self) -> u64 {
+        let shard = self.shards[0].read();
+        let meta = self.meta.write();
+        meta.seq + shard.len() as u64
+    }
+
+    /// Two shard write guards at once.
+    fn double_write(&self) {
+        let a = self.shards[1].write();
+        let b = self.shards[2].write();
+        a.clear();
+        b.clear();
+    }
+
+    /// Descending index order.
+    fn descending(&self) -> usize {
+        let hi = self.shards[3].read();
+        let lo = self.shards[2].read();
+        hi.len() + lo.len()
+    }
+}

@@ -32,15 +32,36 @@ fn fixture_workspace() -> Workspace {
             "crates/journal/src/fixture_schema.rs",
             include_str!("fixtures/wal_schema.rs"),
         ),
+        (
+            "crates/journal/src/store/fixture.rs",
+            include_str!("fixtures/shard_lock_order.rs"),
+        ),
+        (
+            "crates/telemetry/src/fixture_metrics.rs",
+            include_str!("fixtures/metric_registry.rs"),
+        ),
     ])
 }
 
 fn fixture_config() -> Config {
-    // Root at the tests directory so the schema rule finds the fixture
-    // golden rather than the workspace one.
+    // Root at the tests directory so the golden rules find the fixture
+    // goldens rather than the workspace ones.
     let mut cfg = Config::for_root(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests"));
     cfg.golden_path = "fixtures/wal_schema.golden".to_owned();
+    cfg.metrics_golden_path = "fixtures/metrics.golden".to_owned();
+    cfg.lock_golden_path = "fixtures/lock-order.golden".to_owned();
     cfg
+}
+
+/// With `FREMONT_LINT_BLESS=1`, rewrites the committed expectation
+/// files from the current run (the next run then asserts against them).
+fn maybe_bless(name: &str, rendered: &str) {
+    if std::env::var_os("FREMONT_LINT_BLESS").is_some() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(name);
+        std::fs::write(path, rendered).expect("bless write");
+    }
 }
 
 fn run() -> (Analysis, Config) {
@@ -52,7 +73,7 @@ fn run() -> (Analysis, Config) {
 
 /// (rule, path, line, col, severity, message fragment) for each seeded
 /// violation, in report order.
-const EXPECTED: [(&str, &str, u32, u32, Severity, &str); 5] = [
+const EXPECTED: [(&str, &str, u32, u32, Severity, &str); 10] = [
     (
         "ignored-io",
         "crates/core/src/fixture.rs",
@@ -86,12 +107,52 @@ const EXPECTED: [(&str, &str, u32, u32, Severity, &str); 5] = [
         "variant 1 changed from `Named ( u32 )` to `Named ( String )`",
     ),
     (
+        "shard-lock-order",
+        "crates/journal/src/store/fixture.rs",
+        9,
+        30,
+        Severity::Error,
+        "the meta write gate must come before any shard lock",
+    ),
+    (
+        "shard-lock-order",
+        "crates/journal/src/store/fixture.rs",
+        16,
+        32,
+        Severity::Error,
+        "two shard write locks held simultaneously",
+    ),
+    (
+        "shard-lock-order",
+        "crates/journal/src/store/fixture.rs",
+        24,
+        33,
+        Severity::Error,
+        "ascending index order",
+    ),
+    (
         "panic",
         "crates/storage/src/fixture.rs",
         4,
         48,
         Severity::Error,
         "`.unwrap()` in a hot/IO path",
+    ),
+    (
+        "metric-registry",
+        "crates/telemetry/src/fixture_metrics.rs",
+        8,
+        17,
+        Severity::Warning,
+        "new metric `fremont_fixture_appended_total`",
+    ),
+    (
+        "metric-registry",
+        "fixtures/metrics.golden",
+        0,
+        0,
+        Severity::Error,
+        "metric `fremont_fixture_renamed_total` was removed or renamed",
     ),
 ];
 
@@ -119,6 +180,7 @@ fn each_rule_catches_its_seeded_fixture_at_the_exact_span() {
 fn human_report_matches_committed_expectation() {
     let (analysis, cfg) = run();
     let rendered = report::human(&analysis, cfg.max_suppressions);
+    maybe_bless("expected_human.txt", &rendered);
     assert_eq!(rendered, include_str!("fixtures/expected_human.txt"));
 }
 
@@ -126,6 +188,7 @@ fn human_report_matches_committed_expectation() {
 fn json_report_matches_committed_expectation() {
     let (analysis, cfg) = run();
     let rendered = report::json(&analysis, cfg.max_suppressions);
+    maybe_bless("expected.json", &rendered);
     assert_eq!(rendered, include_str!("fixtures/expected.json"));
 }
 

@@ -1,0 +1,91 @@
+//! Lexer conformance sweep: lex every `.rs` file in the repository and
+//! assert the byte-span round-trip contract — tokens are emitted in
+//! source order, spans never overlap, every inter-token gap is
+//! whitespace, and each token's text equals its spanned bytes (raw
+//! identifiers excepted: their span carries the `r#` prefix the text
+//! strips). Unlike `Workspace::load`, this walk includes `tests/`,
+//! `benches/`, `examples/`, fixtures, and the vendored shims, so the
+//! lexer is exercised on every Rust construct the repo actually uses.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fremont_lint::find_workspace_root;
+use fremont_lint::lexer::{lex, TokKind};
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_round_trips_byte_spans() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    assert!(
+        files.len() > 100,
+        "suspiciously few .rs files found under {}: {}",
+        root.display(),
+        files.len()
+    );
+
+    for path in &files {
+        let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        let toks = lex(&src);
+        let mut pos = 0usize;
+        for (i, t) in toks.iter().enumerate() {
+            assert!(
+                t.start >= pos && t.end >= t.start && t.end <= src.len(),
+                "{}: token {i} ({:?} {:?} at {}:{}) has span {}..{} outside cursor {pos}",
+                path.display(),
+                t.kind,
+                t.text,
+                t.line,
+                t.col,
+                t.start,
+                t.end,
+            );
+            let gap = &src[pos..t.start];
+            assert!(
+                gap.bytes().all(|b| b.is_ascii_whitespace()),
+                "{}: non-whitespace gap {gap:?} before token {i} ({:?} at {}:{})",
+                path.display(),
+                t.text,
+                t.line,
+                t.col,
+            );
+            let spanned = &src[t.start..t.end];
+            let ok = spanned == t.text
+                || (t.kind == TokKind::Ident && spanned == format!("r#{}", t.text));
+            assert!(
+                ok,
+                "{}: token {i} text {:?} != spanned bytes {spanned:?} ({}:{})",
+                path.display(),
+                t.text,
+                t.line,
+                t.col,
+            );
+            pos = t.end;
+        }
+        let tail = &src[pos..];
+        assert!(
+            tail.bytes().all(|b| b.is_ascii_whitespace()),
+            "{}: non-whitespace tail {tail:?} after last token",
+            path.display(),
+        );
+    }
+}

@@ -60,6 +60,80 @@ fn mutating_an_existing_wal_variant_fails_the_build() {
 }
 
 #[test]
+fn an_inverted_shard_acquisition_fails_the_build() {
+    // The static half of the acceptance criterion: seed a meta-after-
+    // shard inversion into the real store and the `shard-lock-order`
+    // rule must reject it (the sanitizer half lives in
+    // crates/journal/tests/lock_sanitizer.rs).
+    let (mut ws, cfg) = real_workspace();
+    let path = "crates/journal/src/store/mod.rs";
+    let idx = ws
+        .files
+        .iter()
+        .position(|f| f.path == path)
+        .expect("the sharded store is in the workspace");
+    let content = std::fs::read_to_string(cfg.root.join(path)).expect("store readable");
+    let mutated = format!(
+        "{content}\nimpl ShardedStore {{\n    fn lint_probe_inverted(&self) -> u64 {{\n        \
+         let shard = self.shards[0].read();\n        let gate = self.meta.write();\n        \
+         gate.next_seq + shard.len() as u64\n    }}\n}}\n"
+    );
+    ws.files[idx] = SourceFile::new(path.to_owned(), &mutated);
+
+    let (analysis, _) = analyze(&ws, &cfg, false);
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .any(|v| v.rule == "shard-lock-order"
+                && v.severity == Severity::Error
+                && v.message.contains("meta write gate must come before")),
+        "inverted acquisition must be an error: {:#?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn renaming_a_metric_fails_the_build() {
+    let (mut ws, cfg) = real_workspace();
+    let path = "crates/journal/src/server.rs";
+    let idx = ws
+        .files
+        .iter()
+        .position(|f| f.path == path)
+        .expect("server.rs is in the workspace");
+    let content = std::fs::read_to_string(cfg.root.join(path)).expect("server.rs readable");
+    let mutated = content.replace(
+        "fremont_journal_connections_total",
+        "fremont_journal_sessions_total",
+    );
+    assert_ne!(content, mutated, "the guarded metric exists");
+    ws.files[idx] = SourceFile::new(path.to_owned(), &mutated);
+
+    let (analysis, _) = analyze(&ws, &cfg, false);
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .any(|v| v.rule == "metric-registry"
+                && v.severity == Severity::Error
+                && v.message.contains("fremont_journal_connections_total")),
+        "renamed metric must be an error: {:#?}",
+        analysis.violations
+    );
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .any(|v| v.rule == "metric-registry"
+                && v.severity == Severity::Warning
+                && v.message.contains("fremont_journal_sessions_total")),
+        "the new name stays a warning until registered: {:#?}",
+        analysis.violations
+    );
+}
+
+#[test]
 fn appending_a_wal_variant_is_only_a_warning() {
     let (mut ws, cfg) = real_workspace();
     let path = "crates/journal/src/observation.rs";

@@ -199,7 +199,7 @@ impl DurableJournal {
         let writer = shared.read(|j| write_snapshot_and_rotate(&cfg, j))?;
         let durable = DurableJournal {
             shared,
-            wal: Arc::new(Mutex::new(WalState { cfg, writer })),
+            wal: Arc::new(Mutex::labeled("storage.wal", WalState { cfg, writer })),
             telemetry,
         };
         Ok((durable, report))

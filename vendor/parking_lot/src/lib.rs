@@ -4,55 +4,42 @@
 //! and `write()` return guards directly. A poisoned std lock (panic
 //! while held) just yields the inner data, mirroring parking_lot's
 //! behavior of not propagating poison.
+//!
+//! # Lock labels and the `tracked` feature
+//!
+//! Every lock may carry a *label* (`Mutex::labeled`,
+//! `RwLock::labeled_ranked`) naming its role in the workspace lock
+//! hierarchy — `journal.meta`, `journal.shard`, `storage.wal`, … The
+//! labels mirror `fremont-lint`'s `lock_labels` table, so the static
+//! `lock-order`/`shard-lock-order` rules and this crate talk about the
+//! same objects.
+//!
+//! In the default build labels are erased at construction and the shim
+//! compiles down to the plain std wrappers above — zero cost. With the
+//! `tracked` feature (enabled workspace-wide via the `lock-sanitizer`
+//! features on `fremont-journal`/`fremont-storage`), every labeled
+//! acquisition is checked against the acquisition DAG the lint pass
+//! exports to `crates/lint/lock-order.golden`:
+//!
+//! * acquiring label `B` while holding label `A` requires the edge
+//!   `A -> B` in the golden;
+//! * re-acquiring the *same* label (e.g. two shards) requires a
+//!   strictly ascending rank — ranks are the shard indices;
+//! * unlabeled locks are never tracked.
+//!
+//! A violation panics with both label chains: the acquiring thread's
+//! held stack and the chain the last holder of the contested label was
+//! holding when it took it. See [`sanitizer`] for details.
 
-use std::sync::PoisonError;
+#[cfg(not(feature = "tracked"))]
+mod plain;
+#[cfg(not(feature = "tracked"))]
+pub use plain::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// Re-exported guard types (std's guards have the same deref API).
-pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(feature = "tracked")]
+mod tracked;
+#[cfg(feature = "tracked")]
+pub use tracked::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// A mutex that does not poison.
-#[derive(Debug, Default)]
-pub struct Mutex<T>(std::sync::Mutex<T>);
-
-impl<T> Mutex<T> {
-    /// Creates a new mutex.
-    pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
-    }
-
-    /// Acquires the lock, blocking the current thread.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Consumes the mutex, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-/// A reader-writer lock that does not poison.
-#[derive(Debug, Default)]
-pub struct RwLock<T>(std::sync::RwLock<T>);
-
-impl<T> RwLock<T> {
-    /// Creates a new lock.
-    pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
-    }
-
-    /// Acquires shared read access.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Acquires exclusive write access.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Consumes the lock, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
-    }
-}
+#[cfg(feature = "tracked")]
+pub mod sanitizer;

@@ -1,0 +1,78 @@
+//! The default, untracked build: thin newtypes over `std::sync`.
+//!
+//! Labels passed to `labeled`/`labeled_ranked` are discarded at
+//! construction so the lock is byte-for-byte the std primitive.
+
+use std::sync::PoisonError;
+
+/// Re-exported guard types (std's guards have the same deref API).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutex that does not poison.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Creates a labeled mutex. The label is erased in this build; with
+    /// the `tracked` feature it enrolls the lock in the sanitizer.
+    pub const fn labeled(_label: &'static str, value: T) -> Self {
+        Self::new(value)
+    }
+
+    /// Creates a labeled, ranked mutex (see [`Mutex::labeled`]).
+    pub const fn labeled_ranked(_label: &'static str, _rank: usize, value: T) -> Self {
+        Self::new(value)
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock that does not poison.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Creates a labeled lock. The label is erased in this build; with
+    /// the `tracked` feature it enrolls the lock in the sanitizer.
+    pub const fn labeled(_label: &'static str, value: T) -> Self {
+        Self::new(value)
+    }
+
+    /// Creates a labeled, ranked lock (see [`RwLock::labeled`]).
+    pub const fn labeled_ranked(_label: &'static str, _rank: usize, value: T) -> Self {
+        Self::new(value)
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,160 @@
+//! Runtime lock-order sanitizer: the dynamic half of `fremont-lint`.
+//!
+//! The static `lock-order` and `shard-lock-order` passes export the
+//! workspace's observed lock acquisition DAG to
+//! `crates/lint/lock-order.golden` (edges `A -> B` meaning "label `B`
+//! may be acquired while label `A` is held", transitive edges
+//! included). This module embeds that same golden at compile time and
+//! asserts it on every labeled acquisition, so an ordering the lint
+//! pass never saw — reached only through runtime control flow, trait
+//! dispatch, or a path the call graph cannot resolve — still fails
+//! loudly in the sanitizer CI job.
+//!
+//! Rules enforced per thread:
+//!
+//! * distinct labels: acquiring `B` while holding `A` requires the
+//!   committed edge `A -> B`;
+//! * same label (the shard array): the new acquisition's rank must be
+//!   strictly greater than every held rank — shard locks ascend;
+//! * unlabeled locks never participate.
+//!
+//! Violations panic with this thread's full held-label chain and the
+//! chain the previous holder of the contested label carried, which is
+//! exactly the pair of stacks a real deadlock would interleave.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+/// The committed acquisition DAG, embedded from the lint golden so the
+/// static pass and this runtime check can never drift apart.
+const GOLDEN: &str = include_str!("../../../crates/lint/lock-order.golden");
+
+/// Parsed golden edges: `(held, acquired)` pairs that are legal.
+fn dag() -> &'static BTreeSet<(&'static str, &'static str)> {
+    static DAG: OnceLock<BTreeSet<(&'static str, &'static str)>> = OnceLock::new();
+    DAG.get_or_init(|| {
+        GOLDEN
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| l.split_once("->"))
+            .map(|(a, b)| (a.trim(), b.trim()))
+            .collect()
+    })
+}
+
+/// One labeled lock currently held by this thread.
+struct Held {
+    id: u64,
+    label: &'static str,
+    rank: usize,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Last holder of each label: the label chain (and thread name) that
+/// was in effect when the label was most recently acquired, anywhere.
+/// This is the "other stack" in violation reports.
+fn holders() -> &'static StdMutex<HashMap<&'static str, String>> {
+    static HOLDERS: OnceLock<StdMutex<HashMap<&'static str, String>>> = OnceLock::new();
+    HOLDERS.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+fn chain_of(held: &[Held], tail: &'static str, tail_rank: usize) -> String {
+    let mut parts: Vec<String> = held
+        .iter()
+        .map(|h| format!("{}#{}", h.label, h.rank))
+        .collect();
+    parts.push(format!("{tail}#{tail_rank}"));
+    parts.join(" -> ")
+}
+
+/// Token returned by [`acquire`]; dropping it releases the held-stack
+/// entry. Removal is by id, so guards may drop in any order.
+pub struct HeldToken(Option<u64>);
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        if let Some(id) = self.0 {
+            // try_with: thread-locals may already be gone during
+            // thread teardown; losing the entry then is harmless.
+            let _ = HELD.try_with(|cell| {
+                let mut held = cell.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|h| h.id == id) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Checks and records one acquisition. Called by the tracked lock
+/// wrappers before blocking on the underlying std primitive; panics if
+/// the acquisition violates the committed DAG.
+pub(crate) fn acquire(label: Option<&'static str>, rank: usize) -> HeldToken {
+    let Some(label) = label else {
+        return HeldToken(None);
+    };
+    HELD.with(|cell| {
+        let held = cell.borrow();
+        for h in held.iter() {
+            let legal = if h.label == label {
+                rank > h.rank
+            } else {
+                dag().contains(&(h.label, label))
+            };
+            if !legal {
+                let (held_label, held_rank) = (h.label, h.rank);
+                let ours = chain_of(&held, label, rank);
+                drop(held);
+                let theirs = holders()
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(label)
+                    .cloned()
+                    .unwrap_or_else(|| "<never acquired>".to_owned());
+                panic!(
+                    "fremont lock sanitizer: acquiring `{label}` (rank {rank}) while \
+                     holding `{held_label}` (rank {held_rank}) is not in the committed \
+                     acquisition DAG (crates/lint/lock-order.golden)\n  \
+                     this thread:           {ours}\n  \
+                     last holder of `{label}`: {theirs}"
+                );
+            }
+        }
+    });
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    HELD.with(|cell| {
+        let mut held = cell.borrow_mut();
+        held.push(Held { id, label, rank });
+        let chain = format!(
+            "{} [{}]",
+            std::thread::current().name().unwrap_or("<unnamed>"),
+            chain_of(&held[..held.len() - 1], label, rank)
+        );
+        holders()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(label, chain);
+    });
+    HeldToken(Some(id))
+}
+
+/// Labels currently held by this thread, outermost first. Exposed for
+/// tests and diagnostics.
+pub fn held_labels() -> Vec<&'static str> {
+    HELD.with(|cell| cell.borrow().iter().map(|h| h.label).collect())
+}
+
+/// The number of edges in the embedded DAG. Zero means the golden is
+/// missing or empty — the lint pass errors on that before this build
+/// would even be worth running.
+pub fn dag_edges() -> usize {
+    dag().len()
+}

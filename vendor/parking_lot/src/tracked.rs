@@ -1,0 +1,185 @@
+//! The `tracked` build: same API as [`crate::plain`], but labeled
+//! acquisitions are checked against the committed lock-order DAG by
+//! [`crate::sanitizer`]. Guards wrap the std guards and release their
+//! held-stack entry on drop.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+use crate::sanitizer::{self, HeldToken};
+
+/// A mutex that does not poison. Labeled instances are sanitized.
+#[derive(Default)]
+pub struct Mutex<T> {
+    label: Option<&'static str>,
+    rank: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new (unlabeled, untracked) mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            label: None,
+            rank: 0,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a labeled mutex enrolled in the lock-order sanitizer.
+    pub const fn labeled(label: &'static str, value: T) -> Self {
+        Self::labeled_ranked(label, 0, value)
+    }
+
+    /// Creates a labeled mutex with a rank: same-label acquisitions
+    /// must ascend strictly by rank (shard locks by index).
+    pub const fn labeled_ranked(label: &'static str, rank: usize, value: T) -> Self {
+        Mutex {
+            label: Some(label),
+            rank,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread. Panics if a
+    /// labeled acquisition violates the committed DAG.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let token = sanitizer::acquire(self.label, self.rank);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            _token: token,
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`]; releases the sanitizer entry on drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A reader-writer lock that does not poison. Labeled instances are
+/// sanitized; read and write acquisitions are tracked identically
+/// (the DAG orders *objects*, not access modes).
+#[derive(Default)]
+pub struct RwLock<T> {
+    label: Option<&'static str>,
+    rank: usize,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new (unlabeled, untracked) lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            label: None,
+            rank: 0,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a labeled lock enrolled in the lock-order sanitizer.
+    pub const fn labeled(label: &'static str, value: T) -> Self {
+        Self::labeled_ranked(label, 0, value)
+    }
+
+    /// Creates a labeled lock with a rank: same-label acquisitions
+    /// must ascend strictly by rank (shard locks by index).
+    pub const fn labeled_ranked(label: &'static str, rank: usize, value: T) -> Self {
+        RwLock {
+            label: Some(label),
+            rank,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let token = sanitizer::acquire(self.label, self.rank);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            _token: token,
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let token = sanitizer::acquire(self.label, self.rank);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            _token: token,
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Read guard for [`RwLock`]; releases the sanitizer entry on drop.
+pub struct RwLockReadGuard<'a, T> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Write guard for [`RwLock`]; releases the sanitizer entry on drop.
+pub struct RwLockWriteGuard<'a, T> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
