@@ -14,6 +14,7 @@ use fremont_journal::query::InterfaceQuery;
 use fremont_journal::store::Journal;
 use fremont_journal::time::JTime;
 use fremont_net::{MacAddr, Subnet, SubnetMask};
+use fremont_telemetry::Telemetry;
 
 /// A subnet whose interfaces disagree about the mask.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -517,6 +518,35 @@ impl ProblemReport {
     }
 }
 
+/// Publishes a report's per-class finding counts as
+/// `fremont_analysis_findings` gauges (labelled by class), so live
+/// surfaces — the Introspect RPC, `campus_survey --watch` — can read
+/// problem counts out of the exposition. All eight classes are always
+/// published (a zero is information), keeping the exposition's line
+/// set identical from the first report onward.
+pub fn publish_findings(telemetry: &Telemetry, report: &ProblemReport) {
+    if !telemetry.enabled() {
+        return;
+    }
+    let classes: [(&str, usize); 8] = [
+        ("stale", report.stale.len()),
+        ("hardware_change", report.hardware_changes.len()),
+        ("mask_conflict", report.mask_conflicts.len()),
+        ("duplicate", report.duplicates.len()),
+        ("promiscuous_rip", report.promiscuous.len()),
+        ("stale_route", report.stale_routes.len()),
+        ("silent_subnet", report.silent_subnets.len()),
+        ("clock_skew", report.clock_skew.len()),
+    ];
+    for (class, n) in classes {
+        telemetry.gauge_set(
+            "fremont_analysis_findings",
+            &format!("class=\"{class}\""),
+            n as u64,
+        );
+    }
+}
+
 impl std::fmt::Display for ProblemReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Problems Uncovered ({} findings)", self.total())?;
@@ -918,5 +948,19 @@ mod tests {
         assert_eq!(found[0].ip, Some(ip("10.0.0.5")));
         assert_eq!(found[0].ahead_secs, 86400);
         assert!(clock_skew_suspects(&j, JTime::from_days(12)).is_empty());
+    }
+
+    #[test]
+    fn publish_findings_exports_every_class() {
+        let (tel, rec) = fremont_telemetry::Telemetry::recording();
+        publish_findings(&tel, &ProblemReport::default());
+        let exposition = rec.expose();
+        let lines: Vec<&str> = exposition
+            .lines()
+            .filter(|l| l.starts_with("fremont_analysis_findings{"))
+            .collect();
+        assert_eq!(lines.len(), 8, "{exposition}");
+        assert!(lines.contains(&"fremont_analysis_findings{class=\"stale\"} 0"));
+        assert!(lines.contains(&"fremont_analysis_findings{class=\"clock_skew\"} 0"));
     }
 }

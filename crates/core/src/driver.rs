@@ -19,6 +19,7 @@ use fremont_explorers::{
     EtherHostProbe, EtherHostProbeConfig, RipWatch, RipWatchConfig, SeqPing, SeqPingConfig,
     SubnetMasks, SubnetMasksConfig, Traceroute, TracerouteConfig,
 };
+use fremont_journal::client::RemoteJournal;
 use fremont_journal::observation::{Observation, Source};
 use fremont_journal::proto::StoreBatchItem;
 use fremont_journal::query::{InterfaceQuery, SubnetQuery};
@@ -62,6 +63,16 @@ pub struct DriverConfig {
     /// partitioned segment) degrades discovery instead of stopping it.
     /// `None` (the default) never times out.
     pub max_module_runtime: Option<SimDuration>,
+    /// Address of a remote Journal Server (`host:port`). When set,
+    /// [`DiscoveryDriver::open`] writes through: every batch is applied
+    /// to the local in-memory journal (the authoritative, deterministic
+    /// replica the manager plans from) *and* shipped over TCP, with the
+    /// driver's trace context propagated in each frame. Overrides
+    /// `persistence`.
+    pub remote_journal: Option<String>,
+    /// Distributed trace id stamped on remote stores (0 disables
+    /// propagation). Only meaningful with `remote_journal`.
+    pub trace_id: u64,
 }
 
 impl DriverConfig {
@@ -76,6 +87,8 @@ impl DriverConfig {
             persistence: PersistencePolicy::InMemory,
             telemetry: Telemetry::noop(),
             max_module_runtime: None,
+            remote_journal: None,
+            trace_id: 1,
         }
     }
 }
@@ -88,6 +101,9 @@ enum Backend {
     Snapshot { path: PathBuf },
     /// WAL-backed: every stored observation is logged ahead of apply.
     Wal(DurableJournal),
+    /// Write-through to a remote Journal Server: the local journal is
+    /// the deterministic replica, the server gets a traced copy.
+    Remote(RemoteJournal),
 }
 
 /// The running deployment: simulator + journal + manager.
@@ -147,6 +163,25 @@ impl DiscoveryDriver {
     /// points; in-memory starts empty.
     pub fn open(mut sim: Sim, home: NodeId, cfg: DriverConfig) -> std::io::Result<Self> {
         sim.set_telemetry(cfg.telemetry.clone());
+        if let Some(addr) = &cfg.remote_journal {
+            let client = RemoteJournal::connect_traced(addr, cfg.telemetry.clone(), cfg.trace_id)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let driver = DiscoveryDriver {
+                sim,
+                journal: SharedJournal::new(),
+                manager: DiscoveryManager::new(),
+                recovery: None,
+                cfg,
+                home,
+                backend: Backend::Remote(client),
+                running: HashMap::new(),
+                loads: BTreeMap::new(),
+                pump_cycle: 0,
+                module_timeouts: 0,
+            };
+            driver.publish_startup();
+            return Ok(driver);
+        }
         let (journal, backend, recovery) = match &cfg.persistence {
             PersistencePolicy::InMemory => (SharedJournal::new(), Backend::InMemory, None),
             PersistencePolicy::SnapshotOnly { path } => {
@@ -214,9 +249,33 @@ impl DiscoveryDriver {
     /// in-memory journal applies the whole group under one write-lock
     /// acquisition, and WAL deployments log the whole group ahead of
     /// apply with at most one fsync.
-    fn store_batched(&self, batches: &[StoreBatchItem]) -> StoreSummary {
+    ///
+    /// With a real `parent` span, the backend's leg of the work joins
+    /// the pump's trace: WAL deployments emit `wal.append`/`wal.fsync`
+    /// children, remote deployments open a `client.store_batch` span
+    /// whose context rides in the frame to the server.
+    fn store_batched(
+        &self,
+        batches: &[StoreBatchItem],
+        parent: SpanId,
+        at: TelTime,
+    ) -> StoreSummary {
         match &self.backend {
-            Backend::Wal(durable) => durable.store_batch(batches).unwrap_or_default(),
+            Backend::Wal(durable) => durable
+                .store_batch_traced(batches, parent, at)
+                .unwrap_or_default(),
+            Backend::Remote(client) => {
+                // The local replica is authoritative: its summary (and
+                // the planning reads against it) stay deterministic even
+                // if the remote side drops the connection mid-batch.
+                let summary = self.journal.store_batch(batches).unwrap_or_default();
+                if client.store_batch_traced(batches, parent, at).is_err() {
+                    self.cfg
+                        .telemetry
+                        .counter_add("fremont_driver_remote_errors_total", "", 1);
+                }
+                summary
+            }
             _ => self.journal.store_batch(batches).unwrap_or_default(),
         }
     }
@@ -230,6 +289,9 @@ impl DiscoveryDriver {
             Backend::InMemory => Ok(()),
             Backend::Snapshot { path } => self.journal.read(JournalSnapshot::capture).save(path),
             Backend::Wal(durable) => durable.compact(),
+            Backend::Remote(client) => client
+                .flush()
+                .map_err(|e| std::io::Error::other(e.to_string())),
         }
     }
 
@@ -282,13 +344,17 @@ impl DiscoveryDriver {
         let drained_count = drained.len();
         let groups = group_drained(drained);
         let batch_count = groups.len();
+        let mut merged = 0u64;
         for (handle, batches) in &groups {
-            let summary = self.store_batched(batches);
+            let summary = self.store_batched(batches, drain_span, at);
+            merged += (summary.created + summary.updated + summary.verified) as u64;
             if let Some(m) = self.running.values_mut().find(|m| m.handle == *handle) {
                 m.stored.absorb(summary);
             }
         }
         if tel.enabled() {
+            tel.work(drain_span, "observations", drained_count as u64, at);
+            tel.work(drain_span, "merge_ops", merged, at);
             tel.span_end(
                 drain_span,
                 &format!("observations={drained_count} batches={batch_count}"),
@@ -332,6 +398,7 @@ impl DiscoveryDriver {
             self.retire(source, at, root);
         }
         if tel.enabled() {
+            tel.work(retire_span, "module_runs", retired_count as u64, at);
             tel.span_end(retire_span, &format!("retired={retired_count}"), at);
         }
 
@@ -363,12 +430,17 @@ impl DiscoveryDriver {
             let derived = self.journal.read(correlate);
             let derived_count = derived.len();
             if !derived.is_empty() {
-                let _ = self.store_batched(&[StoreBatchItem {
-                    now,
-                    observations: derived,
-                }]);
+                let _ = self.store_batched(
+                    &[StoreBatchItem {
+                        now,
+                        observations: derived,
+                    }],
+                    corr_span,
+                    at,
+                );
             }
             if tel.enabled() {
+                tel.work(corr_span, "observations", derived_count as u64, at);
                 tel.span_end(corr_span, &format!("derived={derived_count}"), at);
             }
         }
@@ -646,9 +718,10 @@ impl DiscoveryDriver {
             let slice = self.cfg.pump_interval.min(deadline - self.sim.now());
             self.sim.run_for(slice);
             // Pump observations only (no new spawns), batched like pump().
+            let at = TelTime(self.sim.now().as_micros());
             let groups = group_drained(self.sim.drain_observations());
             for (h, batches) in &groups {
-                let s = self.store_batched(batches);
+                let s = self.store_batched(batches, SpanId::NONE, at);
                 if *h == handle {
                     if let Some(m) = self.running.get_mut(&source) {
                         m.stored.absorb(s);

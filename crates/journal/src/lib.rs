@@ -58,9 +58,9 @@ pub mod store;
 pub mod time;
 
 pub use observation::{Fact, Observation, Source, SourceSet};
-pub use proto::StoreBatchItem;
+pub use proto::{IntrospectReport, StoreBatchItem, TraceContext, WalStateReport};
 pub use query::{InterfaceQuery, SubnetQuery};
 pub use records::{GatewayId, GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
-pub use server::{JournalAccess, JournalServer, SharedJournal};
+pub use server::{build_introspection, JournalAccess, JournalServer, SharedJournal};
 pub use store::{Journal, JournalStats, ShardMetrics, ShardingMetrics, StoreSummary};
 pub use time::{JTime, Timestamped};

@@ -13,15 +13,59 @@ use std::io::{self, Read, Write};
 
 use serde::{Deserialize, Serialize};
 
+use fremont_telemetry::TraceEvent;
+
 use crate::observation::Observation;
 use crate::query::{InterfaceQuery, SubnetQuery};
 use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
-use crate::store::{JournalStats, StoreSummary};
+use crate::store::{JournalStats, ShardingMetrics, StoreSummary};
 use crate::time::JTime;
 
 /// Maximum accepted frame size (16 MiB) — a full campus journal fits with
 /// room to spare (Table 2 of the paper estimates under 4 MB).
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Cross-process causal context, carried with every request frame.
+///
+/// A traced caller (the discovery driver) stamps each RPC with its
+/// trace id, the caller-side span the RPC belongs to, and the
+/// caller's clock; the server opens its spans against that clock so a
+/// stitched trace is deterministic even though the server has no sim
+/// clock of its own. The all-zero context means "untraced" and costs
+/// the server nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Distributed trace id (0 = untraced).
+    pub trace_id: u64,
+    /// Caller-side span id this request is causally under.
+    pub parent_span: u64,
+    /// Caller's clock, in microseconds of simulated/journal time.
+    pub at_micros: u64,
+}
+
+impl TraceContext {
+    /// The untraced context.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        parent_span: 0,
+        at_micros: 0,
+    };
+
+    /// Whether the caller asked for server-side spans.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// What actually travels in a request frame: the request plus its
+/// causal context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Causal context ([`TraceContext::NONE`] when untraced).
+    pub ctx: TraceContext,
+    /// The request proper.
+    pub req: Request,
+}
 
 /// A request to the Journal Server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +102,14 @@ pub enum Request {
         /// The batches, in submission order.
         batches: Vec<StoreBatchItem>,
     },
+    /// Live introspection: a point-in-time self-description of the
+    /// server (stats, shard activity, WAL state, metrics snapshot,
+    /// trace tail, health verdict), served from existing stats paths
+    /// with no extra locking.
+    Introspect {
+        /// How many of the most recent trace events to include.
+        trace_tail: u64,
+    },
 }
 
 /// One timestamped run of observations inside a [`Request::StoreBatch`].
@@ -86,8 +138,45 @@ pub enum Response {
     Stats(JournalStats),
     /// Result of Flush.
     Flushed,
+    /// Result of Introspect.
+    Introspection(Box<IntrospectReport>),
     /// The server could not satisfy the request.
     Error(String),
+}
+
+/// Write-ahead-log segment state, for durable backends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalStateReport {
+    /// Sequence number of the first record in the current segment.
+    pub segment_first_seq: u64,
+    /// Next record sequence number to be assigned.
+    pub next_seq: u64,
+    /// Bytes written to the current segment so far.
+    pub segment_bytes: u64,
+    /// The writer's sync policy, rendered for humans.
+    pub sync_policy: String,
+}
+
+/// The server's live self-description, answered to
+/// [`Request::Introspect`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntrospectReport {
+    /// Journal record counts.
+    pub stats: JournalStats,
+    /// Per-shard store activity, when the backend exposes it.
+    pub shards: Option<ShardingMetrics>,
+    /// WAL segment state, when the backend is durable.
+    pub wal: Option<WalStateReport>,
+    /// Prometheus-style metrics snapshot (empty when the server runs
+    /// without telemetry).
+    pub metrics: String,
+    /// The most recent server trace events, oldest-first.
+    pub trace_tail: Vec<TraceEvent>,
+    /// Events evicted from the server's trace ring so far.
+    pub trace_dropped: u64,
+    /// Deterministic health verdict: `ok`, `degraded: ...`, or
+    /// `unknown` (no telemetry attached).
+    pub health: String,
 }
 
 /// Errors from the protocol layer.
@@ -262,6 +351,57 @@ mod tests {
         write_frame(&mut buf, &req).unwrap();
         let back: Request = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn envelope_roundtrip_preserves_context() {
+        let env = RequestEnvelope {
+            ctx: TraceContext {
+                trace_id: 7,
+                parent_span: 42,
+                at_micros: 1_000_000,
+            },
+            req: Request::StoreBatch {
+                batches: vec![StoreBatchItem {
+                    now: JTime(1),
+                    observations: vec![],
+                }],
+            },
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &env).unwrap();
+        let back: RequestEnvelope = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back, env);
+        assert!(back.ctx.is_traced());
+        assert!(!TraceContext::NONE.is_traced());
+    }
+
+    #[test]
+    fn introspection_roundtrip() {
+        let report = IntrospectReport {
+            stats: JournalStats {
+                interfaces: 3,
+                gateways: 1,
+                subnets: 2,
+                observations_applied: 40,
+            },
+            shards: None,
+            wal: Some(WalStateReport {
+                segment_first_seq: 10,
+                next_seq: 17,
+                segment_bytes: 512,
+                sync_policy: "EveryAppend".into(),
+            }),
+            metrics: "fremont_journal_rpc_total 4\n".into(),
+            trace_tail: vec![],
+            trace_dropped: 0,
+            health: "ok".into(),
+        };
+        let resp = Response::Introspection(Box::new(report));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let back: Response = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -15,10 +15,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use fremont_telemetry::{bounds, Telemetry};
+use fremont_telemetry::{bounds, SpanId, TelTime, Telemetry};
 
 use crate::observation::Observation;
-use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, StoreBatchItem};
+use crate::proto::{
+    read_frame, write_frame, IntrospectReport, ProtoError, Request, RequestEnvelope, Response,
+    StoreBatchItem, WalStateReport,
+};
 use crate::query::{InterfaceQuery, SubnetQuery};
 use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
 use crate::snapshot::JournalSnapshot;
@@ -68,6 +71,26 @@ pub trait JournalAccess {
     /// Per-shard activity metrics, for backends wrapping the sharded
     /// in-process store. `None` for remote or opaque backends.
     fn sharding_metrics(&self) -> Option<ShardingMetrics> {
+        None
+    }
+
+    /// Like [`JournalAccess::store_batch`], causally attributed:
+    /// `parent`/`at` locate the write under an open span of the
+    /// backend's telemetry sink. The default ignores the attribution;
+    /// backends with span-aware write paths (the WAL-backed store,
+    /// the TCP client) override it to emit child spans.
+    fn store_batch_traced(
+        &self,
+        batches: &[StoreBatchItem],
+        parent: SpanId,
+        at: TelTime,
+    ) -> Result<StoreSummary, ProtoError> {
+        let _ = (parent, at);
+        self.store_batch(batches)
+    }
+
+    /// Write-ahead-log segment state, for durable backends.
+    fn wal_state(&self) -> Option<WalStateReport> {
         None
     }
 }
@@ -345,6 +368,79 @@ pub fn publish_sharding_metrics(telemetry: &Telemetry, m: &ShardingMetrics) {
     telemetry.gauge_set("fremont_journal_store_largest_batch", "", m.largest_batch);
 }
 
+/// Builds the live self-description answered to
+/// [`Request::Introspect`] — shared with `journal_server
+/// --status-interval` self-reports. Reads only paths that already
+/// exist for stats publication: journal stats, shard counters, WAL
+/// state, and the telemetry sink's own snapshot; no locks beyond
+/// those are taken.
+pub fn build_introspection<J: JournalAccess>(
+    journal: &J,
+    telemetry: &Telemetry,
+    trace_tail: u64,
+) -> IntrospectReport {
+    let stats = journal.stats().unwrap_or_default();
+    let shards = journal.sharding_metrics();
+    let wal = journal.wal_state();
+    let metrics = telemetry.exposition().unwrap_or_default();
+    let (tail, trace_dropped) = telemetry
+        .trace_tail(trace_tail as usize)
+        .unwrap_or_default();
+    let health = health_verdict(telemetry.enabled(), &metrics, trace_dropped);
+    IntrospectReport {
+        stats,
+        shards,
+        wal,
+        metrics,
+        trace_tail: tail,
+        trace_dropped,
+        health,
+    }
+}
+
+/// Derives a deterministic health verdict from the metrics snapshot:
+/// any error-class counter above zero degrades the verdict, and the
+/// reasons are listed so the reader need not diff expositions.
+fn health_verdict(telemetry_on: bool, metrics: &str, trace_dropped: u64) -> String {
+    if !telemetry_on {
+        return "unknown".to_owned();
+    }
+    let mut reasons = Vec::new();
+    for name in [
+        "fremont_journal_rpc_errors_total",
+        "fremont_journal_rpc_aborted_total",
+        "fremont_journal_connection_errors_total",
+        "fremont_journal_snapshot_errors_total",
+    ] {
+        let total = sum_series(metrics, name);
+        if total > 0 {
+            reasons.push(format!("{name}={total}"));
+        }
+    }
+    if trace_dropped > 0 {
+        reasons.push(format!("trace_dropped={trace_dropped}"));
+    }
+    if reasons.is_empty() {
+        "ok".to_owned()
+    } else {
+        format!("degraded: {}", reasons.join(" "))
+    }
+}
+
+/// Sums every series of `name` (any label set) in an exposition.
+fn sum_series(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix(name)?;
+            if !(rest.starts_with(' ') || rest.starts_with('{')) {
+                return None;
+            }
+            rest.rsplit(' ').next()?.parse::<u64>().ok()
+        })
+        .sum()
+}
+
 /// A reader that counts bytes pulled from the socket.
 struct CountingRead<R> {
     inner: R,
@@ -387,6 +483,7 @@ fn rpc_label(req: &Request) -> &'static str {
         Request::Stats => "rpc=\"stats\"",
         Request::Flush => "rpc=\"flush\"",
         Request::StoreBatch { .. } => "rpc=\"store_batch\"",
+        Request::Introspect { .. } => "rpc=\"introspect\"",
     }
 }
 
@@ -416,14 +513,51 @@ fn serve_connection<J: JournalAccess>(
     });
     let (mut published_r, mut published_w) = (0u64, 0u64);
     let result = loop {
-        match read_frame::<_, Request>(&mut reader) {
-            Ok(Some(req)) => {
+        let frame_mark = reader.get_ref().count;
+        match read_frame::<_, RequestEnvelope>(&mut reader) {
+            Ok(Some(RequestEnvelope { ctx, req })) => {
                 telemetry.counter_add("fremont_journal_rpc_total", rpc_label(&req), 1);
-                let resp = handle_request(journal, snapshot_path, telemetry, req);
+                // A traced frame gets a server-side span tree, stamped
+                // with the *caller's* clock — the server has no sim
+                // clock, and using the caller's keeps stitched traces
+                // deterministic. Untraced frames (queries, probes)
+                // leave the server trace untouched.
+                let at = TelTime(ctx.at_micros);
+                let rpc_span = if ctx.is_traced() {
+                    telemetry.span_start_remote(
+                        "server.rpc",
+                        rpc_label(&req),
+                        SpanId::NONE,
+                        ctx.trace_id,
+                        ctx.parent_span,
+                        at,
+                    )
+                } else {
+                    SpanId::NONE
+                };
+                if rpc_span.is_real() {
+                    // Request/response lockstep means everything read
+                    // since the previous frame boundary belongs to
+                    // this frame (length prefix included).
+                    let frame_bytes = reader.get_ref().count - frame_mark;
+                    let decode = telemetry.span_start("server.decode", "", rpc_span, at);
+                    telemetry.work(decode, "bytes", frame_bytes, at);
+                    telemetry.span_end(decode, &format!("bytes={frame_bytes}"), at);
+                }
+                let resp = handle_request(journal, snapshot_path, telemetry, req, rpc_span, at);
                 if matches!(resp, Response::Error(_)) {
                     telemetry.counter_add("fremont_journal_rpc_errors_total", "kind=\"server\"", 1);
                 }
-                if let Err(e) = write_frame(&mut writer, &resp) {
+                let write_mark = writer.count;
+                let wres = write_frame(&mut writer, &resp);
+                if rpc_span.is_real() {
+                    let reply = telemetry.span_start("server.reply", "", rpc_span, at);
+                    telemetry.work(reply, "bytes", writer.count - write_mark, at);
+                    let verdict = if wres.is_ok() { "ok" } else { "aborted" };
+                    telemetry.span_end(reply, verdict, at);
+                    telemetry.span_end(rpc_span, verdict, at);
+                }
+                if let Err(e) = wres {
                     break Err(e);
                 }
             }
@@ -439,6 +573,10 @@ fn serve_connection<J: JournalAccess>(
     };
     if let Err(e) = &result {
         telemetry.counter_add("fremont_journal_rpc_errors_total", error_kind_label(e), 1);
+        // A connection that dies inside a request/response exchange is
+        // an aborted RPC: the frame decoded and the span tree closed
+        // (or never opened), but the caller cannot know the outcome.
+        telemetry.counter_add("fremont_journal_rpc_aborted_total", "", 1);
     }
     let (r, w) = (reader.get_ref().count, writer.count);
     telemetry.counter_add("fremont_journal_bytes_read_total", "", r - published_r);
@@ -451,6 +589,8 @@ fn handle_request<J: JournalAccess>(
     snapshot_path: Option<&std::path::Path>,
     telemetry: &Telemetry,
     req: Request,
+    rpc_span: SpanId,
+    at: TelTime,
 ) -> Response {
     match req {
         Request::Store { now, observations } => {
@@ -463,17 +603,29 @@ fn handle_request<J: JournalAccess>(
                 bounds::WORK_UNITS,
                 observations.len() as u64,
             );
+            let apply = if rpc_span.is_real() {
+                telemetry.span_start("server.apply", "", rpc_span, at)
+            } else {
+                SpanId::NONE
+            };
             match journal.store(now, &observations) {
                 Ok(s) => {
+                    let merged = (s.created + s.updated + s.verified) as u64;
                     telemetry.observe(
                         "fremont_journal_store_merge_ops",
                         "",
                         bounds::WORK_UNITS,
-                        (s.created + s.updated + s.verified) as u64,
+                        merged,
                     );
+                    telemetry.work(apply, "observations", observations.len() as u64, at);
+                    telemetry.work(apply, "merge_ops", merged, at);
+                    telemetry.span_end(apply, &format!("merged={merged}"), at);
                     Response::Stored(s)
                 }
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => {
+                    telemetry.span_end(apply, "error", at);
+                    Response::Error(e.to_string())
+                }
             }
         }
         Request::StoreBatch { batches } => {
@@ -484,18 +636,35 @@ fn handle_request<J: JournalAccess>(
                 bounds::WORK_UNITS,
                 total,
             );
-            match journal.store_batch(&batches) {
+            let apply = if rpc_span.is_real() {
+                telemetry.span_start("server.apply", "", rpc_span, at)
+            } else {
+                SpanId::NONE
+            };
+            match journal.store_batch_traced(&batches, apply, at) {
                 Ok(s) => {
+                    let merged = (s.created + s.updated + s.verified) as u64;
                     telemetry.observe(
                         "fremont_journal_store_merge_ops",
                         "",
                         bounds::WORK_UNITS,
-                        (s.created + s.updated + s.verified) as u64,
+                        merged,
                     );
+                    telemetry.work(apply, "observations", total, at);
+                    telemetry.work(apply, "merge_ops", merged, at);
+                    telemetry.span_end(apply, &format!("merged={merged}"), at);
                     Response::Stored(s)
                 }
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => {
+                    telemetry.span_end(apply, "error", at);
+                    Response::Error(e.to_string())
+                }
             }
+        }
+        Request::Introspect { trace_tail } => {
+            // Cap the tail so the reply stays well under MAX_FRAME.
+            let capped = trace_tail.min(4096);
+            Response::Introspection(Box::new(build_introspection(journal, telemetry, capped)))
         }
         Request::GetInterfaces(q) => match journal.interfaces(&q) {
             Ok(v) => Response::Interfaces(v),
@@ -537,6 +706,48 @@ mod tests {
     use super::*;
     use crate::observation::Source;
     use std::net::Ipv4Addr;
+
+    #[test]
+    fn health_verdict_reports_reasons() {
+        assert_eq!(health_verdict(false, "", 0), "unknown");
+        assert_eq!(
+            health_verdict(true, "fremont_journal_rpc_total 9\n", 0),
+            "ok"
+        );
+        let expo = "fremont_journal_rpc_errors_total{kind=\"io\"} 2\n\
+                    fremont_journal_rpc_errors_total{kind=\"server\"} 1\n";
+        let v = health_verdict(true, expo, 4);
+        assert_eq!(
+            v,
+            "degraded: fremont_journal_rpc_errors_total=3 trace_dropped=4"
+        );
+    }
+
+    #[test]
+    fn introspection_over_shared_journal() {
+        let (tel, _rec) = fremont_telemetry::Telemetry::recording();
+        let j = SharedJournal::new();
+        j.store(
+            JTime(1),
+            &[Observation::ip_alive(
+                Source::SeqPing,
+                Ipv4Addr::new(10, 0, 0, 9),
+            )],
+        )
+        .unwrap();
+        tel.event("warm", "", SpanId::NONE, TelTime(5));
+        let report = build_introspection(&j, &tel, 16);
+        assert_eq!(report.stats.interfaces, 1);
+        assert!(report.shards.is_some());
+        assert!(report.wal.is_none());
+        assert_eq!(report.health, "ok");
+        assert_eq!(report.trace_tail.len(), 1);
+        assert!(report.metrics.contains("fremont_trace_dropped_total 0"));
+        // Without telemetry the report degrades gracefully.
+        let bare = build_introspection(&j, &Telemetry::noop(), 16);
+        assert_eq!(bare.health, "unknown");
+        assert!(bare.metrics.is_empty());
+    }
 
     #[test]
     fn shared_journal_access() {

@@ -72,7 +72,7 @@ impl StoreCounters {
 }
 
 /// Point-in-time view of one shard's activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardMetrics {
     /// Shard index.
     pub shard: usize,
@@ -85,7 +85,7 @@ pub struct ShardMetrics {
 }
 
 /// Point-in-time view of the sharded store's activity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardingMetrics {
     /// Per-shard counters, indexed by shard.
     pub shards: Vec<ShardMetrics>,

@@ -1,0 +1,82 @@
+//! RPC-boundary tracing under faults: a connection that dies mid-RPC
+//! must leave the server-side span tree balanced (every opened span
+//! closed — the trace still validates) and must be counted as an
+//! aborted RPC in `fremont_journal_rpc_aborted_total`.
+
+use std::io::{BufReader, Write};
+use std::net::{Ipv4Addr, TcpStream};
+
+use fremont_journal::observation::{Observation, Source};
+use fremont_journal::proto::{
+    read_frame, write_frame, Request, RequestEnvelope, Response, StoreBatchItem, TraceContext,
+};
+use fremont_journal::server::{JournalServer, SharedJournal};
+use fremont_journal::time::JTime;
+use fremont_telemetry::trace::{parse_jsonl, validate};
+use fremont_telemetry::Telemetry;
+
+#[test]
+fn mid_rpc_disconnect_balances_spans_and_counts_the_abort() {
+    let (telemetry, rec) = Telemetry::recording();
+    let server =
+        JournalServer::start_with_telemetry(SharedJournal::new(), "127.0.0.1:0", None, telemetry)
+            .unwrap();
+
+    // A traced StoreBatch that completes normally: the server opens its
+    // per-RPC span tree (rpc -> decode/apply/reply) under our claimed
+    // parent span and closes it with the reply.
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    let env = RequestEnvelope {
+        ctx: TraceContext {
+            trace_id: 9,
+            parent_span: 5,
+            at_micros: 1_000,
+        },
+        req: Request::StoreBatch {
+            batches: vec![StoreBatchItem {
+                now: JTime(1),
+                observations: vec![Observation::ip_alive(
+                    Source::SeqPing,
+                    Ipv4Addr::new(10, 9, 0, 1),
+                )],
+            }],
+        },
+    };
+    write_frame(&mut sock, &env).unwrap();
+    let reply: Response = read_frame(&mut BufReader::new(&sock)).unwrap().unwrap();
+    assert!(matches!(reply, Response::Stored(_)), "got {reply:?}");
+
+    // Now the fault: a second frame whose header promises 100 bytes but
+    // whose body stops after three — then the connection dies. On the
+    // server this is a read failure inside a frame, not a clean EOF.
+    sock.write_all(&100u32.to_be_bytes()).unwrap();
+    sock.write_all(b"abc").unwrap();
+    drop(sock);
+
+    // The handler notices asynchronously; wait for the abort counter.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while rec.counter("fremont_journal_rpc_aborted_total", "") == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "aborted RPC was never counted"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    server.shutdown();
+
+    assert_eq!(rec.counter("fremont_journal_rpc_aborted_total", ""), 1);
+
+    // The abort must not leave a dangling span: every server span that
+    // opened also closed, so the whole trace still validates, and the
+    // traced RPC's tree is present under the caller's context.
+    let events = parse_jsonl(&rec.trace_jsonl()).unwrap();
+    let summary = validate(&events).expect("server trace must stay balanced after an abort");
+    assert!(summary.spans >= 4, "rpc/decode/apply/reply: {summary:?}");
+    let rpc = events
+        .iter()
+        .find(|e| e.kind == "span_start" && e.name == "server.rpc")
+        .expect("traced RPC opened a server.rpc span");
+    assert_eq!(rpc.trace_id, 9);
+    assert_eq!(rpc.remote_parent, 5);
+    assert_eq!(rpc.at, 1_000);
+}

@@ -624,7 +624,23 @@ impl Sim {
 
     /// Runs until the queue drains or `deadline` passes. The clock ends at
     /// exactly `deadline` if it was reached.
+    ///
+    /// With a telemetry sink attached, each call is wrapped in a
+    /// `sim.run` span attributing the slice's logical work (events
+    /// dispatched, frames put on the wire) to the profiler's folded
+    /// stacks. The span opens at the slice's start; its work and close
+    /// are stamped with the slice's end, so interior events (faults,
+    /// node up/down) keep the trace stream monotone.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let traced = self.telemetry.enabled();
+        let span = if traced {
+            let at = TelTime(self.now.as_micros());
+            self.telemetry.span_start("sim.run", "", SpanId::NONE, at)
+        } else {
+            SpanId::NONE
+        };
+        let events_before = self.stats.events_processed;
+        let frames_before = self.frames_sent_total();
         while let Some(Reverse(q)) = self.queue.peek() {
             if q.at > deadline {
                 break;
@@ -634,6 +650,20 @@ impl Sim {
         if self.now < deadline {
             self.now = deadline;
         }
+        if traced {
+            let at = TelTime(self.now.as_micros());
+            let events = self.stats.events_processed - events_before;
+            let frames = self.frames_sent_total() - frames_before;
+            self.telemetry.work(span, "sim_events", events, at);
+            self.telemetry.work(span, "frames", frames, at);
+            self.telemetry
+                .span_end(span, &format!("events={events} frames={frames}"), at);
+        }
+    }
+
+    /// Sum of frames sent across all segments (for work attribution).
+    fn frames_sent_total(&self) -> u64 {
+        self.segments.iter().map(|s| s.stats.frames_sent).sum()
     }
 
     /// Runs for a span of simulated time.

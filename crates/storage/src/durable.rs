@@ -27,7 +27,7 @@ use fremont_telemetry::{SpanId, TelTime, Telemetry};
 use parking_lot::Mutex;
 
 use fremont_journal::observation::Observation;
-use fremont_journal::proto::{ProtoError, StoreBatchItem};
+use fremont_journal::proto::{ProtoError, StoreBatchItem, WalStateReport};
 use fremont_journal::query::{InterfaceQuery, SubnetQuery};
 use fremont_journal::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
 use fremont_journal::server::{JournalAccess, SharedJournal};
@@ -318,13 +318,26 @@ impl DurableJournal {
     /// applying it, as a single group — one WAL lock acquisition, one
     /// buffered segment write, and at most one fsync for the whole
     /// call (the sync policy is applied once, after the group).
-    fn store_runs(&self, runs: &[(JTime, &[Observation])]) -> Result<StoreSummary, ProtoError> {
+    ///
+    /// With a real `parent` span and an enabled sink, the call also
+    /// emits the storage leg of the causal trace: a `wal.append` child
+    /// span attributing appended bytes and observations, plus a
+    /// `wal.fsync` child when the sync policy fired. Both are logical
+    /// (same `at` for start and end) and are pushed only after the WAL
+    /// lock is released.
+    fn store_runs(
+        &self,
+        runs: &[(JTime, &[Observation])],
+        parent: SpanId,
+        at: TelTime,
+    ) -> Result<StoreSummary, ProtoError> {
         let total: usize = runs.iter().map(|(_, obs)| obs.len()).sum();
         if total == 0 {
             return Ok(StoreSummary::default());
         }
         // fremont-lint: allow(lock-order) -- WAL-before-journal is the crate's one lock order; store/compact/delete all follow it
         let mut wal = self.wal.lock();
+        let bytes_before = wal.writer.bytes();
         let mut fsyncs = 0u64;
         let summary = self
             .shared
@@ -352,6 +365,8 @@ impl DurableJournal {
                 ))
             })
             .map_err(io_err)?;
+        // Captured before the rotation check: rotation resets bytes().
+        let appended = wal.writer.bytes().saturating_sub(bytes_before);
         self.telemetry
             .counter_add("fremont_wal_appends_total", "", total as u64);
         if fsyncs > 0 {
@@ -361,21 +376,61 @@ impl DurableJournal {
         if wal.writer.bytes() >= wal.cfg.max_segment_bytes {
             self.compact_locked(&mut wal).map_err(io_err)?;
         }
+        drop(wal);
+        if parent.is_real() && self.telemetry.enabled() {
+            let span = self.telemetry.span_start("wal.append", "", parent, at);
+            self.telemetry.work(span, "bytes", appended, at);
+            self.telemetry.work(span, "observations", total as u64, at);
+            self.telemetry
+                .span_end(span, &format!("records={total} bytes={appended}"), at);
+            if fsyncs > 0 {
+                let span = self.telemetry.span_start("wal.fsync", "", parent, at);
+                self.telemetry.work(span, "fsyncs", fsyncs, at);
+                self.telemetry.span_end(span, "synced", at);
+            }
+        }
         Ok(summary)
     }
 }
 
 impl JournalAccess for DurableJournal {
     fn store(&self, now: JTime, observations: &[Observation]) -> Result<StoreSummary, ProtoError> {
-        self.store_runs(&[(now, observations)])
+        self.store_runs(&[(now, observations)], SpanId::NONE, TelTime(0))
     }
 
     fn store_batch(&self, batches: &[StoreBatchItem]) -> Result<StoreSummary, ProtoError> {
+        self.store_batch_traced(batches, SpanId::NONE, TelTime(0))
+    }
+
+    fn store_batch_traced(
+        &self,
+        batches: &[StoreBatchItem],
+        parent: SpanId,
+        at: TelTime,
+    ) -> Result<StoreSummary, ProtoError> {
         let runs: Vec<(JTime, &[Observation])> = batches
             .iter()
             .map(|b| (b.now, b.observations.as_slice()))
             .collect();
-        self.store_runs(&runs)
+        self.store_runs(&runs, parent, at)
+    }
+
+    fn wal_state(&self) -> Option<WalStateReport> {
+        let (segment_first_seq, segment_bytes, sync_policy) = {
+            let wal = self.wal.lock();
+            (
+                wal.writer.first_seq(),
+                wal.writer.bytes(),
+                format!("{:?}", wal.cfg.sync),
+            )
+        };
+        let next_seq = self.shared.stats().ok()?.observations_applied + 1;
+        Some(WalStateReport {
+            segment_first_seq,
+            next_seq,
+            segment_bytes,
+            sync_policy,
+        })
     }
 
     fn interfaces(&self, q: &InterfaceQuery) -> Result<Vec<InterfaceRecord>, ProtoError> {
@@ -562,6 +617,80 @@ mod tests {
         let (dj, report) = DurableJournal::open(cfg).unwrap();
         assert!(report.snapshot_loaded);
         assert_eq!(dj.stats().unwrap().interfaces, 5);
+    }
+
+    #[test]
+    fn traced_store_emits_balanced_wal_spans() {
+        let dir = tmp("traced-spans");
+        let (tel, rec) = fremont_telemetry::Telemetry::recording();
+        let (dj, _) =
+            DurableJournal::open_with_telemetry(WalConfig::new(&dir), tel.clone()).unwrap();
+        let parent = tel.span_start("driver.drain", "", SpanId::NONE, TelTime(5));
+        let batches = vec![StoreBatchItem {
+            now: JTime(1),
+            observations: vec![obs(1), obs(2)],
+        }];
+        dj.store_batch_traced(&batches, parent, TelTime(5)).unwrap();
+        tel.span_end(parent, "", TelTime(5));
+        let events = fremont_telemetry::trace::parse_jsonl(&rec.trace_jsonl()).unwrap();
+        fremont_telemetry::trace::validate(&events).unwrap();
+        let append = events
+            .iter()
+            .find(|e| e.kind == "span_start" && e.name == "wal.append")
+            .expect("wal.append span");
+        assert_eq!(append.parent, parent.0);
+        let fsync = events
+            .iter()
+            .find(|e| e.kind == "span_start" && e.name == "wal.fsync")
+            .expect("wal.fsync span (SyncPolicy::Always)");
+        assert_eq!(fsync.parent, parent.0);
+        let bytes = events
+            .iter()
+            .find(|e| e.kind == "work" && e.name == "bytes" && e.id == append.id)
+            .expect("bytes work attribution");
+        assert!(bytes.detail.parse::<u64>().unwrap() > 0);
+        let observations = events
+            .iter()
+            .find(|e| e.kind == "work" && e.name == "observations" && e.id == append.id)
+            .expect("observations work attribution");
+        assert_eq!(observations.detail, "2");
+    }
+
+    #[test]
+    fn untraced_store_emits_no_spans() {
+        let dir = tmp("untraced");
+        let (tel, rec) = fremont_telemetry::Telemetry::recording();
+        let (dj, _) = DurableJournal::open_with_telemetry(WalConfig::new(&dir), tel).unwrap();
+        let after_open = rec.trace_len(); // recovery emits one event
+        dj.store(JTime(1), &[obs(1)]).unwrap();
+        assert_eq!(
+            rec.trace_len(),
+            after_open,
+            "untraced writes stay span-free"
+        );
+        assert_eq!(rec.counter("fremont_wal_appends_total", ""), 1);
+    }
+
+    #[test]
+    fn wal_state_reflects_segment_and_seq() {
+        let dir = tmp("wal-state");
+        let (dj, _) = DurableJournal::open(WalConfig::new(&dir)).unwrap();
+        let st = dj.wal_state().unwrap();
+        assert_eq!(st.segment_first_seq, 1);
+        assert_eq!(st.next_seq, 1);
+        assert_eq!(st.segment_bytes, 0);
+        assert_eq!(st.sync_policy, "Always");
+        for i in 1..=3 {
+            dj.store(JTime(i), &[obs(i as u8)]).unwrap();
+        }
+        let st = dj.wal_state().unwrap();
+        assert_eq!(st.segment_first_seq, 1);
+        assert_eq!(st.next_seq, 4);
+        assert!(st.segment_bytes > 0);
+        dj.compact().unwrap();
+        let st = dj.wal_state().unwrap();
+        assert_eq!(st.segment_first_seq, 4, "rotation starts a fresh segment");
+        assert_eq!(st.segment_bytes, 0);
     }
 
     #[test]

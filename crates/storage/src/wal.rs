@@ -120,6 +120,7 @@ pub fn sync_dir(dir: &Path) -> io::Result<()> {
 pub struct WalWriter {
     file: File,
     path: PathBuf,
+    first_seq: u64,
     bytes: u64,
     sync: SyncPolicy,
     /// Appends not yet covered by an fsync.
@@ -141,6 +142,7 @@ impl WalWriter {
         Ok(WalWriter {
             file,
             path,
+            first_seq,
             bytes: 0,
             sync,
             unsynced: 0,
@@ -156,9 +158,15 @@ impl WalWriter {
             file.set_len(valid_bytes)?;
             file.sync_all()?;
         }
+        let first_seq = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_segment_name)
+            .unwrap_or(0);
         let mut w = WalWriter {
             file,
             path: path.to_path_buf(),
+            first_seq,
             bytes: valid_bytes,
             sync,
             unsynced: 0,
@@ -260,6 +268,12 @@ impl WalWriter {
     /// Bytes written to this segment (including framing).
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Sequence number the segment was opened for (0 when the name of
+    /// a reopened segment did not parse).
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
     }
 
     /// The segment file being appended to.

@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod trace;
 
 pub use metrics::{parse_exposition, Registry};
+pub use profile::Profiler;
 pub use recorder::Recorder;
 pub use trace::{TraceBuffer, TraceEvent};
 
@@ -153,6 +155,49 @@ pub trait TelemetrySink: Send + Sync {
     fn event(&self, name: &'static str, detail: &str, parent: SpanId, at: TelTime) {
         let _ = (name, detail, parent, at);
     }
+
+    /// Attributes `amount` units of logical work (observations,
+    /// bytes, sim events, ...) to an open span. This is the
+    /// profiler's raw material: folded stacks sum `work` records by
+    /// the span path they landed on.
+    fn work(&self, span: SpanId, unit: &'static str, amount: u64, at: TelTime) {
+        let _ = (span, unit, amount, at);
+    }
+
+    /// Opens a span that participates in a *distributed* trace.
+    ///
+    /// `trace_id` names the trace; `remote_parent` is the span id in
+    /// the remote process that caused this one (0 when this process
+    /// owns the trace — e.g. a client-side RPC span). `parent` still
+    /// nests the span locally. Defaults to a plain [`span_start`]
+    /// (no-op sinks ignore the remote linkage).
+    ///
+    /// [`span_start`]: TelemetrySink::span_start
+    fn span_start_remote(
+        &self,
+        name: &'static str,
+        label: &str,
+        parent: SpanId,
+        trace_id: u64,
+        remote_parent: u64,
+        at: TelTime,
+    ) -> SpanId {
+        let _ = (trace_id, remote_parent);
+        self.span_start(name, label, parent, at)
+    }
+
+    /// A point-in-time metrics exposition, if this sink records
+    /// metrics (`None` from no-op and profile-only sinks).
+    fn exposition(&self) -> Option<String> {
+        None
+    }
+
+    /// The most recent `n` trace events plus the ring's drop count,
+    /// if this sink keeps a trace.
+    fn trace_tail(&self, n: usize) -> Option<(Vec<TraceEvent>, u64)> {
+        let _ = n;
+        None
+    }
 }
 
 /// The always-off sink: every method is the trait default no-op.
@@ -193,6 +238,13 @@ impl Telemetry {
     pub fn recording_with_capacity(cap: usize) -> (Self, Arc<Recorder>) {
         let rec = Arc::new(Recorder::with_capacity(cap));
         (Telemetry::from_sink(rec.clone()), rec)
+    }
+
+    /// A handle folding spans and work into a [`Profiler`] (no trace
+    /// ring, no metrics), returned alongside for rendering.
+    pub fn profiling() -> (Self, Arc<Profiler>) {
+        let prof = Arc::new(Profiler::new());
+        (Telemetry::from_sink(prof.clone()), prof)
     }
 
     /// Whether a sink is attached. Guard allocation-heavy detail
@@ -262,6 +314,43 @@ impl Telemetry {
         if let Some(s) = &self.sink {
             s.event(name, detail, parent, at);
         }
+    }
+
+    /// See [`TelemetrySink::work`]. Zero amounts are elided: they
+    /// carry no cost information and would only bloat the trace.
+    pub fn work(&self, span: SpanId, unit: &'static str, amount: u64, at: TelTime) {
+        if amount == 0 {
+            return;
+        }
+        if let Some(s) = &self.sink {
+            s.work(span, unit, amount, at);
+        }
+    }
+
+    /// See [`TelemetrySink::span_start_remote`].
+    pub fn span_start_remote(
+        &self,
+        name: &'static str,
+        label: &str,
+        parent: SpanId,
+        trace_id: u64,
+        remote_parent: u64,
+        at: TelTime,
+    ) -> SpanId {
+        match &self.sink {
+            Some(s) => s.span_start_remote(name, label, parent, trace_id, remote_parent, at),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// See [`TelemetrySink::exposition`].
+    pub fn exposition(&self) -> Option<String> {
+        self.sink.as_ref().and_then(|s| s.exposition())
+    }
+
+    /// See [`TelemetrySink::trace_tail`].
+    pub fn trace_tail(&self, n: usize) -> Option<(Vec<TraceEvent>, u64)> {
+        self.sink.as_ref().and_then(|s| s.trace_tail(n))
     }
 }
 

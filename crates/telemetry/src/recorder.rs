@@ -49,8 +49,23 @@ impl Recorder {
     }
 
     /// Renders the metrics as Prometheus-style text exposition.
+    ///
+    /// Trace-ring losses are folded in at render time as the
+    /// `fremont_trace_dropped_total` counter, so overflow is visible
+    /// wherever the metrics go without a hot-path publish.
     pub fn expose(&self) -> String {
-        self.lock().registry.expose()
+        let mut inner = self.lock();
+        let dropped = inner.trace.dropped();
+        inner
+            .registry
+            .counter_set("fremont_trace_dropped_total", "", dropped);
+        inner.registry.expose()
+    }
+
+    /// Folds the buffered trace's `work` records into folded-stack
+    /// profile text (see [`crate::profile`]).
+    pub fn folded_profile(&self) -> String {
+        crate::profile::fold_events(self.lock().trace.iter())
     }
 
     /// Exports the trace ring as JSON Lines, oldest-first.
@@ -131,6 +146,18 @@ impl TelemetrySink for Recorder {
     }
 
     fn span_start(&self, name: &'static str, label: &str, parent: SpanId, at: TelTime) -> SpanId {
+        self.span_start_remote(name, label, parent, 0, 0, at)
+    }
+
+    fn span_start_remote(
+        &self,
+        name: &'static str,
+        label: &str,
+        parent: SpanId,
+        trace_id: u64,
+        remote_parent: u64,
+        at: TelTime,
+    ) -> SpanId {
         let mut inner = self.lock();
         let id = inner.trace.next_span_id();
         inner.trace.push(TraceEvent {
@@ -140,6 +167,8 @@ impl TelemetrySink for Recorder {
             parent: parent.0,
             name: name.to_string(),
             detail: label.to_string(),
+            trace_id,
+            remote_parent,
         });
         SpanId(id)
     }
@@ -155,6 +184,8 @@ impl TelemetrySink for Recorder {
             parent: 0,
             name: String::new(),
             detail: detail.to_string(),
+            trace_id: 0,
+            remote_parent: 0,
         });
     }
 
@@ -166,7 +197,34 @@ impl TelemetrySink for Recorder {
             parent: parent.0,
             name: name.to_string(),
             detail: detail.to_string(),
+            trace_id: 0,
+            remote_parent: 0,
         });
+    }
+
+    fn work(&self, span: SpanId, unit: &'static str, amount: u64, at: TelTime) {
+        if amount == 0 {
+            return;
+        }
+        self.lock().trace.push(TraceEvent {
+            at: at.0,
+            kind: "work".to_string(),
+            id: span.0,
+            parent: 0,
+            name: unit.to_string(),
+            detail: amount.to_string(),
+            trace_id: 0,
+            remote_parent: 0,
+        });
+    }
+
+    fn exposition(&self) -> Option<String> {
+        Some(self.expose())
+    }
+
+    fn trace_tail(&self, n: usize) -> Option<(Vec<TraceEvent>, u64)> {
+        let inner = self.lock();
+        Some((inner.trace.tail(n), inner.trace.dropped()))
     }
 }
 
@@ -214,6 +272,61 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(rec.counter("n_total", ""), 400);
+    }
+
+    #[test]
+    fn overflowed_ring_surfaces_dropped_counter_in_exposition() {
+        let rec = Recorder::with_capacity(2);
+        for i in 0..5 {
+            rec.event("e", "", SpanId::NONE, TelTime(i));
+        }
+        assert_eq!(rec.trace_dropped(), 3);
+        let expo = rec.expose();
+        assert!(
+            expo.contains("fremont_trace_dropped_total 3"),
+            "missing dropped counter in:\n{expo}"
+        );
+        // And an un-overflowed ring still exposes the series at zero.
+        let quiet = Recorder::new();
+        assert!(quiet.expose().contains("fremont_trace_dropped_total 0"));
+    }
+
+    #[test]
+    fn remote_spans_carry_trace_linkage() {
+        let rec = Recorder::new();
+        let s = rec.span_start_remote("server.rpc", "rpc=store", SpanId::NONE, 7, 42, TelTime(3));
+        rec.work(s, "observations", 5, TelTime(3));
+        rec.span_end(s, "ok", TelTime(4));
+        rec.with_trace(|t| {
+            let evs: Vec<_> = t.iter().cloned().collect();
+            assert_eq!(evs[0].trace_id, 7);
+            assert_eq!(evs[0].remote_parent, 42);
+            assert_eq!(evs[1].kind, "work");
+            assert_eq!(evs[1].id, evs[0].id);
+            assert_eq!(evs[1].detail, "5");
+        });
+    }
+
+    #[test]
+    fn trace_tail_and_exposition_through_sink_interface() {
+        let rec = Recorder::new();
+        rec.counter_add("fremont_test_total", "", 1);
+        rec.event("a", "", SpanId::NONE, TelTime(1));
+        rec.event("b", "", SpanId::NONE, TelTime(2));
+        let (tail, dropped) = rec.trace_tail(1).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].name, "b");
+        assert!(rec.exposition().unwrap().contains("fremont_test_total"));
+    }
+
+    #[test]
+    fn folded_profile_from_ring() {
+        let rec = Recorder::new();
+        let s = rec.span_start("driver.pump", "", SpanId::NONE, TelTime(1));
+        rec.work(s, "observations", 4, TelTime(2));
+        rec.span_end(s, "", TelTime(3));
+        assert_eq!(rec.folded_profile(), "observations;driver.pump 4\n");
     }
 
     #[test]

@@ -13,20 +13,30 @@
 //! ```
 //!
 //! `--metrics-file` writes Prometheus text exposition at exit;
-//! `--trace-jsonl` writes the driver's span/event trace. Both are
-//! keyed to simulated time, so two runs with the same seed produce
-//! byte-identical output. `--faults scenarios/<name>.json` loads a
-//! committed fault-plan fixture and injects it into the campus run:
+//! `--trace-jsonl` writes the driver's span/event trace;
+//! `--profile-folded` writes the run's flamegraph-compatible folded
+//! work profile. All are keyed to simulated time, so two runs with
+//! the same seed produce byte-identical output. `--faults
+//! scenarios/<name>.json` loads a committed fault-plan fixture and
+//! injects it into the campus run:
 //!
 //! ```sh
 //! cargo run --release --example campus_survey -- --hours 48 \
 //!     --faults scenarios/gateway_death.json
 //! ```
+//!
+//! `--watch` slices the exploration hour by hour and, after each
+//! slice, polls a live in-process Journal Server over the Introspect
+//! RPC — printing findings counts, module load, and per-shard store
+//! stats as they evolve. The watch surface reads the same telemetry
+//! the run records anyway; a no-watch run's outputs are untouched.
 
 use std::path::PathBuf;
 
+use fremont::core::analysis::publish_findings;
 use fremont::core::Fremont;
-use fremont::journal::{JournalAccess, SubnetQuery};
+use fremont::journal::client::RemoteJournal;
+use fremont::journal::{JournalAccess, JournalServer, SubnetQuery};
 use fremont::netsim::campus::CampusConfig;
 use fremont::netsim::faults::FaultPlan;
 use fremont::netsim::time::SimDuration;
@@ -36,6 +46,8 @@ fn main() {
     let mut metrics_file: Option<PathBuf> = None;
     let mut trace_file: Option<PathBuf> = None;
     let mut faults_file: Option<PathBuf> = None;
+    let mut profile_file: Option<PathBuf> = None;
+    let mut watch = false;
     let mut hours: u64 = 24;
     let mut seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
@@ -43,6 +55,8 @@ fn main() {
         match arg.as_str() {
             "--metrics-file" => metrics_file = args.next().map(PathBuf::from),
             "--trace-jsonl" => trace_file = args.next().map(PathBuf::from),
+            "--profile-folded" => profile_file = args.next().map(PathBuf::from),
+            "--watch" => watch = true,
             "--faults" => faults_file = args.next().map(PathBuf::from),
             "--hours" => {
                 hours = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -62,7 +76,7 @@ fn main() {
             }
         }
     }
-    let record = metrics_file.is_some() || trace_file.is_some();
+    let record = metrics_file.is_some() || trace_file.is_some() || profile_file.is_some() || watch;
 
     let mut cfg = CampusConfig::default();
     if let Some(seed) = seed {
@@ -95,7 +109,7 @@ fn main() {
     } else {
         (Telemetry::noop(), None)
     };
-    let mut system = Fremont::over_campus_with_telemetry(&cfg, telemetry);
+    let mut system = Fremont::over_campus_with_telemetry(&cfg, telemetry.clone());
     println!(
         "Ground truth: {} gateways, {} interfaces on the CS subnet ({} in DNS), {} broken routers.",
         system.truth.gateways.len(),
@@ -105,9 +119,13 @@ fn main() {
     );
 
     println!("\nExploring for {hours} simulated hours (this runs a few seconds of real time)...");
-    system
-        .explore(SimDuration::from_hours(hours))
-        .expect("flush");
+    if watch {
+        watch_loop(&mut system, &telemetry, hours);
+    } else {
+        system
+            .explore(SimDuration::from_hours(hours))
+            .expect("flush");
+    }
 
     let stats = system.stats();
     println!(
@@ -194,5 +212,56 @@ fn main() {
                 rec.trace_dropped()
             );
         }
+        if let Some(path) = profile_file {
+            std::fs::write(&path, rec.folded_profile()).expect("write folded profile");
+            println!("folded profile written to {}", path.display());
+        }
     }
+}
+
+/// The `--watch` path: explore in hourly slices, and after each slice
+/// poll a live in-process Journal Server over the Introspect RPC. One
+/// deterministic line per hour — same seed, same lines.
+fn watch_loop(system: &mut Fremont, telemetry: &Telemetry, hours: u64) {
+    let server = JournalServer::start_with_telemetry(
+        system.journal.clone(),
+        "127.0.0.1:0",
+        None,
+        telemetry.clone(),
+    )
+    .expect("start introspection server");
+    let client = RemoteJournal::connect(&server.addr().to_string()).expect("connect introspection");
+    for h in 1..=hours {
+        system.explore(SimDuration::from_hours(1)).expect("flush");
+        system.driver.publish_metrics();
+        let problems = system.problems(86_400, 3_600);
+        publish_findings(telemetry, &problems);
+        let report = client.introspect(0).expect("introspect");
+        let module_runs = sum_series(&report.metrics, "fremont_module_runs_total");
+        let shards = report.shards.map(|s| s.shards.len()).unwrap_or(0);
+        println!(
+            "watch t={h}h interfaces={} gateways={} subnets={} observations={} \
+             findings={} module_runs={module_runs} shards={shards} health={}",
+            report.stats.interfaces,
+            report.stats.gateways,
+            report.stats.subnets,
+            report.stats.observations_applied,
+            problems.total(),
+            report.health
+        );
+    }
+    server.shutdown();
+}
+
+/// Sums every series of a counter family in a Prometheus text
+/// exposition (`name{...} value` or `name value` lines).
+fn sum_series(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .filter(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
 }

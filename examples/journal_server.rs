@@ -7,6 +7,7 @@
 //! cargo run --example journal_server [addr] [snapshot.json] [hold-seconds]
 //! cargo run --example journal_server [addr] --data-dir journal-data [hold-seconds]
 //! cargo run --example journal_server [addr] --metrics-file metrics.prom
+//! cargo run --example journal_server [addr] 30 --status-interval 5
 //! ```
 //!
 //! With `--data-dir` the server runs on the `fremont-storage` engine:
@@ -17,12 +18,18 @@
 //! after the demo, so external clients (other Fremont sites) can connect.
 //! With `--metrics-file` the server records per-RPC telemetry and writes
 //! Prometheus text exposition to the given path at shutdown.
+//! With `--status-interval <secs>` the server prints a self-report every
+//! interval while holding open — the same snapshot the `Introspect` RPC
+//! answers (health verdict, record counts, WAL segment state), built
+//! without any extra locking.
 
 use std::path::PathBuf;
 
 use fremont::explorers::{SeqPing, SeqPingConfig};
 use fremont::journal::client::RemoteJournal;
-use fremont::journal::{InterfaceQuery, JournalAccess, JournalServer, SharedJournal};
+use fremont::journal::{
+    build_introspection, InterfaceQuery, JournalAccess, JournalServer, SharedJournal,
+};
 use fremont::net::IpRange;
 use fremont::netsim::builder::TopologyBuilder;
 use fremont::netsim::time::SimDuration;
@@ -36,11 +43,18 @@ fn main() {
     let mut data_dir: Option<PathBuf> = None;
     let mut metrics_file: Option<PathBuf> = None;
     let mut hold: Option<u64> = None;
+    let mut status_interval: Option<u64> = None;
     while let Some(arg) = args.next() {
         if arg == "--data-dir" {
             data_dir = args.next().map(PathBuf::from);
             if data_dir.is_none() {
                 eprintln!("error: --data-dir needs a directory argument");
+                std::process::exit(2);
+            }
+        } else if arg == "--status-interval" {
+            status_interval = args.next().and_then(|v| v.parse().ok());
+            if status_interval.is_none() {
+                eprintln!("error: --status-interval needs a seconds argument");
                 std::process::exit(2);
             }
         } else if arg == "--metrics-file" {
@@ -91,14 +105,15 @@ fn main() {
                 },
             );
             print_counts("after recovery", &journal);
-            let server = start_server(journal.clone(), &addr, None, telemetry);
+            let server = start_server(journal.clone(), &addr, None, telemetry.clone());
             run_demo(&server.addr().to_string());
             print_counts("at shutdown", &journal);
-            hold_open(hold);
+            hold_open(hold, status_interval, || print_status(&journal, &telemetry));
             server.shutdown();
         }
         None => {
-            let server = start_server(SharedJournal::new(), &addr, snapshot.clone(), telemetry);
+            let journal = SharedJournal::new();
+            let server = start_server(journal.clone(), &addr, snapshot.clone(), telemetry.clone());
             if let Some(p) = &snapshot {
                 println!("snapshot path: {}", p.display());
             }
@@ -109,7 +124,7 @@ fn main() {
                     .expect("flush snapshot");
                 println!("snapshot written to {}", p.display());
             }
-            hold_open(hold);
+            hold_open(hold, status_interval, || print_status(&journal, &telemetry));
             server.shutdown();
         }
     }
@@ -188,9 +203,42 @@ fn print_counts(when: &str, journal: &impl JournalAccess) {
     );
 }
 
-fn hold_open(hold: Option<u64>) {
-    if let Some(hold) = hold {
-        println!("holding the server open for {hold}s (connect with RemoteJournal)...");
-        std::thread::sleep(std::time::Duration::from_secs(hold));
+/// Prints the same self-description the `Introspect` RPC answers.
+fn print_status(journal: &impl JournalAccess, telemetry: &Telemetry) {
+    let report = build_introspection(journal, telemetry, 0);
+    let mut line = format!(
+        "status: health={} interfaces={} gateways={} subnets={} observations={} trace_dropped={}",
+        report.health,
+        report.stats.interfaces,
+        report.stats.gateways,
+        report.stats.subnets,
+        report.stats.observations_applied,
+        report.trace_dropped
+    );
+    if let Some(wal) = report.wal {
+        line.push_str(&format!(
+            " wal_segment={} wal_bytes={} sync={}",
+            wal.segment_first_seq, wal.segment_bytes, wal.sync_policy
+        ));
+    }
+    println!("{line}");
+}
+
+/// Holds the server open, emitting a status report up front and then
+/// every `interval` seconds when `--status-interval` was given.
+fn hold_open(hold: Option<u64>, interval: Option<u64>, status: impl Fn()) {
+    if interval.is_some() {
+        status();
+    }
+    let Some(hold) = hold else { return };
+    println!("holding the server open for {hold}s (connect with RemoteJournal)...");
+    let mut remaining = hold;
+    while remaining > 0 {
+        let step = interval.unwrap_or(remaining).clamp(1, remaining);
+        std::thread::sleep(std::time::Duration::from_secs(step));
+        remaining -= step;
+        if interval.is_some() {
+            status();
+        }
     }
 }

@@ -17,6 +17,8 @@
 //!   recovery, segment compaction) behind `DurableJournal`;
 //! * [`telemetry`] — the deterministic metrics registry and span/event
 //!   tracer threaded through every layer above;
+//! * [`obs`] — observability tooling over the trace stream (cross-process
+//!   stitching, folded-stack profiles, validation);
 //! * [`explorers`] — the eight Explorer Modules;
 //! * [`core`] — the Discovery Manager, cross-correlation, analysis
 //!   (Table 8), presentation programs, and topology export (Figure 2).
@@ -44,5 +46,6 @@ pub use fremont_explorers as explorers;
 pub use fremont_journal as journal;
 pub use fremont_net as net;
 pub use fremont_netsim as netsim;
+pub use fremont_obs as obs;
 pub use fremont_storage as storage;
 pub use fremont_telemetry as telemetry;

@@ -15,6 +15,41 @@ use fremont::journal::{InterfaceQuery, JournalAccess};
 use fremont::netsim::campus::CampusConfig;
 use fremont::netsim::faults::{FaultKind, FaultPlan};
 use fremont::netsim::time::{SimDuration, SimTime};
+use fremont::telemetry::trace::{parse_jsonl, validate};
+use fremont::telemetry::Telemetry;
+
+#[test]
+fn faulted_run_trace_stays_structurally_valid() {
+    // Faults kill nodes and gateways mid-exploration — module runs are
+    // forcibly retired, stores fail, probes time out. None of that may
+    // unbalance the span stream: every span that opens still closes,
+    // ids stay strictly increasing, parents outlive children.
+    let mut cfg = CampusConfig::quiet_small(7);
+    cfg.fault_plan = FaultPlan::new()
+        .at(
+            SimTime::from_hours(1),
+            FaultKind::GatewayDeath {
+                gateway: "cs-gw".to_owned(),
+            },
+        )
+        .at(
+            SimTime::from_hours(2),
+            FaultKind::NodeCrash {
+                node: "piper".to_owned(),
+            },
+        );
+    let (telemetry, rec) = Telemetry::recording();
+    let mut system = Fremont::over_campus_with_telemetry(&cfg, telemetry);
+    system
+        .driver
+        .set_max_module_runtime(Some(SimDuration::from_hours(1)));
+    system.explore(SimDuration::from_hours(4)).unwrap();
+    assert!(system.driver.sim.fault_stats.total() >= 2);
+
+    let events = parse_jsonl(&rec.trace_jsonl()).expect("trace parses");
+    let summary = validate(&events).expect("faulted run's trace must validate");
+    assert!(summary.spans > 0, "driver pumps must open spans");
+}
 
 #[test]
 fn control_run_with_empty_plan_reports_nothing() {

@@ -118,6 +118,12 @@ impl<'de> Deserialize<'de> for char {
     }
 }
 
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
 impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         match d.deserialize_value()? {
