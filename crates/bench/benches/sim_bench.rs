@@ -48,6 +48,50 @@ fn bench_engine(c: &mut Criterion) {
         })
     });
 
+    // Raw wheel churn: interleaved inserts and pops across mixed
+    // horizons (sub-slot to minutes), the pattern the campus produces.
+    g.bench_function("wheel_churn_64k", |b| {
+        b.iter(|| {
+            let mut wheel = fremont_netsim::sched::TimerWheel::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let mut x = 0x9E37_79B9_7F4A_7C15u64; // LCG, deterministic
+            for _ in 0..65_536u32 {
+                seq += 1;
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let horizon = [63u64, 10_000, 2_000_000, 120_000_000][(x >> 60) as usize & 3];
+                wheel.insert(now + (x % horizon) + 1, seq, seq);
+                if seq % 4 == 0 {
+                    if let Some((at, _, _)) = wheel.pop_due(u64::MAX) {
+                        now = at;
+                    }
+                }
+            }
+            while wheel.pop_due(u64::MAX).is_some() {}
+            black_box(wheel.cascades())
+        })
+    });
+
+    // Idle skip-ahead: a converged campus advancing a whole hour. The
+    // wheel's occupancy bound lets `run_until` jump every silent gap, so
+    // this costs events-processed, not microseconds-simulated.
+    {
+        let cfg = CampusConfig {
+            cs_traffic: false,
+            ..CampusConfig::default()
+        };
+        let (mut sim, _) = generate(&cfg);
+        sim.run_for(SimDuration::from_mins(2)); // converge first
+        g.bench_function("campus_skip_ahead_hour", |b| {
+            b.iter(|| {
+                sim.run_for(SimDuration::from_mins(60));
+                black_box(sim.stats.idle_skipped_micros)
+            })
+        });
+    }
+
     for subnets in [12usize, 114] {
         g.bench_with_input(
             BenchmarkId::new("campus_generation", subnets),

@@ -138,6 +138,7 @@ impl Config {
                 "crates/telemetry/".to_owned(),
                 "crates/journal/src/store/".to_owned(),
                 "crates/netsim/src/faults.rs".to_owned(),
+                "crates/netsim/src/sched.rs".to_owned(),
                 "crates/mc/".to_owned(),
             ],
             schema_scope: vec![

@@ -131,7 +131,12 @@ impl TopologyBuilder {
 
     /// Adds a segment with its true subnet.
     pub fn segment(&mut self, name: &str, subnet: &str) -> usize {
-        let subnet: Subnet = subnet.parse().expect("valid subnet literal");
+        self.segment_net(name, subnet.parse().expect("valid subnet literal"))
+    }
+
+    /// Adds a segment with an already-constructed subnet (no literal
+    /// parsing — the campus generator builds hundreds of these).
+    pub fn segment_net(&mut self, name: &str, subnet: Subnet) -> usize {
         self.segments.push(SegmentSpec {
             cfg: SegmentCfg::named(name),
             subnet,
@@ -239,9 +244,9 @@ impl TopologyBuilder {
         let mut sim = Sim::new(seed);
 
         // Segments.
-        let mut seg_ids = Vec::new();
-        let mut seg_meta = Vec::new();
         let segment_specs = std::mem::take(&mut self.segments);
+        let mut seg_ids = Vec::with_capacity(segment_specs.len());
+        let mut seg_meta = Vec::with_capacity(segment_specs.len());
         for spec in segment_specs {
             let name = spec.cfg.name.clone();
             let id = sim.add_segment(spec.cfg);
@@ -253,19 +258,42 @@ impl TopologyBuilder {
         // Distance from every segment to every segment through routers.
         let dist = segment_distances(seg_subnets.len(), &self.routers);
 
-        let mut nodes_by_name = HashMap::new();
-        let mut interfaces = Vec::new();
+        let router_specs = std::mem::take(&mut self.routers);
+        let total_ifaces: usize = router_specs
+            .iter()
+            .map(|r| r.attachments.len())
+            .sum::<usize>()
+            + self.hosts.len();
+        let mut nodes_by_name = HashMap::with_capacity(router_specs.len() + self.hosts.len());
+        let mut interfaces = Vec::with_capacity(total_ifaces);
 
         // Routers first (hosts need their addresses for default routes).
-        let mut router_ids = Vec::new();
-        let router_specs = std::mem::take(&mut self.routers);
-        // Router-by-segment map for next-hop resolution.
-        let mut routers_on_seg: Vec<Vec<usize>> = vec![Vec::new(); seg_subnets.len()];
+        let mut router_ids = Vec::with_capacity(router_specs.len());
+        // Router-by-segment map (with the attachment address) for
+        // next-hop resolution.
+        let mut routers_on_seg: Vec<Vec<(usize, Ipv4Addr)>> = vec![Vec::new(); seg_subnets.len()];
         for (ri, spec) in router_specs.iter().enumerate() {
-            for (seg, _) in &spec.attachments {
-                routers_on_seg[*seg].push(ri);
+            for (seg, ip) in &spec.attachments {
+                routers_on_seg[*seg].push((ri, *ip));
             }
         }
+        // Each router's best distance to each segment over any of its
+        // attachments, shared by every `router_routes` call below.
+        let router_min_dist: Vec<Vec<u32>> = router_specs
+            .iter()
+            .map(|r| {
+                (0..seg_subnets.len())
+                    .map(|t| {
+                        r.attachments
+                            .iter()
+                            .map(|(s, _)| dist[*s][t])
+                            .min()
+                            .unwrap_or(u32::MAX)
+                    })
+                    .collect()
+            })
+            .collect();
+        let next_hop = next_hop_candidates(&routers_on_seg, &router_min_dist, seg_subnets.len());
         for (ri, spec) in router_specs.iter().enumerate() {
             let ifaces: Vec<Iface> = spec
                 .attachments
@@ -279,7 +307,7 @@ impl TopologyBuilder {
                 .collect();
             let mut node = Node::new(&spec.name, NodeKind::Router, ifaces);
             node.behavior = spec.behavior.clone();
-            node.routes = router_routes(ri, &router_specs, &dist, &routers_on_seg, &seg_subnets);
+            node.routes = router_routes(ri, spec, &dist, &seg_subnets, &next_hop);
             for (i, (_, ip)) in spec.attachments.iter().enumerate() {
                 let _ = i;
                 interfaces.push((*ip, NodeId(sim.nodes.len())));
@@ -290,8 +318,9 @@ impl TopologyBuilder {
         }
 
         // Hosts.
-        let mut host_ids = Vec::new();
         let host_specs = std::mem::take(&mut self.hosts);
+        let mut host_ids = Vec::with_capacity(host_specs.len());
+        let default_dest: Subnet = "0.0.0.0/0".parse().expect("default route literal");
         for spec in &host_specs {
             let mac = spec.mac.unwrap_or_else(|| self.next_mac(false));
             let iface = Iface {
@@ -311,15 +340,9 @@ impl TopologyBuilder {
                 metric: 0,
             });
             // Default route through the first router on the segment.
-            if let Some(&ri) = routers_on_seg[spec.segment].first() {
-                let gw_ip = router_specs[ri]
-                    .attachments
-                    .iter()
-                    .find(|(s, _)| *s == spec.segment)
-                    .map(|(_, ip)| *ip)
-                    .expect("router attached here");
+            if let Some(&(_, gw_ip)) = routers_on_seg[spec.segment].first() {
                 node.routes.add(Route {
-                    dest: "0.0.0.0/0".parse().expect("default route literal"),
+                    dest: default_dest,
                     gateway: Some(gw_ip),
                     iface: 0,
                     metric: 1,
@@ -332,11 +355,12 @@ impl TopologyBuilder {
         }
 
         // MAC uniqueness sanity check.
-        let mut macs: Vec<MacAddr> = sim
-            .nodes
-            .iter()
-            .flat_map(|n| n.ifaces.iter().map(|i| i.mac))
-            .collect();
+        let mut macs: Vec<MacAddr> = Vec::with_capacity(total_ifaces);
+        macs.extend(
+            sim.nodes
+                .iter()
+                .flat_map(|n| n.ifaces.iter().map(|i| i.mac)),
+        );
         macs.sort();
         macs.dedup();
         let total: usize = sim.nodes.iter().map(|n| n.ifaces.len()).sum();
@@ -360,9 +384,25 @@ impl TopologyBuilder {
 /// of routers crossed going from segment `a` to segment `b`.
 fn segment_distances(n_segments: usize, routers: &[RouterSpec]) -> Vec<Vec<u32>> {
     const INF: u32 = u32::MAX;
+    // Segment adjacency first: two segments co-attached to one router are
+    // one hop apart. BFS over this list instead of rescanning every
+    // router's attachments per frontier segment per source.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_segments];
+    for r in routers {
+        for (i, (a, _)) in r.attachments.iter().enumerate() {
+            for (j, (b, _)) in r.attachments.iter().enumerate() {
+                if i != j {
+                    adj[*a].push(*b);
+                }
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
     let mut dist = vec![vec![INF; n_segments]; n_segments];
-    for (target, row_owner) in (0..n_segments).map(|t| (t, t)) {
-        let _ = row_owner;
+    for target in 0..n_segments {
         // BFS from `target` outward.
         let mut d = vec![INF; n_segments];
         d[target] = 0;
@@ -370,14 +410,10 @@ fn segment_distances(n_segments: usize, routers: &[RouterSpec]) -> Vec<Vec<u32>>
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for &seg in &frontier {
-                for r in routers {
-                    if r.attachments.iter().any(|(s, _)| *s == seg) {
-                        for (other, _) in &r.attachments {
-                            if d[*other] == INF {
-                                d[*other] = d[seg] + 1;
-                                next.push(*other);
-                            }
-                        }
+                for &other in &adj[seg] {
+                    if d[other] == INF {
+                        d[other] = d[seg] + 1;
+                        next.push(other);
                     }
                 }
             }
@@ -390,21 +426,71 @@ fn segment_distances(n_segments: usize, routers: &[RouterSpec]) -> Vec<Vec<u32>>
     dist
 }
 
-/// Computes a router's full routing table toward every segment.
+/// A next-hop candidate: `(router index, its best distance to the
+/// target, its address on the shared segment)`.
+type HopCand = Option<(usize, u32, Ipv4Addr)>;
+
+/// For every `(segment, target)` pair, the first-minimal next-hop
+/// candidate on that segment (in `routers_on_seg` order — exactly what a
+/// `min_by_key` scan would keep) plus the first-minimal among candidates
+/// from a *different* router. Together these answer "best candidate
+/// strictly closer than me, excluding myself" for any asking router: if
+/// the overall winner is someone else it is also the winner with the
+/// asker excluded (removing later or equal-keyed earlier entries cannot
+/// change a first minimum), and if the winner is the asker itself the
+/// runner-up is by construction the winner among everyone else.
+fn next_hop_candidates(
+    routers_on_seg: &[Vec<(usize, Ipv4Addr)>],
+    router_min_dist: &[Vec<u32>],
+    n_segments: usize,
+) -> Vec<Vec<(HopCand, HopCand)>> {
+    let mut out = vec![vec![(None, None); n_segments]; n_segments];
+    for (seg, cands) in routers_on_seg.iter().enumerate() {
+        if cands.is_empty() {
+            continue;
+        }
+        for target in 0..n_segments {
+            let mut first: HopCand = None;
+            for &(ri, ip) in cands {
+                let od = router_min_dist[ri][target];
+                if first.map(|(_, b, _)| od < b).unwrap_or(true) {
+                    first = Some((ri, od, ip));
+                }
+            }
+            let winner = first.map(|(r, _, _)| r);
+            let mut second: HopCand = None;
+            for &(ri, ip) in cands {
+                if Some(ri) == winner {
+                    continue;
+                }
+                let od = router_min_dist[ri][target];
+                if second.map(|(_, b, _)| od < b).unwrap_or(true) {
+                    second = Some((ri, od, ip));
+                }
+            }
+            out[seg][target] = (first, second);
+        }
+    }
+    out
+}
+
+/// Computes a router's full routing table toward every segment, using
+/// the precomputed [`next_hop_candidates`] answers. Route contents and
+/// tie-breaks are identical to the direct per-router scan this replaces.
 fn router_routes(
     ri: usize,
-    routers: &[RouterSpec],
+    me: &RouterSpec,
     dist: &[Vec<u32>],
-    routers_on_seg: &[Vec<usize>],
     seg_subnets: &[Subnet],
+    next_hop: &[Vec<(HopCand, HopCand)>],
 ) -> crate::routing::RoutingTable {
     const INF: u32 = u32::MAX;
-    let me = &routers[ri];
     let mut table = crate::routing::RoutingTable::new();
+    table.reserve(seg_subnets.len());
     for (target, &subnet) in seg_subnets.iter().enumerate() {
         // Directly connected?
         if let Some(pos) = me.attachments.iter().position(|(s, _)| *s == target) {
-            table.add(Route {
+            table.add_distinct(Route {
                 dest: subnet,
                 gateway: None,
                 iface: pos,
@@ -424,29 +510,13 @@ fn router_routes(
             continue; // Unreachable segment: no route (ICMP net unreachable).
         };
         // Next hop: a router on `via_seg` strictly closer to the target.
-        let next = routers_on_seg[via_seg]
-            .iter()
-            .filter(|&&other| other != ri)
-            .filter_map(|&other| {
-                let od: u32 = routers[other]
-                    .attachments
-                    .iter()
-                    .map(|(s, _)| dist[*s][target])
-                    .min()
-                    .unwrap_or(INF);
-                if od < d {
-                    routers[other]
-                        .attachments
-                        .iter()
-                        .find(|(s, _)| *s == via_seg)
-                        .map(|(_, ip)| (od, *ip))
-                } else {
-                    None
-                }
-            })
-            .min_by_key(|(od, _)| *od);
-        if let Some((_, gw)) = next {
-            table.add(Route {
+        let (first, second) = next_hop[via_seg][target];
+        let cand = match first {
+            Some((r1, od, ip)) if r1 != ri => Some((od, ip)),
+            _ => second.map(|(_, od, ip)| (od, ip)),
+        };
+        if let Some((_, gw)) = cand.filter(|&(od, _)| od < d) {
+            table.add_distinct(Route {
                 dest: subnet,
                 gateway: Some(gw),
                 iface: pos,

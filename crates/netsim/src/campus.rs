@@ -199,17 +199,24 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
     let mut b = TopologyBuilder::new();
 
     let octets = cfg.network.network().octets();
-    let third = |n: u8| -> String { format!("{}.{}.{}.0/24", octets[0], octets[1], n) };
+    let third_subnet = |n: u8| -> Subnet {
+        Subnet::containing(
+            Ipv4Addr::new(octets[0], octets[1], n, 0),
+            SubnetMask::from_prefix_len(24).expect("valid prefix"),
+        )
+    };
 
     // --- Subnet plan -----------------------------------------------------
     // Third octets spread over the space; 1 = backbone, 243 forced for CS
     // (the paper's department). Unused subnets occupy the top of the plan.
-    let backbone_subnet: Subnet = third(1).parse().expect("subnet literal");
+    let backbone_subnet: Subnet = third_subnet(1);
     let cs_third: u8 = 243;
-    let mut assigned_thirds: Vec<u8> = Vec::new();
+    let mut assigned_thirds: Vec<u8> = Vec::with_capacity(cfg.subnets_assigned + 1);
+    let mut seen_thirds = [false; 256];
     let mut t = 1u16;
     while assigned_thirds.len() < cfg.subnets_assigned {
-        if !assigned_thirds.contains(&(t as u8)) {
+        if !seen_thirds[t as usize] {
+            seen_thirds[t as usize] = true;
             assigned_thirds.push(t as u8);
         }
         t += 2;
@@ -217,16 +224,13 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
             t = 2;
         }
     }
-    if !assigned_thirds.contains(&cs_third) {
+    if !seen_thirds[cs_third as usize] {
         assigned_thirds.pop();
         assigned_thirds.push(cs_third);
     }
     assigned_thirds.sort_unstable();
     assigned_thirds.dedup();
-    let assigned_subnets: Vec<Subnet> = assigned_thirds
-        .iter()
-        .map(|&n| third(n).parse().expect("subnet literal"))
-        .collect();
+    let assigned_subnets: Vec<Subnet> = assigned_thirds.iter().map(|&n| third_subnet(n)).collect();
 
     // Connected = backbone + CS + the first (connected-2) others.
     let mut connected_thirds: Vec<u8> = vec![1, cs_third];
@@ -239,13 +243,11 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         }
     }
     connected_thirds.sort_unstable();
-    let connected_subnets: Vec<Subnet> = connected_thirds
-        .iter()
-        .map(|&n| third(n).parse().expect("subnet literal"))
-        .collect();
+    let connected_subnets: Vec<Subnet> =
+        connected_thirds.iter().map(|&n| third_subnet(n)).collect();
 
     // --- Segments ---------------------------------------------------------
-    let backbone_seg = b.segment("backbone", &third(1));
+    let backbone_seg = b.segment_net("backbone", third_subnet(1));
     let mut leaf_segs: Vec<(u8, usize)> = Vec::new(); // (third octet, builder idx)
     for &n in &connected_thirds {
         if n == 1 {
@@ -256,7 +258,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         } else {
             format!("net-{n}")
         };
-        let idx = b.segment(&name, &third(n));
+        let idx = b.segment_net(&name, third_subnet(n));
         leaf_segs.push((n, idx));
     }
 
@@ -284,9 +286,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         b.router("cs-gw", &[(backbone_seg, backbone_attach), (cs_seg_idx, 1)]);
         let ips = vec![
             backbone_subnet.nth(backbone_attach).expect("fits"),
-            format!("{}.{}.{}.1", octets[0], octets[1], cs_third)
-                .parse()
-                .expect("ip literal"),
+            Ipv4Addr::new(octets[0], octets[1], cs_third, 1),
         ];
         gateways.push(("cs-gw".to_owned(), ips));
         named_gateways.push("cs-gw".to_owned());
@@ -317,11 +317,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         let r = b.router(&name, &attach);
         let mut ips = vec![backbone_subnet.nth(attach[0].1).expect("fits")];
         for (n, _) in &group {
-            ips.push(
-                format!("{}.{}.{}.1", octets[0], octets[1], n)
-                    .parse()
-                    .expect("ip literal"),
-            );
+            ips.push(Ipv4Addr::new(octets[0], octets[1], *n, 1));
         }
         // Some routers have the probe-filtering bug.
         if rng.gen::<f64>() < cfg.broken_router_frac {
@@ -399,7 +395,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         "rowena",
         "sugarloaf",
     ];
-    let cs_subnet: Subnet = third(cs_third).parse().expect("subnet literal");
+    let cs_subnet: Subnet = third_subnet(cs_third);
     let mut cs_host_idxs: Vec<HostIdx> = Vec::new();
     let mut used_names: HashSet<String> = HashSet::new();
     let mut cs_dns_names: Vec<(String, Ipv4Addr)> = Vec::new();
@@ -476,9 +472,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
             let name = format!("h{n}x{i}");
             let hostnum = (i as u32) + 10;
             b.host(&name, *seg_idx, hostnum);
-            let ip: Ipv4Addr = format!("{}.{}.{}.{}", octets[0], octets[1], n, hostnum)
-                .parse()
-                .expect("ip literal");
+            let ip = Ipv4Addr::new(octets[0], octets[1], *n, hostnum as u8);
             other_dns.push((name, ip));
         }
     }
@@ -514,36 +508,49 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
     let mut server = DnsServerState::new();
     let mut forward = Zone::new(domain.clone());
     let mut rev_parent = Zone::new(rev_parent_name.clone());
-    let mut child_zones: Vec<Zone> = Vec::new();
+    let mut child_zones: Vec<Zone> = Vec::with_capacity(dns_covered.len());
 
-    let add_pair =
-        |fwd: &mut Zone, children: &mut Vec<Zone>, covered: &[u8], name: &str, ip: Ipv4Addr| {
-            let t3 = ip.octets()[2];
-            if !covered.contains(&t3) {
-                return;
-            }
-            let fqdn = domain.child(name).expect("label fits");
-            fwd.add_a(fqdn.clone(), ip);
+    // Direct-indexed coverage test and third-octet → child-zone index, so
+    // each record costs a couple of array lookups instead of a linear
+    // zone scan and a reverse-zone name parse.
+    let mut covered_arr = [false; 256];
+    for &n in &dns_covered {
+        covered_arr[n as usize] = true;
+    }
+    let mut zone_idx = [usize::MAX; 256];
+
+    let add_pair = |fwd: &mut Zone,
+                    children: &mut Vec<Zone>,
+                    zone_idx: &mut [usize; 256],
+                    name: &str,
+                    ip: Ipv4Addr| {
+        let t3 = ip.octets()[2];
+        if !covered_arr[t3 as usize] {
+            return;
+        }
+        let fqdn = domain.child(name).expect("label fits");
+        fwd.add_a(fqdn.clone(), ip);
+        let z = if zone_idx[t3 as usize] != usize::MAX {
+            &mut children[zone_idx[t3 as usize]]
+        } else {
             let zone_name: DnsName = format!("{t3}.{}.{}.in-addr.arpa", octets[1], octets[0])
                 .parse()
                 .expect("name literal");
-            if let Some(z) = children.iter_mut().find(|z| z.origin == zone_name) {
-                z.add_ptr(DnsName::reverse_for(ip), fqdn);
-            } else {
-                let mut z = Zone::new(zone_name);
-                z.add_ptr(DnsName::reverse_for(ip), fqdn);
-                children.push(z);
-            }
+            zone_idx[t3 as usize] = children.len();
+            children.push(Zone::new(zone_name));
+            children.last_mut().expect("just pushed")
         };
+        z.add_ptr(DnsName::reverse_for(ip), fqdn);
+    };
 
     // Host records.
     for (name, ip) in &cs_dns_names {
-        add_pair(&mut forward, &mut child_zones, &dns_covered, name, *ip);
+        add_pair(&mut forward, &mut child_zones, &mut zone_idx, name, *ip);
     }
     for (name, ip) in &other_dns {
-        add_pair(&mut forward, &mut child_zones, &dns_covered, name, *ip);
+        add_pair(&mut forward, &mut child_zones, &mut zone_idx, name, *ip);
     }
-    add_pair(&mut forward, &mut child_zones, &dns_covered, "ns", ns_ip);
+    add_pair(&mut forward, &mut child_zones, &mut zone_idx, "ns", ns_ip);
     // Gateway records: named gateways get an A record for the backbone
     // interface plus a couple of leaf interfaces under the -gw name (few
     // admins registered them all); unnamed routers get unrelated
@@ -554,7 +561,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         for (k, ip) in ips.iter().enumerate() {
             if is_named {
                 if k == 0 || k <= exposed_leaves {
-                    add_pair(&mut forward, &mut child_zones, &dns_covered, gname, *ip);
+                    add_pair(&mut forward, &mut child_zones, &mut zone_idx, gname, *ip);
                 }
             } else {
                 // Unnamed routers get unrelated per-interface names, so no
@@ -562,7 +569,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
                 // are the gateways the DNS module cannot identify).
                 let stem = gname.trim_end_matches("-gw");
                 let anon = format!("{stem}-e{k}");
-                add_pair(&mut forward, &mut child_zones, &dns_covered, &anon, *ip);
+                add_pair(&mut forward, &mut child_zones, &mut zone_idx, &anon, *ip);
             }
         }
     }
@@ -653,10 +660,7 @@ pub fn generate(cfg: &CampusConfig) -> (Sim, CampusTruth) {
         }
     }
 
-    let dns_subnets: Vec<Subnet> = dns_covered
-        .iter()
-        .map(|&n| third(n).parse().expect("subnet literal"))
-        .collect();
+    let dns_subnets: Vec<Subnet> = dns_covered.iter().map(|&n| third_subnet(n)).collect();
     // cs-gw's CS-side interface is registered under the -gw name only
     // when named gateways expose at least one leaf interface.
     let cs_gw_registered = usize::from(cfg.gateway_dns_leaves.1 >= 1);

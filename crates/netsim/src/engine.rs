@@ -6,9 +6,10 @@
 //! frames on shared segments, so the Explorer Modules exercise exactly the
 //! code paths the paper's modules did on the Colorado campus.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::cell::OnceCell;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -63,15 +64,46 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// One frame in flight on a segment, shared (`Rc`) by every receiver's
+/// delivery event instead of cloned per receiver. The decode cells are
+/// filled lazily, at most once per frame — a broadcast RIP advertisement
+/// heard by six interfaces is parsed once, not six times. Single
+/// ownership of the simulation makes the single-threaded `Rc`/`OnceCell`
+/// pair safe here.
+struct FrameRecord {
+    frame: EthernetFrame,
+    arp: OnceCell<Option<ArpPacket>>,
+    ipv4: OnceCell<Option<Ipv4Packet>>,
+    udp: OnceCell<Option<UdpDatagram>>,
+    rip: OnceCell<Option<Rc<RipPacket>>>,
+    /// Interned identity of a cached RIP advertisement payload (see
+    /// `Sim::send_rip_advertisements`); `None` for all other frames and
+    /// for promiscuous adverts whose content varies per tick.
+    absorb_key: Option<u32>,
+}
+
+impl FrameRecord {
+    fn new(frame: EthernetFrame) -> Self {
+        FrameRecord {
+            frame,
+            arp: OnceCell::new(),
+            ipv4: OnceCell::new(),
+            udp: OnceCell::new(),
+            rip: OnceCell::new(),
+            absorb_key: None,
+        }
+    }
+}
+
 enum Event {
     FrameRx {
         node: NodeId,
         iface: usize,
-        frame: EthernetFrame,
+        frame: Rc<FrameRecord>,
     },
     Tap {
         handle: ProcHandle,
-        frame: EthernetFrame,
+        frame: Rc<FrameRecord>,
     },
     Start {
         handle: ProcHandle,
@@ -100,34 +132,11 @@ enum Event {
     },
 }
 
-struct Queued {
-    at: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Queued {}
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The simulator.
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Queued>>,
+    queue: crate::sched::TimerWheel<Event>,
     /// All nodes; index = `NodeId`.
     pub nodes: Vec<Node>,
     /// All segments; index = `SegmentId`.
@@ -149,6 +158,35 @@ pub struct Sim {
     /// `fremont_sim_fault_*` metric family so fault-free expositions
     /// stay byte-identical.
     faults_installed: bool,
+    /// Opt-in gate for the `fremont_sim_idle_skipped_micros_total` /
+    /// `fremont_sim_wheel_cascades_total` counters, so pre-existing
+    /// expositions stay byte-identical unless a caller asks for the
+    /// scheduler's introspection (same precedent as `faults_installed`).
+    scheduler_metrics: bool,
+    /// Cached per-`(node, iface)` RIP advertisement templates, keyed on
+    /// the node's routing-table version — rebuilt only when the table
+    /// changes, which on the static campus is never after build.
+    rip_advert_cache: BTreeMap<(usize, usize), RipAdvertTemplate>,
+    /// Next absorb key to intern (see [`FrameRecord::absorb_key`]).
+    next_absorb_key: u32,
+    /// The background-traffic datagram is the same 32-zero-byte NFS-ish
+    /// burst every time; encode it once instead of per packet.
+    traffic_payload: Bytes,
+}
+
+/// Cached encoding of one interface's periodic RIP advertisement.
+struct RipAdvertTemplate {
+    /// Routing-table version the template was built from.
+    version: u64,
+    /// One entry per RIP packet the table splits into.
+    packets: Vec<RipAdvertPacket>,
+}
+
+struct RipAdvertPacket {
+    rip: Rc<RipPacket>,
+    /// The encoded UDP datagram (the IPv4 payload), shared across ticks.
+    udp_bytes: Bytes,
+    absorb_key: u32,
 }
 
 impl Sim {
@@ -157,7 +195,7 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: crate::sched::TimerWheel::new(),
             nodes: Vec::new(),
             segments: Vec::new(),
             taps: Vec::new(),
@@ -171,6 +209,12 @@ impl Sim {
             proc_stats: BTreeMap::new(),
             fault_stats: FaultStats::default(),
             faults_installed: false,
+            scheduler_metrics: false,
+            rip_advert_cache: BTreeMap::new(),
+            next_absorb_key: 0,
+            traffic_payload: Bytes::from(
+                UdpDatagram::new(2049, 2049, Bytes::from_static(&[0u8; 32])).encode(),
+            ),
         }
     }
 
@@ -188,6 +232,22 @@ impl Sim {
     /// The attached telemetry handle (no-op by default).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Opts in to the scheduler's introspection counters
+    /// (`fremont_sim_idle_skipped_micros_total`,
+    /// `fremont_sim_wheel_cascades_total`). Off by default so existing
+    /// metric expositions stay byte-identical.
+    pub fn enable_scheduler_metrics(&mut self) {
+        self.scheduler_metrics = true;
+    }
+
+    /// Total re-files of timer-wheel records from a higher level to a
+    /// lower one (see `sched` module docs; exported as
+    /// `fremont_sim_wheel_cascades_total` when scheduler metrics are
+    /// enabled).
+    pub fn wheel_cascades(&self) -> u64 {
+        self.queue.cascades()
     }
 
     /// Packet counters for one process (zeroes if it never sent).
@@ -232,6 +292,20 @@ impl Sim {
             "",
             self.stats.queue_depth_hwm,
         );
+        // Scheduler introspection is opt-in (`enable_scheduler_metrics`)
+        // so default expositions stay byte-identical.
+        if self.scheduler_metrics {
+            t.counter_set(
+                "fremont_sim_idle_skipped_micros_total",
+                "",
+                self.stats.idle_skipped_micros,
+            );
+            t.counter_set(
+                "fremont_sim_wheel_cascades_total",
+                "",
+                self.queue.cascades(),
+            );
+        }
         let (mut frames, mut bytes, mut lost, mut bcast, mut arp) = (0u64, 0u64, 0u64, 0u64, 0u64);
         for seg in &self.segments {
             frames += seg.stats.frames_sent;
@@ -418,6 +492,16 @@ impl Sim {
         h.finish()
     }
 
+    /// Draws and returns one value from the simulation RNG — a *probe*
+    /// of the stream position for determinism tests: two same-seed runs
+    /// that consumed the same number of draws probe equal, and any extra
+    /// hidden draw in one of them makes every later probe diverge. This
+    /// advances the stream; only call it where the simulation's own
+    /// draw sequence no longer matters (end of a test).
+    pub fn rng_position_probe(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
@@ -599,26 +683,43 @@ impl Sim {
 
     fn schedule(&mut self, delay: SimDuration, event: Event) {
         self.seq += 1;
-        self.queue.push(Reverse(Queued {
-            at: self.now + delay,
-            seq: self.seq,
-            event,
-        }));
-        let depth = self.queue.len() as u64;
+        self.queue
+            .insert((self.now + delay).as_micros(), self.seq, event);
+        let depth = self.queue.len();
         if depth > self.stats.queue_depth_hwm {
             self.stats.queue_depth_hwm = depth;
         }
     }
 
+    /// Time of the earliest pending event, if any. This is the
+    /// skip-ahead oracle's public face: every event source in the
+    /// simulator (traffic bursts, uptime churn, fault plans, RIP and
+    /// ARP timers, process timers) pre-schedules its next firing on
+    /// the wheel, so the earliest pending record *is* the next moment
+    /// anything can happen and the gap before it is provably idle.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek_next().map(SimTime)
+    }
+
     /// Processes one event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(q)) = self.queue.pop() else {
+        self.step_due(u64::MAX)
+    }
+
+    /// Pops and dispatches the earliest event if it is due by
+    /// `deadline`; advances the clock over any idle gap before it.
+    fn step_due(&mut self, deadline: u64) -> bool {
+        let Some((at, _seq, event)) = self.queue.pop_due(deadline) else {
             return false;
         };
-        debug_assert!(q.at >= self.now, "time moves forward");
-        self.now = q.at;
+        let at = SimTime(at);
+        debug_assert!(at >= self.now, "time moves forward");
+        if at > self.now {
+            self.stats.idle_skipped_micros += at.since(self.now).as_micros();
+            self.now = at;
+        }
         self.stats.events_processed += 1;
-        self.dispatch(q.event);
+        self.dispatch(event);
         true
     }
 
@@ -641,13 +742,13 @@ impl Sim {
         };
         let events_before = self.stats.events_processed;
         let frames_before = self.frames_sent_total();
-        while let Some(Reverse(q)) = self.queue.peek() {
-            if q.at > deadline {
-                break;
-            }
-            self.step();
-        }
+        let due = deadline.as_micros();
+        while self.step_due(due) {}
         if self.now < deadline {
+            // Nothing left before the deadline: the wheel's occupancy
+            // bitmaps bounded the next firing past it, so the whole
+            // remaining gap is provably idle and jumped in one move.
+            self.stats.idle_skipped_micros += deadline.since(self.now).as_micros();
             self.now = deadline;
         }
         if traced {
@@ -674,7 +775,7 @@ impl Sim {
 
     fn dispatch(&mut self, event: Event) {
         match event {
-            Event::FrameRx { node, iface, frame } => self.handle_frame(node, iface, frame),
+            Event::FrameRx { node, iface, frame } => self.handle_frame(node, iface, &frame),
             Event::Tap { handle, frame } => self.deliver_tap(handle, &frame),
             Event::Start { handle } => self.with_proc(handle, |p, ctx| p.on_start(ctx)),
             Event::Timer { handle, token } => {
@@ -747,7 +848,7 @@ impl Sim {
             // Power-off loses volatile state.
             n.arp.clear();
             n.arp_pending.clear();
-            n.rip_learned.clear();
+            n.clear_rip_state();
         }
         if self.telemetry.enabled() {
             let name = if up { "node.up" } else { "node.down" };
@@ -768,13 +869,8 @@ impl Sim {
                 continue;
             }
             let src_ip = self.nodes[src.0].ifaces[0].ip;
-            let pkt = Ipv4Packet::new(
-                src_ip,
-                dst,
-                IpProtocol::Udp,
-                Bytes::from(UdpDatagram::new(2049, 2049, Bytes::from_static(&[0u8; 32])).encode()),
-            )
-            .with_id(self.next_ip_id());
+            let pkt = Ipv4Packet::new(src_ip, dst, IpProtocol::Udp, self.traffic_payload.clone())
+                .with_id(self.next_ip_id());
             let _ = self.node_send_ip(src, pkt);
         }
         if let Some(delay) = next {
@@ -793,11 +889,11 @@ impl Sim {
         self.nodes[handle.node.0].procs[handle.idx] = Some(p);
     }
 
-    fn deliver_tap(&mut self, handle: ProcHandle, frame: &EthernetFrame) {
+    fn deliver_tap(&mut self, handle: ProcHandle, rec: &FrameRecord) {
         if self.nodes[handle.node.0].procs[handle.idx].is_some() {
             self.proc_stats_mut(handle).frames_tapped += 1;
         }
-        self.with_proc(handle, |p, ctx| p.on_tap(frame, ctx));
+        self.with_proc(handle, |p, ctx| p.on_tap(&rec.frame, ctx));
     }
 
     fn deliver_ip_to_procs(&mut self, node: NodeId, pkt: &Ipv4Packet) {
@@ -855,9 +951,20 @@ impl Sim {
     /// Puts a frame on a node's segment: loss/collision roll, then
     /// per-receiver delivery events plus tap copies.
     fn transmit_frame(&mut self, node: NodeId, iface: usize, frame: EthernetFrame) {
+        self.transmit_frame_rec(node, iface, FrameRecord::new(frame));
+    }
+
+    /// [`Sim::transmit_frame`] with a caller-prepared record (the RIP
+    /// advertisement path pre-fills the decode cache and absorb key).
+    /// One event record is still scheduled per matching receiver —
+    /// event counts, RNG draw order, and queue-depth telemetry are
+    /// identical to per-receiver cloning — but all of them share one
+    /// frame allocation and decode.
+    fn transmit_frame_rec(&mut self, node: NodeId, iface: usize, rec: FrameRecord) {
         if !self.nodes[node.0].up {
             return;
         }
+        let frame = &rec.frame;
         let seg_id = self.nodes[node.0].ifaces[iface].segment;
         let now = self.now;
         let seg = &mut self.segments[seg_id.0];
@@ -880,6 +987,8 @@ impl Sim {
         let latency = seg.cfg.latency + seg.fault_latency;
         let jitter_bound = seg.cfg.jitter.as_micros();
         let broadcast = frame.is_broadcast();
+        let dst = frame.dst;
+        let rec = Rc::new(rec);
         // Borrow dance: take the attachment list out of the segment so we
         // can schedule deliveries (which needs `&mut self`) without cloning
         // it on every frame. Nothing below touches segment state.
@@ -889,7 +998,7 @@ impl Sim {
                 continue; // No self-reception.
             }
             let dst_mac = self.nodes[dst_node.0].ifaces[dst_iface].mac;
-            if broadcast || frame.dst == dst_mac {
+            if broadcast || dst == dst_mac {
                 let jitter = if jitter_bound > 0 {
                     SimDuration::from_micros(self.rng.gen_range(0..jitter_bound))
                 } else {
@@ -900,7 +1009,7 @@ impl Sim {
                     Event::FrameRx {
                         node: dst_node,
                         iface: dst_iface,
-                        frame: frame.clone(),
+                        frame: Rc::clone(&rec),
                     },
                 );
             }
@@ -918,7 +1027,7 @@ impl Sim {
                 latency,
                 Event::Tap {
                     handle,
-                    frame: frame.clone(),
+                    frame: Rc::clone(&rec),
                 },
             );
         }
@@ -1052,19 +1161,25 @@ impl Sim {
     // Receive path
     // ------------------------------------------------------------------
 
-    fn handle_frame(&mut self, node: NodeId, iface: usize, frame: EthernetFrame) {
+    fn handle_frame(&mut self, node: NodeId, iface: usize, rec: &FrameRecord) {
         if !self.nodes[node.0].up {
             return;
         }
-        match frame.ethertype {
+        match rec.frame.ethertype {
             EtherType::Arp => {
-                if let Ok(arp) = ArpPacket::decode(&frame.payload) {
-                    self.handle_arp(node, iface, &arp);
+                let arp = rec
+                    .arp
+                    .get_or_init(|| ArpPacket::decode(&rec.frame.payload).ok());
+                if let Some(arp) = arp {
+                    self.handle_arp(node, iface, arp);
                 }
             }
             EtherType::Ipv4 => {
-                if let Ok(pkt) = Ipv4Packet::decode(&frame.payload) {
-                    self.handle_ip(node, iface, pkt);
+                let pkt = rec
+                    .ipv4
+                    .get_or_init(|| Ipv4Packet::decode(&rec.frame.payload).ok());
+                if let Some(pkt) = pkt {
+                    self.handle_ip(node, iface, pkt, rec);
                 }
             }
             EtherType::Other(_) => {}
@@ -1144,12 +1259,14 @@ impl Sim {
                 .unwrap_or(false)
     }
 
-    fn handle_ip(&mut self, node: NodeId, iface: usize, pkt: Ipv4Packet) {
+    fn handle_ip(&mut self, node: NodeId, iface: usize, pkt: &Ipv4Packet, rec: &FrameRecord) {
         let local = self.nodes[node.0].is_local_dst(pkt.dst, iface);
         if local {
-            self.local_input(node, iface, pkt);
+            self.local_input(node, iface, pkt, rec);
         } else if self.nodes[node.0].kind == NodeKind::Router {
-            self.forward_ip(node, iface, pkt);
+            // Forwarding mutates the TTL, so the router works on its own
+            // copy (cheap: the payload is refcounted `Bytes`).
+            self.forward_ip(node, iface, pkt.clone());
         }
         // Hosts silently discard transit packets.
     }
@@ -1221,25 +1338,28 @@ impl Sim {
         }
     }
 
-    fn local_input(&mut self, node: NodeId, iface: usize, pkt: Ipv4Packet) {
+    fn local_input(&mut self, node: NodeId, iface: usize, pkt: &Ipv4Packet, rec: &FrameRecord) {
         // Raw-socket view: every locally-delivered packet reaches processes.
-        self.deliver_ip_to_procs(node, &pkt);
+        self.deliver_ip_to_procs(node, pkt);
 
         let is_broadcast = self.nodes[node.0].dst_is_broadcast(pkt.dst, iface);
         match pkt.protocol {
             IpProtocol::Icmp => {
                 if let Ok(msg) = IcmpMessage::decode(&pkt.payload) {
-                    self.handle_icmp(node, iface, &pkt, msg, is_broadcast);
+                    self.handle_icmp(node, iface, pkt, msg, is_broadcast);
                 }
             }
             IpProtocol::Udp => {
-                if let Ok(dgram) = UdpDatagram::decode(&pkt.payload) {
-                    self.handle_udp(node, iface, &pkt, dgram, is_broadcast);
+                let dgram = rec
+                    .udp
+                    .get_or_init(|| UdpDatagram::decode(&pkt.payload).ok());
+                if let Some(dgram) = dgram {
+                    self.handle_udp(node, iface, pkt, dgram, rec, is_broadcast);
                 }
             }
             IpProtocol::Tcp => {
                 // Reliable-channel stand-in, used only for DNS AXFR.
-                self.handle_dns_tcp(node, &pkt);
+                self.handle_dns_tcp(node, pkt);
             }
             IpProtocol::Other(_) => {}
         }
@@ -1318,7 +1438,8 @@ impl Sim {
         node: NodeId,
         iface: usize,
         pkt: &Ipv4Packet,
-        dgram: UdpDatagram,
+        dgram: &UdpDatagram,
+        rec: &FrameRecord,
         is_broadcast: bool,
     ) {
         match dgram.dst_port {
@@ -1330,8 +1451,12 @@ impl Sim {
                 }
             }
             RIP_PORT => {
-                if let Ok(rip) = RipPacket::decode(&dgram.payload) {
-                    self.handle_rip(node, iface, pkt, &dgram, &rip);
+                let rip = rec
+                    .rip
+                    .get_or_init(|| RipPacket::decode(&dgram.payload).ok().map(Rc::new));
+                if let Some(rip) = rip {
+                    let rip = Rc::clone(rip);
+                    self.handle_rip(node, iface, pkt, dgram, &rip, rec.absorb_key);
                 }
             }
             DNS_PORT => {
@@ -1390,20 +1515,26 @@ impl Sim {
         iface: usize,
         pkt: &Ipv4Packet,
         dgram: &UdpDatagram,
-        rip: &RipPacket,
+        rip: &Rc<RipPacket>,
+        absorb_key: Option<u32>,
     ) {
         match rip.command {
             fremont_net::RipCommand::Response => {
-                // Hosts remember learned routes (feeds promiscuous rebroadcast).
+                // Hosts remember learned routes (feeds promiscuous
+                // rebroadcast). The fold into `rip_learned` is deferred:
+                // queue the shared packet and compact lazily. A keyed
+                // advertisement (a cached template whose bytes cannot
+                // have changed) is skipped outright on repeat receipt —
+                // re-applying it would be a no-op min-merge anyway.
                 let n = &mut self.nodes[node.0];
-                for e in &rip.entries {
-                    if e.metric >= fremont_net::rip::METRIC_INFINITY {
-                        continue;
+                if let Some(key) = absorb_key {
+                    if n.rip_absorb_test_and_set(key) {
+                        return;
                     }
-                    match n.rip_learned.iter_mut().find(|(a, _)| *a == e.addr) {
-                        Some((_, m)) => *m = (*m).min(e.metric),
-                        None => n.rip_learned.push((e.addr, e.metric)),
-                    }
+                }
+                n.rip_pending.push(Rc::clone(rip));
+                if n.rip_pending.len() >= 64 {
+                    n.compact_rip_learned();
                 }
             }
             fremont_net::RipCommand::Request => {
@@ -1482,45 +1613,110 @@ impl Sim {
 
     fn send_rip_advertisements(&mut self, node: NodeId, cfg: &crate::node::RipConfig) {
         let iface_count = self.nodes[node.0].ifaces.len();
+        if cfg.promiscuous {
+            // The learned-route list is about to be read: fold in
+            // everything heard since the last compaction.
+            self.nodes[node.0].compact_rip_learned();
+        }
         for ifc in 0..iface_count {
-            let entries: Vec<RipEntry> = if cfg.promiscuous {
-                // Rebroadcast everything learned, regardless of origin —
-                // the misbehavior RIPwatch flags.
-                self.nodes[node.0]
-                    .rip_learned
-                    .iter()
-                    .map(|(a, m)| RipEntry {
-                        addr: *a,
-                        metric: (m + 1).min(fremont_net::rip::METRIC_INFINITY),
-                    })
-                    .collect()
+            // A tick's advertisement content is a pure function of the
+            // node's route state: the static table for normal speakers,
+            // the learned-route list for promiscuous rebroadcasters.
+            // Both carry a monotone version, so the split + UDP encode is
+            // cached per interface and only the IP identification (and
+            // therefore the frame bytes) is stamped fresh per tick. Each
+            // cached packet gets an absorb key — receivers fold a given
+            // identity once and skip byte-identical repeats.
+            let version = if cfg.promiscuous {
+                self.nodes[node.0].rip_version
             } else {
-                self.nodes[node.0]
-                    .routes
-                    .routes()
-                    .iter()
-                    .filter(|r| !cfg.split_horizon || r.iface != ifc)
-                    .map(|r| RipEntry {
-                        addr: r.dest.network(),
-                        metric: (r.metric + 1).min(fremont_net::rip::METRIC_INFINITY),
-                    })
-                    .collect()
+                self.nodes[node.0].routes.version()
             };
-            if entries.is_empty() {
+            let stale = match self.rip_advert_cache.get(&(node.0, ifc)) {
+                Some(t) => t.version != version,
+                None => true,
+            };
+            if stale {
+                let n = &self.nodes[node.0];
+                let entries: Vec<RipEntry> = if cfg.promiscuous {
+                    // Everything learned, regardless of origin — the
+                    // misbehavior RIPwatch flags.
+                    n.rip_learned
+                        .iter()
+                        .map(|(a, m)| RipEntry {
+                            addr: *a,
+                            metric: (m + 1).min(fremont_net::rip::METRIC_INFINITY),
+                        })
+                        .collect()
+                } else {
+                    n.routes
+                        .routes()
+                        .iter()
+                        .filter(|r| !cfg.split_horizon || r.iface != ifc)
+                        .map(|r| RipEntry {
+                            addr: r.dest.network(),
+                            metric: (r.metric + 1).min(fremont_net::rip::METRIC_INFINITY),
+                        })
+                        .collect()
+                };
+                let packets = fremont_net::rip::split_into_packets(&entries)
+                    .into_iter()
+                    .map(|p| {
+                        let dgram = UdpDatagram::new(RIP_PORT, RIP_PORT, Bytes::from(p.encode()));
+                        let absorb_key = self.next_absorb_key;
+                        self.next_absorb_key += 1;
+                        RipAdvertPacket {
+                            rip: Rc::new(p),
+                            udp_bytes: Bytes::from(dgram.encode()),
+                            absorb_key,
+                        }
+                    })
+                    .collect();
+                self.rip_advert_cache
+                    .insert((node.0, ifc), RipAdvertTemplate { version, packets });
+            }
+            let tmpl = &self.rip_advert_cache[&(node.0, ifc)];
+            let packets: Vec<(Rc<RipPacket>, Bytes, u32)> = tmpl
+                .packets
+                .iter()
+                .map(|p| (Rc::clone(&p.rip), p.udp_bytes.clone(), p.absorb_key))
+                .collect();
+            if packets.is_empty() {
                 continue;
             }
             let src_ip = self.nodes[node.0].ifaces[ifc].ip;
             let bcast = self.nodes[node.0].ifaces[ifc].subnet().directed_broadcast();
-            for packet in fremont_net::rip::split_into_packets(&entries) {
-                let dgram = UdpDatagram::new(RIP_PORT, RIP_PORT, Bytes::from(packet.encode()));
+            for (rip, udp_bytes, key) in packets {
                 let id = self.next_ip_id();
-                let out =
-                    Ipv4Packet::new(src_ip, bcast, IpProtocol::Udp, Bytes::from(dgram.encode()))
-                        .with_ttl(1)
-                        .with_id(id);
-                self.link_output(node, ifc, None, &out);
+                let out = Ipv4Packet::new(src_ip, bcast, IpProtocol::Udp, udp_bytes)
+                    .with_ttl(1)
+                    .with_id(id);
+                self.broadcast_rip(node, ifc, &out, rip, Some(key));
             }
         }
+    }
+
+    /// Broadcasts a RIP advertisement with the decoded packet pre-filled
+    /// on the frame record, so no receiver re-parses the UDP payload.
+    fn broadcast_rip(
+        &mut self,
+        node: NodeId,
+        iface: usize,
+        pkt: &Ipv4Packet,
+        rip: Rc<RipPacket>,
+        absorb_key: Option<u32>,
+    ) {
+        let src_mac = self.nodes[node.0].ifaces[iface].mac;
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            src_mac,
+            EtherType::Ipv4,
+            Bytes::from(pkt.encode()),
+        );
+        let mut rec = FrameRecord::new(frame);
+        let _ = rec.rip.set(Some(rip));
+        rec.absorb_key = absorb_key;
+        self.transmit_frame_rec(node, iface, rec);
     }
 }
 

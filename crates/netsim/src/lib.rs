@@ -43,6 +43,8 @@ pub mod faults;
 pub mod node;
 pub mod process;
 pub mod routing;
+#[doc(hidden)]
+pub mod sched;
 pub mod segment;
 pub mod stats;
 pub mod time;

@@ -27,17 +27,22 @@ pub struct Route {
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
     routes: Vec<Route>,
+    version: u64,
 }
 
 impl RoutingTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        RoutingTable { routes: Vec::new() }
+        RoutingTable {
+            routes: Vec::new(),
+            version: 0,
+        }
     }
 
     /// Adds a route. Replaces an existing route to the same destination if
     /// the new metric is not worse.
     pub fn add(&mut self, route: Route) {
+        self.version += 1;
         if let Some(existing) = self.routes.iter_mut().find(|r| r.dest == route.dest) {
             if route.metric <= existing.metric {
                 *existing = route;
@@ -45,6 +50,31 @@ impl RoutingTable {
         } else {
             self.routes.push(route);
         }
+    }
+
+    /// Appends a route whose destination is known not to duplicate any
+    /// existing entry (the builder's shortest-path fill adds one route
+    /// per distinct segment), skipping [`RoutingTable::add`]'s replace
+    /// scan. Equivalent to `add` whenever the precondition holds.
+    pub(crate) fn add_distinct(&mut self, route: Route) {
+        debug_assert!(
+            self.routes.iter().all(|r| r.dest != route.dest),
+            "add_distinct called with a duplicate destination"
+        );
+        self.version += 1;
+        self.routes.push(route);
+    }
+
+    /// Monotone mutation counter; `routes` is private, so two reads of
+    /// an unchanged version observe identical tables. Derived caches
+    /// (the engine's RIP advertisement templates) key on this.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Reserves capacity for `extra` additional routes.
+    pub fn reserve(&mut self, extra: usize) {
+        self.routes.reserve(extra);
     }
 
     /// Longest-prefix-match lookup.

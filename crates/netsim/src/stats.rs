@@ -122,6 +122,11 @@ pub struct SimStats {
     pub arp_requests: u64,
     /// High-water mark of the pending event queue depth.
     pub queue_depth_hwm: u64,
+    /// Simulated microseconds the clock advanced without dispatching an
+    /// event: inter-event gaps plus idle tails jumped to a `run_until`
+    /// deadline. The timer wheel's occupancy bitmaps make each jump
+    /// O(levels) regardless of the gap's length.
+    pub idle_skipped_micros: u64,
 }
 
 /// Per-process packet counters, keyed by the owning process handle in

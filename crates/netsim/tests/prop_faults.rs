@@ -13,7 +13,7 @@ use fremont_netsim::{FaultEvent, FaultKind, FaultPlan};
 
 /// A small routed world with background traffic, the same shape the
 /// engine's own determinism tests use.
-fn world(seed: u64, with_empty_plan: bool) -> (u64, u64, u64, u64, String) {
+fn world(seed: u64, with_empty_plan: bool) -> (u64, u64, u64, u64, String, u64) {
     let mut b = TopologyBuilder::new();
     let bb = b.segment("bb", "10.9.0.0/24");
     let lan = b.segment("lan", "10.9.1.0/24");
@@ -42,6 +42,10 @@ fn world(seed: u64, with_empty_plan: bool) -> (u64, u64, u64, u64, String) {
         sim.stats.arp_requests,
         sim.fault_stats.total() + sim.fault_stats.unresolved + sim.fault_stats.frames_dropped,
         drained,
+        // RNG stream position: equal probes mean the two runs consumed
+        // exactly the same number of draws — an empty plan (and the
+        // scheduler's idle skip-ahead) must not burn a single value.
+        sim.rng_position_probe(),
     )
 }
 
@@ -92,7 +96,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Installing an empty `FaultPlan` changes nothing: same seed, same
-    /// event counts, same drained observation stream, zero fault stats.
+    /// event counts, same drained observation stream, zero fault stats,
+    /// and — via the RNG position probe in `world` — zero extra RNG
+    /// draws anywhere in the run.
     #[test]
     fn empty_plan_is_a_strict_noop(seed in any::<u64>()) {
         let plain = world(seed, false);

@@ -362,3 +362,41 @@ fn unknown_fault_targets_are_counted_not_fatal() {
     assert_eq!(stats.unresolved, 3, "every bogus target counted");
     assert_eq!(stats.total(), 0, "nothing was actually applied");
 }
+
+#[test]
+fn fault_inside_skipped_idle_window_fires_at_exact_micros() {
+    // The scheduler jumps the clock over provably idle gaps. A fault
+    // scheduled at an arbitrary odd microsecond *inside* such a gap must
+    // still fire at exactly that instant — never rounded to a slot edge,
+    // a tick boundary, or the skip's landing point.
+    use fremont::netsim::builder::TopologyBuilder;
+    let mut b = TopologyBuilder::new();
+    let lan = b.segment("lan", "10.7.0.0/24");
+    b.host("alpha", lan, 10);
+    b.host("beta", lan, 11);
+    let (mut sim, topo) = b.build(5);
+    let beta = topo.hosts[1];
+    let fault_at = SimTime(17 * 60_000_000 + 123_457); // odd µs, mid-gap
+    sim.install_fault_plan(&FaultPlan::new().at(
+        fault_at,
+        FaultKind::NodeCrash {
+            node: "beta".to_owned(),
+        },
+    ));
+    sim.run_until(SimTime(fault_at.as_micros() - 1));
+    assert!(
+        sim.nodes[beta.0].up,
+        "fault must not fire a microsecond early"
+    );
+    assert!(
+        sim.stats.idle_skipped_micros > 0,
+        "a quiet LAN's 17 minutes must be crossed by skip-ahead, not stepped"
+    );
+    sim.run_until(fault_at);
+    assert!(
+        !sim.nodes[beta.0].up,
+        "crash fires at exactly its scheduled microsecond"
+    );
+    assert_eq!(sim.now(), fault_at);
+    assert_eq!(sim.fault_stats.total(), 1);
+}
