@@ -63,7 +63,7 @@ fn bench_engine(c: &mut Criterion) {
                     .wrapping_add(1_442_695_040_888_963_407);
                 let horizon = [63u64, 10_000, 2_000_000, 120_000_000][(x >> 60) as usize & 3];
                 wheel.insert(now + (x % horizon) + 1, seq, seq);
-                if seq % 4 == 0 {
+                if seq.is_multiple_of(4) {
                     if let Some((at, _, _)) = wheel.pop_due(u64::MAX) {
                         now = at;
                     }

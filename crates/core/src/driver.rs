@@ -533,6 +533,9 @@ impl DiscoveryDriver {
         if let Some(sharding) = self.journal.sharding_metrics() {
             fremont_journal::server::publish_sharding_metrics(tel, &sharding);
         }
+        if let Some(groups) = self.journal.batch_groups_total() {
+            tel.counter_set("fremont_journal_shard_batch_groups_total", "", groups);
+        }
         let report = self.load_report();
         for row in &report.rows {
             let label = format!("module=\"{}\"", row.source.name());

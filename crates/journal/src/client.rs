@@ -60,20 +60,27 @@ impl RemoteJournal {
         })
     }
 
-    /// One request/response round trip on the current connection.
-    fn call_once(&self, env: &RequestEnvelope) -> Result<Response, ProtoError> {
-        // fremont-lint: allow(lock-order) -- the connection mutex exists to serialize request/response pairs; holding it across the socket IO is the point
+    /// Runs a closure over the locked connection pair; every
+    /// request/response exchange serializes through here.
+    fn with_io<R>(&self, f: impl FnOnce(&mut BufReader<TcpStream>, &mut TcpStream) -> R) -> R {
         let mut guard = self.io.lock().expect("journal client poisoned");
         let (reader, writer) = &mut *guard;
-        write_frame(writer, env)?;
-        match read_frame::<_, Response>(reader)? {
-            Some(Response::Error(msg)) => Err(ProtoError::Server(msg)),
-            Some(resp) => Ok(resp),
-            None => Err(ProtoError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed connection",
-            ))),
-        }
+        f(reader, writer)
+    }
+
+    /// One request/response round trip on the current connection.
+    fn call_once(&self, env: &RequestEnvelope) -> Result<Response, ProtoError> {
+        self.with_io(|reader, writer| {
+            write_frame(writer, env)?;
+            match read_frame::<_, Response>(reader)? {
+                Some(Response::Error(msg)) => Err(ProtoError::Server(msg)),
+                Some(resp) => Ok(resp),
+                None => Err(ProtoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ))),
+            }
+        })
     }
 
     /// Round trip for a mutating request: no retry, no tracing.
@@ -108,6 +115,41 @@ impl RemoteJournal {
         let mut guard = self.io.lock().expect("journal client poisoned");
         *guard = fresh;
         Ok(())
+    }
+
+    /// Pipelines several requests over the connection: every frame is
+    /// written back-to-back before any reply is read, then the replies
+    /// are collected in request order (the server answers frames in
+    /// arrival order, so one round trip covers the whole slice).
+    ///
+    /// Like the mutating single-request path, pipelined requests are
+    /// never retried — a connection failure leaves it unknown which of
+    /// them the server applied. `Response::Error` is surfaced in place
+    /// rather than short-circuiting, so callers can attribute per-slot
+    /// failures.
+    pub fn pipeline(&self, reqs: &[Request]) -> Result<Vec<Response>, ProtoError> {
+        self.with_io(|reader, writer| {
+            for req in reqs {
+                let env = RequestEnvelope {
+                    ctx: TraceContext::NONE,
+                    req: req.clone(),
+                };
+                write_frame(writer, &env)?;
+            }
+            let mut replies = Vec::with_capacity(reqs.len());
+            for _ in reqs {
+                match read_frame::<_, Response>(reader)? {
+                    Some(resp) => replies.push(resp),
+                    None => {
+                        return Err(ProtoError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed connection mid-pipeline",
+                        )))
+                    }
+                }
+            }
+            Ok(replies)
+        })
     }
 
     /// Asks the server to write its snapshot.

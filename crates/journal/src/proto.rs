@@ -253,6 +253,31 @@ pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(
     Ok(Some(value))
 }
 
+/// Incremental variant of [`read_frame`] for nonblocking readers:
+/// decodes one frame from the front of `buf` without performing any IO.
+/// Returns `Ok(Some((value, consumed)))` when a complete frame is
+/// present and `Ok(None)` when more bytes are needed. The oversized
+/// check fires from the 4-byte header alone, before any body bytes
+/// arrive, so a hostile length prefix never causes buffering.
+pub fn decode_frame<T: for<'de> Deserialize<'de>>(
+    buf: &[u8],
+) -> Result<Option<(T, usize)>, ProtoError> {
+    let Some(header) = buf.first_chunk::<4>() else {
+        return Ok(None);
+    };
+    let len = u32::from_be_bytes(*header);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized(u64::from(len)));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let value =
+        serde_json::from_slice(&buf[4..total]).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    Ok(Some((value, total)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +318,35 @@ mod tests {
             read_frame::<_, Request>(&mut cur).unwrap().unwrap(),
             Request::GetGateways
         );
+    }
+
+    #[test]
+    fn decode_frame_is_incremental() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        write_frame(&mut buf, &Request::GetGateways).unwrap();
+        // Every strict prefix of one frame asks for more bytes.
+        for cut in 0..8 {
+            assert!(matches!(decode_frame::<Request>(&buf[..cut]), Ok(None)));
+        }
+        let (first, used) = decode_frame::<Request>(&buf).unwrap().unwrap();
+        assert_eq!(first, Request::Stats);
+        let (second, used2) = decode_frame::<Request>(&buf[used..]).unwrap().unwrap();
+        assert_eq!(second, Request::GetGateways);
+        assert_eq!(used + used2, buf.len());
+        // Oversized headers are rejected without the body.
+        let hostile = (MAX_FRAME + 1).to_be_bytes();
+        assert!(matches!(
+            decode_frame::<Request>(&hostile),
+            Err(ProtoError::Oversized(_))
+        ));
+        // Complete frames with garbage bodies are malformed.
+        let mut bad = 3u32.to_be_bytes().to_vec();
+        bad.extend_from_slice(b"{{{");
+        assert!(matches!(
+            decode_frame::<Request>(&bad),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

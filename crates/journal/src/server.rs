@@ -7,19 +7,47 @@
 //! the physical location of individual modules" — so the same
 //! [`JournalAccess`] trait is implemented both by an in-process handle and
 //! by a TCP client ([`crate::client::RemoteJournal`]).
+//!
+//! # Connection event loop
+//!
+//! Connections are served by a small fixed pool of event-loop workers
+//! (at most [`MAX_EVENTLOOP_WORKERS`]), not by a thread per connection:
+//! an accepted socket is switched to nonblocking mode and handed to one
+//! worker round-robin, which folds it into its readiness loop. Each
+//! connection is a pair of byte buffers and a tiny state machine:
+//!
+//! * **write pump** — drain buffered reply bytes until the socket would
+//!   block; a connection whose unsent backlog crosses
+//!   [`WRITE_HIGH_WATER`] stops being *read* until the backlog drains
+//!   (counted once per episode in
+//!   `fremont_journal_eventloop_backpressure_total`);
+//! * **read pump** — pull available bytes into the request buffer;
+//! * **frame serve** — decode every complete length-prefixed frame
+//!   ([`crate::proto::decode_frame`]), run it through the normal request
+//!   handler, and append the reply frame to the write buffer. Several
+//!   requests buffered on one socket are answered in arrival order, so
+//!   clients may pipeline.
+//!
+//! A thousand idle clients therefore cost a thousand file descriptors
+//! and two buffers each — not a thousand stacks. Error accounting is
+//! unchanged from the threaded server: oversized frames are rejected
+//! from the 4-byte header alone, truncation at mid-frame EOF is an io
+//! error, and every failed connection increments its `ProtoError`-kind
+//! counter, `fremont_journal_rpc_aborted_total`, and
+//! `fremont_journal_connection_errors_total` exactly once.
 
-use std::io::{BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use fremont_telemetry::{bounds, SpanId, TelTime, Telemetry};
 
 use crate::observation::Observation;
 use crate::proto::{
-    read_frame, write_frame, IntrospectReport, ProtoError, Request, RequestEnvelope, Response,
+    decode_frame, write_frame, IntrospectReport, ProtoError, Request, RequestEnvelope, Response,
     StoreBatchItem, WalStateReport,
 };
 use crate::query::{InterfaceQuery, SubnetQuery};
@@ -27,6 +55,17 @@ use crate::records::{GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
 use crate::snapshot::JournalSnapshot;
 use crate::store::{Journal, JournalStats, ShardingMetrics, StoreSummary};
 use crate::time::JTime;
+
+/// Upper bound on event-loop worker threads; the pool never exceeds the
+/// machine's available parallelism.
+pub const MAX_EVENTLOOP_WORKERS: usize = 4;
+
+/// Unsent reply bytes above which a connection stops being read until
+/// its backlog drains — the slow-reader backpressure threshold.
+pub const WRITE_HIGH_WATER: usize = 4 * 1024 * 1024;
+
+/// Socket read chunk size for the read pump.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Unified access to a Journal, local or remote.
 pub trait JournalAccess {
@@ -71,6 +110,14 @@ pub trait JournalAccess {
     /// Per-shard activity metrics, for backends wrapping the sharded
     /// in-process store. `None` for remote or opaque backends.
     fn sharding_metrics(&self) -> Option<ShardingMetrics> {
+        None
+    }
+
+    /// Shard commit groups flushed by the grouped batch path, for
+    /// backends wrapping the in-process store; `None` for remote or
+    /// opaque backends. Carried outside [`ShardingMetrics`] because
+    /// that struct is a frozen wire type (wal-schema golden).
+    fn batch_groups_total(&self) -> Option<u64> {
         None
     }
 
@@ -176,28 +223,35 @@ impl JournalAccess for SharedJournal {
     fn sharding_metrics(&self) -> Option<ShardingMetrics> {
         Some(self.inner.sharding_metrics())
     }
+
+    fn batch_groups_total(&self) -> Option<u64> {
+        Some(self.inner.batch_groups_total())
+    }
 }
 
 /// The TCP Journal Server.
 ///
-/// Serves the [`crate::proto`] protocol, one thread per connection, over
-/// any [`JournalAccess`] backend (defaulting to the in-memory
-/// [`SharedJournal`]; `fremont-storage`'s `DurableJournal` plugs in the
-/// same way). The journal "maintains an in-memory representation ...
-/// which it writes to disk periodically and at termination": backends
-/// that persist themselves are flushed on `Flush` requests and at
-/// shutdown; for the rest a snapshot path can be configured, written at
-/// those same points.
+/// Serves the [`crate::proto`] protocol over any [`JournalAccess`]
+/// backend (defaulting to the in-memory [`SharedJournal`];
+/// `fremont-storage`'s `DurableJournal` plugs in the same way), using a
+/// fixed pool of event-loop workers so concurrent connections cost file
+/// descriptors rather than threads (see the module docs). The journal
+/// "maintains an in-memory representation ... which it writes to disk
+/// periodically and at termination": backends that persist themselves
+/// are flushed on `Flush` requests and at shutdown; for the rest a
+/// snapshot path can be configured, written at those same points.
 pub struct JournalServer<J: JournalAccess + Clone + Send + Sync + 'static = SharedJournal> {
     journal: J,
     addr: SocketAddr,
     snapshot_path: Option<PathBuf>,
+    /// Stops the accept loop.
     stop: Arc<AtomicBool>,
+    /// Stops the event-loop workers; raised only after the accept
+    /// thread is joined, so worker inboxes are complete when workers
+    /// drain them one last time.
+    workers_stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    /// Live connection handles, so shutdown can sever them — a client
-    /// holding an open connection to a stopped server sees EOF, exactly
-    /// as it would across a real server restart.
-    conns: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
+    workers: Vec<JoinHandle<()>>,
     telemetry: Telemetry,
 }
 
@@ -221,33 +275,45 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(parking_lot::Mutex::labeled("journal.conns", Vec::new()));
-        let j = journal.clone();
+        let workers_stop = Arc::new(AtomicBool::new(false));
+        let pool = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_EVENTLOOP_WORKERS);
+        telemetry.gauge_set("fremont_journal_eventloop_workers", "", pool as u64);
+        let mut inboxes = Vec::with_capacity(pool);
+        let mut workers = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            inboxes.push(tx);
+            let j = journal.clone();
+            let snap = snapshot_path.clone();
+            let tel = telemetry.clone();
+            let ws = workers_stop.clone();
+            workers.push(std::thread::spawn(move || {
+                run_worker(rx, j, snap, tel, ws);
+            }));
+        }
         let s = stop.clone();
-        let snap = snapshot_path.clone();
         let tel = telemetry.clone();
-        let conns2 = conns.clone();
         let accept_thread = std::thread::spawn(move || {
             // Poll for stop between accepts.
             listener
                 .set_nonblocking(true)
                 .expect("nonblocking accept loop");
+            let mut next = 0usize;
             while !s.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        stream.set_nonblocking(false).ok();
-                        if let Ok(handle) = stream.try_clone() {
-                            conns2.lock().push(handle);
+                        tel.counter_add("fremont_journal_connections_total", "", 1);
+                        if stream.set_nonblocking(true).is_err() {
+                            tel.counter_add("fremont_journal_connection_errors_total", "", 1);
+                            continue;
                         }
-                        let j2 = j.clone();
-                        let snap2 = snap.clone();
-                        let t2 = tel.clone();
-                        std::thread::spawn(move || {
-                            t2.counter_add("fremont_journal_connections_total", "", 1);
-                            if serve_connection(stream, &j2, snap2.as_deref(), &t2).is_err() {
-                                t2.counter_add("fremont_journal_connection_errors_total", "", 1);
-                            }
-                        });
+                        if inboxes[next].send(stream).is_err() {
+                            break;
+                        }
+                        next = (next + 1) % inboxes.len();
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(std::time::Duration::from_millis(5));
@@ -261,8 +327,9 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
             addr: local,
             snapshot_path,
             stop,
+            workers_stop,
             accept_thread: Some(accept_thread),
-            conns,
+            workers,
             telemetry,
         })
     }
@@ -274,6 +341,12 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
 
     /// Stops the accept loop, severs live connections, and writes a
     /// final snapshot if configured.
+    ///
+    /// Severing is synchronous: when this returns, every connection the
+    /// server ever accepted is closed, so a client holding one sees EOF
+    /// on its next read — exactly as it would across a real server
+    /// restart. Each connection parked at shutdown counts once into
+    /// `fremont_journal_eventloop_severed_total`.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
@@ -283,12 +356,12 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Sever live connections so their worker threads wind down and
-        // clients observe the stop as a closed connection.
-        let live: Vec<TcpStream> = std::mem::take(&mut *self.conns.lock());
-        for stream in live {
-            // fremont-lint: allow(ignored-io) -- TcpStream::shutdown severs a socket, nothing flushes
-            let _ = stream.shutdown(Shutdown::Both);
+        // The accept loop is joined, so worker inboxes are complete;
+        // stopping the workers now severs every remaining connection
+        // before the joins below return.
+        self.workers_stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
         // Termination persistence: self-managed backends flush
         // themselves; otherwise write the configured snapshot path.
@@ -316,6 +389,10 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> JournalServer<J> {
             if let Some(m) = self.journal.sharding_metrics() {
                 publish_sharding_metrics(&self.telemetry, &m);
             }
+            if let Some(g) = self.journal.batch_groups_total() {
+                self.telemetry
+                    .counter_set("fremont_journal_shard_batch_groups_total", "", g);
+            }
         }
     }
 }
@@ -324,6 +401,348 @@ impl<J: JournalAccess + Clone + Send + Sync + 'static> Drop for JournalServer<J>
     fn drop(&mut self) {
         self.stop_inner();
     }
+}
+
+/// One event-loop worker: drains its inbox of freshly accepted sockets,
+/// then gives every connection a readiness pass; sleeps briefly only
+/// when a full sweep made no progress. On stop it severs whatever is
+/// left parked.
+fn run_worker<J: JournalAccess>(
+    rx: mpsc::Receiver<TcpStream>,
+    journal: J,
+    snapshot_path: Option<PathBuf>,
+    telemetry: Telemetry,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let mut progress = false;
+        while let Ok(stream) = rx.try_recv() {
+            conns.push(Conn::new(stream));
+            progress = true;
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].tick(&journal, snapshot_path.as_deref(), &telemetry) {
+                Tick::Idle => i += 1,
+                Tick::Progress => {
+                    progress = true;
+                    i += 1;
+                }
+                Tick::Closed(result) => {
+                    progress = true;
+                    let conn = conns.swap_remove(i);
+                    conn.finish(result, &telemetry);
+                }
+            }
+        }
+        if !progress {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    // Shutdown: the accept thread was joined before `stop` was raised,
+    // so the inbox cannot grow any more — sever everything left.
+    while let Ok(stream) = rx.try_recv() {
+        conns.push(Conn::new(stream));
+    }
+    for conn in conns {
+        telemetry.counter_add("fremont_journal_eventloop_severed_total", "", 1);
+        conn.sever();
+    }
+}
+
+/// Outcome of one readiness pass over a connection.
+enum Tick {
+    /// Nothing to do; the socket was quiet.
+    Idle,
+    /// Bytes moved or frames were served.
+    Progress,
+    /// The connection is finished — cleanly (`Ok`) or with the error
+    /// that killed it.
+    Closed(Result<(), ProtoError>),
+}
+
+/// Per-connection state machine: a nonblocking socket plus request and
+/// reply byte buffers.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet decoded into frames.
+    read_buf: Vec<u8>,
+    /// Reply bytes not yet accepted by the socket; `write_pos` marks the
+    /// sent prefix.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    read_total: u64,
+    write_total: u64,
+    published_r: u64,
+    published_w: u64,
+    /// Reads are suspended while the unsent backlog exceeds
+    /// [`WRITE_HIGH_WATER`].
+    paused: bool,
+    /// The peer has closed its write side.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            read_total: 0,
+            write_total: 0,
+            published_r: 0,
+            published_w: 0,
+            paused: false,
+            eof: false,
+        }
+    }
+
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// One readiness pass; byte counters are published per pass so the
+    /// totals stay fresh while the connection lives.
+    fn tick<J: JournalAccess>(
+        &mut self,
+        journal: &J,
+        snapshot_path: Option<&Path>,
+        telemetry: &Telemetry,
+    ) -> Tick {
+        let before = (self.read_total, self.write_total);
+        let res = self.pump(journal, snapshot_path, telemetry);
+        self.publish_bytes(telemetry);
+        match res {
+            Err(e) => Tick::Closed(Err(e)),
+            Ok(true) => Tick::Closed(Ok(())),
+            Ok(false) if (self.read_total, self.write_total) != before => Tick::Progress,
+            Ok(false) => Tick::Idle,
+        }
+    }
+
+    /// Write pump, read pump, then serve every complete frame.
+    /// `Ok(true)` means the peer closed cleanly at a frame boundary and
+    /// every buffered reply byte is on the wire.
+    fn pump<J: JournalAccess>(
+        &mut self,
+        journal: &J,
+        snapshot_path: Option<&Path>,
+        telemetry: &Telemetry,
+    ) -> Result<bool, ProtoError> {
+        self.pump_write()?;
+        self.update_pressure(telemetry);
+        if !self.paused && !self.eof {
+            self.pump_read()?;
+        }
+        self.serve_frames(journal, snapshot_path, telemetry)?;
+        self.pump_write()?;
+        self.update_pressure(telemetry);
+        if self.eof {
+            if !self.read_buf.is_empty() {
+                // The peer promised more frame bytes than it delivered —
+                // the same truncation `read_frame` reports as Io.
+                return Err(ProtoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )));
+            }
+            if self.pending_write() == 0 {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Drains buffered reply bytes until the socket would block.
+    fn pump_write(&mut self) -> Result<(), ProtoError> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    return Err(ProtoError::Io(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted no reply bytes",
+                    )))
+                }
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.write_total += n as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if self.write_pos > 0 && self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Pulls available bytes until the socket would block, the peer
+    /// closes, or the buffer already holds a maximum-size frame (the
+    /// frames are served before the next pass reads more).
+    fn pump_read(&mut self) -> Result<(), ProtoError> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    self.read_total += n as u64;
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    if self.read_buf.len() > crate::proto::MAX_FRAME as usize + 4 {
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Counts the transition into (and out of) slow-reader backpressure;
+    /// each blocked episode increments the counter exactly once.
+    fn update_pressure(&mut self, telemetry: &Telemetry) {
+        if !self.paused && self.pending_write() > WRITE_HIGH_WATER {
+            self.paused = true;
+            telemetry.counter_add("fremont_journal_eventloop_backpressure_total", "", 1);
+        } else if self.paused && self.pending_write() == 0 {
+            self.paused = false;
+        }
+    }
+
+    /// Decodes and serves every complete frame in the request buffer,
+    /// appending reply frames to the write buffer in arrival order.
+    fn serve_frames<J: JournalAccess>(
+        &mut self,
+        journal: &J,
+        snapshot_path: Option<&Path>,
+        telemetry: &Telemetry,
+    ) -> Result<(), ProtoError> {
+        let mut off = 0;
+        let mut result = Ok(());
+        loop {
+            match decode_frame::<RequestEnvelope>(&self.read_buf[off..]) {
+                Ok(Some((envelope, consumed))) => {
+                    off += consumed;
+                    if let Err(e) = respond(
+                        journal,
+                        snapshot_path,
+                        telemetry,
+                        envelope,
+                        consumed as u64,
+                        &mut self.write_buf,
+                    ) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.read_buf.drain(..off);
+        result
+    }
+
+    /// Publishes byte-total deltas accumulated since the last pass.
+    fn publish_bytes(&mut self, telemetry: &Telemetry) {
+        if self.read_total > self.published_r {
+            telemetry.counter_add(
+                "fremont_journal_bytes_read_total",
+                "",
+                self.read_total - self.published_r,
+            );
+            self.published_r = self.read_total;
+        }
+        if self.write_total > self.published_w {
+            telemetry.counter_add(
+                "fremont_journal_bytes_written_total",
+                "",
+                self.write_total - self.published_w,
+            );
+            self.published_w = self.write_total;
+        }
+    }
+
+    /// Final accounting for a finished connection. A connection that
+    /// dies inside a request/response exchange is an aborted RPC: the
+    /// caller cannot know the outcome.
+    fn finish(mut self, result: Result<(), ProtoError>, telemetry: &Telemetry) {
+        self.publish_bytes(telemetry);
+        if let Err(e) = &result {
+            telemetry.counter_add("fremont_journal_rpc_errors_total", error_kind_label(e), 1);
+            telemetry.counter_add("fremont_journal_rpc_aborted_total", "", 1);
+            telemetry.counter_add("fremont_journal_connection_errors_total", "", 1);
+        }
+        // Dropping `self.stream` closes the socket.
+    }
+
+    /// Severs a connection parked at shutdown so the client observes
+    /// the stop as a closed connection.
+    fn sever(self) {
+        // fremont-lint: allow(ignored-io) -- TcpStream::shutdown severs a socket, nothing flushes
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Serves one decoded request: telemetry spans stamped with the caller's
+/// clock, the request handler, and the reply frame appended to `out`.
+fn respond<J: JournalAccess>(
+    journal: &J,
+    snapshot_path: Option<&Path>,
+    telemetry: &Telemetry,
+    envelope: RequestEnvelope,
+    frame_bytes: u64,
+    out: &mut Vec<u8>,
+) -> Result<(), ProtoError> {
+    let RequestEnvelope { ctx, req } = envelope;
+    telemetry.counter_add("fremont_journal_rpc_total", rpc_label(&req), 1);
+    // A traced frame gets a server-side span tree, stamped with the
+    // *caller's* clock — the server has no sim clock, and using the
+    // caller's keeps stitched traces deterministic. Untraced frames
+    // (queries, probes) leave the server trace untouched.
+    let at = TelTime(ctx.at_micros);
+    let rpc_span = if ctx.is_traced() {
+        telemetry.span_start_remote(
+            "server.rpc",
+            rpc_label(&req),
+            SpanId::NONE,
+            ctx.trace_id,
+            ctx.parent_span,
+            at,
+        )
+    } else {
+        SpanId::NONE
+    };
+    if rpc_span.is_real() {
+        let decode = telemetry.span_start("server.decode", "", rpc_span, at);
+        telemetry.work(decode, "bytes", frame_bytes, at);
+        telemetry.span_end(decode, &format!("bytes={frame_bytes}"), at);
+    }
+    let resp = handle_request(journal, snapshot_path, telemetry, req, rpc_span, at);
+    if matches!(resp, Response::Error(_)) {
+        telemetry.counter_add("fremont_journal_rpc_errors_total", "kind=\"server\"", 1);
+    }
+    let mark = out.len();
+    let wres = write_frame(out, &resp);
+    if rpc_span.is_real() {
+        let reply = telemetry.span_start("server.reply", "", rpc_span, at);
+        telemetry.work(reply, "bytes", (out.len() - mark) as u64, at);
+        let verdict = if wres.is_ok() { "ok" } else { "aborted" };
+        telemetry.span_end(reply, verdict, at);
+        telemetry.span_end(rpc_span, verdict, at);
+    }
+    wres
 }
 
 /// Publishes [`JournalStats`] as gauges (shared with the driver's
@@ -441,38 +860,6 @@ fn sum_series(metrics: &str, name: &str) -> u64 {
         .sum()
 }
 
-/// A reader that counts bytes pulled from the socket.
-struct CountingRead<R> {
-    inner: R,
-    count: u64,
-}
-
-impl<R: Read> Read for CountingRead<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.count += n as u64;
-        Ok(n)
-    }
-}
-
-/// A writer that counts bytes pushed to the socket.
-struct CountingWrite<W> {
-    inner: W,
-    count: u64,
-}
-
-impl<W: Write> Write for CountingWrite<W> {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let n = self.inner.write(buf)?;
-        self.count += n as u64;
-        Ok(n)
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        self.inner.flush()
-    }
-}
-
 fn rpc_label(req: &Request) -> &'static str {
     match req {
         Request::Store { .. } => "rpc=\"store\"",
@@ -495,93 +882,6 @@ fn error_kind_label(e: &ProtoError) -> &'static str {
         ProtoError::Server(_) => "kind=\"server\"",
         ProtoError::Unsupported => "kind=\"unsupported\"",
     }
-}
-
-fn serve_connection<J: JournalAccess>(
-    stream: TcpStream,
-    journal: &J,
-    snapshot_path: Option<&std::path::Path>,
-    telemetry: &Telemetry,
-) -> Result<(), ProtoError> {
-    let mut writer = CountingWrite {
-        inner: stream.try_clone()?,
-        count: 0,
-    };
-    let mut reader = BufReader::new(CountingRead {
-        inner: stream,
-        count: 0,
-    });
-    let (mut published_r, mut published_w) = (0u64, 0u64);
-    let result = loop {
-        let frame_mark = reader.get_ref().count;
-        match read_frame::<_, RequestEnvelope>(&mut reader) {
-            Ok(Some(RequestEnvelope { ctx, req })) => {
-                telemetry.counter_add("fremont_journal_rpc_total", rpc_label(&req), 1);
-                // A traced frame gets a server-side span tree, stamped
-                // with the *caller's* clock — the server has no sim
-                // clock, and using the caller's keeps stitched traces
-                // deterministic. Untraced frames (queries, probes)
-                // leave the server trace untouched.
-                let at = TelTime(ctx.at_micros);
-                let rpc_span = if ctx.is_traced() {
-                    telemetry.span_start_remote(
-                        "server.rpc",
-                        rpc_label(&req),
-                        SpanId::NONE,
-                        ctx.trace_id,
-                        ctx.parent_span,
-                        at,
-                    )
-                } else {
-                    SpanId::NONE
-                };
-                if rpc_span.is_real() {
-                    // Request/response lockstep means everything read
-                    // since the previous frame boundary belongs to
-                    // this frame (length prefix included).
-                    let frame_bytes = reader.get_ref().count - frame_mark;
-                    let decode = telemetry.span_start("server.decode", "", rpc_span, at);
-                    telemetry.work(decode, "bytes", frame_bytes, at);
-                    telemetry.span_end(decode, &format!("bytes={frame_bytes}"), at);
-                }
-                let resp = handle_request(journal, snapshot_path, telemetry, req, rpc_span, at);
-                if matches!(resp, Response::Error(_)) {
-                    telemetry.counter_add("fremont_journal_rpc_errors_total", "kind=\"server\"", 1);
-                }
-                let write_mark = writer.count;
-                let wres = write_frame(&mut writer, &resp);
-                if rpc_span.is_real() {
-                    let reply = telemetry.span_start("server.reply", "", rpc_span, at);
-                    telemetry.work(reply, "bytes", writer.count - write_mark, at);
-                    let verdict = if wres.is_ok() { "ok" } else { "aborted" };
-                    telemetry.span_end(reply, verdict, at);
-                    telemetry.span_end(rpc_span, verdict, at);
-                }
-                if let Err(e) = wres {
-                    break Err(e);
-                }
-            }
-            Ok(None) => break Ok(()),
-            Err(e) => break Err(e),
-        }
-        // Keep byte totals fresh per request, not just at close.
-        let (r, w) = (reader.get_ref().count, writer.count);
-        telemetry.counter_add("fremont_journal_bytes_read_total", "", r - published_r);
-        telemetry.counter_add("fremont_journal_bytes_written_total", "", w - published_w);
-        published_r = r;
-        published_w = w;
-    };
-    if let Err(e) = &result {
-        telemetry.counter_add("fremont_journal_rpc_errors_total", error_kind_label(e), 1);
-        // A connection that dies inside a request/response exchange is
-        // an aborted RPC: the frame decoded and the span tree closed
-        // (or never opened), but the caller cannot know the outcome.
-        telemetry.counter_add("fremont_journal_rpc_aborted_total", "", 1);
-    }
-    let (r, w) = (reader.get_ref().count, writer.count);
-    telemetry.counter_add("fremont_journal_bytes_read_total", "", r - published_r);
-    telemetry.counter_add("fremont_journal_bytes_written_total", "", w - published_w);
-    result
 }
 
 fn handle_request<J: JournalAccess>(
@@ -767,5 +1067,6 @@ mod tests {
         assert_eq!(j.stats().unwrap().interfaces, 1);
         assert!(j.delete(recs[0].id).unwrap());
         assert_eq!(j.stats().unwrap().interfaces, 0);
+        assert_eq!(j.batch_groups_total(), Some(1));
     }
 }

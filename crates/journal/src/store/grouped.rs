@@ -1,0 +1,672 @@
+//! Shard-grouped batch application.
+//!
+//! [`Journal::apply_batch`] used to visit shard locks per observation: a
+//! 64-observation batch against an 8-shard store cost hundreds of lock
+//! acquisitions because every identity resolution fanned a read across
+//! all shards and every record touch took its shard's write lock anew.
+//! This module replaces that with a plan/commit split that takes each
+//! shard lock **at most once per conflict-free run** of the batch:
+//!
+//! 1. **Acquire** (meta write lock held, the single write gate): on the
+//!    batch's first interface observation, take every shard's write lock
+//!    in ascending index order — the one same-label acquisition pattern
+//!    the shard-lock-order lint and the runtime sanitizer bless — and
+//!    hold the guards for the rest of the batch.
+//! 2. **Plan**: walk the batch in order. Meta-only facts (subnets)
+//!    apply inline. Interface observations resolve their target records
+//!    by probing the shard indexes directly through the held guards —
+//!    committed state cannot change under them, so a probe reads
+//!    exactly what a snapshot taken at generation start would hold —
+//!    and become [`PlannedOp`]s grouped by target shard, each with a
+//!    pre-reserved block of global index and modification sequences.
+//! 3. **Commit** (generation flush): each non-empty shard group is
+//!    applied through its already-held guard — no further lock traffic —
+//!    in ascending shard order inline, or, when groups are large enough
+//!    to amortize a thread spawn, concurrently on scoped worker threads.
+//!    Workers receive disjoint `&mut Shard` borrows carved out of the
+//!    held guards, so a worker touches no lock at all and the lock
+//!    acquisition trace is identical whether a generation commits inline
+//!    or in parallel.
+//!
+//! # Equivalence with sequential application
+//!
+//! The planner flushes the pending generation whenever the next
+//! observation could observe a pending write: its keys (IP/MAC/name)
+//! intersect the keys of any pending operation *or of any record a
+//! pending operation touches*. Resolutions therefore read exactly the
+//! state sequential application would have shown them — pending writes
+//! an observation could see are always committed before it resolves —
+//! and operations on distinct records commute. Gateway and RIP-source
+//! facts read and write records across shards through the per-item
+//! machinery, so they act as full barriers: the pending generation
+//! commits, the held guards drop, the fact applies through the per-item
+//! path, and the next interface observation re-acquires (the only case
+//! where a shard lock is taken more than once per batch). Sequence
+//! blocks are reserved in plan order with fixed strides; only the
+//! *relative* order of sequences is observable (posting-list order,
+//! modification order — never the values themselves), so the gaps
+//! unused reservations leave behind are invisible. `prop_shard.rs` pins
+//! all of this against [`Journal::apply_batch_sequential`] and per-item
+//! `apply_shared`.
+//!
+//! # Visibility
+//!
+//! Shard-only readers could always observe a batch's intermediate
+//! states; under grouped commit the granularity coarsens to whole
+//! guard-holding runs — a barrier-free batch is atomic with respect to
+//! interface queries, because every shard's write lock is held from the
+//! batch's first interface observation through its last commit. Meta
+//! readers (stats, snapshots) remain fully serialized against the
+//! batch, and the final state is identical to sequential application.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::sync::atomic::Ordering;
+
+use fremont_net::MacAddr;
+use parking_lot::RwLockWriteGuard;
+
+use crate::observation::{Fact, Observation, Source};
+use crate::records::{InterfaceId, InterfaceRecord};
+use crate::time::JTime;
+
+use super::indexes::{
+    Entry, FilterDelta, FilterKey, IdentityState, ShardMaskFilter, TAG_IP, TAG_MAC, TAG_NAME,
+};
+use super::shard::{shard_of, Shard};
+use super::{Journal, Meta, StoreSummary};
+
+/// Every shard's write guard, ascending by index, held from the batch's
+/// first interface observation through its last commit.
+type ShardGuards<'j> = Vec<RwLockWriteGuard<'j, Shard>>;
+
+/// Releases held guards in ascending shard order (the `Vec`'s natural
+/// drop order). Lone-lock reader sweeps run *descending* (see
+/// `Journal::merged_ids`), so a reader parked at shard `k` wakes when
+/// `k` frees and finds every lower-numbered shard it still wants
+/// already free — the writer's acquisition and release each cross a
+/// given reader at most once instead of convoying lock-by-lock.
+fn release(held: &mut Option<ShardGuards<'_>>) {
+    *held = None;
+}
+
+/// Global index sequences reserved per planned operation: at most one
+/// posting add each for IP, MAC, and name.
+const IDX_STRIDE: u64 = 3;
+
+/// Modification sequences reserved per planned operation: the creation
+/// touch plus at most one change touch.
+const MOD_STRIDE: u64 = 2;
+
+/// Smallest per-group operation count for which a scoped worker thread
+/// pays for its spawn; below this, groups commit inline in ascending
+/// shard order.
+const PARALLEL_MIN_OPS_PER_GROUP: usize = 64;
+
+/// One record operation planned against a single shard: create the
+/// record and/or merge observed fields into it, drawing sequences from
+/// the reserved `idx_base`/`mod_base` blocks.
+struct PlannedOp {
+    id: InterfaceId,
+    create: bool,
+    source: Source,
+    ip: Option<Ipv4Addr>,
+    mac: Option<MacAddr>,
+    name: Option<String>,
+    mask: Option<fremont_net::SubnetMask>,
+    now: JTime,
+    idx_base: u64,
+    mod_base: u64,
+}
+
+/// The record a posting points at, read through the held guards —
+/// postings only reference live records in their own shard.
+fn rec_of<'g>(guards: &'g ShardGuards<'_>, id: InterfaceId) -> &'g InterfaceRecord {
+    &guards[shard_of(id, guards.len())].records[&id.0]
+}
+
+/// Merges the per-shard posting lists one key resolves to into `out`,
+/// restoring global insertion order (sequences are globally unique).
+/// `mask` is the journal-global shard-mask filter's verdict for the
+/// key's tagged fingerprint: only set bits are descended into, so the
+/// common miss costs one hash probe total instead of one tree descent
+/// per shard. The scratch buffer is reused across resolutions to stay
+/// off the allocator.
+fn merged_into(
+    guards: &ShardGuards<'_>,
+    mut mask: u64,
+    get: impl Fn(&Shard) -> Option<&Vec<Entry>>,
+    out: &mut Vec<Entry>,
+) {
+    out.clear();
+    if mask == u64::MAX {
+        // Untracked filter (more than 64 shards, which a bitmask cannot
+        // index): probe everything.
+        for sh in guards.iter() {
+            if let Some(entries) = get(sh) {
+                out.extend_from_slice(entries);
+            }
+        }
+    } else {
+        while mask != 0 {
+            let s = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if let Some(entries) = get(&guards[s]) {
+                out.extend_from_slice(entries);
+            }
+        }
+    }
+    out.sort_unstable_by_key(|e| e.0);
+}
+
+/// Planner state for one `apply_batch_grouped` call.
+struct Planner {
+    /// Fingerprints of the keys the pending generation writes through:
+    /// the observations' own keys plus every key of every record a
+    /// pending op touches, each tagged by key type. A new observation
+    /// intersecting this set forces a flush first; a fingerprint
+    /// collision can only make the intersection spuriously true, which
+    /// costs an extra flush, never a missed conflict.
+    pending: HashSet<u64, IdentityState>,
+    /// Planned ops per shard, pending commit.
+    groups: Vec<Vec<PlannedOp>>,
+    pending_ops: usize,
+    /// Next unreserved sequence block bases; synced from `meta` whenever
+    /// the pending generation is empty.
+    next_idx: u64,
+    next_mod: u64,
+    /// Posting-list scratch buffers for resolution.
+    scratch_a: Vec<Entry>,
+    scratch_b: Vec<Entry>,
+}
+
+impl Planner {
+    fn new(shards: usize) -> Self {
+        Planner {
+            pending: HashSet::default(),
+            groups: (0..shards).map(|_| Vec::new()).collect(),
+            pending_ops: 0,
+            next_idx: 0,
+            next_mod: 0,
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
+        }
+    }
+
+    /// Whether the observation's keys intersect the pending write set.
+    fn conflicts(&self, ip: Option<Ipv4Addr>, mac: Option<MacAddr>, name: Option<&str>) -> bool {
+        ip.is_some_and(|ip| self.pending.contains(&(ip.filter_hash() ^ TAG_IP)))
+            || mac.is_some_and(|mac| self.pending.contains(&(mac.filter_hash() ^ TAG_MAC)))
+            || name.is_some_and(|n| self.pending.contains(&(n.filter_hash() ^ TAG_NAME)))
+    }
+
+    fn note_obs_keys(&mut self, ip: Option<Ipv4Addr>, mac: Option<MacAddr>, name: Option<&str>) {
+        if let Some(ip) = ip {
+            self.pending.insert(ip.filter_hash() ^ TAG_IP);
+        }
+        if let Some(mac) = mac {
+            self.pending.insert(mac.filter_hash() ^ TAG_MAC);
+        }
+        if let Some(name) = name {
+            self.pending.insert(name.filter_hash() ^ TAG_NAME);
+        }
+    }
+
+    fn push(&mut self, shard: usize, op: PlannedOp) {
+        self.groups[shard].push(op);
+        self.pending_ops += 1;
+    }
+
+    /// Reserves the next sequence blocks for one planned operation.
+    fn reserve(&mut self) -> (u64, u64) {
+        let bases = (self.next_idx, self.next_mod);
+        self.next_idx += IDX_STRIDE;
+        self.next_mod += MOD_STRIDE;
+        bases
+    }
+
+    /// Mirrors `Journal::resolve_targets` against committed state, read
+    /// directly through the held guards. `flt` is the journal-global
+    /// shard-mask filter (maintained under the same meta lock this
+    /// batch holds), so each key costs one probe plus a descent into
+    /// only the shards that may hold it. Targets land in `out`.
+    fn resolve(
+        &mut self,
+        guards: &ShardGuards<'_>,
+        flt: &ShardMaskFilter,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+        out: &mut Vec<InterfaceId>,
+    ) {
+        out.clear();
+        if let Some(mac) = mac {
+            merged_into(
+                guards,
+                flt.may_shards(mac.filter_hash() ^ TAG_MAC),
+                |sh| sh.idx_mac.get(&mac),
+                &mut self.scratch_a,
+            );
+            let with_mac = &self.scratch_a;
+            if let Some(ip) = ip {
+                if let Some(e) = with_mac
+                    .iter()
+                    .find(|e| rec_of(guards, e.1).ip_addr() == Some(ip))
+                {
+                    out.push(e.1);
+                    return;
+                }
+                if let Some(e) = with_mac
+                    .iter()
+                    .find(|e| rec_of(guards, e.1).ip_addr().is_none())
+                {
+                    out.push(e.1);
+                    return;
+                }
+                merged_into(
+                    guards,
+                    flt.may_shards(ip.filter_hash() ^ TAG_IP),
+                    |sh| sh.idx_ip.get(&ip),
+                    &mut self.scratch_b,
+                );
+                if let Some(e) = self
+                    .scratch_b
+                    .iter()
+                    .find(|e| rec_of(guards, e.1).mac_addr().is_none())
+                {
+                    out.push(e.1);
+                }
+                return;
+            }
+            out.extend(with_mac.iter().map(|e| e.1));
+            return;
+        }
+        if let Some(ip) = ip {
+            merged_into(
+                guards,
+                flt.may_shards(ip.filter_hash() ^ TAG_IP),
+                |sh| sh.idx_ip.get(&ip),
+                &mut self.scratch_a,
+            );
+            if self.scratch_a.len() <= 1 {
+                out.extend(self.scratch_a.iter().map(|e| e.1));
+                return;
+            }
+            out.extend(self.scratch_a.iter().map(|e| e.1).max_by_key(|&id| {
+                let r = rec_of(guards, id);
+                (r.live_verified, r.verified, r.discovered)
+            }));
+            return;
+        }
+        if let Some(name) = name {
+            let key = name.to_owned();
+            merged_into(
+                guards,
+                flt.may_shards(name.filter_hash() ^ TAG_NAME),
+                |sh| sh.idx_name.get(&key),
+                &mut self.scratch_a,
+            );
+            out.extend(self.scratch_a.iter().map(|e| e.1));
+        }
+    }
+}
+
+impl Journal {
+    /// Applies a batch with shard-grouped planning and commit; see the
+    /// module docs. [`Journal::apply_batch`] delegates here.
+    pub fn apply_batch_grouped<'a>(
+        &self,
+        items: impl IntoIterator<Item = (&'a Observation, JTime)>,
+    ) -> StoreSummary {
+        self.apply_batch_grouped_impl(items, None)
+    }
+
+    /// Test/bench knob: like [`Journal::apply_batch_grouped`] but with the
+    /// commit strategy forced — `true` commits every generation on scoped
+    /// worker threads regardless of size, `false` always commits inline.
+    #[doc(hidden)]
+    pub fn apply_batch_grouped_forced<'a>(
+        &self,
+        items: impl IntoIterator<Item = (&'a Observation, JTime)>,
+        parallel: bool,
+    ) -> StoreSummary {
+        self.apply_batch_grouped_impl(items, Some(parallel))
+    }
+
+    fn apply_batch_grouped_impl<'a>(
+        &self,
+        items: impl IntoIterator<Item = (&'a Observation, JTime)>,
+        force_parallel: Option<bool>,
+    ) -> StoreSummary {
+        let items: Vec<(&Observation, JTime)> = items.into_iter().collect();
+        let mut meta = self.meta.write();
+        let mut p = Planner::new(self.shard_count());
+        let mut sum = StoreSummary::default();
+        let mut held: Option<ShardGuards<'_>> = None;
+        let mut targets: Vec<InterfaceId> = Vec::new();
+        for &(obs, now) in &items {
+            meta.observations_applied += 1;
+            match &obs.fact {
+                Fact::Interface {
+                    ip,
+                    mac,
+                    name,
+                    mask,
+                } => {
+                    self.plan_interface(
+                        &mut meta,
+                        &mut p,
+                        &mut held,
+                        &mut targets,
+                        &mut sum,
+                        force_parallel,
+                        obs.source,
+                        *ip,
+                        *mac,
+                        name.as_deref(),
+                        *mask,
+                        now,
+                    );
+                }
+                Fact::Subnet {
+                    subnet,
+                    mask_assumed,
+                } => {
+                    // Meta-only: no shard state read or written, so it
+                    // commutes with every pending interface op.
+                    sum.absorb(self.apply_subnet(
+                        &mut meta,
+                        obs.source,
+                        *subnet,
+                        *mask_assumed,
+                        now,
+                    ));
+                }
+                Fact::SubnetStats {
+                    subnet,
+                    host_count,
+                    lowest,
+                    highest,
+                } => {
+                    sum.absorb(self.apply_subnet_stats(
+                        &mut meta,
+                        obs.source,
+                        *subnet,
+                        *host_count,
+                        *lowest,
+                        *highest,
+                        now,
+                    ));
+                }
+                Fact::Gateway {
+                    interface_ips,
+                    interface_names,
+                    subnets,
+                } => {
+                    // Barrier: gateways resolve and touch records across
+                    // shards through the per-item machinery, which takes
+                    // its own shard locks — release ours first.
+                    sum.absorb(self.flush_generation(&mut meta, &mut p, &mut held, force_parallel));
+                    release(&mut held);
+                    sum.absorb(self.apply_gateway(
+                        &mut meta,
+                        obs.source,
+                        interface_ips,
+                        interface_names,
+                        subnets,
+                        now,
+                    ));
+                }
+                Fact::RipSource {
+                    ip,
+                    mac,
+                    advertised_routes: _,
+                    promiscuous,
+                } => {
+                    sum.absorb(self.flush_generation(&mut meta, &mut p, &mut held, force_parallel));
+                    release(&mut held);
+                    sum.absorb(self.apply_rip_source(
+                        &mut meta,
+                        obs.source,
+                        *ip,
+                        *mac,
+                        *promiscuous,
+                        now,
+                    ));
+                }
+            }
+        }
+        sum.absorb(self.flush_generation(&mut meta, &mut p, &mut held, force_parallel));
+        release(&mut held);
+        self.counters.note_batch(items.len() as u64);
+        sum
+    }
+
+    /// Takes every shard's write lock in ascending index order — the
+    /// sanctioned same-label acquisition pattern — for the batch to hold
+    /// until its last commit (or until a barrier fact needs the per-item
+    /// machinery to lock shards itself).
+    fn lock_all_shards(&self) -> ShardGuards<'_> {
+        (0..self.shards.len())
+            .map(|s| {
+                self.shard_counters[s]
+                    .write_locks
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shards[s].write()
+            })
+            .collect()
+    }
+
+    /// Plans one interface observation: resolve targets through the held
+    /// guards (flushing first on key conflict) and queue the resulting
+    /// record ops on their shards. Acquires the shard guards on the
+    /// batch's first interface observation.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_interface<'j>(
+        &'j self,
+        meta: &mut Meta,
+        p: &mut Planner,
+        held: &mut Option<ShardGuards<'j>>,
+        targets: &mut Vec<InterfaceId>,
+        sum: &mut StoreSummary,
+        force_parallel: Option<bool>,
+        source: Source,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+        mask: Option<fremont_net::SubnetMask>,
+        now: JTime,
+    ) {
+        if ip.is_none() && mac.is_none() && name.is_none() {
+            return; // Nothing identifying; drop (mirrors apply_interface).
+        }
+        if p.conflicts(ip, mac, name) {
+            sum.absorb(self.flush_generation(meta, p, held, force_parallel));
+        }
+        if p.pending_ops == 0 {
+            // Barriers and flushes advance the global sequences through
+            // `meta`; re-sync before reserving the next blocks.
+            p.next_idx = meta.idx_seq;
+            p.next_mod = meta.mod_seq;
+        }
+        let guards = held.get_or_insert_with(|| self.lock_all_shards());
+        p.resolve(guards, &meta.flt, ip, mac, name, targets);
+        if targets.is_empty() {
+            let id = InterfaceId(meta.next_iface);
+            meta.next_iface += 1;
+            let (idx_base, mod_base) = p.reserve();
+            p.push(
+                self.shard_of(id),
+                PlannedOp {
+                    id,
+                    create: true,
+                    source,
+                    ip,
+                    mac,
+                    name: name.map(str::to_owned),
+                    mask,
+                    now,
+                    idx_base,
+                    mod_base,
+                },
+            );
+        } else {
+            for &id in targets.iter() {
+                {
+                    let r = rec_of(guards, id);
+                    let (rip, rmac) = (r.ip_addr(), r.mac_addr());
+                    let rname = r.dns_name().map(str::to_owned);
+                    p.note_obs_keys(rip, rmac, rname.as_deref());
+                }
+                let (idx_base, mod_base) = p.reserve();
+                p.push(
+                    self.shard_of(id),
+                    PlannedOp {
+                        id,
+                        create: false,
+                        source,
+                        ip,
+                        mac,
+                        name: name.map(str::to_owned),
+                        mask,
+                        now,
+                        idx_base,
+                        mod_base,
+                    },
+                );
+            }
+        }
+        p.note_obs_keys(ip, mac, name);
+    }
+
+    /// Commits the pending generation through the held shard guards —
+    /// no lock traffic — inline in ascending shard order, or
+    /// concurrently on scoped worker threads (each handed a disjoint
+    /// `&mut Shard` carved out of the guards) when groups are large
+    /// enough to amortize the spawns.
+    fn flush_generation(
+        &self,
+        meta: &mut Meta,
+        p: &mut Planner,
+        held: &mut Option<ShardGuards<'_>>,
+        force_parallel: Option<bool>,
+    ) -> StoreSummary {
+        let mut sum = StoreSummary::default();
+        if p.pending_ops == 0 {
+            return sum;
+        }
+        // Ops are only ever planned with the guards held.
+        let Some(guards) = held.as_mut() else {
+            return sum;
+        };
+        // Consume every reserved block, used or not: only the relative
+        // order of sequences is observable, never the values.
+        meta.idx_seq = p.next_idx;
+        meta.mod_seq = p.next_mod;
+        let total = p.pending_ops;
+        let groups: Vec<(usize, Vec<PlannedOp>)> = p
+            .groups
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, ops)| !ops.is_empty())
+            .map(|(s, ops)| (s, std::mem::take(ops)))
+            .collect();
+        p.pending_ops = 0;
+        p.pending.clear();
+        self.counters.note_groups(groups.len() as u64);
+        let parallel = force_parallel.unwrap_or_else(|| {
+            groups.len() >= 2 && total / groups.len() >= PARALLEL_MIN_OPS_PER_GROUP
+        });
+        // Workers cannot reach `meta`, so key-liveness transitions are
+        // buffered as `FilterDelta`s and folded into the journal-global
+        // shard-mask filter here, before the meta lock lets the next
+        // resolution (this batch's or anyone's) consult it.
+        let mut deltas: Vec<FilterDelta> = Vec::new();
+        if parallel {
+            // Workers get disjoint `&mut Shard` borrows out of the held
+            // guards: no worker touches a lock, so the acquisition trace
+            // is identical to the inline path and the sanitizer has
+            // nothing new to see. `groups` ascends by shard index, so
+            // one pass over the guards pairs each group with its shard.
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(groups.len());
+                let mut pending = groups.iter();
+                let mut next = pending.next();
+                for (s, guard) in guards.iter_mut().enumerate() {
+                    if let Some((gs, ops)) = next {
+                        if *gs == s {
+                            let sh: &mut Shard = guard;
+                            handles.push(scope.spawn(move || commit_group(sh, s, ops)));
+                            next = pending.next();
+                        }
+                    }
+                }
+                for h in handles {
+                    match h.join() {
+                        Ok((s, d)) => {
+                            sum.absorb(s);
+                            deltas.extend(d);
+                        }
+                        // Re-raise the worker's own panic payload rather
+                        // than minting a new panic site here.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+        } else {
+            for (s, ops) in &groups {
+                let (gsum, d) = commit_group(&mut guards[*s], *s, ops);
+                sum.absorb(gsum);
+                deltas.extend(d);
+            }
+        }
+        for d in &deltas {
+            meta.flt.apply(d);
+        }
+        sum
+    }
+}
+
+/// Applies one shard's planned ops through its held guard, drawing
+/// sequences from each op's reserved blocks. Key-liveness transitions
+/// come back as buffered deltas for the caller to fold into the
+/// journal-global shard-mask filter (workers cannot reach `meta`).
+fn commit_group(
+    sh: &mut Shard,
+    shard: usize,
+    ops: &[PlannedOp],
+) -> (StoreSummary, Vec<FilterDelta>) {
+    let mut sum = StoreSummary::default();
+    let mut deltas = Vec::new();
+    for op in ops {
+        let mut idx_cursor = op.idx_base;
+        let mut mod_cursor = op.mod_base;
+        if op.create {
+            sh.records
+                .insert(op.id.0, InterfaceRecord::new(op.id, op.now));
+            sh.touch_modified(&mut mod_cursor, op.id, op.now);
+        }
+        let changed = Journal::update_record(
+            sh,
+            op.id,
+            op.source,
+            op.ip,
+            op.mac,
+            op.name.as_deref(),
+            op.mask,
+            op.now,
+            &mut idx_cursor,
+            &mut mod_cursor,
+            shard,
+            &mut deltas,
+        );
+        if op.create {
+            sum.created += 1;
+        } else if changed {
+            sum.updated += 1;
+        } else {
+            sum.verified += 1;
+        }
+    }
+    (sum, deltas)
+}

@@ -13,18 +13,28 @@
 //! Interface records are partitioned into N shards by id hash, each shard
 //! behind its own reader-writer lock with its own AVL indexes. All
 //! mutations serialize on the `meta` write lock (the gateway and subnet
-//! slabs plus the global ordering sequences live there) and then visit one
-//! shard lock at a time; interface queries take only shard locks and so
-//! run concurrently with a writer, merging sorted per-shard results back
-//! into the global order. Lock order is strictly `meta` before any shard,
-//! and no two shard locks are ever held at once.
+//! slabs plus the global ordering sequences live there). The per-item
+//! write path then visits one shard lock at a time; the grouped batch
+//! path (`grouped.rs`) instead takes **every** shard's write lock in
+//! ascending index order and holds the guards across planning and
+//! commit, so a batch visits each shard lock at most once. Interface
+//! queries take only shard locks and so run concurrently with a writer,
+//! merging sorted per-shard results back into the global order;
+//! lone-lock query sweeps visit shards in *descending* order, opposite
+//! the writer's ascending acquisition, so a sweep crosses a multi-lock
+//! writer at most once instead of convoying. Lock order is strictly
+//! `meta` before any shard, and multiple shard locks are only ever
+//! acquired ascending.
 //!
 //! Consistency: readers that go through `meta` (`stats`, `to_snapshot`,
 //! `check_invariants`, gateway/subnet queries) are fully serialized
 //! against writers. Shard-only interface queries may observe a write
 //! batch's intermediate states (one observation fully applied, the next
-//! not yet), never a torn single observation.
+//! not yet), never a torn single observation; under grouped commit a
+//! barrier-free batch is atomic with respect to interface queries,
+//! because every shard's write lock is held for its duration.
 
+mod grouped;
 mod indexes;
 mod merge;
 mod shard;
@@ -46,6 +56,7 @@ use crate::query::{InterfaceQuery, SubnetQuery};
 use crate::records::{GatewayId, GatewayRecord, InterfaceId, InterfaceRecord, SubnetRecord};
 use crate::time::{JTime, Timestamped};
 
+use indexes::FilterKey;
 use shard::Shard;
 use stats::{ShardCounters, StoreCounters};
 
@@ -65,10 +76,17 @@ struct Meta {
     /// Global modification sequence (tie-break within one `JTime`).
     mod_seq: u64,
     observations_applied: u64,
+    /// Journal-global key→shard bitmasks for the resolution paths, which
+    /// all run under this meta lock: one probe answers "which shards
+    /// could hold this key" instead of asking every shard's filter.
+    /// Index mutations also all run under the meta lock, so the map
+    /// stays exact — parallel grouped commits buffer their liveness
+    /// deltas and the coordinator folds them in after the join.
+    flt: indexes::ShardMaskFilter,
 }
 
 impl Meta {
-    fn new() -> Self {
+    fn new(shards: usize) -> Self {
         Meta {
             gateways: Vec::new(),
             subnets: AvlMap::new(),
@@ -76,6 +94,7 @@ impl Meta {
             idx_seq: 0,
             mod_seq: 0,
             observations_applied: 0,
+            flt: indexes::ShardMaskFilter::new(shards),
         }
     }
 }
@@ -108,7 +127,7 @@ impl Journal {
     pub fn with_shards(shards: usize) -> Self {
         let n = shards.max(1);
         Journal {
-            meta: RwLock::labeled("journal.meta", Meta::new()),
+            meta: RwLock::labeled("journal.meta", Meta::new(n)),
             shards: (0..n)
                 .map(|i| RwLock::labeled_ranked("journal.shard", i, Shard::new()))
                 .collect(),
@@ -154,8 +173,18 @@ impl Journal {
 
     /// Merges the per-shard posting lists one index key resolves to,
     /// restoring global insertion order.
+    ///
+    /// The sweep visits shards in *descending* index order, deliberately
+    /// opposite to the grouped batch path's ascending write-lock
+    /// acquisition: a lone-lock sweep against a multi-lock acquirer
+    /// crosses it at most once when they run in opposite directions,
+    /// where same-direction sweeps convoy — parking and waking once per
+    /// shard as each chases the other through the lock sequence. The
+    /// k-way merge re-sorts by global sequence, so visit order never
+    /// shows in the result.
     fn merged_ids(&self, get: impl Fn(&Shard) -> Vec<indexes::Entry>) -> Vec<InterfaceId> {
         let lists: Vec<Vec<indexes::Entry>> = (0..self.shards.len())
+            .rev()
             .map(|s| self.with_shard(s, &get))
             .collect();
         merge::k_way(lists, |e| e.0)
@@ -165,15 +194,31 @@ impl Journal {
     }
 
     fn ip_ids(&self, ip: Ipv4Addr) -> Vec<InterfaceId> {
-        self.merged_ids(|sh| sh.idx_ip.get(&ip).cloned().unwrap_or_default())
+        let h = ip.filter_hash();
+        self.merged_ids(|sh| {
+            if !sh.flt_ip.may_contain(h) {
+                return Vec::new();
+            }
+            sh.idx_ip.get(&ip).cloned().unwrap_or_default()
+        })
     }
 
     fn mac_ids(&self, mac: MacAddr) -> Vec<InterfaceId> {
-        self.merged_ids(|sh| sh.idx_mac.get(&mac).cloned().unwrap_or_default())
+        let h = mac.filter_hash();
+        self.merged_ids(|sh| {
+            if !sh.flt_mac.may_contain(h) {
+                return Vec::new();
+            }
+            sh.idx_mac.get(&mac).cloned().unwrap_or_default()
+        })
     }
 
     fn name_ids(&self, name: &str) -> Vec<InterfaceId> {
+        let h = name.filter_hash();
         self.merged_ids(|sh| {
+            if !sh.flt_name.may_contain(h) {
+                return Vec::new();
+            }
             sh.idx_name
                 .get(&name.to_owned())
                 .cloned()
@@ -216,7 +261,24 @@ impl Journal {
     /// Applies a batch of `(observation, at)` pairs under **one** meta
     /// write-lock acquisition — the batched write path the driver, the
     /// server's StoreBatch RPC, and the WAL group commit all funnel into.
+    ///
+    /// Delegates to [`Journal::apply_batch_grouped`]: observations are
+    /// planned by target shard so each shard lock is taken at most once
+    /// per conflict-free run, instead of once per observation per key.
     pub fn apply_batch<'a>(
+        &self,
+        items: impl IntoIterator<Item = (&'a Observation, JTime)>,
+    ) -> StoreSummary {
+        self.apply_batch_grouped(items)
+    }
+
+    /// The pre-grouping batch path: one meta acquisition, then every
+    /// observation applied in order through the per-item machinery.
+    ///
+    /// Kept as the executable reference model the grouped-batch
+    /// equivalence property tests compare [`Journal::apply_batch_grouped`]
+    /// against; not used on any production write path.
+    pub fn apply_batch_sequential<'a>(
         &self,
         items: impl IntoIterator<Item = (&'a Observation, JTime)>,
     ) -> StoreSummary {
@@ -407,7 +469,57 @@ impl Journal {
         mask: Option<fremont_net::SubnetMask>,
         now: JTime,
     ) -> bool {
-        self.with_shard_mut(self.shard_of(id), |sh| {
+        let shard = self.shard_of(id);
+        let mut deltas = Vec::new();
+        let changed = {
+            let Meta {
+                idx_seq, mod_seq, ..
+            } = meta;
+            self.with_shard_mut(shard, |sh| {
+                Self::update_record(
+                    sh,
+                    id,
+                    source,
+                    ip,
+                    mac,
+                    name,
+                    mask,
+                    now,
+                    idx_seq,
+                    mod_seq,
+                    shard,
+                    &mut deltas,
+                )
+            })
+        };
+        for d in &deltas {
+            meta.flt.apply(d);
+        }
+        changed
+    }
+
+    /// The shard-local half of an interface update: merges fields into the
+    /// record and maintains this shard's indexes, drawing insertion and
+    /// modification sequences from the supplied cursors. The sequential
+    /// path passes the global `meta` sequences; the grouped batch path
+    /// passes per-operation cursors into pre-reserved sequence blocks, so
+    /// independent shards can commit concurrently without touching `meta`.
+    #[allow(clippy::too_many_arguments)]
+    pub(in crate::store) fn update_record(
+        sh: &mut Shard,
+        id: InterfaceId,
+        source: Source,
+        ip: Option<Ipv4Addr>,
+        mac: Option<MacAddr>,
+        name: Option<&str>,
+        mask: Option<fremont_net::SubnetMask>,
+        now: JTime,
+        idx_seq: &mut u64,
+        mod_seq: &mut u64,
+        shard: usize,
+        deltas: &mut Vec<indexes::FilterDelta>,
+    ) -> bool {
+        {
             let Some(r) = sh.records.get_mut(&id.0) else {
                 return false;
             };
@@ -471,32 +583,83 @@ impl Journal {
             if let Some(ip) = ip {
                 if old_ip != Some(ip) {
                     if let Some(old) = old_ip {
-                        indexes::remove(&mut sh.idx_ip, &old, id);
+                        indexes::remove(
+                            &mut sh.idx_ip,
+                            &mut sh.flt_ip,
+                            &old,
+                            id,
+                            indexes::TAG_IP,
+                            shard,
+                            deltas,
+                        );
                     }
-                    indexes::add(&mut sh.idx_ip, ip, id, &mut meta.idx_seq);
+                    indexes::add(
+                        &mut sh.idx_ip,
+                        &mut sh.flt_ip,
+                        ip,
+                        id,
+                        idx_seq,
+                        indexes::TAG_IP,
+                        shard,
+                        deltas,
+                    );
                 }
             }
             if let Some(mac) = mac {
                 if old_mac != Some(mac) {
                     if let Some(old) = old_mac {
-                        indexes::remove(&mut sh.idx_mac, &old, id);
+                        indexes::remove(
+                            &mut sh.idx_mac,
+                            &mut sh.flt_mac,
+                            &old,
+                            id,
+                            indexes::TAG_MAC,
+                            shard,
+                            deltas,
+                        );
                     }
-                    indexes::add(&mut sh.idx_mac, mac, id, &mut meta.idx_seq);
+                    indexes::add(
+                        &mut sh.idx_mac,
+                        &mut sh.flt_mac,
+                        mac,
+                        id,
+                        idx_seq,
+                        indexes::TAG_MAC,
+                        shard,
+                        deltas,
+                    );
                 }
             }
             if let Some(name) = name {
                 if old_name.as_deref() != Some(name) {
                     if let Some(old) = old_name {
-                        indexes::remove(&mut sh.idx_name, &old, id);
+                        indexes::remove(
+                            &mut sh.idx_name,
+                            &mut sh.flt_name,
+                            &old,
+                            id,
+                            indexes::TAG_NAME,
+                            shard,
+                            deltas,
+                        );
                     }
-                    indexes::add(&mut sh.idx_name, name.to_owned(), id, &mut meta.idx_seq);
+                    indexes::add(
+                        &mut sh.idx_name,
+                        &mut sh.flt_name,
+                        name.to_owned(),
+                        id,
+                        idx_seq,
+                        indexes::TAG_NAME,
+                        shard,
+                        deltas,
+                    );
                 }
             }
             if changed {
-                sh.touch_modified(&mut meta.mod_seq, id, now);
+                sh.touch_modified(mod_seq, id, now);
             }
             changed
-        })
+        }
     }
 
     // ------------------------------------------------------------------
@@ -946,22 +1109,51 @@ impl Journal {
     }
 
     fn delete_locked(&self, meta: &mut Meta, id: InterfaceId) -> bool {
-        let rec = self.with_shard_mut(self.shard_of(id), |sh| {
+        let shard = self.shard_of(id);
+        let mut deltas = Vec::new();
+        let rec = self.with_shard_mut(shard, |sh| {
             let rec = sh.records.remove(&id.0)?;
             if let Some(ip) = rec.ip_addr() {
-                indexes::remove(&mut sh.idx_ip, &ip, id);
+                indexes::remove(
+                    &mut sh.idx_ip,
+                    &mut sh.flt_ip,
+                    &ip,
+                    id,
+                    indexes::TAG_IP,
+                    shard,
+                    &mut deltas,
+                );
             }
             if let Some(mac) = rec.mac_addr() {
-                indexes::remove(&mut sh.idx_mac, &mac, id);
+                indexes::remove(
+                    &mut sh.idx_mac,
+                    &mut sh.flt_mac,
+                    &mac,
+                    id,
+                    indexes::TAG_MAC,
+                    shard,
+                    &mut deltas,
+                );
             }
             if let Some(name) = rec.dns_name() {
-                indexes::remove(&mut sh.idx_name, &name.to_owned(), id);
+                indexes::remove(
+                    &mut sh.idx_name,
+                    &mut sh.flt_name,
+                    &name.to_owned(),
+                    id,
+                    indexes::TAG_NAME,
+                    shard,
+                    &mut deltas,
+                );
             }
             if let Some(key) = sh.mod_keys.remove(&id.0) {
                 sh.idx_modified.remove(&key);
             }
             Some(rec)
         });
+        for d in &deltas {
+            meta.flt.apply(d);
+        }
         let Some(rec) = rec else {
             return false;
         };
@@ -1016,6 +1208,14 @@ impl Journal {
             batch_observations: self.counters.batch_observations.load(Ordering::Relaxed),
             largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
         }
+    }
+
+    /// Total shard commit groups flushed by the grouped batch path — one
+    /// shard write-lock acquisition each. Kept out of [`ShardingMetrics`]
+    /// (a wire type frozen by the wal-schema golden); the server reads it
+    /// directly when publishing telemetry.
+    pub fn batch_groups_total(&self) -> u64 {
+        self.counters.batch_groups.load(Ordering::Relaxed)
     }
 
     /// Exports all records as a snapshot.
@@ -1077,21 +1277,53 @@ impl Journal {
             // Rebuild the modification index in changed-time order.
             let mut by_changed: Vec<&InterfaceRecord> = snap.interfaces.iter().collect();
             by_changed.sort_by_key(|r| r.changed);
+            let mut deltas = Vec::new();
             for rec in by_changed {
                 let id = rec.id;
-                j.with_shard_mut(shard::shard_of(id, j.shards.len()), |sh| {
+                let shard = shard::shard_of(id, j.shards.len());
+                j.with_shard_mut(shard, |sh| {
                     sh.records.insert(id.0, rec.clone());
                     if let Some(ip) = rec.ip_addr() {
-                        indexes::add(&mut sh.idx_ip, ip, id, &mut meta.idx_seq);
+                        indexes::add(
+                            &mut sh.idx_ip,
+                            &mut sh.flt_ip,
+                            ip,
+                            id,
+                            &mut meta.idx_seq,
+                            indexes::TAG_IP,
+                            shard,
+                            &mut deltas,
+                        );
                     }
                     if let Some(mac) = rec.mac_addr() {
-                        indexes::add(&mut sh.idx_mac, mac, id, &mut meta.idx_seq);
+                        indexes::add(
+                            &mut sh.idx_mac,
+                            &mut sh.flt_mac,
+                            mac,
+                            id,
+                            &mut meta.idx_seq,
+                            indexes::TAG_MAC,
+                            shard,
+                            &mut deltas,
+                        );
                     }
                     if let Some(name) = rec.dns_name() {
-                        indexes::add(&mut sh.idx_name, name.to_owned(), id, &mut meta.idx_seq);
+                        indexes::add(
+                            &mut sh.idx_name,
+                            &mut sh.flt_name,
+                            name.to_owned(),
+                            id,
+                            &mut meta.idx_seq,
+                            indexes::TAG_NAME,
+                            shard,
+                            &mut deltas,
+                        );
                     }
                     sh.touch_modified(&mut meta.mod_seq, id, rec.changed);
                 });
+            }
+            for d in &deltas {
+                meta.flt.apply(d);
             }
             for g in &snap.gateways {
                 meta.gateways[g.id.0 as usize] = Some(g.clone());

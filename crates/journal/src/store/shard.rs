@@ -9,7 +9,7 @@ use crate::avl::AvlMap;
 use crate::records::{InterfaceId, InterfaceRecord};
 use crate::time::JTime;
 
-use super::indexes::Entry;
+use super::indexes::{Entry, FilterKey, KeyFilter};
 
 /// Computes the shard an interface id lives in (Fibonacci hashing, so
 /// sequentially allocated ids spread evenly instead of striding).
@@ -33,6 +33,13 @@ pub(super) struct Shard {
     /// DNS-name index. A name maps to several records for multi-homed
     /// gateways.
     pub idx_name: AvlMap<String, Vec<Entry>>,
+    /// Live-key fingerprint counts for `idx_mac`/`idx_ip`/`idx_name`:
+    /// cross-shard fan-out asks these before descending into the trees,
+    /// so shards that cannot hold a key cost one hash probe, not a tree
+    /// walk. Maintained by `indexes::add`/`indexes::remove`.
+    pub flt_mac: KeyFilter,
+    pub flt_ip: KeyFilter,
+    pub flt_name: KeyFilter,
     /// Modification-time ordering over this shard's records (the paper's
     /// "lists ordered by time of last modification"); the `u64` half of the
     /// key is the journal-global modification sequence, so merged shard
@@ -50,6 +57,9 @@ impl Shard {
             idx_mac: AvlMap::new(),
             idx_ip: AvlMap::new(),
             idx_name: AvlMap::new(),
+            flt_mac: KeyFilter::new(),
+            flt_ip: KeyFilter::new(),
+            flt_name: KeyFilter::new(),
             idx_modified: AvlMap::new(),
             mod_keys: HashMap::new(),
         }
@@ -97,6 +107,37 @@ impl Shard {
             }
             if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
                 return Err(format!("idx_mac postings out of sequence for {mac}"));
+            }
+        }
+        for (name, idx, flt) in [
+            ("idx_ip", self.idx_ip.iter().count() as u64, &self.flt_ip),
+            ("idx_mac", self.idx_mac.iter().count() as u64, &self.flt_mac),
+            (
+                "idx_name",
+                self.idx_name.iter().count() as u64,
+                &self.flt_name,
+            ),
+        ] {
+            if flt.live_keys() != idx {
+                return Err(format!(
+                    "{name} filter counts {} keys, index holds {idx}",
+                    flt.live_keys()
+                ));
+            }
+        }
+        for (ip, _) in self.idx_ip.iter() {
+            if !self.flt_ip.may_contain(ip.filter_hash()) {
+                return Err(format!("flt_ip misses live key {ip}"));
+            }
+        }
+        for (mac, _) in self.idx_mac.iter() {
+            if !self.flt_mac.may_contain(mac.filter_hash()) {
+                return Err(format!("flt_mac misses live key {mac}"));
+            }
+        }
+        for (name, _) in self.idx_name.iter() {
+            if !self.flt_name.may_contain(name.filter_hash()) {
+                return Err(format!("flt_name misses live key {name}"));
             }
         }
         for rec in self.records.values() {

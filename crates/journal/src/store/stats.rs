@@ -60,6 +60,10 @@ pub(super) struct StoreCounters {
     pub batch_observations: AtomicU64,
     /// Largest single batch seen.
     pub largest_batch: AtomicU64,
+    /// Per-shard commit groups flushed by the grouped batch path: each
+    /// group is one shard write-lock acquisition covering every planned
+    /// record operation the batch holds for that shard.
+    pub batch_groups: AtomicU64,
 }
 
 impl StoreCounters {
@@ -68,6 +72,11 @@ impl StoreCounters {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_observations.fetch_add(n, Ordering::Relaxed);
         self.largest_batch.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records `g` shard groups committed by one generation flush.
+    pub fn note_groups(&self, g: u64) {
+        self.batch_groups.fetch_add(g, Ordering::Relaxed);
     }
 }
 

@@ -1,6 +1,11 @@
 //! Integration test: the client's reconnect-and-retry behaviour for
 //! idempotent query RPCs when the Journal Server restarts between calls,
 //! and when the connection dies mid-RPC rather than between clean calls.
+//!
+//! These tests are deliberately loop-agnostic: they rely only on the
+//! server's documented contract that `shutdown()` severs every live
+//! connection before returning, never on how connections are torn down
+//! or how quickly a serving thread notices the stop.
 
 use std::io::Read;
 use std::net::{Ipv4Addr, TcpListener};
@@ -41,9 +46,18 @@ fn queries_survive_a_server_restart_but_mutations_do_not_retry() {
         .unwrap();
     assert_eq!(client.stats().unwrap().interfaces, 1);
 
-    // Restart the server behind the client's back. The client's TCP
-    // connection is now dead, but the journal state survives in-process.
+    // Restart the server behind the client's back. `shutdown()` severs
+    // live connections synchronously — when it returns, the client's
+    // socket is already closed — so nothing below depends on how the
+    // server dismantles its connections (per-connection threads once,
+    // event-loop workers now) or on any teardown timing.
     first.shutdown();
+
+    // Between servers, an idempotent query attempts its one reconnect,
+    // which is refused: the error surfaces instead of retrying forever.
+    let err = client.stats().unwrap_err();
+    assert!(matches!(err, ProtoError::Io(_)), "got {err}");
+
     let second = restart_at(&shared, &addr);
 
     // A mutating RPC on the dead connection fails with an IO error and

@@ -151,6 +151,46 @@ proptest! {
         assert_equivalent(&reference, &sharded);
     }
 
+    /// The grouped batch path (one meta acquisition, one shard lock per
+    /// group, pre-assigned sequence blocks) is equivalent to the legacy
+    /// per-observation batch loop AND to one-at-a-time applies — for any
+    /// batch chunking, at 1/4/8 shards, whether groups commit inline or
+    /// on forced parallel workers. `assert_equivalent` pins observation
+    /// order end to end: posting-list order inside keyed queries (idx
+    /// sequence assignment) and `interfaces_by_modification` (mod
+    /// sequence assignment) must all agree with the reference.
+    #[test]
+    fn grouped_batches_equal_sequential_batches_and_applies(
+        obs in proptest::collection::vec(arb_obs(), 1..120),
+        chunk in 1usize..16,
+        shards in prop_oneof![Just(1usize), Just(4), Just(8)],
+        parallel in any::<bool>(),
+    ) {
+        let mut reference = Journal::with_shards(1);
+        for (i, o) in obs.iter().enumerate() {
+            reference.apply(o, JTime(i as u64));
+        }
+        let sequential = Journal::with_shards(shards);
+        let grouped = Journal::with_shards(shards);
+        let mut next = 0u64;
+        for run in obs.chunks(chunk) {
+            let stamped: Vec<(&Observation, JTime)> = run
+                .iter()
+                .map(|o| {
+                    let t = JTime(next);
+                    next += 1;
+                    (o, t)
+                })
+                .collect();
+            let a = sequential.apply_batch_sequential(stamped.iter().copied());
+            let b = grouped.apply_batch_grouped_forced(stamped.iter().copied(), parallel);
+            prop_assert_eq!(a, b, "per-batch summaries must agree");
+        }
+        assert_equivalent(&reference, &sequential);
+        assert_equivalent(&reference, &grouped);
+        assert_equivalent(&sequential, &grouped);
+    }
+
     /// The canonical-snapshot fingerprint the model checker prunes on
     /// is shard-count independent: the same observations land on the
     /// same fingerprint however the interface records are partitioned.

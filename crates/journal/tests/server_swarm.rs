@@ -1,0 +1,183 @@
+//! Swarm test: a thousand concurrent `RemoteJournal` clients against one
+//! Journal Server.
+//!
+//! Every client holds its connection open for the whole test, so the
+//! server is carrying ~1k live sockets at once — the load shape the
+//! event-loop rewrite exists for. The assertions pin down the three
+//! contracts that matter at that scale: every request completes, no
+//! observation is lost, and the server's thread count stays at the fixed
+//! pool size instead of growing with connections.
+
+use std::net::Ipv4Addr;
+
+use fremont_journal::client::RemoteJournal;
+use fremont_journal::observation::{Observation, Source};
+use fremont_journal::proto::{Request, Response, StoreBatchItem};
+use fremont_journal::query::InterfaceQuery;
+use fremont_journal::server::{JournalAccess, JournalServer, SharedJournal, MAX_EVENTLOOP_WORKERS};
+use fremont_journal::time::JTime;
+
+const CLIENTS: usize = 1024;
+const DRIVERS: usize = 16;
+
+/// Threads in this process, from /proc (Linux only; `None` elsewhere).
+fn thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// The unique IP a client owns; distinct for every `k < 4096`.
+fn client_ip(k: usize) -> Ipv4Addr {
+    Ipv4Addr::new(
+        10,
+        (k / 256) as u8,
+        ((k / 16) % 16) as u8,
+        (k % 16 + 1) as u8,
+    )
+}
+
+#[test]
+fn a_thousand_concurrent_clients_complete_without_losing_observations() {
+    let baseline_threads = thread_count();
+    let (telemetry, rec) = fremont_telemetry::Telemetry::recording();
+    let shared = SharedJournal::new();
+    let server =
+        JournalServer::start_with_telemetry(shared.clone(), "127.0.0.1:0", None, telemetry)
+            .unwrap();
+    let addr = server.addr().to_string();
+
+    // Open every connection up front so all of them are live at once.
+    let mut clients: Vec<RemoteJournal> = (0..CLIENTS)
+        .map(|_| RemoteJournal::connect(&addr).unwrap())
+        .collect();
+
+    // With a thousand sockets accepted, the server has added only its
+    // accept thread and the fixed worker pool — not a thread per
+    // connection.
+    if let (Some(before), Some(now)) = (baseline_threads, thread_count()) {
+        let added = now.saturating_sub(before);
+        assert!(
+            added <= 2 + MAX_EVENTLOOP_WORKERS as u64,
+            "server added {added} threads for {CLIENTS} connections"
+        );
+    }
+
+    // Sixteen driver threads walk disjoint slices of the client pool;
+    // each client stores two observations about its own IP, reads them
+    // back, and every eighth also pulls an introspection report.
+    let chunk = CLIENTS / DRIVERS;
+    let handles: Vec<_> = (0..DRIVERS)
+        .map(|d| {
+            let mine: Vec<RemoteJournal> = clients.drain(..chunk).collect();
+            std::thread::spawn(move || {
+                for (i, client) in mine.iter().enumerate() {
+                    let k = d * chunk + i;
+                    let ip = client_ip(k);
+                    let summary = client
+                        .store_batch(&[StoreBatchItem {
+                            now: JTime(k as u64),
+                            observations: vec![
+                                Observation::ip_alive(Source::SeqPing, ip),
+                                Observation::arp_pair(
+                                    Source::ArpWatch,
+                                    ip,
+                                    format!("08:00:20:0a:{:02x}:{:02x}", k / 256, k % 256)
+                                        .parse()
+                                        .unwrap(),
+                                ),
+                            ],
+                        }])
+                        .unwrap();
+                    assert_eq!(
+                        summary.created + summary.updated + summary.verified,
+                        2,
+                        "client {k}: every observation must be accounted for"
+                    );
+                    let got = client.interfaces(&InterfaceQuery::by_ip(ip)).unwrap();
+                    assert_eq!(got.len(), 1, "client {k} must read its own write");
+                    if k.is_multiple_of(8) {
+                        let report = client.introspect(4).unwrap();
+                        assert_eq!(report.health, "ok");
+                    }
+                }
+                mine
+            })
+        })
+        .collect();
+    let mut done: Vec<RemoteJournal> = Vec::with_capacity(CLIENTS);
+    for h in handles {
+        done.extend(h.join().expect("no client thread may fail a request"));
+    }
+
+    // No lost observations: one record per client, two observations
+    // each, confirmed by the in-process view.
+    let stats = shared.stats().unwrap();
+    assert_eq!(stats.interfaces, CLIENTS);
+    assert_eq!(stats.observations_applied, 2 * CLIENTS as u64);
+    shared.read(|j| j.check_invariants().unwrap());
+
+    // The thread bound still holds with every connection mid-life.
+    if let (Some(before), Some(now)) = (baseline_threads, thread_count()) {
+        let added = now.saturating_sub(before);
+        assert!(
+            added <= 2 + MAX_EVENTLOOP_WORKERS as u64,
+            "server grew to {added} extra threads during the swarm"
+        );
+    }
+
+    drop(done);
+    server.shutdown();
+    assert_eq!(
+        rec.counter("fremont_journal_connections_total", ""),
+        CLIENTS as u64
+    );
+    assert_eq!(rec.counter("fremont_journal_rpc_aborted_total", ""), 0);
+    assert_eq!(
+        rec.counter("fremont_journal_connection_errors_total", ""),
+        0
+    );
+}
+
+/// Two requests queued on one socket come back as two replies in
+/// request order — the framing contract that makes client pipelining
+/// legal against the event loop.
+#[test]
+fn pipelined_requests_get_in_order_replies() {
+    let server = JournalServer::start(SharedJournal::new(), "127.0.0.1:0", None).unwrap();
+    let client = RemoteJournal::connect(&server.addr().to_string()).unwrap();
+
+    let ip = Ipv4Addr::new(10, 200, 0, 1);
+    let replies = client
+        .pipeline(&[
+            Request::Store {
+                now: JTime(3),
+                observations: vec![Observation::ip_alive(Source::SeqPing, ip)],
+            },
+            Request::GetInterfaces(InterfaceQuery::by_ip(ip)),
+            Request::Stats,
+        ])
+        .unwrap();
+
+    // The replies land in request order: the second sees the record the
+    // first created, which only in-order execution can produce.
+    assert_eq!(replies.len(), 3);
+    match &replies[0] {
+        Response::Stored(s) => assert_eq!(s.created, 1),
+        other => panic!("slot 0: expected Stored, got {other:?}"),
+    }
+    match &replies[1] {
+        Response::Interfaces(v) => {
+            assert_eq!(v.len(), 1);
+            assert_eq!(v[0].ip.as_ref().map(|t| *t.get()), Some(ip));
+        }
+        other => panic!("slot 1: expected Interfaces, got {other:?}"),
+    }
+    match &replies[2] {
+        Response::Stats(s) => assert_eq!(s.interfaces, 1),
+        other => panic!("slot 2: expected Stats, got {other:?}"),
+    }
+    server.shutdown();
+}

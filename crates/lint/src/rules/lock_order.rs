@@ -59,8 +59,6 @@ pub(crate) struct Acq {
     /// indexed receivers keep their index expression
     /// (`self.shards[idx].read()` → `shards[idx]`).
     pub(crate) label: String,
-    /// The acquiring method: `lock`, `read`, or `write`.
-    pub(crate) method: String,
     pub(crate) line: u32,
     pub(crate) col: u32,
     /// First token index inside the guard's live range.
@@ -284,7 +282,6 @@ pub(crate) fn find_acquisitions(code: &[Tok], start: usize, end: usize, out: &mu
         };
         out.push(Acq {
             label,
-            method: m.text.clone(),
             line: m.line,
             col: m.col,
             start: ext_start,

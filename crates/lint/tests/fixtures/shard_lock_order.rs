@@ -10,10 +10,11 @@ impl FixtureStore {
         meta.seq + shard.len() as u64
     }
 
-    /// Two shard write guards at once.
+    /// Write guards in descending index order (ascending multi-write
+    /// acquisition is the grouped batch path's sanctioned shape).
     fn double_write(&self) {
-        let a = self.shards[1].write();
-        let b = self.shards[2].write();
+        let a = self.shards[2].write();
+        let b = self.shards[1].write();
         a.clear();
         b.clear();
     }

@@ -117,15 +117,15 @@ const EXPECTED: [(&str, &str, u32, u32, Severity, &str); 10] = [
     (
         "shard-lock-order",
         "crates/journal/src/store/fixture.rs",
-        16,
+        17,
         32,
         Severity::Error,
-        "two shard write locks held simultaneously",
+        "ascending index order",
     ),
     (
         "shard-lock-order",
         "crates/journal/src/store/fixture.rs",
-        24,
+        25,
         33,
         Severity::Error,
         "ascending index order",

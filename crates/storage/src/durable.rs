@@ -469,6 +469,10 @@ impl JournalAccess for DurableJournal {
         self.compact().map_err(io_err)?;
         Ok(true)
     }
+
+    fn batch_groups_total(&self) -> Option<u64> {
+        self.shared.batch_groups_total()
+    }
 }
 
 #[cfg(test)]
